@@ -1,0 +1,84 @@
+// Command figures regenerates every table/figure of the paper's
+// evaluation section (§VI) from the performance model, plus the
+// design-choice ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	figures                  # all figures
+//	figures -fig 6           # one figure (2..7 or "bgp")
+//	figures -ablations       # prefetch/segment/scheduling ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "", "figure to print (2-7 or bgp; empty = all)")
+	csv := fs.Bool("csv", false, "emit comma-separated rows instead of tables")
+	ablations := fs.Bool("ablations", false, "print design-choice ablations instead of figures")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *ablations {
+		printAblations(stdout)
+		return 0
+	}
+	render := func(f perfmodel.Figure) {
+		if *csv {
+			fmt.Fprint(stdout, f.CSV())
+		} else {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	figs := perfmodel.Figures()
+	if *fig == "" {
+		for _, f := range figs {
+			render(f)
+		}
+		return 0
+	}
+	for _, f := range figs {
+		if f.ID == *fig {
+			render(f)
+			return 0
+		}
+	}
+	fmt.Fprintf(stderr, "figures: unknown figure %q (have 2, 3, 4, 5, 6, 7, bgp)\n", *fig)
+	return 2
+}
+
+func printAblations(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: prefetch window (BlueGene/P, 256 workers; unbounded rendered as window 2^20)")
+	printSeries(w, perfmodel.AblationPrefetchWindow(machine.BlueGeneP, 256))
+	fmt.Fprintln(w, "\nAblation: segment size (midnight, 128 workers)")
+	printSeries(w, perfmodel.AblationSegmentSize(machine.Midnight, 128))
+	fmt.Fprintln(w, "\nAblation: guided vs static scheduling (jaguar, 2000 workers, triangular Fock space)")
+	printSeries(w, perfmodel.AblationScheduling(machine.Jaguar, 2000))
+	fmt.Fprintln(w, "\nAblation: I/O server count (jaguar, 512 workers, served CCSD amplitudes)")
+	printSeries(w, perfmodel.AblationServerCount(machine.Jaguar, 512, []int{1, 2, 4, 8, 16, 32, 64}))
+}
+
+func printSeries(w io.Writer, series []perfmodel.Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "  %s\n", s.Label)
+		fmt.Fprintf(w, "    %10s %12s %10s\n", "x", "time", "wait")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "    %10d %10.1f s %9.1f%%\n", p.Procs, p.Seconds, p.WaitPct)
+		}
+	}
+}

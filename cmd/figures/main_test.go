@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSingleFigure(t *testing.T) {
+	code, out, errOut := run(t, "-fig", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "Luciferin") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 3") {
+		t.Fatal("-fig 2 printed other figures")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	code, out, _ := run(t, "-fig", "2", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "series,procs,seconds") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	code, _, errOut := run(t, "-fig", "99")
+	if code != 2 || !strings.Contains(errOut, "unknown figure") {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := run(t, "-nope")
+	if code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	code, out, _ := run(t, "-ablations")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"prefetch window", "segment size", "guided vs static", "I/O server count"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Command sial is the SIAL toolchain driver: it compiles SIAL source to
+// SIA byte code, disassembles compiled programs, performs the SIP's
+// dry-run memory analysis, and executes programs on an in-process SIP.
+//
+// Usage:
+//
+//	sial compile  prog.sial [-o prog.siox]
+//	sial disasm   prog.sial|prog.siox
+//	sial dryrun   prog.sial [-workers N] [-servers N] [-seg S] [-mem BYTES] [-param k=v ...]
+//	sial run      prog.sial [-workers N] [-servers N] [-seg S] [-prefetch W] [-param k=v ...] [-profile]
+//
+// Compiled byte code uses the .siox suffix (serialized with the SIABC1
+// container format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/chem"
+	"repro/internal/core"
+	"repro/internal/sial"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: it dispatches the subcommand and
+// returns the process exit code.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 2 {
+		usage(stderr)
+		return 2
+	}
+	cmd, file := argv[0], argv[1]
+	args := argv[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = doCompile(file, args, stdout)
+	case "disasm":
+		err = doDisasm(file, stdout)
+	case "dryrun":
+		err = doDryRun(file, args, stdout)
+	case "run":
+		err = doRun(file, args, stdout)
+	default:
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "sial:") {
+			msg = "sial: " + msg
+		}
+		fmt.Fprintln(stderr, msg)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  sial compile prog.sial [-o out.siox]
+  sial disasm  prog.sial|prog.siox
+  sial dryrun  prog.sial [flags]
+  sial run     prog.sial [flags]
+run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile`)
+}
+
+// load reads a program from SIAL source or compiled byte code.
+func load(file string) (*core.Program, error) {
+	if strings.HasSuffix(file, ".siox") {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bytecode.Read(f)
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := core.Compile(string(src))
+	if err != nil {
+		// Render front-end errors with the offending source line.
+		return nil, fmt.Errorf("%s", sial.ErrorWithContext(string(src), err))
+	}
+	return prog, nil
+}
+
+func doCompile(file string, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default: input with .siox suffix)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, err := load(file)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(file, ".sial") + ".siox"
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := prog.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "compiled %s -> %s (%d instructions)\n", file, dst, len(prog.Code))
+	return nil
+}
+
+func doDisasm(file string, stdout io.Writer) error {
+	prog, err := load(file)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, prog.Disassemble())
+	return nil
+}
+
+// runFlags parses the shared run/dryrun flag set.
+type runFlags struct {
+	cfg  core.Config
+	mem  int64
+	prof bool
+}
+
+func parseRunFlags(name string, args []string) (*runFlags, error) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	workers := fs.Int("workers", 4, "number of SIP workers")
+	servers := fs.Int("servers", 1, "number of I/O servers")
+	seg := fs.Int("seg", 4, "segment size")
+	prefetch := fs.Int("prefetch", 2, "prefetch window (do-loop iterations)")
+	mem := fs.Int64("mem", 0, "per-worker memory budget in bytes for dry run (0 = unlimited)")
+	prof := fs.Bool("profile", false, "print the SIP profile after the run")
+	trace := fs.Bool("trace", false, "trace every instruction executed by worker 1")
+	var params paramList
+	fs.Var(&params, "param", "parameter assignment k=v (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	rf := &runFlags{mem: *mem, prof: *prof}
+	super := chem.MP2Super()
+	for name, fn := range chem.TriplesSuper() {
+		super[name] = fn
+	}
+	rf.cfg = core.Config{
+		Workers:        *workers,
+		Servers:        *servers,
+		Seg:            core.DefaultSegConfig(*seg),
+		PrefetchWindow: *prefetch,
+		Params:         params.vals,
+		Integrals:      chem.AOIntegrals(),
+		Super:          super,
+	}
+	if *trace {
+		rf.cfg.Trace = os.Stderr
+	}
+	return rf, nil
+}
+
+type paramList struct{ vals map[string]int }
+
+func (p *paramList) String() string { return fmt.Sprint(p.vals) }
+
+func (p *paramList) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("bad -param %q, want k=v", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("bad -param value %q: %v", v, err)
+	}
+	if p.vals == nil {
+		p.vals = map[string]int{}
+	}
+	p.vals[k] = n
+	return nil
+}
+
+func doDryRun(file string, args []string, stdout io.Writer) error {
+	rf, err := parseRunFlags("dryrun", args)
+	if err != nil {
+		return err
+	}
+	prog, err := load(file)
+	if err != nil {
+		return err
+	}
+	report, err := core.DryRun(prog, rf.cfg, rf.mem)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, report)
+	if !report.Feasible {
+		return fmt.Errorf("computation infeasible within the memory budget")
+	}
+	return nil
+}
+
+func doRun(file string, args []string, stdout io.Writer) error {
+	rf, err := parseRunFlags("run", args)
+	if err != nil {
+		return err
+	}
+	prog, err := load(file)
+	if err != nil {
+		return err
+	}
+	rf.cfg.Output = stdout
+	res, err := core.Run(prog, rf.cfg)
+	if err != nil {
+		return err
+	}
+	if len(res.Scalars) > 0 {
+		names := make([]string, 0, len(res.Scalars))
+		for name := range res.Scalars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(stdout, "scalars:")
+		for _, name := range names {
+			fmt.Fprintf(stdout, "  %s = %.12g\n", name, res.Scalars[name])
+		}
+	}
+	if rf.prof {
+		fmt.Fprint(stdout, res.Profile)
+	}
+	return nil
+}

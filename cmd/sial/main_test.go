@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProgram = `
+sial cli_test
+param n = 4
+aoindex I = 1, n
+temp a(I,I)
+scalar s
+do I
+  a(I,I) = 2.0
+  execute trace a(I,I), s
+enddo I
+print "trace =", s
+endsial
+`
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.sial")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIRun(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	code, out, errOut := runCLI(t, "run", path, "-workers", "2", "-seg", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "trace =") || !strings.Contains(out, "s = 8") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCLIRunWithParamAndProfile(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	code, out, errOut := runCLI(t, "run", path, "-workers", "1", "-seg", "2", "-param", "n=8", "-profile")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// n=8, seg 2: 4 blocks of 2x2 -> trace 16.
+	if !strings.Contains(out, "s = 16") {
+		t.Fatalf("param override ignored:\n%s", out)
+	}
+	if !strings.Contains(out, "SIP profile") {
+		t.Fatalf("profile missing:\n%s", out)
+	}
+}
+
+func TestCLICompileAndDisasmRoundTrip(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	siox := filepath.Join(filepath.Dir(path), "prog.siox")
+	code, out, errOut := runCLI(t, "compile", path, "-o", siox)
+	if code != 0 {
+		t.Fatalf("compile failed: %s", errOut)
+	}
+	if !strings.Contains(out, "compiled") {
+		t.Fatalf("compile output: %s", out)
+	}
+	// Disassemble the compiled byte code.
+	code, out, errOut = runCLI(t, "disasm", siox)
+	if code != 0 {
+		t.Fatalf("disasm failed: %s", errOut)
+	}
+	if !strings.Contains(out, "program cli_test") || !strings.Contains(out, "execute") {
+		t.Fatalf("disasm output:\n%s", out)
+	}
+	// And run it.
+	code, out, _ = runCLI(t, "run", siox, "-workers", "2", "-seg", "2")
+	if code != 0 || !strings.Contains(out, "s = 8") {
+		t.Fatalf("run of .siox failed (%d):\n%s", code, out)
+	}
+}
+
+func TestCLIDryRun(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	code, out, _ := runCLI(t, "dryrun", path, "-workers", "2", "-seg", "2")
+	if code != 0 {
+		t.Fatalf("dryrun exit %d", code)
+	}
+	if !strings.Contains(out, "dry run") {
+		t.Fatalf("dryrun output:\n%s", out)
+	}
+	// An impossible memory budget exits nonzero and reports.
+	code, out, errOut := runCLI(t, "dryrun", path, "-workers", "2", "-seg", "2", "-mem", "1")
+	if code != 1 {
+		t.Fatalf("infeasible dryrun exit %d", code)
+	}
+	if !strings.Contains(out, "INFEASIBLE") && !strings.Contains(errOut, "infeasible") {
+		t.Fatalf("missing infeasibility report:\n%s\n%s", out, errOut)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	// Unknown command and missing args produce usage (exit 2).
+	if code, _, errOut := runCLI(t, "bogus", "x"); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("unknown command: %d %s", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "run"); code != 2 {
+		t.Fatalf("missing file should exit 2, got %d", code)
+	}
+	// Compile error renders source context with a caret.
+	bad := writeProgram(t, "sial bad\naoindex I = 1 4\nendsial\n")
+	code, _, errOut := runCLI(t, "disasm", bad)
+	if code != 1 {
+		t.Fatalf("bad program exit %d", code)
+	}
+	if !strings.Contains(errOut, "^") || !strings.Contains(errOut, "aoindex I = 1 4") {
+		t.Fatalf("missing error context:\n%s", errOut)
+	}
+	// Missing file.
+	if code, _, _ := runCLI(t, "run", "/nonexistent.sial"); code != 1 {
+		t.Fatalf("missing file exit %d", code)
+	}
+}

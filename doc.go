@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "A Block-Oriented Language and
+// Runtime System for Tensor Algebra with Very Large Arrays" (Sanders,
+// Bartlett, Deumens, Lotrich, Ponton — SC 2010): the Super Instruction
+// Architecture, comprising the SIAL programming language and the SIP
+// runtime system.
+//
+// The public API lives in internal/core; see README.md for the layout,
+// DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for the paper-versus-model results of every figure.
+// The root package holds only the benchmark harness (bench_test.go),
+// which regenerates each evaluation figure.
+package repro

@@ -1,0 +1,211 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContractMatrixMultiply(t *testing.T) {
+	// C(i,j) = A(i,k)*B(k,j) with labels i=0, k=1, j=2.
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromData([]float64{5, 6, 7, 8}, 2, 2)
+	spec := Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{0, 2}}
+	c, err := Contract(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromData([]float64{19, 22, 43, 50}, 2, 2)
+	if !blocksAlmostEqual(c, want, 1e-14) {
+		t.Fatalf("got %v", c.data)
+	}
+}
+
+func TestContractPaperExample(t *testing.T) {
+	// R(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J): contract L,S.
+	rng := rand.New(rand.NewSource(4))
+	const m, n, l, s, i, j = 3, 2, 4, 2, 3, 2
+	v := randBlock(rng, m, n, l, s)
+	tt := randBlock(rng, l, s, i, j)
+	// labels: M=0 N=1 L=2 S=3 I=4 J=5
+	spec := Spec{A: []int{0, 1, 2, 3}, B: []int{2, 3, 4, 5}, C: []int{0, 1, 4, 5}}
+	got, err := Contract(spec, v, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ContractNaive(spec, v, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocksAlmostEqual(got, want, 1e-12) {
+		t.Fatal("GEMM path disagrees with naive contraction")
+	}
+	if d := got.Dims(); d[0] != m || d[1] != n || d[2] != i || d[3] != j {
+		t.Fatalf("result dims %v", d)
+	}
+}
+
+func TestContractPermutedOutput(t *testing.T) {
+	// C(j,i) = A(i,k)*B(k,j) — output order differs from GEMM raw order.
+	rng := rand.New(rand.NewSource(5))
+	a := randBlock(rng, 3, 4)
+	b := randBlock(rng, 4, 5)
+	spec := Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{2, 0}}
+	got, err := Contract(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ContractNaive(spec, a, b)
+	if !blocksAlmostEqual(got, want, 1e-12) {
+		t.Fatal("permuted output mismatch")
+	}
+	if d := got.Dims(); d[0] != 5 || d[1] != 3 {
+		t.Fatalf("dims %v, want [5 3]", d)
+	}
+}
+
+func TestContractOuterProduct(t *testing.T) {
+	// No shared labels: outer product.
+	a := FromData([]float64{1, 2}, 2)
+	b := FromData([]float64{3, 4, 5}, 3)
+	spec := Spec{A: []int{0}, B: []int{1}, C: []int{0, 1}}
+	c, err := Contract(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromData([]float64{3, 4, 5, 6, 8, 10}, 2, 3)
+	if !blocksAlmostEqual(c, want, 1e-14) {
+		t.Fatalf("got %v", c.data)
+	}
+}
+
+func TestContractFullContraction(t *testing.T) {
+	// All labels shared: rank-0 result (inner product).
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromData([]float64{5, 6, 7, 8}, 2, 2)
+	spec := Spec{A: []int{0, 1}, B: []int{0, 1}, C: nil}
+	c, err := Contract(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rank() != 0 {
+		t.Fatalf("rank %d, want 0", c.Rank())
+	}
+	if c.At() != 70 {
+		t.Fatalf("got %v, want 70", c.At())
+	}
+}
+
+func TestContractVsNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a random valid spec: nA, nB ranks; some shared labels.
+		nShared := rng.Intn(3)
+		nFreeA := rng.Intn(3)
+		nFreeB := rng.Intn(3)
+		if nShared+nFreeA == 0 || nShared+nFreeB == 0 {
+			return true // skip rank-0 operands
+		}
+		label := 0
+		var shared, freeA, freeB []int
+		for i := 0; i < nShared; i++ {
+			shared = append(shared, label)
+			label++
+		}
+		for i := 0; i < nFreeA; i++ {
+			freeA = append(freeA, label)
+			label++
+		}
+		for i := 0; i < nFreeB; i++ {
+			freeB = append(freeB, label)
+			label++
+		}
+		// Interleave labels in random positions per operand.
+		aLabels := append(append([]int{}, freeA...), shared...)
+		bLabels := append(append([]int{}, freeB...), shared...)
+		rng.Shuffle(len(aLabels), func(i, j int) { aLabels[i], aLabels[j] = aLabels[j], aLabels[i] })
+		rng.Shuffle(len(bLabels), func(i, j int) { bLabels[i], bLabels[j] = bLabels[j], bLabels[i] })
+		cLabels := append(append([]int{}, freeA...), freeB...)
+		rng.Shuffle(len(cLabels), func(i, j int) { cLabels[i], cLabels[j] = cLabels[j], cLabels[i] })
+
+		extent := map[int]int{}
+		for _, l := range append(append(append([]int{}, shared...), freeA...), freeB...) {
+			extent[l] = 1 + rng.Intn(4)
+		}
+		adims := make([]int, len(aLabels))
+		for i, l := range aLabels {
+			adims[i] = extent[l]
+		}
+		bdims := make([]int, len(bLabels))
+		for i, l := range bLabels {
+			bdims[i] = extent[l]
+		}
+		a := randBlock(rng, adims...)
+		b := randBlock(rng, bdims...)
+		spec := Spec{A: aLabels, B: bLabels, C: cLabels}
+		got, err := Contract(spec, a, b)
+		if err != nil {
+			return false
+		}
+		want, err := ContractNaive(spec, a, b)
+		if err != nil {
+			return false
+		}
+		return blocksAlmostEqual(got, want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractErrors(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"dup label in A", Spec{A: []int{0, 0}, B: []int{0, 1}, C: []int{1}}},
+		{"dup label in C", Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{0, 0}}},
+		{"label in A,B,C", Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{0, 1}}},
+		{"dangling A label", Spec{A: []int{0, 3}, B: []int{0, 1}, C: []int{1}}},
+		{"dangling B label", Spec{A: []int{0, 1}, B: []int{1, 3}, C: []int{0}}},
+		{"missing C label", Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{0, 2, 4}}},
+		{"rank mismatch A", Spec{A: []int{0}, B: []int{0, 1}, C: []int{1}}},
+	}
+	for _, tc := range cases {
+		if _, err := Contract(tc.spec, a, b); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Extent mismatch on the contracted dimension.
+	c := New(3, 2)
+	if _, err := Contract(Spec{A: []int{0, 1}, B: []int{0, 2}, C: []int{1, 2}}, a, c); err == nil {
+		t.Error("extent mismatch: expected error")
+	}
+}
+
+func TestContractFlops(t *testing.T) {
+	// seg^4 blocks contracting two indices: 2*seg^6 flops (paper §III:
+	// "2 x 100^3 to 2 x 2,500^3" for seg 10..50 on 4-d blocks —
+	// i.e. 2*(seg^2)^3).
+	spec := Spec{A: []int{0, 1, 2, 3}, B: []int{2, 3, 4, 5}, C: []int{0, 1, 4, 5}}
+	seg := 10
+	dims := []int{seg, seg, seg, seg}
+	fl, err := ContractFlops(spec, dims, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(2 * 100 * 100 * 100 * 100 * 100 * 100 / (100 * 100 * 100)); fl != 2_000_000 && fl != want {
+		t.Fatalf("flops = %d, want 2e6", fl)
+	}
+}
+
+func TestMustContractPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustContract(Spec{A: []int{0, 0}, B: []int{0}, C: nil}, New(2, 2), New(2))
+}

@@ -1,0 +1,473 @@
+// Package bytecode defines SIA super instruction byte code: the compiled
+// form of a SIAL program that the SIP executes (paper §V-A).
+//
+// A Program holds a table of instructions plus data descriptor tables for
+// parameters (symbolic constants), indices, arrays, scalars, string
+// literals, pardo descriptors, and procedure entry points.  Symbolic
+// values in the tables are replaced with concrete values during
+// initialization (Resolve), exactly as the paper describes.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/segment"
+)
+
+// Op enumerates SIA byte-code operations.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Scalar expression stack operations.
+	OpPushLit     // push F
+	OpPushScalar  // push scalar A
+	OpPushIndex   // push current value of index A
+	OpPushParam   // push parameter A
+	OpAdd         // pop two, push sum
+	OpSub         // pop two, push difference
+	OpMul         // pop two, push product
+	OpDiv         // pop two, push quotient
+	OpCmp         // pop two, push (l <cmp A> r) as 0/1
+	OpStoreScalar // pop into scalar A with assign mode B
+	OpDot         // push elementwise inner product of blocks R1, R2
+
+	// Control flow.
+	OpJump        // jump to A
+	OpJumpIfFalse // pop; jump to A when zero
+	OpDoStart     // begin do over index A; exit target C
+	OpDoEnd       // advance index A; loop start B
+	OpDoInStart   // begin do A in super index B; exit target C
+	OpDoInEnd     // advance subindex A; loop start B
+	OpPardoStart  // begin pardo descriptor A; exit target C
+	OpPardoEnd    // next pardo iteration, descriptor A; body start B
+	OpCall        // call procedure A
+	OpReturn      // return from procedure
+	OpHalt        // end of program
+
+	// Block super instructions.
+	OpBlockFill  // R0 <assign B>= popped scalar
+	OpBlockCopy  // R0 <assign B>= R1 (mode A: 0 permute/copy, 1 slice, 2 insert; Aux = permutation for mode 0)
+	OpBlockScale // R0 <assign B>= popped scalar * R1
+	OpBlockSum   // R0 <assign B>= R1 ± R2 (A: 0 plus, 1 minus)
+	OpContract   // R0 <assign B>= R1 * R2 (labels are the index ids of the refs)
+
+	// Communication and I/O super instructions.
+	OpGet              // fetch distributed block R0 (asynchronous)
+	OpPut              // store R1 into distributed block R0 (A: 0 replace, 1 accumulate)
+	OpRequest          // fetch served block R0 (asynchronous)
+	OpPrepare          // store R1 into served block R0 (A: 0 replace, 1 accumulate)
+	OpComputeIntegrals // compute integral block R0 on demand
+	OpExecute          // run super instruction named by string A with blocks R0..R2 (ranks in B) and scalars Aux
+	OpBarrier          // A: 0 worker barrier, 1 server barrier
+	OpCollective       // allreduce-sum scalar A across workers
+	OpPrint            // print string A (or -1) and scalar B (or -1)
+	OpBlocksToList     // serialize distributed array A (checkpoint)
+	OpListToBlocks     // restore distributed array A from checkpoint
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpPushLit: "push_lit", OpPushScalar: "push_scalar",
+	OpPushIndex: "push_index", OpPushParam: "push_param", OpAdd: "add",
+	OpSub: "sub", OpMul: "mul", OpDiv: "div", OpCmp: "cmp",
+	OpStoreScalar: "store_scalar", OpDot: "dot", OpJump: "jump",
+	OpJumpIfFalse: "jump_if_false", OpDoStart: "do_start", OpDoEnd: "do_end",
+	OpDoInStart: "do_in_start", OpDoInEnd: "do_in_end",
+	OpPardoStart: "pardo_start", OpPardoEnd: "pardo_end", OpCall: "call",
+	OpReturn: "return", OpHalt: "halt", OpBlockFill: "block_fill",
+	OpBlockCopy: "block_copy", OpBlockScale: "block_scale",
+	OpBlockSum: "block_sum", OpContract: "contract", OpGet: "get",
+	OpPut: "put", OpRequest: "request", OpPrepare: "prepare",
+	OpComputeIntegrals: "compute_integrals", OpExecute: "execute",
+	OpBarrier: "barrier", OpCollective: "collective", OpPrint: "print",
+	OpBlocksToList: "blocks_to_list", OpListToBlocks: "list_to_blocks",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Comparison codes for OpCmp and where clauses.
+const (
+	CmpLT = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+var cmpNames = [...]string{"<", "<=", ">", ">=", "==", "!="}
+
+// EvalCmp applies a comparison code to two values.
+func EvalCmp(code int, l, r float64) bool {
+	switch code {
+	case CmpLT:
+		return l < r
+	case CmpLE:
+		return l <= r
+	case CmpGT:
+		return l > r
+	case CmpGE:
+		return l >= r
+	case CmpEQ:
+		return l == r
+	case CmpNE:
+		return l != r
+	}
+	panic(fmt.Sprintf("bytecode: bad comparison code %d", code))
+}
+
+// Assign modes for store/block operations.
+const (
+	AssignSet = iota
+	AssignAdd
+	AssignSub
+	AssignMul
+)
+
+// Copy modes for OpBlockCopy.  CopySlice and CopyInsert are bit flags
+// that may be combined (CopyBoth) for region-to-region copies.
+const (
+	CopyPermute = 0 // Aux holds the permutation (may be identity)
+	CopySlice   = 1 // extract subblock (src ref uses subindices)
+	CopyInsert  = 2 // insert subblock (dst ref uses subindices)
+	CopyBoth    = 3 // subblock on both sides
+)
+
+// Ref names one block operand: an array and the index variables (by id)
+// selecting the block.
+type Ref struct {
+	Arr int
+	Idx []int
+}
+
+// Valid reports whether the ref is populated.
+func (r Ref) Valid() bool { return r.Idx != nil || r.Arr != 0 }
+
+// Instr is one byte-code instruction.  Field use depends on Op; see the
+// Op constants.
+type Instr struct {
+	Op      Op
+	A, B, C int
+	F       float64
+	R       [3]Ref
+	Aux     []int
+	Line    int // source line for diagnostics and profiling
+}
+
+// Val is an integer fixed at initialization: a literal, or a parameter
+// reference by id.
+type Val struct {
+	Lit   int
+	Param int // -1 when Lit is authoritative
+}
+
+// LitVal returns a literal Val.
+func LitVal(v int) Val { return Val{Lit: v, Param: -1} }
+
+// ParamVal returns a parameter-reference Val.
+func ParamVal(id int) Val { return Val{Param: id} }
+
+// Param is a symbolic constant supplied at initialization.
+type Param struct {
+	Name       string
+	Default    int
+	HasDefault bool
+}
+
+// IndexInfo describes one declared index.
+type IndexInfo struct {
+	Name   string
+	Kind   segment.Kind
+	Lo, Hi Val
+	Parent int // index id of super index, or -1
+}
+
+// ArrayKind mirrors the SIAL storage classes.
+type ArrayKind int
+
+const (
+	ArrayStatic ArrayKind = iota
+	ArrayDistributed
+	ArrayServed
+	ArrayTemp
+	ArrayLocal
+)
+
+var arrayKindNames = [...]string{"static", "distributed", "served", "temp", "local"}
+
+func (k ArrayKind) String() string {
+	if int(k) < len(arrayKindNames) {
+		return arrayKindNames[k]
+	}
+	return "ArrayKind(?)"
+}
+
+// ArrayInfo describes one declared array.
+type ArrayInfo struct {
+	Name string
+	Kind ArrayKind
+	Dims []int // index ids
+}
+
+// ScalarInfo describes one scalar with its initial value.
+type ScalarInfo struct {
+	Name string
+	Init float64
+}
+
+// WhereOp mirrors a where-clause expression tree so the master can
+// evaluate clauses while enumerating pardo iterations.
+type WhereOp int
+
+const (
+	WhereLit WhereOp = iota
+	WhereIndex
+	WhereParam
+	WhereAdd
+	WhereSub
+	WhereMul
+	WhereDiv
+)
+
+// WhereExpr is a small expression over pardo indices and constants.
+type WhereExpr struct {
+	Op   WhereOp
+	Val  float64 // WhereLit
+	ID   int     // index/param id
+	L, R *WhereExpr
+}
+
+// Eval evaluates the expression given current index values (by index id)
+// and resolved parameter values (by param id).
+func (e *WhereExpr) Eval(idxVal func(int) int, paramVal func(int) int) float64 {
+	switch e.Op {
+	case WhereLit:
+		return e.Val
+	case WhereIndex:
+		return float64(idxVal(e.ID))
+	case WhereParam:
+		return float64(paramVal(e.ID))
+	case WhereAdd:
+		return e.L.Eval(idxVal, paramVal) + e.R.Eval(idxVal, paramVal)
+	case WhereSub:
+		return e.L.Eval(idxVal, paramVal) - e.R.Eval(idxVal, paramVal)
+	case WhereMul:
+		return e.L.Eval(idxVal, paramVal) * e.R.Eval(idxVal, paramVal)
+	case WhereDiv:
+		return e.L.Eval(idxVal, paramVal) / e.R.Eval(idxVal, paramVal)
+	}
+	panic("bytecode: bad where expression")
+}
+
+// WhereCond is one where clause: L <Cmp> R.
+type WhereCond struct {
+	Cmp  int
+	L, R *WhereExpr
+}
+
+// PardoInfo describes one pardo loop: its index ids and where clauses.
+type PardoInfo struct {
+	Indices []int
+	Where   []WhereCond
+}
+
+// ProcInfo records a procedure's entry point in the code array.
+type ProcInfo struct {
+	Name  string
+	Entry int
+}
+
+// Program is a complete compiled SIAL program.
+type Program struct {
+	Name    string
+	Params  []Param
+	Indices []IndexInfo
+	Arrays  []ArrayInfo
+	Scalars []ScalarInfo
+	Strings []string
+	Pardos  []PardoInfo
+	Procs   []ProcInfo
+	Code    []Instr
+}
+
+// ParamID returns the id of the named parameter or -1.
+func (p *Program) ParamID(name string) int {
+	for i, pr := range p.Params {
+		if pr.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArrayID returns the id of the named array or -1.
+func (p *Program) ArrayID(name string) int {
+	for i, a := range p.Arrays {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ScalarID returns the id of the named scalar or -1.
+func (p *Program) ScalarID(name string) int {
+	for i, s := range p.Scalars {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexID returns the id of the named index or -1.
+func (p *Program) IndexID(name string) int {
+	for i, ix := range p.Indices {
+		if ix.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// refString renders a block operand for the disassembler.
+func (p *Program) refString(r Ref) string {
+	if r.Idx == nil {
+		return "-"
+	}
+	names := make([]string, len(r.Idx))
+	for i, id := range r.Idx {
+		names[i] = p.Indices[id].Name
+	}
+	return fmt.Sprintf("%s(%s)", p.Arrays[r.Arr].Name, strings.Join(names, ","))
+}
+
+// Disassemble renders the program as readable text, one instruction per
+// line, with the descriptor tables first.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for i, pr := range p.Params {
+		if pr.HasDefault {
+			fmt.Fprintf(&b, "  param %d: %s = %d\n", i, pr.Name, pr.Default)
+		} else {
+			fmt.Fprintf(&b, "  param %d: %s\n", i, pr.Name)
+		}
+	}
+	for i, ix := range p.Indices {
+		lo, hi := p.valString(ix.Lo), p.valString(ix.Hi)
+		if ix.Parent >= 0 {
+			fmt.Fprintf(&b, "  index %d: subindex %s of %s\n", i, ix.Name, p.Indices[ix.Parent].Name)
+		} else {
+			fmt.Fprintf(&b, "  index %d: %s %s = %s, %s\n", i, ix.Kind, ix.Name, lo, hi)
+		}
+	}
+	for i, a := range p.Arrays {
+		names := make([]string, len(a.Dims))
+		for d, id := range a.Dims {
+			names[d] = p.Indices[id].Name
+		}
+		fmt.Fprintf(&b, "  array %d: %s %s(%s)\n", i, a.Kind, a.Name, strings.Join(names, ","))
+	}
+	for i, s := range p.Scalars {
+		fmt.Fprintf(&b, "  scalar %d: %s = %g\n", i, s.Name, s.Init)
+	}
+	for i, pd := range p.Pardos {
+		names := make([]string, len(pd.Indices))
+		for d, id := range pd.Indices {
+			names[d] = p.Indices[id].Name
+		}
+		fmt.Fprintf(&b, "  pardo %d: (%s), %d where clause(s)\n", i, strings.Join(names, ","), len(pd.Where))
+	}
+	for _, pr := range p.Procs {
+		fmt.Fprintf(&b, "  proc %s @ %d\n", pr.Name, pr.Entry)
+	}
+	b.WriteString("code:\n")
+	for pc, in := range p.Code {
+		fmt.Fprintf(&b, "  %4d: %-18s", pc, in.Op)
+		switch in.Op {
+		case OpPushLit:
+			fmt.Fprintf(&b, "%g", in.F)
+		case OpPushScalar, OpCollective:
+			fmt.Fprintf(&b, "%s", p.Scalars[in.A].Name)
+		case OpStoreScalar:
+			fmt.Fprintf(&b, "%s mode=%d", p.Scalars[in.A].Name, in.B)
+		case OpPushIndex:
+			fmt.Fprintf(&b, "%s", p.Indices[in.A].Name)
+		case OpPushParam:
+			fmt.Fprintf(&b, "%s", p.Params[in.A].Name)
+		case OpCmp:
+			fmt.Fprintf(&b, "%s", cmpNames[in.A])
+		case OpJump, OpJumpIfFalse:
+			fmt.Fprintf(&b, "-> %d", in.A)
+		case OpDoStart:
+			fmt.Fprintf(&b, "%s exit=%d", p.Indices[in.A].Name, in.C)
+		case OpDoEnd:
+			fmt.Fprintf(&b, "%s start=%d", p.Indices[in.A].Name, in.B)
+		case OpDoInStart:
+			fmt.Fprintf(&b, "%s in %s exit=%d", p.Indices[in.A].Name, p.Indices[in.B].Name, in.C)
+		case OpDoInEnd:
+			fmt.Fprintf(&b, "%s start=%d", p.Indices[in.A].Name, in.B)
+		case OpPardoStart:
+			fmt.Fprintf(&b, "#%d exit=%d", in.A, in.C)
+		case OpPardoEnd:
+			fmt.Fprintf(&b, "#%d start=%d", in.A, in.B)
+		case OpCall:
+			fmt.Fprintf(&b, "%s", p.Procs[in.A].Name)
+		case OpBlockFill, OpGet, OpRequest, OpComputeIntegrals:
+			fmt.Fprintf(&b, "%s", p.refString(in.R[0]))
+		case OpBlockCopy, OpBlockScale:
+			fmt.Fprintf(&b, "%s <- %s mode=%d", p.refString(in.R[0]), p.refString(in.R[1]), in.A)
+		case OpBlockSum, OpContract:
+			op := "*"
+			if in.Op == OpBlockSum {
+				op = "+"
+				if in.A == 1 {
+					op = "-"
+				}
+			}
+			fmt.Fprintf(&b, "%s <- %s %s %s", p.refString(in.R[0]), p.refString(in.R[1]), op, p.refString(in.R[2]))
+		case OpPut, OpPrepare:
+			mode := "="
+			if in.A == 1 {
+				mode = "+="
+			}
+			fmt.Fprintf(&b, "%s %s %s", p.refString(in.R[0]), mode, p.refString(in.R[1]))
+		case OpDot:
+			fmt.Fprintf(&b, "%s , %s", p.refString(in.R[1]), p.refString(in.R[2]))
+		case OpExecute:
+			fmt.Fprintf(&b, "%s", p.Strings[in.A])
+		case OpBarrier:
+			if in.A == 1 {
+				fmt.Fprintf(&b, "server")
+			} else {
+				fmt.Fprintf(&b, "sip")
+			}
+		case OpPrint:
+			if in.A >= 0 {
+				fmt.Fprintf(&b, "%q ", p.Strings[in.A])
+			}
+			if in.B >= 0 {
+				fmt.Fprintf(&b, "%s", p.Scalars[in.B].Name)
+			}
+		case OpBlocksToList, OpListToBlocks:
+			fmt.Fprintf(&b, "%s", p.Arrays[in.A].Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p *Program) valString(v Val) string {
+	if v.Param >= 0 {
+		return p.Params[v.Param].Name
+	}
+	return fmt.Sprint(v.Lit)
+}

@@ -1,0 +1,82 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTinyProgram(t *testing.T) {
+	if err := tinyProgram().Validate(); err != nil {
+		t.Fatalf("tiny program should validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		want   string
+	}{
+		{"no name", func(p *Program) { p.Name = "" }, "no name"},
+		{"param no name", func(p *Program) { p.Params[0].Name = "" }, "param 0"},
+		{"index no name", func(p *Program) { p.Indices[0].Name = "" }, "index 0"},
+		{"bad param ref", func(p *Program) { p.Indices[0].Hi = ParamVal(9) }, "parameter 9"},
+		{"sub before super", func(p *Program) { p.Indices[1].Parent = 2 }, "before its super"},
+		{"array no dims", func(p *Program) { p.Arrays[0].Dims = nil }, "no dimensions"},
+		{"array bad index", func(p *Program) { p.Arrays[0].Dims = []int{7} }, "out of range"},
+		{"array simple index", func(p *Program) { p.Arrays[0].Dims = []int{2} }, "simple index"},
+		{"pardo no indices", func(p *Program) { p.Pardos[0].Indices = nil }, "no indices"},
+		{"pardo bad index", func(p *Program) { p.Pardos[0].Indices = []int{9} }, "out of range"},
+		{"where nil", func(p *Program) { p.Pardos[0].Where[0].L = nil }, "nil operand"},
+		{"where bad cmp", func(p *Program) { p.Pardos[0].Where[0].Cmp = 42 }, "bad comparison"},
+		{"empty code", func(p *Program) { p.Code = nil }, "empty code"},
+		{"proc bad entry", func(p *Program) { p.Procs[0].Entry = 99 }, "out of range"},
+		{"bad jump", func(p *Program) {
+			p.Code[0] = Instr{Op: OpJump, A: 1000}
+		}, "jump target"},
+		{"bad pardo id", func(p *Program) { p.Code[0].A = 5 }, "pardo 5"},
+		{"bad ref arity", func(p *Program) {
+			p.Code[0] = Instr{Op: OpGet, R: [3]Ref{{Arr: 0, Idx: []int{0}}}}
+		}, "indices"},
+		{"bad ref array", func(p *Program) {
+			p.Code[0] = Instr{Op: OpGet, R: [3]Ref{{Arr: 5, Idx: []int{0, 0}}}}
+		}, "array 5"},
+		{"bad scalar", func(p *Program) {
+			p.Code[0] = Instr{Op: OpPushScalar, A: 4}
+		}, "scalar 4"},
+		{"bad assign mode", func(p *Program) {
+			p.Code[0] = Instr{Op: OpStoreScalar, A: 0, B: 9}
+		}, "assign mode"},
+		{"bad execute count", func(p *Program) {
+			p.Code[0] = Instr{Op: OpExecute, A: 0, B: 7}
+		}, "block count"},
+		{"unknown opcode", func(p *Program) {
+			p.Code[0] = Instr{Op: Op(250)}
+		}, "unknown opcode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tinyProgram()
+			tc.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	p := tinyProgram()
+	p.Code[0] = Instr{Op: OpJump, A: 1 << 20}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err == nil || !strings.Contains(err.Error(), "invalid program") {
+		t.Fatalf("corrupt program accepted: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package chem provides the computational-chemistry workloads the paper
+// evaluates: a molecule catalog, a synthetic two-electron integral
+// generator, SIAL program generators for the MP2 / CCSD / Fock-build
+// computations, and serial reference implementations used to validate
+// the SIP and the Global Arrays baseline against each other.
+//
+// Real electronic-structure integrals and basis sets are proprietary to
+// quantum-chemistry packages and irrelevant to the runtime behaviour the
+// paper measures; the synthetic integrals here preserve what matters to
+// the SIA: deterministic values, the 8-fold permutational symmetry of
+// real ERIs, smooth decay with index distance, and the n⁴ volume that
+// forces on-demand computation (paper §II: the integral array "requires
+// 800 GB by itself").
+package chem
+
+import "fmt"
+
+// Molecule describes one benchmark system by the two parameters that
+// set problem size in the paper (§II): n, the number of single-particle
+// basis functions, and N, the number of occupied orbitals (electrons/2).
+// Values are documented approximations for the paper's test molecules,
+// not quantum-chemical truth.
+type Molecule struct {
+	Name      string
+	Formula   string
+	Electrons int
+	Occupied  int // N: occupied orbitals
+	Basis     int // n: basis functions
+}
+
+// Virtual returns the number of virtual (unoccupied) orbitals.
+func (m Molecule) Virtual() int { return m.Basis - m.Occupied }
+
+func (m Molecule) String() string {
+	return fmt.Sprintf("%s (%s): n=%d basis functions, N=%d occupied", m.Name, m.Formula, m.Basis, m.Occupied)
+}
+
+// Scaled returns a copy of the molecule with basis and occupied counts
+// scaled by f; used to shrink paper-sized systems to test-sized ones
+// while preserving their relative proportions.
+func (m Molecule) Scaled(f float64) Molecule {
+	s := m
+	s.Occupied = max(1, int(float64(m.Occupied)*f))
+	s.Basis = max(s.Occupied+1, int(float64(m.Basis)*f))
+	return s
+}
+
+// The paper's benchmark molecules (Figures 2-7).
+var (
+	// Luciferin: Figure 2 (RHF CCSD on the Sun Opteron cluster).
+	Luciferin = Molecule{Name: "luciferin", Formula: "C11H8O3S2N2",
+		Electrons: 144, Occupied: 72, Basis: 520}
+	// WaterCluster21: Figure 3 ((H2O)21H+ CCSD on Cray XT5/XT4).
+	WaterCluster21 = Molecule{Name: "water21", Formula: "(H2O)21H+",
+		Electrons: 210, Occupied: 105, Basis: 1050}
+	// RDX: Figures 4 and 5 (CCSD and CCSD(T) on jaguar, aug-cc-pVTZ
+	// scale basis).
+	RDX = Molecule{Name: "rdx", Formula: "C3H6N6O6",
+		Electrons: 114, Occupied: 57, Basis: 830}
+	// HMX: Figure 4 (CCSD on jaguar; scales better than RDX).
+	HMX = Molecule{Name: "hmx", Formula: "C4H8N8O8",
+		Electrons: 152, Occupied: 76, Basis: 1100}
+	// CytosineOH: Figure 7 (UHF MP2 gradient, ACES III vs NWChem).
+	CytosineOH = Molecule{Name: "cytosine+OH", Formula: "C4H6N3O2",
+		Electrons: 67, Occupied: 34, Basis: 285}
+	// DiamondNano: Figure 6 (Fock build; 2944 basis functions is the
+	// paper's own number for the aug-cc-pvtz basis).
+	DiamondNano = Molecule{Name: "diamond-nano", Formula: "C42H42N",
+		Electrons: 302, Occupied: 151, Basis: 2944}
+)
+
+// Catalog lists all benchmark molecules by name.
+var Catalog = map[string]Molecule{
+	Luciferin.Name:      Luciferin,
+	WaterCluster21.Name: WaterCluster21,
+	RDX.Name:            RDX,
+	HMX.Name:            HMX,
+	CytosineOH.Name:     CytosineOH,
+	DiamondNano.Name:    DiamondNano,
+}
+
+// OccEps returns the model orbital energy of occupied orbital i
+// (1-based): a filled band below the chemical potential.
+func OccEps(i int) float64 { return -10.0 + 0.05*float64(i) }
+
+// VirtEps returns the model orbital energy of virtual orbital a
+// (1-based): a band above the gap, keeping all MP2 denominators
+// negative.
+func VirtEps(a int) float64 { return 1.0 + 0.02*float64(a) }

@@ -1,0 +1,96 @@
+package chem
+
+import (
+	"math"
+
+	"repro/internal/block"
+	"repro/internal/sip"
+)
+
+// ERI is the synthetic two-electron repulsion integral (pq|rs) over
+// global 1-based orbital indices.  It is deterministic, smooth, decays
+// with index separation, and respects the full 8-fold permutational
+// symmetry of real ERIs:
+//
+//	(pq|rs) = (qp|rs) = (pq|sr) = (qp|sr) = (rs|pq) = ...
+func ERI(p, q, r, s int) float64 {
+	hpq := pairFactor(p, q)
+	hrs := pairFactor(r, s)
+	// Coupling decays with the distance between pair "centers"; using
+	// the centers keeps the (pq)<->(rs) and within-pair swaps exact.
+	d := math.Abs(float64(p+q)-float64(r+s)) / 2
+	return hpq * hrs / (1 + 0.2*d)
+}
+
+// pairFactor is symmetric in its arguments and decays with |p-q|.
+func pairFactor(p, q int) float64 {
+	return 1.0/(1.0+math.Abs(float64(p-q))) + 0.1/(1.0+float64(p+q))
+}
+
+// Hcore is the synthetic one-electron core Hamiltonian element.
+func Hcore(p, q int) float64 {
+	if p == q {
+		return -2.0 - 1.0/float64(p)
+	}
+	return -0.5 / (1.0 + math.Abs(float64(p-q)))
+}
+
+// fillBlock fills a block whose element bounds are [lo, hi] per
+// dimension using f over global indices.
+func fillBlock(lo, hi []int, f func(idx []int) float64) *block.Block {
+	dims := make([]int, len(lo))
+	for d := range lo {
+		dims[d] = hi[d] - lo[d] + 1
+	}
+	b := block.New(dims...)
+	data := b.Data()
+	idx := make([]int, len(dims))
+	for off := range data {
+		rem := off
+		for d := len(dims) - 1; d >= 0; d-- {
+			idx[d] = rem%dims[d] + lo[d]
+			rem /= dims[d]
+		}
+		data[off] = f(idx)
+	}
+	return b
+}
+
+// AOIntegrals returns a sip.IntegralFunc computing AO-basis ERI blocks
+// for any 4-index array (used by the CCSD-term and Fock-build
+// programs, where compute_integrals arrays are indexed by AO indices).
+func AOIntegrals() sip.IntegralFunc {
+	return func(arr string, lo, hi []int) *block.Block {
+		if len(lo) != 4 {
+			return fillBlock(lo, hi, func(idx []int) float64 {
+				// 2-index arrays get the core Hamiltonian.
+				return Hcore(idx[0], idx[1])
+			})
+		}
+		return fillBlock(lo, hi, func(idx []int) float64 {
+			return ERI(idx[0], idx[1], idx[2], idx[3])
+		})
+	}
+}
+
+// MOIntegrals returns a sip.IntegralFunc for the MP2 program's MO-basis
+// integrals: array "v" holds (ia|jb) and array "w" holds (ib|ja), with
+// occupied indices 1..no and virtual indices offset by no.
+func MOIntegrals(no int) sip.IntegralFunc {
+	return func(arr string, lo, hi []int) *block.Block {
+		switch arr {
+		case "v": // v(I,A,J,B) = (ia|jb)
+			return fillBlock(lo, hi, func(idx []int) float64 {
+				return ERI(idx[0], idx[1]+no, idx[2], idx[3]+no)
+			})
+		case "w": // w(I,B,J,A) = (ib|ja)
+			return fillBlock(lo, hi, func(idx []int) float64 {
+				return ERI(idx[0], idx[1]+no, idx[2], idx[3]+no)
+			})
+		default:
+			return fillBlock(lo, hi, func(idx []int) float64 {
+				return ERI(idx[0], idx[1], idx[2], idx[3])
+			})
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package chem
+
+// CCSDTermProgram generates the paper's §IV-D example — the
+// R(M,N,I,J) = sum_{L,S} V(M,N,L,S)*T(L,S,I,J) contraction with
+// on-demand integrals — as a complete SIAL program.  norb and nocc are
+// supplied at initialization via the parameters of the same names.
+func CCSDTermProgram() string {
+	return `
+sial ccsd_term
+param norb = 8
+param nocc = 2
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L,S,I,J)
+distributed R(M,N,I,J)
+temp V(M,N,L,S)
+temp tmp(M,N,I,J)
+temp tmpsum(M,N,I,J)
+
+pardo M, N, I, J
+  tmpsum(M,N,I,J) = 0.0
+  do L
+    do S
+      get T(L,S,I,J)
+      compute_integrals V(M,N,L,S)
+      tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+      tmpsum(M,N,I,J) += tmp(M,N,I,J)
+    enddo S
+  enddo L
+  put R(M,N,I,J) = tmpsum(M,N,I,J)
+endpardo M, N, I, J
+sip_barrier
+endsial
+`
+}
+
+// MP2EnergyProgram generates a SIAL program computing the closed-shell
+// MP2 correlation energy
+//
+//	E2 = sum_{iajb} (ia|jb) * [2(ia|jb) - (ib|ja)] / (ei + ej - ea - eb)
+//
+// with integrals computed on demand and the orbital-energy denominator
+// applied by the user super instruction "mp2_denom" (registered by
+// MP2Super).  Parameters: no (occupied), nv (virtual).
+func MP2EnergyProgram() string {
+	return `
+sial mp2_energy
+param no = 2
+param nv = 4
+moindex I = 1, no
+moindex J = 1, no
+moaindex A = 1, nv
+moaindex B = 1, nv
+temp v(I,A,J,B)
+temp w(I,B,J,A)
+temp wp(I,A,J,B)
+temp t2(I,A,J,B)
+scalar emp2
+scalar iv
+scalar av
+scalar jv
+scalar bv
+
+pardo I, A, J, B
+  compute_integrals v(I,A,J,B)
+  compute_integrals w(I,B,J,A)
+  wp(I,A,J,B) = w(I,B,J,A)
+  t2(I,A,J,B) = 2.0 * v(I,A,J,B)
+  t2(I,A,J,B) -= wp(I,A,J,B)
+  iv = I
+  av = A
+  jv = J
+  bv = B
+  execute mp2_denom t2(I,A,J,B), iv, av, jv, bv
+  emp2 += dot(t2(I,A,J,B), v(I,A,J,B))
+endpardo I, A, J, B
+collective emp2
+endsial
+`
+}
+
+// FockBuildProgram generates a SIAL program assembling the closed-shell
+// Fock matrix
+//
+//	F(m,n) = Hcore(m,n) + sum_{ls} Dn(l,s) * [2(mn|ls) - (ml|ns)]
+//
+// from a distributed density matrix Dn, with both Coulomb and exchange
+// integral blocks computed on demand.  The where clause exploits the
+// m<=n symmetry exactly as the paper describes for symmetric arrays.
+// Parameter: norb.
+func FockBuildProgram() string {
+	return `
+sial fock_build
+param norb = 8
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+distributed Dn(L,S)
+distributed F(M,N)
+temp hc(M,N)
+temp vj(M,N,L,S)
+temp vk(M,L,N,S)
+temp fj(M,N)
+temp fk(M,N)
+temp fsum(M,N)
+
+pardo M, N where M <= N
+  compute_integrals hc(M,N)
+  fsum(M,N) = hc(M,N)
+  do L
+    do S
+      get Dn(L,S)
+      compute_integrals vj(M,N,L,S)
+      compute_integrals vk(M,L,N,S)
+      fj(M,N) = vj(M,N,L,S) * Dn(L,S)
+      fj(M,N) *= 2.0
+      fk(M,N) = vk(M,L,N,S) * Dn(L,S)
+      fsum(M,N) += fj(M,N)
+      fsum(M,N) -= fk(M,N)
+    enddo S
+  enddo L
+  put F(M,N) = fsum(M,N)
+endpardo M, N
+sip_barrier
+endsial
+`
+}
+
+// CCSDEnergyProgram generates a SIAL program for a CCSD-style doubles
+// iteration driver: iters sweeps of the paper's contraction updating the
+// T amplitudes through a served (disk-backed) array, followed by a
+// pseudo-energy e = dot(T, V) accumulated with a collective.  It
+// exercises the full instruction repertoire (get/put,
+// request/prepare, both barriers, repeated pardo executions).
+// Parameters: norb, nocc, iters.
+func CCSDEnergyProgram() string {
+	return `
+sial ccsd_energy
+param norb = 8
+param nocc = 2
+param iters = 2
+index it = 1, iters
+aoindex K = 1, norb
+aoindex P = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(K,P,I,J)
+served Told(K,P,I,J)
+temp V(K,P,L,S)
+temp tmp(K,P,I,J)
+temp tnew(K,P,I,J)
+scalar e
+scalar damp = 0.5
+
+do it
+  pardo K, P, I, J
+    get T(K,P,I,J)
+    prepare Told(K,P,I,J) = T(K,P,I,J)
+  endpardo
+  server_barrier
+  pardo K, P, I, J
+    request Told(K,P,I,J)
+    tnew(K,P,I,J) = damp * Told(K,P,I,J)
+    do L
+      do S
+        request Told(L,S,I,J)
+        compute_integrals V(K,P,L,S)
+        tmp(K,P,I,J) = V(K,P,L,S) * Told(L,S,I,J)
+        tmp(K,P,I,J) *= 0.01
+        tnew(K,P,I,J) += tmp(K,P,I,J)
+      enddo S
+    enddo L
+    put T(K,P,I,J) = tnew(K,P,I,J)
+  endpardo
+  sip_barrier
+enddo it
+
+e = 0.0
+pardo K, P, I, J
+  get T(K,P,I,J)
+  e += dot(T(K,P,I,J), T(K,P,I,J))
+endpardo
+collective e
+endsial
+`
+}

@@ -1,0 +1,86 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSCFConvergesSerial(t *testing.T) {
+	res, err := SCF(8, 3, 60, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("SCF did not converge in %d iterations: history %v", res.Iterations, res.History)
+	}
+	if res.Energy >= 0 {
+		t.Fatalf("electronic energy %g should be negative (bound system)", res.Energy)
+	}
+	if len(res.OrbitalE) != 8 || len(res.Orbitals) != 64 {
+		t.Fatalf("missing orbitals: %d eigenvalues", len(res.OrbitalE))
+	}
+	// Orbital energies ascending (sorted by the eigensolver).
+	for i := 1; i < len(res.OrbitalE); i++ {
+		if res.OrbitalE[i] < res.OrbitalE[i-1] {
+			t.Fatalf("orbital energies not sorted: %v", res.OrbitalE)
+		}
+	}
+}
+
+func TestSCFSIPMatchesReference(t *testing.T) {
+	// Paper §VIII practice: the SIP-based Fock build and the serial
+	// one drive the same SCF; iterates must match to rounding.
+	serial, err := SCF(6, 2, 40, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SCF(6, 2, 40, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", serial.Iterations, parallel.Iterations)
+	}
+	for i := range serial.History {
+		if math.Abs(serial.History[i]-parallel.History[i]) > 1e-9*math.Abs(serial.History[i]) {
+			t.Fatalf("iteration %d energies differ: %.12g vs %.12g",
+				i, serial.History[i], parallel.History[i])
+		}
+	}
+	if !parallel.Converged {
+		t.Fatal("parallel SCF did not converge")
+	}
+}
+
+func TestSCFEnergyStabilizes(t *testing.T) {
+	res, err := SCF(8, 3, 60, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History
+	if len(h) < 3 {
+		t.Fatalf("too few iterations: %v", h)
+	}
+	// Late iterations change far less than early ones.
+	early := math.Abs(h[1] - h[0])
+	late := math.Abs(h[len(h)-1] - h[len(h)-2])
+	if late > early/10 && late > 1e-8 {
+		t.Fatalf("energy not stabilizing: early delta %g, late delta %g", early, late)
+	}
+}
+
+func TestSCFErrors(t *testing.T) {
+	if _, err := SCF(4, 5, 10, 0, 0); err == nil {
+		t.Fatal("nocc > norb accepted")
+	}
+}
+
+func TestSCFNotConvergedReported(t *testing.T) {
+	res, err := SCF(8, 3, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("one iteration cannot have converged")
+	}
+}

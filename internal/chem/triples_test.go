@@ -1,0 +1,60 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func t2Test(idx []int) float64 {
+	s := 0
+	for d, v := range idx {
+		s += (d + 1) * v * v
+	}
+	return float64(s%5)*0.4 - 0.8
+}
+
+func TestTriplesMatchesReference(t *testing.T) {
+	const no, nv = 2, 3
+	got, err := TriplesSIP(no, nv, 3, 2, t2Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TriplesReference(no, nv, t2Test)
+	if math.Abs(got-want) > 1e-11*math.Abs(want) {
+		t.Fatalf("E(T) SIP = %.14g, reference = %.14g", got, want)
+	}
+	if want >= 0 {
+		t.Fatalf("triples correction should be negative (negative denominators), got %g", want)
+	}
+}
+
+func TestTriplesRaggedSegments(t *testing.T) {
+	// no=3, nv=4 with seg 2 gives ragged occupied segments and full
+	// rank-6 blocks of mixed shapes.
+	const no, nv = 3, 4
+	got, err := TriplesSIP(no, nv, 2, 2, t2Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TriplesReference(no, nv, t2Test)
+	if math.Abs(got-want) > 1e-11*math.Abs(want) {
+		t.Fatalf("E(T) = %.14g, want %.14g", got, want)
+	}
+}
+
+func TestTriplesWorkerInvariance(t *testing.T) {
+	const no, nv = 2, 3
+	base, err := TriplesSIP(no, nv, 1, 2, t2Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 5} {
+		got, err := TriplesSIP(no, nv, w, 2, t2Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-base) > 1e-12*math.Abs(base) {
+			t.Fatalf("workers=%d: %.15g != %.15g", w, got, base)
+		}
+	}
+}

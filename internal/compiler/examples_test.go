@@ -1,0 +1,58 @@
+package compiler
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sial"
+)
+
+// TestCompileExamplePrograms compiles every .sial file shipped under
+// examples/sial, validates the byte code, and round-trips it through
+// the formatter.
+func TestCompileExamplePrograms(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "sial")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/sial missing: %v", err)
+	}
+	count := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".sial") {
+			continue
+		}
+		count++
+		t.Run(e.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := CompileSource(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			// Formatter round trip: parse -> format -> compile again.
+			ast, err := sial.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted := sial.Format(ast)
+			prog2, err := CompileSource(formatted)
+			if err != nil {
+				t.Fatalf("compile of formatted source: %v\n%s", err, formatted)
+			}
+			if len(prog2.Code) != len(prog.Code) {
+				t.Fatalf("formatted program compiles to %d instructions, original %d",
+					len(prog2.Code), len(prog.Code))
+			}
+		})
+	}
+	if count < 5 {
+		t.Fatalf("only %d example programs found, want >= 5", count)
+	}
+}

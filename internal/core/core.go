@@ -1,0 +1,83 @@
+// Package core is the public face of the Super Instruction Architecture
+// (SIA) reproduction: the block-oriented language SIAL and its runtime
+// system SIP, after Sanders et al., "A Block-Oriented Language and
+// Runtime System for Tensor Algebra with Very Large Arrays" (SC 2010).
+//
+// The typical flow mirrors the paper:
+//
+//	prog, err := core.Compile(sialSource)       // SIAL -> SIA byte code
+//	report, err := core.DryRun(prog, cfg, mem)  // feasibility analysis
+//	result, err := core.Run(prog, cfg)          // execute on the SIP
+//
+// Programs are written in SIAL (see internal/sial for the grammar),
+// compiled to SIA byte code, and executed by a SIP instance configured
+// with a worker count, an I/O server count, segment sizes, and optional
+// array presets and user super instructions.
+package core
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/compiler"
+	"repro/internal/sial"
+	"repro/internal/sip"
+)
+
+// Program is a compiled SIAL program: SIA byte code plus its descriptor
+// tables.
+type Program = bytecode.Program
+
+// SegConfig selects segment sizes at initialization time.
+type SegConfig = bytecode.SegConfig
+
+// Config parameterizes a SIP run.
+type Config = sip.Config
+
+// Result is the outcome of a SIP run.
+type Result = sip.Result
+
+// Profile is the per-run performance report.
+type Profile = sip.Profile
+
+// DryRunReport is the SIP's pre-execution memory feasibility analysis.
+type DryRunReport = sip.DryRunReport
+
+// PresetFunc initializes array blocks before execution.
+type PresetFunc = sip.PresetFunc
+
+// SuperFunc is a user computational super instruction.
+type SuperFunc = sip.SuperFunc
+
+// IntegralFunc computes integral blocks on demand.
+type IntegralFunc = sip.IntegralFunc
+
+// ExecCtx is the execution context passed to super instructions.
+type ExecCtx = sip.ExecCtx
+
+// DefaultSegConfig returns a uniform segment-size configuration.
+func DefaultSegConfig(seg int) SegConfig { return bytecode.DefaultSegConfig(seg) }
+
+// Compile parses, checks, and compiles SIAL source into SIA byte code.
+func Compile(src string) (*Program, error) {
+	return compiler.CompileSource(src)
+}
+
+// Parse parses SIAL source without compiling, returning the AST.
+func Parse(src string) (*sial.Program, error) {
+	return sial.Parse(src)
+}
+
+// Run executes a compiled program on a SIP instance.
+func Run(prog *Program, cfg Config) (*Result, error) {
+	return sip.Run(prog, cfg)
+}
+
+// RunSource compiles and runs SIAL source in one step.
+func RunSource(src string, cfg Config) (*Result, error) {
+	return sip.RunSource(src, cfg)
+}
+
+// DryRun performs the SIP's dry-run memory analysis without executing.
+// memoryBudget is bytes per worker; 0 means unlimited.
+func DryRun(prog *Program, cfg Config, memoryBudget int64) (*DryRunReport, error) {
+	return sip.DryRun(prog, cfg, memoryBudget)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+const tiny = `
+sial facade
+param n = 4
+aoindex I = 1, n
+temp a(I,I)
+scalar s
+do I
+  a(I,I) = 2.0
+  s += dot(a(I,I), a(I,I))
+enddo I
+endsial
+`
+
+func TestCompileRunFacade(t *testing.T) {
+	prog, err := Compile(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "facade" {
+		t.Fatalf("name %q", prog.Name)
+	}
+	res, err := Run(prog, Config{Workers: 2, Seg: DefaultSegConfig(2), Output: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 blocks of 2x2, each dot = 4*4 = 16 -> 32.
+	if got := res.Scalars["s"]; math.Abs(got-32) > 1e-12 {
+		t.Fatalf("s = %g, want 32", got)
+	}
+}
+
+func TestRunSourceFacade(t *testing.T) {
+	res, err := RunSource(tiny, Config{Workers: 1, Seg: DefaultSegConfig(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With seg=4 the whole range is one 4x4 block: dot = 16 * 4 = 64.
+	if res.Scalars["s"] != 64 {
+		t.Fatalf("s = %g, want 64", res.Scalars["s"])
+	}
+}
+
+func TestParseFacade(t *testing.T) {
+	ast, err := Parse(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Name != "facade" || len(ast.Decls) == 0 {
+		t.Fatalf("ast: %+v", ast)
+	}
+	if _, err := Parse("not a program"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestDryRunFacade(t *testing.T) {
+	prog, err := Compile(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DryRun(prog, Config{Workers: 2, Seg: DefaultSegConfig(2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible || rep.PerWorkerBytes <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "dry run") {
+		t.Fatalf("report text: %s", rep)
+	}
+}

@@ -1,0 +1,200 @@
+package ga
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// DiskResidentArray mirrors GA's DRA facility ("GA implementations also
+// support disk resident arrays for arrays too large to fit in the
+// distributed memory of the system", paper §VII): a dense array backed
+// by a file, moved to and from global arrays or patch buffers with
+// whole-patch blocking I/O.
+//
+// The file holds the array in row-major order as little-endian float64;
+// unwritten regions read as zero (the file is truncated to full size at
+// creation).
+type DiskResidentArray struct {
+	name string
+	dims []int
+	path string
+	f    *os.File
+}
+
+// CreateDRA creates (or truncates) a disk-resident array backed by the
+// file at path.
+func CreateDRA(name, path string, dims ...int) (*DiskResidentArray, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("ga: dra %s: no dimensions", name)
+	}
+	n := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("ga: dra %s: bad dimension %d", name, d)
+		}
+		n *= int64(d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("ga: dra %s: %w", name, err)
+	}
+	if err := f.Truncate(n * 8); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ga: dra %s: truncate: %w", name, err)
+	}
+	return &DiskResidentArray{name: name, dims: append([]int(nil), dims...), path: path, f: f}, nil
+}
+
+// Close releases the backing file.
+func (d *DiskResidentArray) Close() error { return d.f.Close() }
+
+// Dims returns the array dimensions.
+func (d *DiskResidentArray) Dims() []int { return d.dims }
+
+func (d *DiskResidentArray) strides() []int {
+	s := make([]int, len(d.dims))
+	st := 1
+	for i := len(d.dims) - 1; i >= 0; i-- {
+		s[i] = st
+		st *= d.dims[i]
+	}
+	return s
+}
+
+func (d *DiskResidentArray) checkPatch(lo, hi []int) (extent []int, err error) {
+	if len(lo) != len(d.dims) || len(hi) != len(d.dims) {
+		return nil, fmt.Errorf("ga: dra %s: patch rank mismatch", d.name)
+	}
+	extent = make([]int, len(lo))
+	for i := range lo {
+		if lo[i] < 0 || hi[i] >= d.dims[i] || lo[i] > hi[i] {
+			return nil, fmt.Errorf("ga: dra %s: bad patch [%v,%v] for dims %v", d.name, lo, hi, d.dims)
+		}
+		extent[i] = hi[i] - lo[i] + 1
+	}
+	return extent, nil
+}
+
+// rowIO walks the contiguous innermost runs of a patch and calls fn with
+// the file offset (elements), the run length, and the patch offset.
+func (d *DiskResidentArray) rowIO(lo, extent []int, fn func(fileOff, n, patchOff int) error) error {
+	strides := d.strides()
+	rank := len(lo)
+	rowLen := extent[rank-1]
+	idx := make([]int, rank-1)
+	patchOff := 0
+	for {
+		off := lo[rank-1]
+		for k := 0; k < rank-1; k++ {
+			off += (lo[k] + idx[k]) * strides[k]
+		}
+		if err := fn(off, rowLen, patchOff); err != nil {
+			return err
+		}
+		patchOff += rowLen
+		k := rank - 2
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < extent[k] {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+// PutPatch writes buf into the patch [lo, hi] on disk (blocking).
+func (d *DiskResidentArray) PutPatch(lo, hi []int, buf []float64) error {
+	extent, err := d.checkPatch(lo, hi)
+	if err != nil {
+		return err
+	}
+	return d.rowIO(lo, extent, func(fileOff, n, patchOff int) error {
+		raw := make([]byte, n*8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(buf[patchOff+i]))
+		}
+		_, err := d.f.WriteAt(raw, int64(fileOff)*8)
+		return err
+	})
+}
+
+// GetPatch reads the patch [lo, hi] from disk into buf (blocking).
+func (d *DiskResidentArray) GetPatch(lo, hi []int, buf []float64) error {
+	extent, err := d.checkPatch(lo, hi)
+	if err != nil {
+		return err
+	}
+	n := 1
+	for _, e := range extent {
+		n *= e
+	}
+	if len(buf) < n {
+		return fmt.Errorf("ga: dra %s: buffer too small: %d < %d", d.name, len(buf), n)
+	}
+	return d.rowIO(lo, extent, func(fileOff, rn, patchOff int) error {
+		raw := make([]byte, rn*8)
+		if _, err := d.f.ReadAt(raw, int64(fileOff)*8); err != nil {
+			return err
+		}
+		for i := 0; i < rn; i++ {
+			buf[patchOff+i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return nil
+	})
+}
+
+// WriteFrom copies an entire global array to disk (DRA_write).
+func (d *DiskResidentArray) WriteFrom(g *GlobalArray) error {
+	if !dimsEqual(d.dims, g.dims) {
+		return fmt.Errorf("ga: dra %s: dims %v != global array dims %v", d.name, d.dims, g.dims)
+	}
+	lo := make([]int, len(d.dims))
+	hi := make([]int, len(d.dims))
+	n := 1
+	for i, dim := range d.dims {
+		hi[i] = dim - 1
+		n *= dim
+	}
+	buf := make([]float64, n)
+	if err := g.Get(lo, hi, buf); err != nil {
+		return err
+	}
+	return d.PutPatch(lo, hi, buf)
+}
+
+// ReadInto copies the entire disk array into a global array (DRA_read).
+func (d *DiskResidentArray) ReadInto(g *GlobalArray) error {
+	if !dimsEqual(d.dims, g.dims) {
+		return fmt.Errorf("ga: dra %s: dims %v != global array dims %v", d.name, d.dims, g.dims)
+	}
+	lo := make([]int, len(d.dims))
+	hi := make([]int, len(d.dims))
+	n := 1
+	for i, dim := range d.dims {
+		hi[i] = dim - 1
+		n *= dim
+	}
+	buf := make([]float64, n)
+	if err := d.GetPatch(lo, hi, buf); err != nil {
+		return err
+	}
+	return g.Put(lo, hi, buf)
+}
+
+func dimsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package ga
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestDRACreateErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateDRA("x", filepath.Join(dir, "x.dra")); err == nil {
+		t.Fatal("no dims accepted")
+	}
+	if _, err := CreateDRA("x", filepath.Join(dir, "x.dra"), 4, 0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := CreateDRA("x", filepath.Join(dir, "nodir", "x.dra"), 4); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestDRAPatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateDRA("m", filepath.Join(dir, "m.dra"), 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	patch := []float64{1, 2, 3, 4, 5, 6}
+	if err := d.PutPatch([]int{2, 3}, []int{3, 5}, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 6)
+	if err := d.GetPatch([]int{2, 3}, []int{3, 5}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range patch {
+		if got[i] != patch[i] {
+			t.Fatalf("got %v, want %v", got, patch)
+		}
+	}
+	// Untouched regions read as zero.
+	one := make([]float64, 1)
+	if err := d.GetPatch([]int{0, 0}, []int{0, 0}, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 0 {
+		t.Fatalf("unwritten element = %v", one[0])
+	}
+}
+
+func TestDRAPatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := CreateDRA("m", filepath.Join(dir, "m.dra"), 4, 4)
+	defer d.Close()
+	buf := make([]float64, 16)
+	if err := d.GetPatch([]int{0}, []int{1}, buf); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if err := d.GetPatch([]int{0, 0}, []int{4, 0}, buf); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if err := d.GetPatch([]int{0, 0}, []int{3, 3}, make([]float64, 3)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestDRAGlobalArrayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCluster(3, 0)
+	g, err := c.Create("g", 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 35)
+	for i := range want {
+		want[i] = float64(i)*0.5 - 3
+	}
+	if err := g.Put([]int{0, 0}, []int{4, 6}, want); err != nil {
+		t.Fatal(err)
+	}
+	d, err := CreateDRA("g", filepath.Join(dir, "g.dra"), 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WriteFrom(g); err != nil {
+		t.Fatal(err)
+	}
+	// Clobber the global array, then restore from disk.
+	g.Fill(0)
+	if err := d.ReadInto(g); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 35)
+	if err := g.Get([]int{0, 0}, []int{4, 6}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %g != %g", i, got[i], want[i])
+		}
+	}
+	// Dimension mismatch is rejected.
+	g2, _ := c.Create("g2", 7, 5)
+	if err := d.WriteFrom(g2); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}
+
+func TestDRAPropertyRandomPatches(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(5), 2 + rng.Intn(5), 2 + rng.Intn(3)}
+		d, err := CreateDRA("p", filepath.Join(dir, "p.dra"), dims...)
+		if err != nil {
+			return false
+		}
+		defer d.Close()
+		lo := make([]int, 3)
+		hi := make([]int, 3)
+		n := 1
+		for k := range dims {
+			lo[k] = rng.Intn(dims[k])
+			hi[k] = lo[k] + rng.Intn(dims[k]-lo[k])
+			n *= hi[k] - lo[k] + 1
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		if err := d.PutPatch(lo, hi, want); err != nil {
+			return false
+		}
+		got := make([]float64, n)
+		if err := d.GetPatch(lo, hi, got); err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package ga is a Global-Arrays-style baseline library, standing in for
+// the GA toolkit underneath NWChem in the paper's Figure 7 comparison.
+//
+// It reproduces the programming model and the behavioural constraints
+// the paper contrasts with the SIA (§VII):
+//
+//   - Arrays are created collectively with a rigid, regular block
+//     distribution fixed at creation; the full array is allocated up
+//     front on the participating processes.  If the per-process share
+//     (plus the library's communication buffers) does not fit in the
+//     per-process memory budget, creation fails — "If the end user is
+//     ... confronted with the situation where the program allocates data
+//     in a way that does not match the available computer system
+//     resources, the calculation will simply not run."
+//   - Access is by blocking get/put/accumulate on arbitrary rectangular
+//     patches; algorithms are written in terms of individual elements of
+//     fetched patches, and overlap of communication and computation must
+//     be programmed explicitly (not provided here, as in naive GA code).
+//   - Disk-resident arrays hold data too large for aggregate memory,
+//     with whole-patch blocking I/O.
+//
+// The implementation is in-process: one flat slice per array guarded by
+// a mutex (accumulate must be atomic).  Performance is modelled in
+// internal/perfmodel; this package provides functional correctness and
+// the memory-feasibility behaviour.
+package ga
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrNoMemory reports that a collective allocation exceeded some
+// process's memory budget.
+type ErrNoMemory struct {
+	Array      string
+	Need       int64 // bytes needed on the fullest process
+	Have       int64 // per-process budget remaining
+	Procs      int
+	Sufficient int // processes that would make it fit, -1 if none helps
+}
+
+func (e *ErrNoMemory) Error() string {
+	return fmt.Sprintf("ga: %s: needs %d bytes/process on %d processes, only %d available (sufficient processes: %d)",
+		e.Array, e.Need, e.Procs, e.Have, e.Sufficient)
+}
+
+// Cluster models a set of processes with a fixed per-process memory
+// budget, like `-ga_memory` limits in real GA runs.
+type Cluster struct {
+	mu         sync.Mutex
+	procs      int
+	memPerProc int64 // bytes; 0 = unlimited
+	used       []int64
+	arrays     map[string]*GlobalArray
+	// bufBytes is the fixed per-process communication buffer GA
+	// reserves; part of the rigid overhead the paper contrasts with the
+	// SIA's adaptive memory use.
+	bufBytes int64
+}
+
+// NewCluster creates a cluster of procs processes with memPerProc bytes
+// each (0 = unlimited).
+func NewCluster(procs int, memPerProc int64) *Cluster {
+	if procs < 1 {
+		panic(fmt.Sprintf("ga: procs %d < 1", procs))
+	}
+	c := &Cluster{
+		procs:      procs,
+		memPerProc: memPerProc,
+		used:       make([]int64, procs),
+		arrays:     map[string]*GlobalArray{},
+		bufBytes:   1 << 20, // 1 MiB of communication buffers per process
+	}
+	for i := range c.used {
+		c.used[i] = c.bufBytes
+	}
+	return c
+}
+
+// Procs returns the number of processes.
+func (c *Cluster) Procs() int { return c.procs }
+
+// MemUsed returns the bytes allocated on the fullest process.
+func (c *Cluster) MemUsed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m int64
+	for _, u := range c.used {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// GlobalArray is a dense multidimensional double-precision array
+// distributed in regular chunks over the first dimension (GA's default
+// regular distribution).
+type GlobalArray struct {
+	c    *Cluster
+	name string
+	dims []int
+	data []float64
+	mu   sync.Mutex
+	// perProc[i] is the bytes charged to process i for this array.
+	perProc []int64
+}
+
+// Create collectively allocates an array.  The whole array is allocated
+// immediately and charged to the processes that own its chunks; failure
+// is an *ErrNoMemory.
+func (c *Cluster) Create(name string, dims ...int) (*GlobalArray, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("ga: %s: no dimensions", name)
+	}
+	n := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("ga: %s: bad dimension %d", name, d)
+		}
+		n *= int64(d)
+	}
+	// Regular distribution over the first dimension: process p owns
+	// rows [p*rows/P, (p+1)*rows/P).
+	rows := int64(dims[0])
+	rowBytes := n / rows * 8
+	perProc := make([]int64, c.procs)
+	for p := 0; p < c.procs; p++ {
+		lo := rows * int64(p) / int64(c.procs)
+		hi := rows * int64(p+1) / int64(c.procs)
+		perProc[p] = (hi - lo) * rowBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.memPerProc > 0 {
+		for p := 0; p < c.procs; p++ {
+			if c.used[p]+perProc[p] > c.memPerProc {
+				// How many processes would suffice?  The fullest
+				// process needs ceil(rows/P)*rowBytes to fit.
+				sufficient := -1
+				for q := c.procs; q <= 1<<22; q *= 2 {
+					per := (rows + int64(q) - 1) / int64(q) * rowBytes
+					if c.bufBytes+per <= c.memPerProc {
+						sufficient = q
+						break
+					}
+				}
+				return nil, &ErrNoMemory{
+					Array: name, Need: c.used[p] + perProc[p],
+					Have: c.memPerProc, Procs: c.procs, Sufficient: sufficient,
+				}
+			}
+		}
+	}
+	for p := 0; p < c.procs; p++ {
+		c.used[p] += perProc[p]
+	}
+	g := &GlobalArray{c: c, name: name, dims: append([]int(nil), dims...),
+		data: make([]float64, n), perProc: perProc}
+	c.arrays[name] = g
+	return g, nil
+}
+
+// Destroy collectively frees the array's memory.
+func (c *Cluster) Destroy(g *GlobalArray) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p, b := range g.perProc {
+		c.used[p] -= b
+	}
+	delete(c.arrays, g.name)
+	g.data = nil
+}
+
+// Dims returns the array dimensions.
+func (g *GlobalArray) Dims() []int { return g.dims }
+
+// Name returns the array name.
+func (g *GlobalArray) Name() string { return g.name }
+
+func (g *GlobalArray) strides() []int {
+	s := make([]int, len(g.dims))
+	st := 1
+	for i := len(g.dims) - 1; i >= 0; i-- {
+		s[i] = st
+		st *= g.dims[i]
+	}
+	return s
+}
+
+func (g *GlobalArray) checkPatch(lo, hi []int) (extent []int, err error) {
+	if len(lo) != len(g.dims) || len(hi) != len(g.dims) {
+		return nil, fmt.Errorf("ga: %s: patch rank mismatch", g.name)
+	}
+	extent = make([]int, len(lo))
+	for d := range lo {
+		if lo[d] < 0 || hi[d] >= g.dims[d] || lo[d] > hi[d] {
+			return nil, fmt.Errorf("ga: %s: bad patch [%v,%v] for dims %v", g.name, lo, hi, g.dims)
+		}
+		extent[d] = hi[d] - lo[d] + 1
+	}
+	return extent, nil
+}
+
+// patchEach walks the rows (contiguous innermost runs) of the patch,
+// calling fn with the flat base offset of each run and the run length.
+func (g *GlobalArray) patchEach(lo, extent []int, fn func(base, n, patchOff int)) {
+	strides := g.strides()
+	rank := len(lo)
+	rowLen := extent[rank-1]
+	idx := make([]int, rank-1)
+	patchOff := 0
+	for {
+		base := lo[rank-1] * strides[rank-1]
+		for d := 0; d < rank-1; d++ {
+			base += (lo[d] + idx[d]) * strides[d]
+		}
+		fn(base, rowLen, patchOff)
+		patchOff += rowLen
+		d := rank - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < extent[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Get blocks until the rectangular patch [lo, hi] (inclusive, 0-based)
+// has been copied into buf, which must have room for its elements.
+func (g *GlobalArray) Get(lo, hi []int, buf []float64) error {
+	extent, err := g.checkPatch(lo, hi)
+	if err != nil {
+		return err
+	}
+	n := 1
+	for _, e := range extent {
+		n *= e
+	}
+	if len(buf) < n {
+		return fmt.Errorf("ga: %s: buffer too small: %d < %d", g.name, len(buf), n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.patchEach(lo, extent, func(base, rn, off int) {
+		copy(buf[off:off+rn], g.data[base:base+rn])
+	})
+	return nil
+}
+
+// Put blocks until buf has been stored into the patch.
+func (g *GlobalArray) Put(lo, hi []int, buf []float64) error {
+	extent, err := g.checkPatch(lo, hi)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.patchEach(lo, extent, func(base, rn, off int) {
+		copy(g.data[base:base+rn], buf[off:off+rn])
+	})
+	return nil
+}
+
+// Acc atomically accumulates alpha*buf into the patch.
+func (g *GlobalArray) Acc(lo, hi []int, buf []float64, alpha float64) error {
+	extent, err := g.checkPatch(lo, hi)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.patchEach(lo, extent, func(base, rn, off int) {
+		for i := 0; i < rn; i++ {
+			g.data[base+i] += alpha * buf[off+i]
+		}
+	})
+	return nil
+}
+
+// Fill sets every element to v.
+func (g *GlobalArray) Fill(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+// Sync is the collective barrier separating GA access epochs.  In this
+// in-process model all operations are immediately visible, so Sync only
+// exists to keep baseline algorithms structurally faithful.
+func (c *Cluster) Sync() {}

@@ -1,0 +1,201 @@
+package ga
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndDims(t *testing.T) {
+	c := NewCluster(4, 0)
+	g, err := c.Create("a", 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Dims(); d[0] != 8 || d[1] != 6 {
+		t.Fatalf("dims %v", d)
+	}
+	if g.Name() != "a" {
+		t.Fatal("name")
+	}
+	c.Destroy(g)
+	if used := c.MemUsed(); used != 1<<20 {
+		t.Fatalf("after destroy used = %d, want buffer-only", used)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	c := NewCluster(2, 0)
+	if _, err := c.Create("x"); err == nil {
+		t.Fatal("no dims should fail")
+	}
+	if _, err := c.Create("x", 3, 0); err == nil {
+		t.Fatal("zero dim should fail")
+	}
+}
+
+func TestMemoryBudgetEnforced(t *testing.T) {
+	// 2 procs, 2 MiB each; 1 MiB is reserved for buffers.  An array of
+	// 300k doubles (2.4 MB) needs 1.2 MB per proc -> exceeds the 1 MiB
+	// left.
+	c := NewCluster(2, 2<<20)
+	_, err := c.Create("big", 300, 1000)
+	var nomem *ErrNoMemory
+	if !errors.As(err, &nomem) {
+		t.Fatalf("want ErrNoMemory, got %v", err)
+	}
+	if nomem.Sufficient < 3 {
+		t.Fatalf("sufficient = %d, want >= 3", nomem.Sufficient)
+	}
+	// The suggested process count must actually fit.
+	c2 := NewCluster(nomem.Sufficient, 2<<20)
+	if _, err := c2.Create("big", 300, 1000); err != nil {
+		t.Fatalf("suggested %d procs still fails: %v", nomem.Sufficient, err)
+	}
+}
+
+func TestMemoryNeverSufficient(t *testing.T) {
+	// A single row larger than the budget cannot be split by adding
+	// processes (first-dimension distribution).
+	c := NewCluster(2, 2<<20)
+	_, err := c.Create("row", 1, 1<<20)
+	var nomem *ErrNoMemory
+	if !errors.As(err, &nomem) {
+		t.Fatalf("want ErrNoMemory, got %v", err)
+	}
+	if nomem.Sufficient != -1 {
+		t.Fatalf("sufficient = %d, want -1", nomem.Sufficient)
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := NewCluster(3, 0)
+	g, err := c.Create("m", 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := []float64{1, 2, 3, 4, 5, 6}
+	if err := g.Put([]int{1, 2}, []int{2, 4}, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 6)
+	if err := g.Get([]int{1, 2}, []int{2, 4}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range patch {
+		if got[i] != patch[i] {
+			t.Fatalf("got %v, want %v", got, patch)
+		}
+	}
+	// Elements outside the patch stay zero.
+	one := make([]float64, 1)
+	if err := g.Get([]int{0, 0}, []int{0, 0}, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 0 {
+		t.Fatalf("outside patch = %v", one[0])
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	c := NewCluster(1, 0)
+	g, _ := c.Create("m", 4, 4)
+	buf := make([]float64, 16)
+	if err := g.Get([]int{0}, []int{1}, buf); err == nil {
+		t.Fatal("rank mismatch should fail")
+	}
+	if err := g.Get([]int{0, 0}, []int{4, 0}, buf); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	if err := g.Get([]int{2, 0}, []int{1, 0}, buf); err == nil {
+		t.Fatal("inverted patch should fail")
+	}
+	if err := g.Get([]int{0, 0}, []int{3, 3}, make([]float64, 2)); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+}
+
+func TestAccAtomicAndAdditive(t *testing.T) {
+	c := NewCluster(2, 0)
+	g, _ := c.Create("m", 2, 2)
+	one := []float64{1, 1, 1, 1}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				if err := g.Acc([]int{0, 0}, []int{1, 1}, one, 0.5); err != nil {
+					t.Error(err)
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	got := make([]float64, 4)
+	if err := g.Get([]int{0, 0}, []int{1, 1}, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 200 { // 4 workers * 100 * 0.5
+			t.Fatalf("acc total %v, want 200", v)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	c := NewCluster(1, 0)
+	g, _ := c.Create("m", 3, 3)
+	g.Fill(2.5)
+	buf := make([]float64, 9)
+	if err := g.Get([]int{0, 0}, []int{2, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v != 2.5 {
+			t.Fatal("fill failed")
+		}
+	}
+}
+
+func TestGetPutPropertyRandomPatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCluster(1+rng.Intn(4), 0)
+		dims := []int{2 + rng.Intn(6), 2 + rng.Intn(6), 2 + rng.Intn(4)}
+		g, err := c.Create("p", dims...)
+		if err != nil {
+			return false
+		}
+		lo := make([]int, 3)
+		hi := make([]int, 3)
+		n := 1
+		for d := range dims {
+			lo[d] = rng.Intn(dims[d])
+			hi[d] = lo[d] + rng.Intn(dims[d]-lo[d])
+			n *= hi[d] - lo[d] + 1
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		if err := g.Put(lo, hi, want); err != nil {
+			return false
+		}
+		got := make([]float64, n)
+		if err := g.Get(lo, hi, got); err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

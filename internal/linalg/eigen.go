@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
+// n×n row-major matrix a using the cyclic Jacobi method.  It returns the
+// eigenvalues in ascending order and the corresponding eigenvectors as
+// the columns of v (v[i*n+j] is component i of eigenvector j).  The
+// input is not modified.
+//
+// The SIA keeps small replicated matrices (Fock, density) on every
+// worker and diagonalizes them serially (they are O(n²) while the
+// tensors are O(n⁴)); this is the kernel that role needs.
+func JacobiEigen(n int, a []float64) (eig []float64, v []float64, err error) {
+	if len(a) < n*n {
+		return nil, nil, fmt.Errorf("linalg: eigen: matrix slice too short: %d < %d", len(a), n*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(a[i*n+j] - a[j*n+i]); d > 1e-10*(1+math.Abs(a[i*n+j])) {
+				return nil, nil, fmt.Errorf("linalg: eigen: matrix not symmetric at (%d,%d): %g vs %g",
+					i, j, a[i*n+j], a[j*n+i])
+			}
+		}
+	}
+	// Work on a copy.
+	m := make([]float64, n*n)
+	copy(m, a[:n*n])
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate the eigenvector rotation.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	eig = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = m[i*n+i]
+	}
+	// Sort eigenpairs ascending (insertion sort; n is small).
+	for i := 1; i < n; i++ {
+		ev := eig[i]
+		col := make([]float64, n)
+		for k := 0; k < n; k++ {
+			col[k] = v[k*n+i]
+		}
+		j := i - 1
+		for j >= 0 && eig[j] > ev {
+			eig[j+1] = eig[j]
+			for k := 0; k < n; k++ {
+				v[k*n+j+1] = v[k*n+j]
+			}
+			j--
+		}
+		eig[j+1] = ev
+		for k := 0; k < n; k++ {
+			v[k*n+j+1] = col[k]
+		}
+	}
+	return eig, v, nil
+}

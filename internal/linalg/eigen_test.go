@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigen2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	eig, v, err := JacobiEigen(2, []float64{2, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-1) > 1e-12 || math.Abs(eig[1]-3) > 1e-12 {
+		t.Fatalf("eig = %v, want [1 3]", eig)
+	}
+	// Eigenvector for 1 is (1,-1)/sqrt2 up to sign.
+	if math.Abs(math.Abs(v[0*2+0])-1/math.Sqrt2) > 1e-12 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	eig, v, err := JacobiEigen(3, []float64{3, 0, 0, 0, 1, 0, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-14 {
+			t.Fatalf("eig = %v", eig)
+		}
+	}
+	// Eigenvectors are a permutation of the identity columns.
+	for j := 0; j < 3; j++ {
+		var nrm float64
+		for i := 0; i < 3; i++ {
+			nrm += v[i*3+j] * v[i*3+j]
+		}
+		if math.Abs(nrm-1) > 1e-12 {
+			t.Fatalf("column %d not normalized: %v", j, v)
+		}
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				a[i*n+j] = x
+				a[j*n+i] = x
+			}
+		}
+		eig, v, err := JacobiEigen(n, a)
+		if err != nil {
+			return false
+		}
+		// Ascending order.
+		if !sort.Float64sAreSorted(eig) {
+			return false
+		}
+		// Orthonormality: V^T V = I.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := 0; c2 < n; c2++ {
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += v[k*n+c1] * v[k*n+c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Reconstruction: A = V diag(eig) V^T.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += v[i*n+k] * eig[k] * v[j*n+k]
+				}
+				if math.Abs(s-a[i*n+j]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJacobiEigenErrors(t *testing.T) {
+	if _, _, err := JacobiEigen(3, make([]float64, 4)); err == nil {
+		t.Fatal("short slice accepted")
+	}
+	if _, _, err := JacobiEigen(2, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}

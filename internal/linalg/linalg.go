@@ -1,0 +1,155 @@
+// Package linalg provides the dense linear-algebra kernels that back the
+// SIA super instructions.
+//
+// The paper implements super instructions in Fortran on top of vendor
+// DGEMM.  This package is the pure-Go substitute: a cache-blocked,
+// row-major GEMM plus the transpose and vector helpers the block
+// operations need.  Only float64 is supported, matching the paper's
+// double-precision tensors.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// blockSize is the tile edge used by Gemm.  48*48*8 bytes ≈ 18 KiB per
+// tile, so three tiles fit comfortably in a typical L1/L2 cache.
+const blockSize = 48
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices:
+// A is m×k, B is k×n, C is m×n.  It panics if the slice lengths are too
+// small for the given dimensions, since that is always a programming
+// error in the caller.
+func Gemm(m, n, k int, alpha float64, a []float64, b []float64, beta float64, c []float64) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension m=%d n=%d k=%d", m, n, k))
+	}
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("linalg: short slice for m=%d n=%d k=%d: len(a)=%d len(b)=%d len(c)=%d",
+			m, n, k, len(a), len(b), len(c)))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	// Scale C by beta first so the accumulation loop can always add.
+	switch beta {
+	case 1:
+	case 0:
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	default:
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	// Tiled i-k-j loop: the innermost j loop streams rows of B and C,
+	// which keeps accesses unit-stride in row-major storage.
+	for ii := 0; ii < m; ii += blockSize {
+		iMax := min(ii+blockSize, m)
+		for kk := 0; kk < k; kk += blockSize {
+			kMax := min(kk+blockSize, k)
+			for jj := 0; jj < n; jj += blockSize {
+				jMax := min(jj+blockSize, n)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					crow := c[i*n : i*n+n]
+					for l := kk; l < kMax; l++ {
+						av := alpha * arow[l]
+						if av == 0 {
+							continue
+						}
+						brow := b[l*n : l*n+n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Transpose writes the transpose of the m×n row-major matrix src into
+// dst, which must have room for n*m elements.  src and dst must not
+// alias.
+func Transpose(m, n int, src, dst []float64) {
+	if len(src) < m*n || len(dst) < m*n {
+		panic(fmt.Sprintf("linalg: transpose short slice m=%d n=%d", m, n))
+	}
+	for i := 0; i < m; i++ {
+		row := src[i*n : i*n+n]
+		for j, v := range row {
+			dst[j*m+i] = v
+		}
+	}
+}
+
+// Axpy computes y += alpha*x elementwise.  x and y must have equal
+// length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(v float64, x []float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Dot returns the inner product of x and y, which must have equal
+// length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute value in x, or 0 for an empty
+// slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,54 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count (2*m*n*k) above which GemmAuto
+// fans the multiply out over goroutines.  Below it the fork/join
+// overhead outweighs the speedup.
+const parallelThreshold = 4 << 20 // ~4 Mflop
+
+// GemmParallel computes C = alpha*A*B + beta*C like Gemm, splitting the
+// rows of C into bands computed by `workers` goroutines.  Bands are
+// disjoint, so the result is bit-identical to the serial Gemm.  The
+// paper notes super instructions may exploit "thread-level parallelism"
+// within a node (§V-A); this is that option for the contraction kernel.
+func GemmParallel(m, n, k int, alpha float64, a, b []float64, beta float64, c []float64, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		Gemm(m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := m * w / workers
+		hi := m * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rows := hi - lo
+			Gemm(rows, n, k, alpha, a[lo*k:hi*k], b, beta, c[lo*n:hi*n])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// GemmAuto dispatches to the serial or parallel kernel by problem size.
+func GemmAuto(m, n, k int, alpha float64, a, b []float64, beta float64, c []float64) {
+	flops := 2 * int64(m) * int64(n) * int64(k)
+	if flops >= parallelThreshold {
+		GemmParallel(m, n, k, alpha, a, b, beta, c, runtime.GOMAXPROCS(0))
+		return
+	}
+	Gemm(m, n, k, alpha, a, b, beta, c)
+}

@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(60)
+		n := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(60)
+		workers := 1 + rng.Intn(8)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		c1 := randSlice(rng, m*n)
+		c2 := append([]float64(nil), c1...)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		Gemm(m, n, k, alpha, a, b, beta, c1)
+		GemmParallel(m, n, k, alpha, a, b, beta, c2, workers)
+		for i := range c1 {
+			if c1[i] != c2[i] { // bit-identical: disjoint row bands
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmParallelDegenerate(t *testing.T) {
+	// More workers than rows, zero workers, single row.
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	c := make([]float64, 1)
+	GemmParallel(1, 1, 2, 1, a, b, 0, c, 16)
+	if c[0] != 11 {
+		t.Fatalf("c = %v, want 11", c[0])
+	}
+	GemmParallel(1, 1, 2, 1, a, b, 0, c, 0)
+	if c[0] != 11 {
+		t.Fatalf("workers=0: c = %v", c[0])
+	}
+}
+
+func TestGemmAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Small: serial path; large: parallel path.  Both must agree with
+	// the serial kernel.
+	for _, n := range []int{8, 160} {
+		a := randSlice(rng, n*n)
+		b := randSlice(rng, n*n)
+		c1 := make([]float64, n*n)
+		c2 := make([]float64, n*n)
+		Gemm(n, n, n, 1, a, b, 0, c1)
+		GemmAuto(n, n, n, 1, a, b, 0, c2)
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("n=%d: GemmAuto differs at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package machine catalogs the hardware platforms of the paper's
+// evaluation (§VI) as parameter sets for the performance model.
+//
+// The constants are order-of-magnitude estimates for circa-2010
+// hardware: effective per-core DGEMM rates (well below peak, as block
+// kernels achieve), per-message network latency and per-core link
+// bandwidth, per-core memory, master service time for a pardo chunk
+// request, and disk characteristics for the I/O servers.  The model's
+// goal is the paper's *shape* — who wins, where scaling saturates, how
+// machines differ — not absolute numbers.
+package machine
+
+import "fmt"
+
+// Machine parameterizes one platform for the performance model.
+type Machine struct {
+	Name string
+	// FlopRate is the effective per-core floating-point rate for block
+	// kernels (flop/s).
+	FlopRate float64
+	// IntegralRate is the effective rate for integral computation
+	// (flop/s); integral kernels vectorize worse than DGEMM.
+	IntegralRate float64
+	// NetLatency is the one-way message latency (s).
+	NetLatency float64
+	// NetBandwidth is the sustainable per-core point-to-point
+	// bandwidth (B/s).
+	NetBandwidth float64
+	// MemPerCore is usable memory per core (bytes); half is assumed
+	// available for the SIP block cache.
+	MemPerCore float64
+	// MasterService is the master's CPU time to serve one pardo chunk
+	// request (s); at very large worker counts the master serializes.
+	MasterService float64
+	// SetupPerWorker is the master's serialized per-worker cost to set
+	// up a run (dry-run distribution, array descriptors, registration;
+	// paper §V-B: the master "performs the management functions
+	// required to set up the calculation").  It bounds useful scale.
+	SetupPerWorker float64
+	// DiskLatency and DiskBandwidth characterize the I/O servers'
+	// storage (s, B/s).
+	DiskLatency   float64
+	DiskBandwidth float64
+}
+
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: %.1f Gflop/s/core, %.0f us latency, %.2f GB/s/core, %.1f GB/core",
+		m.Name, m.FlopRate/1e9, m.NetLatency*1e6, m.NetBandwidth/1e9, m.MemPerCore/(1<<30))
+}
+
+// CacheBlocks returns how many blocks of the given size fit in the SIP
+// block cache (half of per-core memory).
+func (m Machine) CacheBlocks(blockBytes float64) int {
+	n := int(m.MemPerCore / 2 / blockBytes)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// The paper's platforms (§VI-A, §VI-C).
+var (
+	// Midnight: the Sun Opteron cluster with InfiniBand at ARSC
+	// (Figure 2).
+	Midnight = Machine{
+		Name: "midnight (Sun Opteron + InfiniBand)", FlopRate: 2.0e9,
+		IntegralRate: 0.5e9, NetLatency: 5e-6, NetBandwidth: 0.12e9,
+		MemPerCore: 4 << 30, MasterService: 2e-4, SetupPerWorker: 1.5e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 200e6,
+	}
+	// Kraken: Cray XT4, dual-core Opteron with SeaStar (Figure 3).
+	Kraken = Machine{
+		Name: "kraken (Cray XT4 Opteron dual-core + SeaStar)", FlopRate: 2.1e9,
+		IntegralRate: 0.5e9, NetLatency: 8e-6, NetBandwidth: 0.25e9,
+		MemPerCore: 2 << 30, MasterService: 2.5e-4, SetupPerWorker: 1.5e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 300e6,
+	}
+	// Pingo: Cray XT5, quad-core Opteron with SeaStar2 (Figure 3).
+	Pingo = Machine{
+		Name: "pingo (Cray XT5 Opteron quad-core + SeaStar2)", FlopRate: 2.4e9,
+		IntegralRate: 0.6e9, NetLatency: 6e-6, NetBandwidth: 0.4e9,
+		MemPerCore: 2 << 30, MasterService: 2.5e-4, SetupPerWorker: 1.5e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 300e6,
+	}
+	// Jaguar: the DOE Cray XT5 at ORNL (Figures 4, 5, 6).
+	Jaguar = Machine{
+		Name: "jaguar (Cray XT5 at ORNL)", FlopRate: 2.6e9,
+		IntegralRate: 0.65e9, NetLatency: 6e-6, NetBandwidth: 0.5e9,
+		MemPerCore: 2 << 30, MasterService: 3e-4, SetupPerWorker: 1.5e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 400e6,
+	}
+	// Pople: the SGI Altix 4700 SMP at PSC (Figure 7); fast NUMA
+	// interconnect, per-core memory set per experiment.
+	Pople = Machine{
+		Name: "pople (SGI Altix 4700)", FlopRate: 3.0e9,
+		IntegralRate: 0.7e9, NetLatency: 1.5e-6, NetBandwidth: 1.0e9,
+		MemPerCore: 1 << 30, MasterService: 1.5e-4, SetupPerWorker: 1e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 500e6,
+	}
+	// BlueGeneP: slow cores, modest per-core bandwidth, small memory —
+	// the port whose naive prefetch thrashed the block cache (§VI-A).
+	BlueGeneP = Machine{
+		Name: "BlueGene/P", FlopRate: 0.65e9,
+		IntegralRate: 0.2e9, NetLatency: 4e-6, NetBandwidth: 0.06e9,
+		MemPerCore: 512 << 20, MasterService: 4e-4, SetupPerWorker: 2e-4,
+		DiskLatency: 5e-3, DiskBandwidth: 100e6,
+	}
+)
+
+// Catalog lists all platforms by short name.
+var Catalog = map[string]Machine{
+	"midnight": Midnight,
+	"kraken":   Kraken,
+	"pingo":    Pingo,
+	"jaguar":   Jaguar,
+	"pople":    Pople,
+	"bgp":      BlueGeneP,
+}
+
+// WithMemPerCore returns a copy of the machine with a different memory
+// budget (Figure 7 varies GB/core).
+func (m Machine) WithMemPerCore(bytes float64) Machine {
+	m2 := m
+	m2.MemPerCore = bytes
+	return m2
+}

@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"midnight", "kraken", "pingo", "jaguar", "pople", "bgp"}
+	if len(Catalog) != len(want) {
+		t.Fatalf("catalog has %d machines, want %d", len(Catalog), len(want))
+	}
+	for _, name := range want {
+		m, ok := Catalog[name]
+		if !ok {
+			t.Fatalf("missing machine %q", name)
+		}
+		if m.FlopRate <= 0 || m.NetBandwidth <= 0 || m.NetLatency <= 0 ||
+			m.MemPerCore <= 0 || m.MasterService <= 0 || m.SetupPerWorker <= 0 ||
+			m.DiskBandwidth <= 0 || m.IntegralRate <= 0 {
+			t.Errorf("%s has a non-positive parameter: %+v", name, m)
+		}
+	}
+}
+
+func TestRelativeSpeeds(t *testing.T) {
+	// Paper-critical orderings.
+	if BlueGeneP.FlopRate >= Pingo.FlopRate/2 {
+		t.Error("BG/P cores must be much slower than XT5 cores")
+	}
+	ratio := Pingo.FlopRate / BlueGeneP.FlopRate
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("XT5/BGP flop ratio %.1f; paper implies ~3.7", ratio)
+	}
+	if Kraken.FlopRate >= Pingo.FlopRate {
+		t.Error("XT4 cores should not beat XT5 cores")
+	}
+	if BlueGeneP.MemPerCore >= Kraken.MemPerCore {
+		t.Error("BG/P has less memory per core than the XTs")
+	}
+}
+
+func TestCacheBlocks(t *testing.T) {
+	m := Machine{MemPerCore: 1 << 30}
+	if got := m.CacheBlocks(1 << 20); got != 512 {
+		t.Fatalf("CacheBlocks = %d, want 512 (half of 1 GiB in 1 MiB blocks)", got)
+	}
+	// Floor of 2 even for absurd block sizes.
+	if got := m.CacheBlocks(1 << 40); got != 2 {
+		t.Fatalf("CacheBlocks floor = %d, want 2", got)
+	}
+}
+
+func TestWithMemPerCore(t *testing.T) {
+	m := Pople.WithMemPerCore(4 << 30)
+	if m.MemPerCore != 4<<30 {
+		t.Fatal("WithMemPerCore did not apply")
+	}
+	if Pople.MemPerCore == m.MemPerCore {
+		t.Fatal("WithMemPerCore mutated the original")
+	}
+	if m.FlopRate != Pople.FlopRate {
+		t.Fatal("WithMemPerCore changed unrelated fields")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Jaguar.String()
+	if !strings.Contains(s, "jaguar") || !strings.Contains(s, "Gflop") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,275 @@
+// Package mpi provides an in-process message-passing layer with MPI-like
+// semantics: ranks, tagged asynchronous point-to-point messages with
+// source/tag matching and wildcards, barriers, and reductions.
+//
+// The SIP runtime (paper §V) is written against MPI; this package is the
+// substitution that lets the whole runtime — block protocol, prefetching,
+// communication/computation overlap — run unchanged inside one Go
+// process, with each MPI process played by a goroutine.  Semantics follow
+// MPI where it matters to the SIP:
+//
+//   - Sends are buffered and never block (MPI_Isend with an eager
+//     protocol).  The receiver takes ownership of the payload; senders
+//     must not mutate data after sending.
+//   - Receives match on (source, tag), either exact or the AnySource /
+//     AnyTag wildcards, and preserve per-sender FIFO order among
+//     matching messages.
+//   - Barriers and reductions operate over explicit rank groups, like
+//     MPI communicators.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Message is a received message.
+type Message struct {
+	Source int
+	Tag    int
+	Data   any
+
+	valid bool // set when the message was actually dequeued
+}
+
+// World is a set of communicating ranks.
+type World struct {
+	n      int
+	boxes  []*mailbox
+	groups sync.Map // map[string]*Group, keyed by rank-set signature
+}
+
+// NewWorld creates a world with n ranks numbered 0..n-1.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", n))
+	}
+	w := &World{n: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns the communication endpoint for one rank.  Each rank's
+// Comm must be used by a single goroutine at a time for receives;
+// sends are safe from any goroutine.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.n))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// Send delivers data to dst with the given tag.  It never blocks
+// (buffered, eager).  The receiver takes ownership of data.
+func (c *Comm) Send(dst, tag int, data any) {
+	if dst < 0 || dst >= c.world.n {
+		panic(fmt.Sprintf("mpi: send to rank %d out of range [0,%d)", dst, c.world.n))
+	}
+	c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: data})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// Use AnySource / AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) Message {
+	return c.world.boxes[c.rank].get(src, tag, true)
+}
+
+// TryRecv returns a matching message if one is already queued.
+func (c *Comm) TryRecv(src, tag int) (Message, bool) {
+	m := c.world.boxes[c.rank].get(src, tag, false)
+	return m, m.valid
+}
+
+// Probe reports whether a message matching (src, tag) is queued, without
+// removing it.
+func (c *Comm) Probe(src, tag int) bool {
+	return c.world.boxes[c.rank].probe(src, tag)
+}
+
+// Irecv posts a non-blocking receive and returns a request handle.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{comm: c, src: src, tag: tag}
+}
+
+// Request is a pending non-blocking receive.
+type Request struct {
+	comm *Comm
+	src  int
+	tag  int
+	done bool
+	msg  Message
+}
+
+// Test attempts to complete the receive without blocking.
+func (r *Request) Test() (Message, bool) {
+	if r.done {
+		return r.msg, true
+	}
+	m, ok := r.comm.TryRecv(r.src, r.tag)
+	if ok {
+		r.msg = m
+		r.done = true
+	}
+	return r.msg, r.done
+}
+
+// Wait blocks until the receive completes and returns the message.
+func (r *Request) Wait() Message {
+	if r.done {
+		return r.msg
+	}
+	r.msg = r.comm.Recv(r.src, r.tag)
+	r.done = true
+	return r.msg
+}
+
+// mailbox is one rank's unbounded, order-preserving message queue with
+// (source, tag) matching.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	m.valid = true
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func matches(m Message, src, tag int) bool {
+	return (src == AnySource || m.Source == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+func (mb *mailbox) get(src, tag int, blocking bool) Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if matches(m, src, tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		if !blocking {
+			return Message{}
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) probe(src, tag int) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range mb.queue {
+		if matches(m, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrAborted is the panic value delivered to collective operations on a
+// poisoned group.  Callers that poison a group should recover it.
+var ErrAborted = fmt.Errorf("mpi: group aborted")
+
+// Group is a subset of ranks supporting collective operations, like an
+// MPI communicator.
+type Group struct {
+	n        int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      int
+	count    int
+	acc      float64
+	result   float64
+	poisoned bool
+}
+
+// NewGroup creates a collective group of n participants.  Every
+// participant must call each collective operation exactly once per
+// "round"; mixing operations across a round is a programming error.
+func (w *World) NewGroup(n int) *Group {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: group size %d < 1", n))
+	}
+	g := &Group{n: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Barrier blocks until all group members have called it.
+func (g *Group) Barrier() {
+	g.AllreduceSum(0)
+}
+
+// AllreduceSum sums v across all members and returns the total to each.
+// On a poisoned group it panics with ErrAborted instead of blocking
+// forever on members that will never arrive.
+func (g *Group) AllreduceSum(v float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.poisoned {
+		panic(ErrAborted)
+	}
+	gen := g.gen
+	g.acc += v
+	g.count++
+	if g.count == g.n {
+		g.result = g.acc
+		g.acc = 0
+		g.count = 0
+		g.gen++
+		g.cond.Broadcast()
+		return g.result
+	}
+	for g.gen == gen && !g.poisoned {
+		g.cond.Wait()
+	}
+	if g.gen == gen && g.poisoned {
+		panic(ErrAborted)
+	}
+	return g.result
+}
+
+// Poison aborts the group: members blocked in collectives panic with
+// ErrAborted, and future collective calls panic immediately.  Used to
+// convert a member failure into a clean collective shutdown instead of a
+// deadlock.
+func (g *Group) Poison() {
+	g.mu.Lock()
+	g.poisoned = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

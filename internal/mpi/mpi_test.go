@@ -1,0 +1,260 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		c := w.Comm(1)
+		m := c.Recv(0, 7)
+		if m.Data.(string) != "hello" || m.Source != 0 || m.Tag != 7 {
+			t.Errorf("got %+v", m)
+		}
+		close(done)
+	}()
+	w.Comm(0).Send(1, 7, "hello")
+	<-done
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w := NewWorld(3)
+	c2 := w.Comm(2)
+	w.Comm(0).Send(2, 1, "a")
+	w.Comm(1).Send(2, 2, "b")
+	w.Comm(0).Send(2, 2, "c")
+	// Match by tag regardless of arrival order.
+	if m := c2.Recv(AnySource, 2); m.Data.(string) != "b" {
+		t.Fatalf("tag 2: got %v", m.Data)
+	}
+	// Match by source.
+	if m := c2.Recv(0, AnyTag); m.Data.(string) != "a" {
+		t.Fatalf("src 0: got %v", m.Data)
+	}
+	if m := c2.Recv(AnySource, AnyTag); m.Data.(string) != "c" {
+		t.Fatalf("rest: got %v", m.Data)
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	w := NewWorld(2)
+	for i := 0; i < 100; i++ {
+		w.Comm(0).Send(1, 5, i)
+	}
+	c := w.Comm(1)
+	for i := 0; i < 100; i++ {
+		if m := c.Recv(0, 5); m.Data.(int) != i {
+			t.Fatalf("message %d out of order: got %v", i, m.Data)
+		}
+	}
+}
+
+func TestTryRecvAndProbe(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Comm(1)
+	if _, ok := c.TryRecv(AnySource, AnyTag); ok {
+		t.Fatal("TryRecv on empty queue succeeded")
+	}
+	if c.Probe(AnySource, AnyTag) {
+		t.Fatal("Probe on empty queue succeeded")
+	}
+	w.Comm(0).Send(1, 3, 42)
+	if !c.Probe(0, 3) {
+		t.Fatal("Probe missed queued message")
+	}
+	m, ok := c.TryRecv(0, 3)
+	if !ok || m.Data.(int) != 42 {
+		t.Fatalf("TryRecv: %v %v", m, ok)
+	}
+	if c.Probe(0, 3) {
+		t.Fatal("message not removed by TryRecv")
+	}
+}
+
+func TestIrecvTestWait(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Comm(1)
+	req := c.Irecv(0, 9)
+	if _, done := req.Test(); done {
+		t.Fatal("request complete before send")
+	}
+	w.Comm(0).Send(1, 9, "x")
+	// Test may need a moment in concurrent settings, but here the send
+	// already completed synchronously.
+	if _, done := req.Test(); !done {
+		t.Fatal("request not complete after send")
+	}
+	if m := req.Wait(); m.Data.(string) != "x" {
+		t.Fatalf("Wait: %v", m.Data)
+	}
+	// Wait is idempotent.
+	if m := req.Wait(); m.Data.(string) != "x" {
+		t.Fatalf("second Wait: %v", m.Data)
+	}
+}
+
+func TestIrecvWaitBlocks(t *testing.T) {
+	w := NewWorld(2)
+	req := w.Comm(1).Irecv(0, 1)
+	got := make(chan Message, 1)
+	go func() { got <- req.Wait() }()
+	select {
+	case <-got:
+		t.Fatal("Wait returned before send")
+	case <-time.After(10 * time.Millisecond):
+	}
+	w.Comm(0).Send(1, 1, 5)
+	select {
+	case m := <-got:
+		if m.Data.(int) != 5 {
+			t.Fatalf("got %v", m.Data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return after send")
+	}
+}
+
+func TestGroupBarrier(t *testing.T) {
+	w := NewWorld(4)
+	g := w.NewGroup(4)
+	var mu sync.Mutex
+	arrived := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			arrived++
+			mu.Unlock()
+			g.Barrier()
+			mu.Lock()
+			if arrived != 4 {
+				t.Errorf("passed barrier with %d arrivals", arrived)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGroupBarrierReusable(t *testing.T) {
+	w := NewWorld(2)
+	g := w.NewGroup(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				g.Barrier()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(3)
+	g := w.NewGroup(3)
+	results := make(chan float64, 3)
+	for i := 0; i < 3; i++ {
+		go func(v float64) { results <- g.AllreduceSum(v) }(float64(i + 1))
+	}
+	for i := 0; i < 3; i++ {
+		if r := <-results; r != 6 {
+			t.Fatalf("allreduce = %v, want 6", r)
+		}
+	}
+	// Second round starts clean.
+	for i := 0; i < 3; i++ {
+		go func() { results <- g.AllreduceSum(10) }()
+	}
+	for i := 0; i < 3; i++ {
+		if r := <-results; r != 30 {
+			t.Fatalf("round 2 allreduce = %v, want 30", r)
+		}
+	}
+}
+
+func TestManySendersOneReceiver(t *testing.T) {
+	const senders = 8
+	const msgs = 200
+	w := NewWorld(senders + 1)
+	for s := 0; s < senders; s++ {
+		go func(rank int) {
+			c := w.Comm(rank)
+			for i := 0; i < msgs; i++ {
+				c.Send(senders, rank, i)
+			}
+		}(s)
+	}
+	c := w.Comm(senders)
+	counts := make([]int, senders)
+	for i := 0; i < senders*msgs; i++ {
+		m := c.Recv(AnySource, AnyTag)
+		if m.Data.(int) != counts[m.Source] {
+			t.Fatalf("sender %d message out of order: got %v want %d", m.Source, m.Data, counts[m.Source])
+		}
+		counts[m.Source]++
+	}
+}
+
+func TestPoisonReleasesBlockedMembers(t *testing.T) {
+	w := NewWorld(3)
+	g := w.NewGroup(3)
+	aborted := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() {
+				aborted <- recover() == ErrAborted
+			}()
+			g.Barrier() // the third member never arrives
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	g.Poison()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-aborted:
+			if !ok {
+				t.Fatal("blocked member did not panic with ErrAborted")
+			}
+		case <-time.After(time.Second):
+			t.Fatal("poison did not release a blocked member")
+		}
+	}
+	// Later collective calls abort immediately.
+	func() {
+		defer func() {
+			if recover() != ErrAborted {
+				t.Error("post-poison collective did not abort")
+			}
+		}()
+		g.AllreduceSum(1)
+	}()
+}
+
+func TestPanics(t *testing.T) {
+	w := NewWorld(2)
+	for _, fn := range []func(){
+		func() { NewWorld(0) },
+		func() { w.Comm(5) },
+		func() { w.Comm(-1) },
+		func() { w.Comm(0).Send(9, 0, nil) },
+		func() { w.NewGroup(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

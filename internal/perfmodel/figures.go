@@ -1,0 +1,345 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/chem"
+	"repro/internal/machine"
+)
+
+// Point is one measurement of a figure series.
+type Point struct {
+	Procs   int
+	Seconds float64
+	// Efficiency is relative to the series' base processor count, as
+	// in the paper's figures (1.0 = perfect).
+	Efficiency float64
+	// WaitPct is the percentage of busy time spent waiting for blocks.
+	WaitPct float64
+	// DNF marks runs that did not finish, with the reason ("out of
+	// memory", "> 24 h").
+	DNF string
+}
+
+// Minutes returns the elapsed time in minutes.
+func (p Point) Minutes() float64 { return p.Seconds / 60 }
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced evaluation figure.
+type Figure struct {
+	ID    string
+	Title string
+	Serie []Series
+	Notes []string
+}
+
+// CSV renders the figure as comma-separated rows for plotting:
+// series,procs,seconds,efficiency,wait_pct,dnf.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,procs,seconds,efficiency,wait_pct,dnf\n")
+	for _, s := range f.Serie {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%q,%d,%.3f,%.4f,%.2f,%q\n",
+				s.Label, p.Procs, p.Seconds, p.Efficiency, p.WaitPct, p.DNF)
+		}
+	}
+	return b.String()
+}
+
+// render formats the figure as aligned text rows.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	for _, s := range f.Serie {
+		fmt.Fprintf(&b, "  %s\n", s.Label)
+		fmt.Fprintf(&b, "    %10s %12s %12s %10s\n", "procs", "time", "efficiency", "wait")
+		for _, p := range s.Points {
+			if p.DNF != "" {
+				fmt.Fprintf(&b, "    %10d %12s\n", p.Procs, "DNF: "+p.DNF)
+				continue
+			}
+			t := fmt.Sprintf("%.1f min", p.Minutes())
+			if p.Seconds < 300 {
+				t = fmt.Sprintf("%.1f s", p.Seconds)
+			}
+			fmt.Fprintf(&b, "    %10d %12s %11.0f%% %9.1f%%\n", p.Procs, t, 100*p.Efficiency, p.WaitPct)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// withEfficiency fills Efficiency relative to the first finished point.
+func withEfficiency(pts []Point) []Point {
+	var base *Point
+	for i := range pts {
+		if pts[i].DNF == "" {
+			base = &pts[i]
+			break
+		}
+	}
+	if base == nil {
+		return pts
+	}
+	for i := range pts {
+		if pts[i].DNF != "" || pts[i].Seconds == 0 {
+			continue
+		}
+		pts[i].Efficiency = (base.Seconds * float64(base.Procs)) / (pts[i].Seconds * float64(pts[i].Procs))
+	}
+	return pts
+}
+
+// sweep simulates the workload across processor counts.
+func sweep(w Workload, m machine.Machine, procs []int, window int, blockBytes float64) []Point {
+	pts := make([]Point, 0, len(procs))
+	for _, p := range procs {
+		rep := Simulate(w, Params{Machine: m, Workers: p, PrefetchWindow: window, BlockBytes: blockBytes})
+		pts = append(pts, Point{Procs: p, Seconds: rep.Elapsed, WaitPct: 100 * rep.WaitFrac})
+	}
+	return withEfficiency(pts)
+}
+
+func blockBytes(seg int) float64 { return math.Pow(float64(seg), 4) * 8 }
+
+// Fig2 reproduces Figure 2: luciferin RHF CCSD on the Sun Opteron
+// cluster, 32-256 processors — time per CCSD iteration, efficiency
+// relative to 32 processors, and percent wait time.
+func Fig2() Figure {
+	const seg = 28
+	w := CCSDIteration(chem.Luciferin, seg)
+	pts := sweep(w, machine.Midnight, []int{32, 64, 128, 256}, 64, blockBytes(seg))
+	return Figure{
+		ID:    "2",
+		Title: "Luciferin (C11H8O3S2N2) RHF CCSD per-iteration time on midnight",
+		Serie: []Series{{Label: "ACES III, seg=" + fmt.Sprint(seg), Points: pts}},
+		Notes: []string{"paper: wait time 8.4-13.4% of computation time; efficiency vs 32 procs"},
+	}
+}
+
+// Fig3 reproduces Figure 3: water cluster (H2O)21H+ RHF CCSD on a Cray
+// XT5 (pingo) and a Cray XT4 (kraken), 512-4096 processors.
+func Fig3() Figure {
+	const seg = 30
+	w := CCSDIteration(chem.WaterCluster21, seg)
+	xt5 := sweep(w, machine.Pingo, []int{512, 1024, 2048}, 64, blockBytes(seg))
+	xt4 := sweep(w, machine.Kraken, []int{512, 1024, 2048, 4096}, 64, blockBytes(seg))
+	return Figure{
+		ID:    "3",
+		Title: "Water cluster (H2O)21H+ RHF CCSD per-iteration time",
+		Serie: []Series{
+			{Label: "Cray XT5 (pingo)", Points: xt5},
+			{Label: "Cray XT4 (kraken)", Points: xt4},
+		},
+		Notes: []string{"paper: times between 4 and 32 minutes, XT5 faster than XT4"},
+	}
+}
+
+// Fig4 reproduces Figure 4: RDX and HMX RHF CCSD on jaguar (Cray XT5),
+// 1000-8000 processors; the larger HMX scales better.
+func Fig4() Figure {
+	const seg = 20
+	const iters = 16 // full CCSD job: iterations to convergence
+	procs := []int{1000, 2000, 4000, 6000, 8000}
+	rdxW := CCSDIteration(chem.RDX, seg)
+	rdxW.Repeat = iters
+	hmxW := CCSDIteration(chem.HMX, seg)
+	hmxW.Repeat = iters
+	rdx := sweep(rdxW, machine.Jaguar, procs, 64, blockBytes(seg))
+	hmx := sweep(hmxW, machine.Jaguar, procs, 64, blockBytes(seg))
+	return Figure{
+		ID:    "4",
+		Title: "RDX and HMX RHF CCSD on jaguar, 16 iterations (efficiency vs 1000 procs)",
+		Serie: []Series{
+			{Label: "RDX (C3H6N6O6)", Points: rdx},
+			{Label: "HMX (C4H8N8O8)", Points: hmx},
+		},
+		Notes: []string{"paper: HMX displays much better strong scaling than RDX"},
+	}
+}
+
+// Fig5 reproduces Figure 5: RDX RHF CCSD(T) on jaguar, 10k-80k
+// processors, efficiency relative to 10,000.
+func Fig5() Figure {
+	const seg = 32
+	procs := []int{10000, 20000, 30000, 40000, 60000, 80000}
+	pts := sweep(CCSDTriples(chem.RDX, seg), machine.Jaguar, procs, 64, blockBytes(seg))
+	return Figure{
+		ID:    "5",
+		Title: "RDX RHF CCSD(T) on jaguar (efficiency vs 10,000 procs)",
+		Serie: []Series{{Label: "RDX (T)", Points: pts}},
+		Notes: []string{"paper: good strong scaling up to around 30,000 processors"},
+	}
+}
+
+// Fig6 reproduces Figure 6: the Fock-matrix build for the diamond
+// nanocrystal (2944 basis functions): strong scaling to 72,000 cores,
+// degradation beyond, and the segment-size retune at 84,000 cores that
+// beats the 72,000-core time.
+func Fig6() Figure {
+	const segDefault = 8
+	const segRetuned = 6
+	cores := []int{4000, 8000, 16000, 32000, 48000, 64000, 72000, 84000, 96000, 108000}
+	def := sweep(FockBuild(chem.DiamondNano, segDefault), machine.Jaguar, cores, 64,
+		blockBytes(segDefault))
+	retune := sweep(FockBuild(chem.DiamondNano, segRetuned), machine.Jaguar, []int{84000}, 64,
+		blockBytes(segRetuned))
+	retune[0].Efficiency = 0 // efficiency not comparable across seg
+	return Figure{
+		ID:    "6",
+		Title: "Diamond nanocrystal (C42H42N, 2944 basis fns) Fock build on jaguar",
+		Serie: []Series{
+			{Label: fmt.Sprintf("default seg=%d", segDefault), Points: def},
+			{Label: fmt.Sprintf("retuned seg=%d at 84,000 cores", segRetuned), Points: retune},
+		},
+		Notes: []string{
+			"paper: strong scaling up to 72,000 cores; 84,000-108,000 slower than 72,000",
+			"paper: retuning the segment size at 84,000 cores gives 57.5 s, beating 79.4 s at 72,000",
+		},
+	}
+}
+
+// Fig7 reproduces Figure 7: cytosine+OH UHF MP2 gradient, ACES III with
+// 1 GB/core versus NWChem (Global Arrays) with 1, 2, and 4 GB/core on
+// pople (SGI Altix 4700).  NWChem runs that exceed 24 hours or exhaust
+// memory are reported DNF, as in the paper.
+func Fig7() Figure {
+	const seg = 15
+	const hours24 = 24 * 3600.0
+	mol := chem.CytosineOH
+	procs := []int{16, 32, 64, 128, 256}
+
+	aces := sweep(MP2Gradient(mol, seg), machine.Pople, procs, 64, blockBytes(seg))
+
+	nwchem := func(memGB float64) []Point {
+		m := machine.Pople.WithMemPerCore(memGB * float64(1<<30))
+		// Smaller memory forces smaller GA buffers and more passes
+		// over the integrals; model as a mild slowdown.
+		passFactor := 1.0 + 0.3/memGB
+		w := MP2GradientGA(mol, seg, 0.25)
+		pts := make([]Point, 0, len(procs))
+		for _, p := range procs {
+			if !GAMemoryFeasible(mol, p, m.MemPerCore) {
+				pts = append(pts, Point{Procs: p, DNF: "out of memory"})
+				continue
+			}
+			rep := Simulate(w, Params{Machine: m, Workers: p, PrefetchWindow: 0, BlockBytes: blockBytes(seg)})
+			sec := rep.Elapsed * passFactor
+			if sec > hours24 {
+				pts = append(pts, Point{Procs: p, DNF: "> 24 h"})
+				continue
+			}
+			pts = append(pts, Point{Procs: p, Seconds: sec, WaitPct: 100 * rep.WaitFrac})
+		}
+		return withEfficiency(pts)
+	}
+
+	return Figure{
+		ID:    "7",
+		Title: "Cytosine+OH UHF MP2 gradient: ACES III vs NWChem (Global Arrays) on pople",
+		Serie: []Series{
+			{Label: "ACES III (1 GB/core)", Points: aces},
+			{Label: "NWChem (1 GB/core)", Points: nwchem(1)},
+			{Label: "NWChem (2 GB/core)", Points: nwchem(2)},
+			{Label: "NWChem (4 GB/core)", Points: nwchem(4)},
+		},
+		Notes: []string{
+			"paper: ACES III with 1 GB/core beats NWChem with 2 and 4 GB/core",
+			"paper: NWChem never completed with 1 GB/core, nor on 16 processors with 2 or 4 GB/core",
+		},
+	}
+}
+
+// FigBGP reproduces the §VI-A BlueGene/P port anecdote as an ablation:
+// the same CCSD test case on 512 cores of a Cray XT5 and of a
+// BlueGene/P, with the naive (unbounded) prefetcher that caused blocks
+// to arrive too early and thrash the cache, and with the bounded window
+// that fixed it.
+func FigBGP() Figure {
+	const seg = 20
+	w := CCSDIteration(chem.Luciferin, seg)
+	w.Repeat = 8
+	bb := blockBytes(seg)
+	xt5 := Simulate(w, Params{Machine: machine.Pingo, Workers: 512, PrefetchWindow: 64, BlockBytes: bb})
+	naive := Simulate(w, Params{Machine: machine.BlueGeneP, Workers: 512, PrefetchWindow: -1, BlockBytes: bb})
+	tuned := Simulate(w, Params{Machine: machine.BlueGeneP, Workers: 512, PrefetchWindow: 64, BlockBytes: bb})
+	pts := []Point{
+		{Procs: 512, Seconds: xt5.Elapsed, WaitPct: 100 * xt5.WaitFrac},
+	}
+	return Figure{
+		ID:    "bgp",
+		Title: "BlueGene/P port (§VI-A): prefetch policy ablation, 512 cores",
+		Serie: []Series{
+			{Label: "Cray XT5, bounded prefetch", Points: withEfficiency(pts)},
+			{Label: "BlueGene/P, naive (unbounded) prefetch", Points: []Point{
+				{Procs: 512, Seconds: naive.Elapsed, WaitPct: 100 * naive.WaitFrac}}},
+			{Label: "BlueGene/P, bounded prefetch (tuned)", Points: []Point{
+				{Procs: 512, Seconds: tuned.Elapsed, WaitPct: 100 * tuned.WaitFrac}}},
+		},
+		Notes: []string{
+			"paper: test case ran in 1,500 s on 512 XT5 cores; initially over 6 h on 512 BG/P cores",
+			"paper: after bounding the prefetcher, within ~4x of the XT5, commensurate with processor speeds",
+		},
+	}
+}
+
+// AblationPrefetchWindow sweeps the prefetch window on a fixed
+// CCSD workload, showing no-overlap (0), useful windows, and the
+// cache-thrash regime (DESIGN.md ablation).
+func AblationPrefetchWindow(m machine.Machine, workers int) []Series {
+	const seg = 20
+	w := CCSDIteration(chem.Luciferin.Scaled(0.75), seg)
+	bb := blockBytes(seg)
+	var pts []Point
+	for _, win := range []int{0, 8, 32, 64, 128, 512, 2048, -1} {
+		rep := Simulate(w, Params{Machine: m, Workers: workers, PrefetchWindow: win, BlockBytes: bb})
+		procs := win
+		if win == -1 {
+			procs = 1 << 20 // render unbounded as a huge window
+		}
+		pts = append(pts, Point{Procs: procs, Seconds: rep.Elapsed, WaitPct: 100 * rep.WaitFrac})
+	}
+	return []Series{{Label: "prefetch window sweep (x = window)", Points: pts}}
+}
+
+// AblationSegmentSize sweeps segment size for the Fig 2 configuration,
+// the paper's primary tuning knob (§VI-B).
+func AblationSegmentSize(m machine.Machine, workers int) []Series {
+	var pts []Point
+	for _, seg := range []int{8, 12, 16, 20, 24, 28, 36, 44} {
+		w := CCSDIteration(chem.Luciferin, seg)
+		rep := Simulate(w, Params{Machine: m, Workers: workers, PrefetchWindow: 64, BlockBytes: blockBytes(seg)})
+		pts = append(pts, Point{Procs: seg, Seconds: rep.Elapsed, WaitPct: 100 * rep.WaitFrac})
+	}
+	return []Series{{Label: "segment size sweep (x = seg)", Points: pts}}
+}
+
+// AblationScheduling compares guided scheduling against static
+// equal-split scheduling on an imbalanced (where-filtered) iteration
+// space by emulating static assignment as one chunk per worker.
+func AblationScheduling(m machine.Machine, workers int) []Series {
+	const seg = 8
+	w := FockBuild(chem.DiamondNano.Scaled(0.5), seg)
+	bb := blockBytes(seg)
+	guided := Simulate(w, Params{Machine: m, Workers: workers, PrefetchWindow: 64, BlockBytes: bb})
+	static := SimulateStatic(w, Params{Machine: m, Workers: workers, PrefetchWindow: 64, BlockBytes: bb})
+	return []Series{
+		{Label: "guided (SIP master)", Points: []Point{{Procs: workers, Seconds: guided.Elapsed}}},
+		{Label: "static equal split", Points: []Point{{Procs: workers, Seconds: static.Elapsed}}},
+	}
+}
+
+// Figures returns every reproduced figure keyed by ID.
+func Figures() []Figure {
+	return []Figure{Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(), FigBGP()}
+}

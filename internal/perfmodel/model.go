@@ -1,0 +1,359 @@
+// Package perfmodel is a discrete-event performance model of the SIP
+// executing block workloads at machine scales that cannot be run in
+// process (the paper evaluates up to 108,000 cores).
+//
+// The model reproduces the runtime mechanisms that determine the paper's
+// figures:
+//
+//   - guided self-scheduling by a single master whose chunk service
+//     serializes (a scalability ceiling at very large worker counts),
+//   - per-task block fetches overlapped with computation through a
+//     bounded prefetch window (waits surface when communication per
+//     task exceeds computation per task, and at pipeline fill),
+//   - the block cache: prefetching beyond the cache capacity causes
+//     eviction of blocks that are still needed and hence refetching —
+//     the pathology of the naive BlueGene/P port (§VI-A),
+//   - load imbalance from the tail of guided chunks when tasks/worker
+//     gets small.
+//
+// Simulations are event-driven per chunk (not per task), so a 100k-core
+// run costs only O(chunks) events.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TaskSpec describes one pardo iteration's resource demands.
+type TaskSpec struct {
+	// Flops per task through the block kernels.
+	Flops float64
+	// IntegralFlops per task through the integral generator.
+	IntegralFlops float64
+	// FetchBlocks is the number of block fetches the task issues.
+	FetchBlocks float64
+	// FetchBytes is the size of each fetched block.
+	FetchBytes float64
+	// FetchReuse is the fraction of fetches served from the worker's
+	// block cache (temporal reuse across tasks).
+	FetchReuse float64
+	// PutBlocks / PutBytes describe result blocks sent to their homes.
+	PutBlocks float64
+	PutBytes  float64
+	// DiskBlocks / DiskBytes describe served-array traffic through the
+	// I/O servers.
+	DiskBlocks float64
+	DiskBytes  float64
+}
+
+// PardoSpec is one parallel loop: a task count and the per-task demands.
+// Imbalance is the ratio between the largest and the mean per-worker
+// task count under *static* scheduling (1.0 = perfectly splittable);
+// where-filtered triangular iteration spaces approach 2.0.  Guided
+// scheduling is insensitive to it.
+type PardoSpec struct {
+	Name      string
+	Tasks     int64
+	Task      TaskSpec
+	Imbalance float64
+}
+
+// Workload is a sequence of pardos separated by barriers, repeated
+// Repeat times (e.g. one CCSD iteration, repeated per iteration count).
+type Workload struct {
+	Name   string
+	Pardos []PardoSpec
+	Repeat int
+}
+
+// TotalFlops returns the workload's total floating-point operations.
+func (w Workload) TotalFlops() float64 {
+	rep := float64(max(1, w.Repeat))
+	var f float64
+	for _, p := range w.Pardos {
+		f += float64(p.Tasks) * (p.Task.Flops + p.Task.IntegralFlops)
+	}
+	return f * rep
+}
+
+// Params configures one simulated run.
+type Params struct {
+	Machine machine.Machine
+	Workers int
+	// Servers is the I/O server count (used for disk traffic).
+	Servers int
+	// PrefetchWindow is the look-ahead depth in blocks; 0 disables
+	// overlap entirely; negative means unbounded (the naive port that
+	// requested everything it could see).
+	PrefetchWindow int
+	// BlockBytes is the nominal block size used to size the block
+	// cache from machine memory.
+	BlockBytes float64
+	// UnhiddenFrac is the fraction of communication that stays exposed
+	// despite prefetching — irregular access patterns and "more or less
+	// fortuitous placement of data" (paper §VI-C) leave a residue the
+	// pipeline cannot hide.  Zero means use the default of 0.35.
+	UnhiddenFrac float64
+}
+
+func (p Params) unhidden() float64 {
+	if p.UnhiddenFrac == 0 {
+		return 0.12
+	}
+	if p.UnhiddenFrac < 0 {
+		return 0
+	}
+	return p.UnhiddenFrac
+}
+
+// Report summarizes one simulated run.
+type Report struct {
+	Elapsed        float64 // seconds
+	WaitFrac       float64 // fraction of busy time spent waiting for blocks
+	Chunks         int64   // chunk requests served by the master
+	MasterBusyFrac float64
+	RefetchFactor  float64 // >1 when prefetch thrashed the cache
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("elapsed %.1fs, wait %.1f%%, %d chunks, master busy %.1f%%, refetch x%.2f",
+		r.Elapsed, 100*r.WaitFrac, r.Chunks, 100*r.MasterBusyFrac, r.RefetchFactor)
+}
+
+// Simulate runs the workload on the modelled machine and returns the
+// report.
+func Simulate(w Workload, p Params) Report {
+	if p.Workers < 1 {
+		panic("perfmodel: need at least one worker")
+	}
+	rep := max(1, w.Repeat)
+	var elapsed, wait, busy, masterBusy float64
+	var chunks int64
+	refetch := 1.0
+	for r := 0; r < rep; r++ {
+		for _, pardo := range w.Pardos {
+			res := simulatePardo(pardo, p)
+			elapsed += res.elapsed
+			wait += res.wait
+			busy += res.busy
+			chunks += res.chunks
+			masterBusy += res.masterBusy
+			if res.refetch > refetch {
+				refetch = res.refetch
+			}
+		}
+	}
+	// Serialized run setup: the master initializes every worker before
+	// the first pardo starts.
+	elapsed += float64(p.Workers) * p.Machine.SetupPerWorker
+	out := Report{Elapsed: elapsed, Chunks: chunks, RefetchFactor: refetch}
+	if busy > 0 {
+		out.WaitFrac = wait / busy
+	}
+	if elapsed > 0 {
+		out.MasterBusyFrac = masterBusy / elapsed
+	}
+	return out
+}
+
+// SimulateStatic models the same workload under static equal-split
+// scheduling (the ablation contrast to the SIP's guided master): each
+// worker receives its whole share up front, and where-filtered iteration
+// spaces leave the unlucky workers with Imbalance times the mean share.
+func SimulateStatic(w Workload, p Params) Report {
+	rep := max(1, w.Repeat)
+	var elapsed, wait, busy float64
+	refetch := 1.0
+	for r := 0; r < rep; r++ {
+		for _, pardo := range w.Pardos {
+			compute, comm, rf := taskCosts(pardo.Task, p)
+			if rf > refetch {
+				refetch = rf
+			}
+			imb := pardo.Imbalance
+			if imb < 1 {
+				imb = 1
+			}
+			mean := float64(pardo.Tasks) / float64(p.Workers)
+			worst := math.Ceil(mean * imb)
+			var dur, wt float64
+			if p.PrefetchWindow == 0 {
+				dur = worst * (compute + comm)
+				wt = worst * comm
+			} else {
+				perTask := math.Max(p.unhidden()*comm, comm-compute)
+				dur = comm + worst*compute + math.Max(0, worst-1)*perTask
+				wt = comm + math.Max(0, worst-1)*perTask
+			}
+			elapsed += dur
+			wait += wt * float64(p.Workers) // every worker roughly pays it
+			busy += dur * float64(p.Workers)
+		}
+	}
+	out := Report{Elapsed: elapsed, RefetchFactor: refetch}
+	if busy > 0 {
+		out.WaitFrac = wait / busy
+	}
+	return out
+}
+
+type pardoResult struct {
+	elapsed    float64
+	wait       float64
+	busy       float64
+	chunks     int64
+	masterBusy float64
+	refetch    float64
+}
+
+// taskCosts derives per-task compute, communication, and wait behaviour
+// for one pardo under the given parameters.
+func taskCosts(t TaskSpec, p Params) (compute, comm, refetch float64) {
+	m := p.Machine
+	compute = t.Flops/m.FlopRate + t.IntegralFlops/m.IntegralRate
+
+	// Cache thrash: keeping `window` prefetched blocks resident beyond
+	// the cache capacity evicts blocks that will still be used, which
+	// are then fetched again (§VI-A).  Unbounded look-ahead (the naive
+	// port) tries to keep a whole task's worth of future blocks in
+	// flight.
+	cacheBlocks := float64(m.CacheBlocks(p.BlockBytes))
+	window := float64(p.PrefetchWindow)
+	refetch = 1.0
+	if p.PrefetchWindow < 0 {
+		// Unbounded look-ahead requests several future tasks' worth of
+		// blocks at once; whether that thrashes depends on how it
+		// compares to this machine's cache capacity.
+		window = 4 * t.FetchBlocks
+	}
+	if window > 0 && t.FetchBlocks > 0 {
+		if window > cacheBlocks {
+			refetch = math.Min(16, window/cacheBlocks)
+		}
+	}
+
+	// Thrashing also destroys temporal reuse: blocks that would have
+	// been rehit are evicted before their next use.
+	reuse := t.FetchReuse / refetch
+	fetches := t.FetchBlocks * (1 - reuse) * refetch
+	netBytes := fetches*t.FetchBytes + t.PutBlocks*t.PutBytes
+	msgs := fetches + t.PutBlocks
+	comm = msgs*m.NetLatency + netBytes/m.NetBandwidth
+	// Disk traffic throttled by the I/O servers' aggregate bandwidth,
+	// shared by all workers.
+	if t.DiskBlocks > 0 && p.Servers > 0 {
+		perWorkerDiskBW := m.DiskBandwidth * float64(p.Servers) / float64(p.Workers)
+		comm += t.DiskBlocks*m.DiskLatency/float64(p.Servers) + t.DiskBlocks*t.DiskBytes/perWorkerDiskBW
+	}
+	return compute, comm, refetch
+}
+
+// simulatePardo runs one pardo execution: workers request guided chunks
+// from the serialized master and execute them, overlapping communication
+// per the prefetch window.
+func simulatePardo(pardo PardoSpec, p Params) pardoResult {
+	eng := sim.NewEngine()
+	master := sim.NewResource()
+	m := p.Machine
+
+	compute, comm, refetch := taskCosts(pardo.Task, p)
+
+	remaining := pardo.Tasks
+	issued := int64(0)
+	var out pardoResult
+	out.refetch = refetch
+	var finishMax float64
+
+	// chunkSize mirrors the SIP master's guided schedule.
+	chunkSize := func() int64 {
+		rem := pardo.Tasks - issued
+		if rem <= 0 {
+			return 0
+		}
+		size := rem / int64(2*p.Workers)
+		if size < 1 {
+			size = 1
+		}
+		if size > 4096 {
+			size = 4096
+		}
+		if size > rem {
+			size = rem
+		}
+		return size
+	}
+
+	// Per-chunk duration variability: block raggedness (short tail
+	// segments) and integral screening make task times uneven, which
+	// smooths out quantization cliffs when tasks-per-worker is small.
+	// A deterministic low-discrepancy multiplier keeps runs repeatable.
+	const spread = 0.30
+	var chunkSeq int64
+	nextMult := func() float64 {
+		chunkSeq++
+		frac := math.Mod(float64(chunkSeq)*0.6180339887498949, 1)
+		return 1 - spread + 2*spread*frac
+	}
+
+	// chunkTime returns duration and wait for executing k tasks.
+	uh := p.unhidden()
+	chunkTime := func(k int64) (dur, wait float64) {
+		kf := float64(k)
+		switch {
+		case p.PrefetchWindow == 0:
+			// No overlap: every task waits its full communication.
+			wait = kf * comm
+			dur = kf * (compute + comm)
+		default:
+			// Pipeline: the first task's communication fills the
+			// window; the steady state exposes only communication in
+			// excess of computation, plus the unhidden residue.
+			perTask := math.Max(uh*comm, comm-compute)
+			wait = comm + (kf-1)*perTask
+			dur = comm + kf*compute + (kf-1)*perTask
+		}
+		m := nextMult()
+		return dur * m, wait * m
+	}
+
+	var workerLoop func(id int)
+	workerLoop = func(id int) {
+		if remaining <= 0 {
+			// Final (empty) chunk request still costs the master.
+			_, end := master.Use(eng.Now()+m.NetLatency, m.MasterService)
+			out.chunks++
+			t := end + m.NetLatency
+			if t > finishMax {
+				finishMax = t
+			}
+			return
+		}
+		k := chunkSize()
+		if k > remaining {
+			k = remaining
+		}
+		remaining -= k
+		issued += k
+		_, end := master.Use(eng.Now()+m.NetLatency, m.MasterService)
+		out.chunks++
+		dur, wait := chunkTime(k)
+		out.wait += wait
+		out.busy += dur
+		eng.At(end+m.NetLatency+dur, func() { workerLoop(id) })
+	}
+
+	for i := 0; i < p.Workers; i++ {
+		eng.At(0, func() { workerLoop(i) })
+	}
+	end := eng.Run()
+	if finishMax > end {
+		end = finishMax
+	}
+	out.elapsed = end
+	out.masterBusy = master.Busy()
+	return out
+}

@@ -1,0 +1,386 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/machine"
+)
+
+func TestSimulateBasicScaling(t *testing.T) {
+	w := Workload{Pardos: []PardoSpec{{
+		Tasks: 10000,
+		Task:  TaskSpec{Flops: 1e9},
+	}}}
+	r1 := Simulate(w, Params{Machine: machine.Jaguar, Workers: 10, PrefetchWindow: 64, BlockBytes: 1 << 20})
+	r2 := Simulate(w, Params{Machine: machine.Jaguar, Workers: 100, PrefetchWindow: 64, BlockBytes: 1 << 20})
+	if r2.Elapsed >= r1.Elapsed {
+		t.Fatalf("no speedup: %g -> %g", r1.Elapsed, r2.Elapsed)
+	}
+	speedup := r1.Elapsed / r2.Elapsed
+	if speedup < 5 || speedup > 10.5 {
+		t.Fatalf("10x workers gave %gx speedup", speedup)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	w := CCSDIteration(chem.Luciferin, 24)
+	p := Params{Machine: machine.Midnight, Workers: 64, PrefetchWindow: 64, BlockBytes: blockBytes(24)}
+	a := Simulate(w, p)
+	b := Simulate(w, p)
+	if a.Elapsed != b.Elapsed || a.WaitFrac != b.WaitFrac {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNoPrefetchSlower(t *testing.T) {
+	w := CCSDIteration(chem.Luciferin, 24)
+	base := Params{Machine: machine.Midnight, Workers: 64, BlockBytes: blockBytes(24)}
+	withP := base
+	withP.PrefetchWindow = 64
+	noP := base
+	noP.PrefetchWindow = 0
+	on := Simulate(w, withP)
+	off := Simulate(w, noP)
+	if off.Elapsed <= on.Elapsed {
+		t.Fatalf("prefetch off (%g) should be slower than on (%g)", off.Elapsed, on.Elapsed)
+	}
+	if off.WaitFrac <= on.WaitFrac {
+		t.Fatalf("prefetch off wait (%g) should exceed on (%g)", off.WaitFrac, on.WaitFrac)
+	}
+}
+
+func TestUnboundedPrefetchThrashesSmallCache(t *testing.T) {
+	w := CCSDIteration(chem.Luciferin, 20)
+	bb := blockBytes(20)
+	bounded := Simulate(w, Params{Machine: machine.BlueGeneP, Workers: 512, PrefetchWindow: 64, BlockBytes: bb})
+	naive := Simulate(w, Params{Machine: machine.BlueGeneP, Workers: 512, PrefetchWindow: -1, BlockBytes: bb})
+	if naive.RefetchFactor <= 1.5 {
+		t.Fatalf("naive prefetch refetch factor %g, want thrash", naive.RefetchFactor)
+	}
+	if naive.Elapsed < 2*bounded.Elapsed {
+		t.Fatalf("naive (%g) should be much slower than bounded (%g)", naive.Elapsed, bounded.Elapsed)
+	}
+	// On a large-memory machine the same unbounded window barely hurts.
+	big := Simulate(w, Params{Machine: machine.Pingo, Workers: 512, PrefetchWindow: -1, BlockBytes: bb})
+	boundedBig := Simulate(w, Params{Machine: machine.Pingo, Workers: 512, PrefetchWindow: 64, BlockBytes: bb})
+	if big.Elapsed > 1.6*boundedBig.Elapsed {
+		t.Fatalf("XT5 should tolerate aggressive prefetch: %g vs %g", big.Elapsed, boundedBig.Elapsed)
+	}
+}
+
+func TestGuidedBeatsStaticOnImbalance(t *testing.T) {
+	w := FockBuild(chem.DiamondNano.Scaled(0.5), 8)
+	p := Params{Machine: machine.Jaguar, Workers: 2000, PrefetchWindow: 64, BlockBytes: blockBytes(8)}
+	guided := Simulate(w, p)
+	static := SimulateStatic(w, p)
+	if static.Elapsed <= 1.3*guided.Elapsed {
+		t.Fatalf("static (%g) should be clearly slower than guided (%g) on a triangular space",
+			static.Elapsed, guided.Elapsed)
+	}
+}
+
+func monotoneDecreasing(pts []Point) bool {
+	last := -1.0
+	for _, p := range pts {
+		if p.DNF != "" {
+			continue
+		}
+		if last > 0 && p.Seconds >= last {
+			return false
+		}
+		last = p.Seconds
+	}
+	return true
+}
+
+func TestFig2Shape(t *testing.T) {
+	f := Fig2()
+	pts := f.Serie[0].Points
+	if !monotoneDecreasing(pts) {
+		t.Fatalf("times must decrease with procs: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.WaitPct < 4 || p.WaitPct > 25 {
+			t.Errorf("wait %.1f%% at %d procs outside the paper-like 4-25%% band", p.WaitPct, p.Procs)
+		}
+	}
+	if e := pts[len(pts)-1].Efficiency; e < 0.6 || e > 1.0 {
+		t.Errorf("efficiency at 256 procs %.2f outside [0.6,1.0]", e)
+	}
+	// Order of magnitude: a CCSD iteration takes minutes, not seconds
+	// or days.
+	if pts[0].Minutes() < 5 || pts[0].Minutes() > 200 {
+		t.Errorf("32-proc iteration %.1f min implausible", pts[0].Minutes())
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	f := Fig3()
+	xt5, xt4 := f.Serie[0].Points, f.Serie[1].Points
+	if !monotoneDecreasing(xt5) || !monotoneDecreasing(xt4) {
+		t.Fatal("times must decrease with procs")
+	}
+	// XT5 is faster than XT4 at equal processor counts.
+	for i := range xt5 {
+		if xt5[i].Seconds >= xt4[i].Seconds {
+			t.Errorf("XT5 (%g s) should beat XT4 (%g s) at %d procs",
+				xt5[i].Seconds, xt4[i].Seconds, xt5[i].Procs)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	f := Fig4()
+	rdx, hmx := f.Serie[0].Points, f.Serie[1].Points
+	if !monotoneDecreasing(rdx) || !monotoneDecreasing(hmx) {
+		t.Fatal("times must decrease with procs")
+	}
+	// The larger HMX takes longer and scales better (paper's headline).
+	for i := range rdx {
+		if hmx[i].Seconds <= rdx[i].Seconds {
+			t.Errorf("HMX should take longer than RDX at %d procs", rdx[i].Procs)
+		}
+	}
+	if hmx[len(hmx)-1].Efficiency <= rdx[len(rdx)-1].Efficiency {
+		t.Errorf("HMX efficiency (%.2f) should beat RDX (%.2f) at 8000 procs",
+			hmx[len(hmx)-1].Efficiency, rdx[len(rdx)-1].Efficiency)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	f := Fig5()
+	pts := f.Serie[0].Points
+	if !monotoneDecreasing(pts) {
+		t.Fatalf("times must decrease: %+v", pts)
+	}
+	// Scales much further than CCSD: still >= 55% efficient at 80k.
+	if e := pts[len(pts)-1].Efficiency; e < 0.55 {
+		t.Errorf("CCSD(T) efficiency at 80k = %.2f, want >= 0.55", e)
+	}
+	// And good scaling through 30k (paper's claim).
+	for _, p := range pts {
+		if p.Procs <= 30000 && p.Efficiency < 0.8 {
+			t.Errorf("efficiency %.2f at %d procs, want >= 0.8 through 30k", p.Efficiency, p.Procs)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	f := Fig6()
+	def := f.Serie[0].Points
+	byProcs := map[int]float64{}
+	for _, p := range def {
+		byProcs[p.Procs] = p.Seconds
+	}
+	// Strong scaling up to 72k: 72k beats every smaller count.
+	for _, p := range def {
+		if p.Procs < 72000 && byProcs[72000] >= p.Seconds {
+			t.Errorf("72k (%g s) should beat %d procs (%g s)", byProcs[72000], p.Procs, p.Seconds)
+		}
+	}
+	// Degradation beyond 72k, worsening monotonically.
+	if !(byProcs[84000] > byProcs[72000] && byProcs[96000] > byProcs[84000] && byProcs[108000] > byProcs[96000]) {
+		t.Errorf("times beyond 72k must rise: 72k=%g 84k=%g 96k=%g 108k=%g",
+			byProcs[72000], byProcs[84000], byProcs[96000], byProcs[108000])
+	}
+	// The retuned 84k run beats the 72k default run (the paper's
+	// tuning observation).
+	retune := f.Serie[1].Points[0]
+	if retune.Seconds >= byProcs[72000] {
+		t.Errorf("retuned 84k (%g s) should beat default 72k (%g s)", retune.Seconds, byProcs[72000])
+	}
+	// Ballpark: paper reports 79.4 s at 72k; stay within 3x.
+	if byProcs[72000] < 79.4/3 || byProcs[72000] > 79.4*3 {
+		t.Errorf("72k time %g s too far from the paper's 79.4 s", byProcs[72000])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	f := Fig7()
+	aces := f.Serie[0].Points
+	nw1 := f.Serie[1].Points
+	nw2 := f.Serie[2].Points
+	nw4 := f.Serie[3].Points
+	if !monotoneDecreasing(aces) {
+		t.Fatal("ACES times must decrease")
+	}
+	// NWChem at 1 GB/core never runs.
+	for _, p := range nw1 {
+		if p.DNF != "out of memory" {
+			t.Errorf("NWChem 1GB at %d procs: %+v, want OOM", p.Procs, p)
+		}
+	}
+	// NWChem at 16 procs never finishes within 24 h.
+	if nw2[0].DNF == "" || nw4[0].DNF == "" {
+		t.Errorf("NWChem at 16 procs should DNF: 2GB=%+v 4GB=%+v", nw2[0], nw4[0])
+	}
+	// ACES III with 1 GB/core beats NWChem with 2 and 4 GB/core wherever
+	// NWChem finishes.
+	for i := range aces {
+		if nw2[i].DNF == "" && aces[i].Seconds >= nw2[i].Seconds {
+			t.Errorf("ACES (%g) should beat NWChem 2GB (%g) at %d procs",
+				aces[i].Seconds, nw2[i].Seconds, aces[i].Procs)
+		}
+		if nw4[i].DNF == "" && aces[i].Seconds >= nw4[i].Seconds {
+			t.Errorf("ACES (%g) should beat NWChem 4GB (%g) at %d procs",
+				aces[i].Seconds, nw4[i].Seconds, aces[i].Procs)
+		}
+	}
+	// 4 GB/core is no slower than 2 GB/core.
+	for i := range nw2 {
+		if nw2[i].DNF == "" && nw4[i].DNF == "" && nw4[i].Seconds > nw2[i].Seconds {
+			t.Errorf("NWChem 4GB slower than 2GB at %d procs", nw2[i].Procs)
+		}
+	}
+}
+
+func TestFigBGPShape(t *testing.T) {
+	f := FigBGP()
+	xt5 := f.Serie[0].Points[0].Seconds
+	naive := f.Serie[1].Points[0].Seconds
+	tuned := f.Serie[2].Points[0].Seconds
+	if naive < 3*tuned {
+		t.Errorf("naive prefetch (%g s) should be >= 3x tuned (%g s)", naive, tuned)
+	}
+	ratio := tuned / xt5
+	// Paper: within ~4x, commensurate with the processor-speed ratio
+	// (2.4/0.65 ~ 3.7).
+	if ratio < 2.5 || ratio > 5.5 {
+		t.Errorf("tuned BG/P / XT5 ratio %.1f outside [2.5, 5.5]", ratio)
+	}
+	// XT5 baseline in the paper's ballpark (1500 s): within 3x.
+	if xt5 < 500 || xt5 > 4500 {
+		t.Errorf("XT5 time %g s too far from the paper's 1500 s", xt5)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	pw := AblationPrefetchWindow(machine.BlueGeneP, 256)
+	pts := pw[0].Points
+	if len(pts) < 5 {
+		t.Fatal("prefetch ablation too small")
+	}
+	// Window 0 (first) must be slower than a moderate window.
+	if pts[0].Seconds <= pts[2].Seconds {
+		t.Errorf("no-prefetch (%g) should be slower than window 32 (%g)", pts[0].Seconds, pts[2].Seconds)
+	}
+	// Unbounded (last) must be slower than moderate on BG/P.
+	if pts[len(pts)-1].Seconds <= pts[2].Seconds {
+		t.Errorf("unbounded (%g) should be slower than window 32 (%g)",
+			pts[len(pts)-1].Seconds, pts[2].Seconds)
+	}
+
+	segs := AblationSegmentSize(machine.Midnight, 128)
+	if len(segs[0].Points) < 5 {
+		t.Fatal("segment ablation too small")
+	}
+	// There is an interior optimum: the best seg is neither the
+	// smallest nor the largest swept.
+	best := 0
+	for i, p := range segs[0].Points {
+		if p.Seconds < segs[0].Points[best].Seconds {
+			best = i
+		}
+	}
+	if best == 0 {
+		t.Errorf("best segment size is the smallest swept; expected interior optimum: %+v", segs[0].Points)
+	}
+
+	sched := AblationScheduling(machine.Jaguar, 2000)
+	if sched[1].Points[0].Seconds <= sched[0].Points[0].Seconds {
+		t.Error("static scheduling should lose to guided")
+	}
+}
+
+func TestAblationServerCount(t *testing.T) {
+	series := AblationServerCount(machine.Jaguar, 512, []int{1, 4, 16, 64})
+	pts := series[0].Points
+	// More servers never hurt, and 1 server is clearly worse than 16
+	// (disk bandwidth bottleneck).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Seconds > pts[i-1].Seconds*1.01 {
+			t.Fatalf("adding servers made it slower: %+v", pts)
+		}
+	}
+	if pts[0].Seconds < 1.3*pts[2].Seconds {
+		t.Fatalf("1 server (%g s) should clearly lose to 16 (%g s)", pts[0].Seconds, pts[2].Seconds)
+	}
+	// Diminishing returns: 64 servers barely beat 16.
+	if pts[3].Seconds < 0.5*pts[2].Seconds {
+		t.Fatalf("64 servers (%g s) should not halve 16 servers (%g s): compute-bound by then",
+			pts[3].Seconds, pts[2].Seconds)
+	}
+}
+
+func TestServedWorkloadCostsMore(t *testing.T) {
+	const seg = 24
+	ram := CCSDIteration(chem.Luciferin, seg)
+	disk := CCSDIterationServed(chem.Luciferin, seg)
+	p := Params{Machine: machine.Jaguar, Workers: 512, Servers: 8,
+		PrefetchWindow: 64, BlockBytes: blockBytes(seg)}
+	r1 := Simulate(ram, p)
+	r2 := Simulate(disk, p)
+	if r2.Elapsed <= r1.Elapsed {
+		t.Fatalf("served amplitudes (%g s) should cost more than distributed (%g s)",
+			r2.Elapsed, r1.Elapsed)
+	}
+}
+
+func TestWorkloadAccounting(t *testing.T) {
+	w := CCSDIteration(chem.RDX, 20)
+	if w.TotalFlops() <= 0 {
+		t.Fatal("no flops")
+	}
+	w.Repeat = 2
+	if w.TotalFlops() != 2*CCSDIteration(chem.RDX, 20).TotalFlops() {
+		t.Fatal("Repeat must double flops")
+	}
+	if len(w.Pardos) != 3 {
+		t.Fatalf("CCSD iteration has %d pardos, want 3", len(w.Pardos))
+	}
+}
+
+func TestGAMemoryFeasibility(t *testing.T) {
+	mol := chem.CytosineOH
+	gb := float64(1 << 30)
+	if GAMemoryFeasible(mol, 256, 1*gb) {
+		t.Error("1 GB/core must be infeasible at any count (fixed footprint)")
+	}
+	if !GAMemoryFeasible(mol, 16, 2*gb) {
+		t.Error("2 GB/core at 16 procs should fit in memory (it fails on time, not memory)")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := Fig2().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "series,procs,seconds,efficiency,wait_pct,dnf" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if len(lines) != 5 { // header + 4 points
+		t.Fatalf("rows = %d, want 5:\n%s", len(lines), csv)
+	}
+	if !strings.Contains(lines[1], ",32,") {
+		t.Fatalf("first row lacks procs=32: %q", lines[1])
+	}
+	// DNF rows carry the reason.
+	csv7 := Fig7().CSV()
+	if !strings.Contains(csv7, `"out of memory"`) {
+		t.Fatalf("Fig7 CSV lacks DNF reasons:\n%s", csv7)
+	}
+}
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 7 {
+		t.Fatalf("figures = %d, want 7 (Fig 2-7 + BGP)", len(figs))
+	}
+	for _, f := range figs {
+		s := f.String()
+		if len(s) < 100 {
+			t.Errorf("figure %s renders too little:\n%s", f.ID, s)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package sial
+
+import "repro/internal/segment"
+
+// Program is the root of the AST: the declarations and top-level
+// statements of one SIAL source file.
+type Program struct {
+	Name   string
+	Params []*ParamDecl
+	Decls  []Decl // indices, arrays, scalars, procs in source order
+	Body   []Stmt // top-level statements in source order
+}
+
+// Decl is implemented by all declaration nodes.
+type Decl interface{ declNode() }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// ParamDecl declares a symbolic constant whose value is fixed at program
+// initialization (paper §IV-A: "a symbolic constant that is determined
+// during program initialization").  Default is used when the runtime
+// supplies no value.
+type ParamDecl struct {
+	Pos        Pos
+	Name       string
+	Default    int
+	HasDefault bool
+}
+
+func (*ParamDecl) declNode() {}
+
+// IntVal is an integer that is either a literal or a parameter reference,
+// resolved at initialization time.
+type IntVal struct {
+	Pos   Pos
+	Lit   int
+	Param string // non-empty means look up the parameter
+}
+
+// IndexDecl declares a (segment or simple) index with an inclusive range.
+type IndexDecl struct {
+	Pos  Pos
+	Name string
+	Kind segment.Kind
+	Lo   IntVal
+	Hi   IntVal
+}
+
+func (*IndexDecl) declNode() {}
+
+// SubIndexDecl declares a subindex of a previously declared segment index
+// (paper §IV-E1).
+type SubIndexDecl struct {
+	Pos    Pos
+	Name   string
+	Parent string
+}
+
+func (*SubIndexDecl) declNode() {}
+
+// ArrayKind classifies SIAL array storage classes (paper §IV-A).
+type ArrayKind int
+
+const (
+	// KindStatic arrays are small and replicated on every worker.
+	KindStatic ArrayKind = iota
+	// KindDistributed arrays are partitioned into blocks spread across
+	// workers; accessed with get/put.
+	KindDistributed
+	// KindServed arrays are partitioned into blocks stored on the I/O
+	// servers (disk backed); accessed with request/prepare.
+	KindServed
+	// KindTemp blocks hold per-iteration intermediate results local to
+	// a worker.
+	KindTemp
+	// KindLocal arrays are worker-local and persist across iterations.
+	KindLocal
+)
+
+var arrayKindNames = [...]string{"static", "distributed", "served", "temp", "local"}
+
+func (k ArrayKind) String() string {
+	if int(k) < len(arrayKindNames) {
+		return arrayKindNames[k]
+	}
+	return "ArrayKind(?)"
+}
+
+// ArrayDecl declares an array with its storage class and dimension index
+// names.
+type ArrayDecl struct {
+	Pos  Pos
+	Name string
+	Kind ArrayKind
+	Dims []string // names of declared indices
+}
+
+func (*ArrayDecl) declNode() {}
+
+// ScalarDecl declares a floating-point scalar variable, optionally
+// initialized.
+type ScalarDecl struct {
+	Pos  Pos
+	Name string
+	Init float64
+}
+
+func (*ScalarDecl) declNode() {}
+
+// ProcDecl declares a procedure.
+type ProcDecl struct {
+	Pos  Pos
+	Name string
+	Body []Stmt
+}
+
+func (*ProcDecl) declNode() {}
+
+// BlockRef names one block of an array by index variables, e.g.
+// T(L,S,I,J).
+type BlockRef struct {
+	Pos   Pos
+	Array string
+	Idx   []string
+}
+
+// --- Scalar expressions ---
+
+// ScalarExpr is implemented by scalar-valued expression nodes.
+type ScalarExpr interface{ scalarExprNode() }
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Pos Pos
+	Val float64
+}
+
+// ScalarRef references a scalar variable or parameter by name.
+type ScalarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexRef references the current value of an index variable in a scalar
+// context (useful in conditions).
+type IndexRef struct {
+	Pos  Pos
+	Name string
+}
+
+// BinExpr is a scalar binary operation: + - * /.
+type BinExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R ScalarExpr
+}
+
+// DotExpr is the intrinsic scalar super instruction
+// dot(A(...), B(...)): the elementwise inner product of two blocks.
+type DotExpr struct {
+	Pos  Pos
+	A, B BlockRef
+}
+
+func (*NumLit) scalarExprNode()    {}
+func (*ScalarRef) scalarExprNode() {}
+func (*IndexRef) scalarExprNode()  {}
+func (*BinExpr) scalarExprNode()   {}
+func (*DotExpr) scalarExprNode()   {}
+
+// Cond is a comparison between two scalar expressions.
+type Cond struct {
+	Pos  Pos
+	Op   TokKind // TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE
+	L, R ScalarExpr
+}
+
+// --- Block expressions ---
+
+// BlockExpr is implemented by block-valued expression nodes.
+type BlockExpr interface{ blockExprNode() }
+
+// BlockFill sets every element to a scalar (V(i,j) = 0.0).
+type BlockFill struct {
+	Pos Pos
+	Val ScalarExpr
+}
+
+// BlockCopy copies (possibly permuting, slicing or inserting) another
+// block (V1(K,J,I) = V2(I,J,K)).
+type BlockCopy struct {
+	Pos Pos
+	Src BlockRef
+}
+
+// BlockScale multiplies a block by a scalar (t(i,j) = 0.5 * v(i,j)).
+type BlockScale struct {
+	Pos Pos
+	Val ScalarExpr
+	Src BlockRef
+}
+
+// BlockContract is the contraction super instruction
+// (tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)).
+type BlockContract struct {
+	Pos  Pos
+	A, B BlockRef
+}
+
+// BlockSum is elementwise addition or subtraction of two blocks.
+type BlockSum struct {
+	Pos  Pos
+	Op   TokKind // TokPlus or TokMinus
+	A, B BlockRef
+}
+
+func (*BlockFill) blockExprNode()     {}
+func (*BlockCopy) blockExprNode()     {}
+func (*BlockScale) blockExprNode()    {}
+func (*BlockContract) blockExprNode() {}
+func (*BlockSum) blockExprNode()      {}
+
+// --- Statements ---
+
+// AssignKind distinguishes =, +=, -=, *=.
+type AssignKind int
+
+const (
+	AssignSet AssignKind = iota
+	AssignAdd
+	AssignSub
+	AssignMul
+)
+
+func (k AssignKind) String() string {
+	switch k {
+	case AssignSet:
+		return "="
+	case AssignAdd:
+		return "+="
+	case AssignSub:
+		return "-="
+	case AssignMul:
+		return "*="
+	}
+	return "?="
+}
+
+// BlockAssign assigns a block expression to a block lvalue.
+type BlockAssign struct {
+	Pos  Pos
+	Kind AssignKind
+	Dst  BlockRef
+	Expr BlockExpr
+}
+
+// ScalarAssign assigns a scalar expression to a scalar variable.
+type ScalarAssign struct {
+	Pos  Pos
+	Kind AssignKind
+	Dst  string
+	Expr ScalarExpr
+}
+
+// Pardo is the explicit parallel loop (paper §IV-B).
+type Pardo struct {
+	Pos   Pos
+	Idx   []string
+	Where []*Cond
+	Body  []Stmt
+}
+
+// Do is a sequential loop over the full range of one index.
+type Do struct {
+	Pos  Pos
+	Idx  string
+	Body []Stmt
+}
+
+// DoIn iterates a subindex over the subsegments inside the current
+// segment of its super index (paper §IV-E3).
+type DoIn struct {
+	Pos   Pos
+	Sub   string
+	Super string
+	Body  []Stmt
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Pos  Pos
+	Cond *Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// Get asynchronously fetches a block of a distributed array.
+type Get struct {
+	Pos Pos
+	Ref BlockRef
+}
+
+// Put stores a block into a distributed array; Acc selects the atomic
+// accumulate variant (+=), which needs no barrier separation.
+type Put struct {
+	Pos Pos
+	Dst BlockRef
+	Src BlockRef
+	Acc bool
+}
+
+// Request asynchronously fetches a block of a served array.
+type Request struct {
+	Pos Pos
+	Ref BlockRef
+}
+
+// Prepare stores a block into a served array.
+type Prepare struct {
+	Pos Pos
+	Dst BlockRef
+	Src BlockRef
+	Acc bool
+}
+
+// ComputeIntegrals computes a block of two-electron integrals on demand
+// instead of fetching it (paper §IV-D line 6).
+type ComputeIntegrals struct {
+	Pos Pos
+	Ref BlockRef
+}
+
+// Execute invokes a named (possibly user-registered) super instruction
+// with block and scalar arguments.
+type Execute struct {
+	Pos     Pos
+	Name    string
+	Blocks  []BlockRef
+	Scalars []string
+}
+
+// Call invokes a procedure.
+type Call struct {
+	Pos  Pos
+	Name string
+}
+
+// Barrier is sip_barrier (Server false) or server_barrier (Server true).
+type Barrier struct {
+	Pos    Pos
+	Server bool
+}
+
+// Collective sums a scalar across all workers (allreduce); used to
+// combine per-worker partial results after a pardo.
+type Collective struct {
+	Pos  Pos
+	Name string
+}
+
+// Print emits a string literal and/or scalar value (rank-0 worker only).
+type Print struct {
+	Pos    Pos
+	Text   string
+	Scalar string // optional scalar to print after the text
+}
+
+// BlocksToList serializes a distributed array for checkpointing; the
+// inverse is ListToBlocks (paper §IV-C).
+type BlocksToList struct {
+	Pos   Pos
+	Array string
+}
+
+// ListToBlocks restores a distributed array from its serialized form.
+type ListToBlocks struct {
+	Pos   Pos
+	Array string
+}
+
+func (s *BlockAssign) stmtNode()      {}
+func (s *ScalarAssign) stmtNode()     {}
+func (s *Pardo) stmtNode()            {}
+func (s *Do) stmtNode()               {}
+func (s *DoIn) stmtNode()             {}
+func (s *If) stmtNode()               {}
+func (s *Get) stmtNode()              {}
+func (s *Put) stmtNode()              {}
+func (s *Request) stmtNode()          {}
+func (s *Prepare) stmtNode()          {}
+func (s *ComputeIntegrals) stmtNode() {}
+func (s *Execute) stmtNode()          {}
+func (s *Call) stmtNode()             {}
+func (s *Barrier) stmtNode()          {}
+func (s *Collective) stmtNode()       {}
+func (s *Print) stmtNode()            {}
+func (s *BlocksToList) stmtNode()     {}
+func (s *ListToBlocks) stmtNode()     {}
+
+func (s *BlockAssign) StmtPos() Pos      { return s.Pos }
+func (s *ScalarAssign) StmtPos() Pos     { return s.Pos }
+func (s *Pardo) StmtPos() Pos            { return s.Pos }
+func (s *Do) StmtPos() Pos               { return s.Pos }
+func (s *DoIn) StmtPos() Pos             { return s.Pos }
+func (s *If) StmtPos() Pos               { return s.Pos }
+func (s *Get) StmtPos() Pos              { return s.Pos }
+func (s *Put) StmtPos() Pos              { return s.Pos }
+func (s *Request) StmtPos() Pos          { return s.Pos }
+func (s *Prepare) StmtPos() Pos          { return s.Pos }
+func (s *ComputeIntegrals) StmtPos() Pos { return s.Pos }
+func (s *Execute) StmtPos() Pos          { return s.Pos }
+func (s *Call) StmtPos() Pos             { return s.Pos }
+func (s *Barrier) StmtPos() Pos          { return s.Pos }
+func (s *Collective) StmtPos() Pos       { return s.Pos }
+func (s *Print) StmtPos() Pos            { return s.Pos }
+func (s *BlocksToList) StmtPos() Pos     { return s.Pos }
+func (s *ListToBlocks) StmtPos() Pos     { return s.Pos }

@@ -1,0 +1,47 @@
+package sial
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrorWithContext renders a front-end error together with the offending
+// source line and a caret marking the column:
+//
+//	sial: 7:13: expected ')' , found ','
+//	    7 |   get T(L,S,,I,J)
+//	      |             ^
+//
+// Errors without position information (or non-front-end errors) are
+// returned as their plain Error() text.
+func ErrorWithContext(src string, err error) string {
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Pos.Line <= 0 {
+		return err.Error()
+	}
+	lines := strings.Split(src, "\n")
+	if fe.Pos.Line > len(lines) {
+		return err.Error()
+	}
+	line := lines[fe.Pos.Line-1]
+	var b strings.Builder
+	b.WriteString(err.Error())
+	b.WriteByte('\n')
+	prefix := fmt.Sprintf("%5d | ", fe.Pos.Line)
+	b.WriteString(prefix)
+	b.WriteString(strings.ReplaceAll(line, "\t", " "))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", len(prefix)-2))
+	b.WriteString("| ")
+	col := fe.Pos.Col
+	if col < 1 {
+		col = 1
+	}
+	if col > len(line)+1 {
+		col = len(line) + 1
+	}
+	b.WriteString(strings.Repeat(" ", col-1))
+	b.WriteString("^")
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package sial
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestErrorWithContext(t *testing.T) {
+	src := "sial x\naoindex I = 1 4\nendsial"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	out := ErrorWithContext(src, err)
+	if !strings.Contains(out, "aoindex I = 1 4") {
+		t.Fatalf("missing source line:\n%s", out)
+	}
+	if !strings.Contains(out, "^") {
+		t.Fatalf("missing caret:\n%s", out)
+	}
+	if !strings.Contains(out, "2 |") {
+		t.Fatalf("missing line number gutter:\n%s", out)
+	}
+	// The caret must sit under the offending token ('4' at column 15).
+	lines := strings.Split(out, "\n")
+	caretLine := lines[len(lines)-1]
+	caretCol := strings.Index(caretLine, "^")
+	srcLine := lines[len(lines)-2]
+	gutter := strings.Index(srcLine, "|") + 2
+	if caretCol-gutter != 14 { // 0-based offset of column 15
+		t.Fatalf("caret at offset %d, want 14:\n%s", caretCol-gutter, out)
+	}
+}
+
+func TestErrorWithContextCheckError(t *testing.T) {
+	src := "sial x\ncall nothing\nendsial"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatal("expected check error")
+	}
+	out := ErrorWithContext(src, err)
+	if !strings.Contains(out, "call nothing") {
+		t.Fatalf("check error lacks context:\n%s", out)
+	}
+}
+
+func TestErrorWithContextPlainError(t *testing.T) {
+	err := errors.New("something else")
+	if got := ErrorWithContext("src", err); got != "something else" {
+		t.Fatalf("plain error mangled: %q", got)
+	}
+}
+
+func TestErrorWithContextOutOfRangeLine(t *testing.T) {
+	err := errf(Pos{Line: 99, Col: 1}, "ghost")
+	out := ErrorWithContext("one line only", err)
+	if strings.Contains(out, "^") {
+		t.Fatalf("caret on nonexistent line:\n%s", out)
+	}
+}

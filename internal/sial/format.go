@@ -1,0 +1,280 @@
+package sial
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical SIAL source: two-
+// space indentation, one statement per line, declarations before the
+// body.  Formatting then re-parsing yields an equivalent AST, so Format
+// doubles as a serializer for generated programs.
+func Format(prog *Program) string {
+	f := &formatter{}
+	f.printf("sial %s", prog.Name)
+	f.blank()
+	for _, p := range prog.Params {
+		if p.HasDefault {
+			f.printf("param %s = %d", p.Name, p.Default)
+		} else {
+			f.printf("param %s", p.Name)
+		}
+	}
+	if len(prog.Params) > 0 {
+		f.blank()
+	}
+	for _, d := range prog.Decls {
+		f.decl(d)
+	}
+	if len(prog.Decls) > 0 {
+		f.blank()
+	}
+	f.stmts(prog.Body)
+	f.printf("endsial")
+	return f.String()
+}
+
+type formatter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (f *formatter) String() string { return f.b.String() }
+
+func (f *formatter) printf(format string, args ...any) {
+	for i := 0; i < f.indent; i++ {
+		f.b.WriteString("  ")
+	}
+	fmt.Fprintf(&f.b, format, args...)
+	f.b.WriteByte('\n')
+}
+
+func (f *formatter) blank() { f.b.WriteByte('\n') }
+
+func kindKeyword(k any) string {
+	// segment.Kind implements Stringer with the keyword names.
+	return fmt.Sprint(k)
+}
+
+func (f *formatter) decl(d Decl) {
+	switch d := d.(type) {
+	case *IndexDecl:
+		f.printf("%s %s = %s, %s", kindKeyword(d.Kind), d.Name, intVal(d.Lo), intVal(d.Hi))
+	case *SubIndexDecl:
+		f.printf("subindex %s of %s", d.Name, d.Parent)
+	case *ArrayDecl:
+		f.printf("%s %s(%s)", d.Kind, d.Name, strings.Join(d.Dims, ","))
+	case *ScalarDecl:
+		if d.Init != 0 {
+			f.printf("scalar %s = %s", d.Name, fmtFloat(d.Init))
+		} else {
+			f.printf("scalar %s", d.Name)
+		}
+	case *ProcDecl:
+		f.printf("proc %s", d.Name)
+		f.indent++
+		f.stmts(d.Body)
+		f.indent--
+		f.printf("endproc")
+	}
+}
+
+func intVal(v IntVal) string {
+	if v.Param != "" {
+		return v.Param
+	}
+	return strconv.Itoa(v.Lit)
+}
+
+func fmtFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// The lexer has no unary context for standalone numbers in scalar
+	// declarations, so negatives are fine; ensure a decimal point is
+	// not required by the grammar (numbers may be integers).
+	return s
+}
+
+func refString(r BlockRef) string {
+	return fmt.Sprintf("%s(%s)", r.Array, strings.Join(r.Idx, ","))
+}
+
+func (f *formatter) stmts(list []Stmt) {
+	for _, s := range list {
+		f.stmt(s)
+	}
+}
+
+func (f *formatter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Pardo:
+		hdr := "pardo " + strings.Join(s.Idx, ", ")
+		for _, w := range s.Where {
+			hdr += " where " + condString(w)
+		}
+		f.printf("%s", hdr)
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.printf("endpardo %s", strings.Join(s.Idx, ", "))
+	case *Do:
+		f.printf("do %s", s.Idx)
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.printf("enddo %s", s.Idx)
+	case *DoIn:
+		f.printf("do %s in %s", s.Sub, s.Super)
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.printf("enddo %s", s.Sub)
+	case *If:
+		f.printf("if %s", condString(s.Cond))
+		f.indent++
+		f.stmts(s.Then)
+		f.indent--
+		if len(s.Else) > 0 {
+			f.printf("else")
+			f.indent++
+			f.stmts(s.Else)
+			f.indent--
+		}
+		f.printf("endif")
+	case *Get:
+		f.printf("get %s", refString(s.Ref))
+	case *Put:
+		op := "="
+		if s.Acc {
+			op = "+="
+		}
+		f.printf("put %s %s %s", refString(s.Dst), op, refString(s.Src))
+	case *Request:
+		f.printf("request %s", refString(s.Ref))
+	case *Prepare:
+		op := "="
+		if s.Acc {
+			op = "+="
+		}
+		f.printf("prepare %s %s %s", refString(s.Dst), op, refString(s.Src))
+	case *ComputeIntegrals:
+		f.printf("compute_integrals %s", refString(s.Ref))
+	case *Execute:
+		parts := make([]string, 0, len(s.Blocks)+len(s.Scalars))
+		for _, b := range s.Blocks {
+			parts = append(parts, refString(b))
+		}
+		parts = append(parts, s.Scalars...)
+		if len(parts) == 0 {
+			f.printf("execute %s", s.Name)
+		} else {
+			f.printf("execute %s %s", s.Name, strings.Join(parts, ", "))
+		}
+	case *Call:
+		f.printf("call %s", s.Name)
+	case *Barrier:
+		if s.Server {
+			f.printf("server_barrier")
+		} else {
+			f.printf("sip_barrier")
+		}
+	case *Collective:
+		f.printf("collective %s", s.Name)
+	case *Print:
+		switch {
+		case s.Text != "" && s.Scalar != "":
+			f.printf("print %q, %s", s.Text, s.Scalar)
+		case s.Text != "":
+			f.printf("print %q", s.Text)
+		default:
+			f.printf("print %s", s.Scalar)
+		}
+	case *BlocksToList:
+		f.printf("blocks_to_list %s", s.Array)
+	case *ListToBlocks:
+		f.printf("list_to_blocks %s", s.Array)
+	case *ScalarAssign:
+		f.printf("%s %s %s", s.Dst, s.Kind, scalarExprString(s.Expr, 0))
+	case *BlockAssign:
+		f.printf("%s %s %s", refString(s.Dst), s.Kind, blockExprString(s.Expr))
+	default:
+		f.printf("# <unknown statement %T>", s)
+	}
+}
+
+func condString(c *Cond) string {
+	return fmt.Sprintf("%s %s %s", scalarExprString(c.L, 0), cmpString(c.Op), scalarExprString(c.R, 0))
+}
+
+func cmpString(op TokKind) string {
+	switch op {
+	case TokLT:
+		return "<"
+	case TokLE:
+		return "<="
+	case TokGT:
+		return ">"
+	case TokGE:
+		return ">="
+	case TokEQ:
+		return "=="
+	case TokNE:
+		return "!="
+	}
+	return "?"
+}
+
+// precedence levels for scalar expressions: 0 additive, 1 multiplicative,
+// 2 atom.
+func scalarExprString(e ScalarExpr, parentPrec int) string {
+	switch e := e.(type) {
+	case *NumLit:
+		return fmtFloat(e.Val)
+	case *ScalarRef:
+		return e.Name
+	case *IndexRef:
+		return e.Name
+	case *DotExpr:
+		return fmt.Sprintf("dot(%s, %s)", refString(e.A), refString(e.B))
+	case *BinExpr:
+		var op string
+		prec := 0
+		switch e.Op {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		case TokStar:
+			op, prec = "*", 1
+		case TokSlash:
+			op, prec = "/", 1
+		}
+		s := fmt.Sprintf("%s %s %s",
+			scalarExprString(e.L, prec), op, scalarExprString(e.R, prec+1))
+		if prec < parentPrec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "<?>"
+}
+
+func blockExprString(e BlockExpr) string {
+	switch e := e.(type) {
+	case *BlockFill:
+		return scalarExprString(e.Val, 0)
+	case *BlockCopy:
+		return refString(e.Src)
+	case *BlockScale:
+		return fmt.Sprintf("%s * %s", scalarExprString(e.Val, 2), refString(e.Src))
+	case *BlockContract:
+		return fmt.Sprintf("%s * %s", refString(e.A), refString(e.B))
+	case *BlockSum:
+		op := "+"
+		if e.Op == TokMinus {
+			op = "-"
+		}
+		return fmt.Sprintf("%s %s %s", refString(e.A), op, refString(e.B))
+	}
+	return "<?>"
+}

@@ -1,0 +1,169 @@
+package sial
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtures exercising every statement and expression form.
+var formatFixtures = []string{
+	paperExample,
+	`
+sial everything
+param n = 8
+param m
+moaindex i = 1, n
+moaindex j = 1, n
+subindex ii of i
+aoindex L = 1, n
+aoindex S = 1, n
+index c = 1, 3
+static F(i,j)
+distributed D(i,j)
+served SV(i,j)
+temp t(i,j)
+temp tt(ii,j)
+local loc(i,j)
+scalar e
+scalar alpha = 0.5
+scalar beta = -1.25
+proc helper
+  e = e * 2 + 1
+endproc
+do c
+  e += c / 2
+enddo c
+pardo i, j where i <= j where i + 1 < n
+  get D(i,j)
+  t(i,j) = D(i,j)
+  t(i,j) = 0.0
+  t(i,j) = alpha * D(i,j)
+  t(i,j) *= 2.0
+  t(i,j) += D(i,j)
+  t(i,j) -= D(i,j)
+  loc(i,j) = t(i,j) + D(i,j)
+  loc(i,j) = t(i,j) - D(i,j)
+  e += dot(t(i,j), D(i,j))
+  put D(i,j) += t(i,j)
+  prepare SV(i,j) = t(i,j)
+  request SV(i,j)
+  execute my_op t(i,j), e
+  do ii in i
+    tt(ii,j) = t(ii,j)
+    t(ii,j) = tt(ii,j)
+  enddo ii
+endpardo i, j
+sip_barrier
+server_barrier
+collective e
+if e < 10
+  e = e + 1
+else
+  e = e - 1
+endif
+call helper
+print "done:", e
+print e
+blocks_to_list D
+list_to_blocks D
+endsial
+`,
+	`
+sial contraction
+param norb = 4
+aoindex L = 1, norb
+aoindex S = 1, norb
+aoindex M = 1, norb
+aoindex N = 1, norb
+temp V(M,N,L,S)
+temp T(L,S,M,N)
+temp R(M,N,M,N)
+do M
+do N
+do L
+do S
+  compute_integrals V(M,N,L,S)
+enddo
+enddo
+enddo
+enddo
+endsial
+`,
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range formatFixtures {
+		prog := mustParse(t, src)
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("fixture %d: reparse of formatted source failed: %v\n%s", i, err, formatted)
+		}
+		// Idempotence: formatting the reparsed program is identical.
+		formatted2 := Format(prog2)
+		if formatted != formatted2 {
+			t.Fatalf("fixture %d: Format not idempotent:\n--- first ---\n%s\n--- second ---\n%s",
+				i, formatted, formatted2)
+		}
+		// And the formatted source still checks.
+		if _, err := Check(prog2); err != nil {
+			t.Fatalf("fixture %d: formatted source fails check: %v", i, err)
+		}
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	// Structural spot checks on the everything fixture.
+	prog := mustParse(t, formatFixtures[1])
+	out := Format(prog)
+	for _, want := range []string{
+		"param n = 8",
+		"param m\n",
+		"subindex ii of i",
+		"served SV(i,j)",
+		"scalar alpha = 0.5",
+		"scalar beta = -1.25",
+		"pardo i, j where i <= j where i + 1 < n",
+		"put D(i,j) += t(i,j)",
+		"do ii in i",
+		"t(i,j) *= 2",
+		"e += dot(t(i,j), D(i,j))",
+		"execute my_op t(i,j), e",
+		`print "done:", e`,
+		"blocks_to_list D",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	// (a + b) * c must keep its parentheses.
+	prog := mustParse(t, `
+sial parens
+scalar a = 1
+scalar b = 2
+scalar c = 3
+scalar r
+r = (a + b) * c
+r = a + b * c
+endsial
+`)
+	out := Format(prog)
+	if !strings.Contains(out, "r = (a + b) * c") {
+		t.Fatalf("parentheses lost:\n%s", out)
+	}
+	if !strings.Contains(out, "r = a + b * c") {
+		t.Fatalf("spurious parentheses:\n%s", out)
+	}
+	// Semantics: run both through the checker and verify re-parsing
+	// preserves the trees.
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(prog2) != out {
+		t.Fatal("not idempotent")
+	}
+}

@@ -1,0 +1,186 @@
+package sial
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns SIAL source text into tokens.  Comments run from '#' to end
+// of line.  Newlines are not tokens; the grammar is fully delimited by
+// keywords.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.  On malformed input it returns an error
+// with position information.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				break
+			}
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		if keywords[strings.ToLower(text)] {
+			return Token{Kind: TokKeyword, Text: strings.ToLower(text), Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+		var sb strings.Builder
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			switch {
+			case unicode.IsDigit(c):
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+			case (c == 'e' || c == 'E') && !seenExp && sb.Len() > 0:
+				seenExp = true
+				sb.WriteRune(l.advance())
+				if l.peek() == '+' || l.peek() == '-' {
+					sb.WriteRune(l.advance())
+				}
+				continue
+			default:
+				goto done
+			}
+			sb.WriteRune(l.advance())
+		}
+	done:
+		text := sb.String()
+		num, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad number literal %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: num, Pos: pos}, nil
+
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return Token{}, errf(pos, "newline in string")
+			}
+			sb.WriteRune(c)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+	}
+
+	// Operators and punctuation.
+	l.advance()
+	two := func(next rune, k2, k1 TokKind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case '+':
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '<':
+		return two('=', TokLE, TokLT), nil
+	case '>':
+		return two('=', TokGE, TokGT), nil
+	case '=':
+		return two('=', TokEQ, TokAssign), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokNE, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '!'")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(r))
+}
+
+// LexAll tokenizes the whole input, ending with a TokEOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

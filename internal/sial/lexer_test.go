@@ -1,0 +1,114 @@
+package sial
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`pardo M, N where M <= N
+  tmp(M,N) += 0.5 * V(M,N)  # comment
+endpardo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokKeyword, TokIdent, TokComma, TokIdent, TokKeyword, TokIdent, TokLE, TokIdent,
+		TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen, TokPlusEq,
+		TokNumber, TokStar, TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen,
+		TokKeyword, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v (%v)", i, got[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"3.5":    3.5,
+		".25":    0.25,
+		"1e3":    1000,
+		"2.5e-2": 0.025,
+		"1E+2":   100,
+	}
+	for src, want := range cases {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Num != want {
+			t.Errorf("%q: got %v (%v), want %v", src, toks[0].Num, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll(`print "hello world", e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "hello world" {
+		t.Fatalf("got %v", toks[1])
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := LexAll("PARDO Pardo pardo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != TokKeyword || toks[i].Text != "pardo" {
+			t.Fatalf("token %d: %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("= == <= >= != += -= *= < > + - * /")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokAssign, TokEQ, TokLE, TokGE, TokNE, TokPlusEq, TokMinusEq,
+		TokStarEq, TokLT, TokGT, TokPlus, TokMinus, TokStar, TokSlash, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "a @ b", "!x", "\"line\nbreak\""} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v", toks[1].Pos)
+	}
+}

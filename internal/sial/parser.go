@@ -1,0 +1,871 @@
+package sial
+
+import "repro/internal/segment"
+
+// keywordToKind maps an index-declaration keyword to its segment kind.
+func keywordToKind(kw string) segment.Kind {
+	switch kw {
+	case "aoindex":
+		return segment.AO
+	case "moindex":
+		return segment.MO
+	case "moaindex":
+		return segment.MOA
+	case "mobindex":
+		return segment.MOB
+	default:
+		return segment.Simple
+	}
+}
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete SIAL program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekAt(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.cur().Pos, "expected %q, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return Token{}, errf(p.cur().Pos, "expected identifier, found %s", p.cur())
+	}
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	if err := p.expectKeyword("sial"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.Text}
+	for !p.atKeyword("endsial") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.cur().Pos, "missing endsial")
+		}
+		if decl, stmt, err := p.parseTopLevel(); err != nil {
+			return nil, err
+		} else if decl != nil {
+			if pd, ok := decl.(*ParamDecl); ok {
+				prog.Params = append(prog.Params, pd)
+			} else {
+				prog.Decls = append(prog.Decls, decl)
+			}
+		} else if stmt != nil {
+			prog.Body = append(prog.Body, stmt)
+		}
+	}
+	p.next() // endsial
+	if p.cur().Kind != TokEOF {
+		return nil, errf(p.cur().Pos, "trailing input after endsial: %s", p.cur())
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseTopLevel() (Decl, Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "param":
+			d, err := p.parseParam()
+			return d, nil, err
+		case "index", "aoindex", "moindex", "moaindex", "mobindex":
+			d, err := p.parseIndexDecl()
+			return d, nil, err
+		case "subindex":
+			d, err := p.parseSubIndexDecl()
+			return d, nil, err
+		case "static", "distributed", "served", "temp", "local":
+			d, err := p.parseArrayDecl()
+			return d, nil, err
+		case "scalar":
+			d, err := p.parseScalarDecl()
+			return d, nil, err
+		case "proc":
+			d, err := p.parseProcDecl()
+			return d, nil, err
+		}
+	}
+	s, err := p.parseStmt()
+	return nil, s, err
+}
+
+func (p *Parser) parseParam() (*ParamDecl, error) {
+	pos := p.next().Pos // param
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ParamDecl{Pos: pos, Name: name.Text}
+	if p.cur().Kind == TokAssign {
+		p.next()
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		d.Default = int(n.Num)
+		d.HasDefault = true
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIntVal() (IntVal, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if t.Num != float64(int(t.Num)) {
+			return IntVal{}, errf(t.Pos, "index range bound must be an integer, got %s", t.Text)
+		}
+		return IntVal{Pos: t.Pos, Lit: int(t.Num)}, nil
+	case TokIdent:
+		p.next()
+		return IntVal{Pos: t.Pos, Param: t.Text}, nil
+	}
+	return IntVal{}, errf(t.Pos, "expected integer or parameter name, found %s", t)
+}
+
+func (p *Parser) parseIndexDecl() (*IndexDecl, error) {
+	kw := p.next()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseIntVal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseIntVal()
+	if err != nil {
+		return nil, err
+	}
+	return &IndexDecl{
+		Pos:  kw.Pos,
+		Name: name.Text,
+		Kind: keywordToKind(kw.Text),
+		Lo:   lo,
+		Hi:   hi,
+	}, nil
+}
+
+func (p *Parser) parseSubIndexDecl() (*SubIndexDecl, error) {
+	pos := p.next().Pos // subindex
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("of"); err != nil {
+		return nil, err
+	}
+	parent, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &SubIndexDecl{Pos: pos, Name: name.Text, Parent: parent.Text}, nil
+}
+
+func (p *Parser) parseArrayDecl() (*ArrayDecl, error) {
+	kw := p.next()
+	var kind ArrayKind
+	switch kw.Text {
+	case "static":
+		kind = KindStatic
+	case "distributed":
+		kind = KindDistributed
+	case "served":
+		kind = KindServed
+	case "temp":
+		kind = KindTemp
+	case "local":
+		kind = KindLocal
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	dims, err := p.parseIdentList()
+	if err != nil {
+		return nil, err
+	}
+	return &ArrayDecl{Pos: kw.Pos, Name: name.Text, Kind: kind, Dims: dims}, nil
+}
+
+// parseIdentList parses "( ident , ident , ... )".
+func (p *Parser) parseIdentList() ([]string, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id.Text)
+		if p.cur().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parseScalarDecl() (*ScalarDecl, error) {
+	pos := p.next().Pos // scalar
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ScalarDecl{Pos: pos, Name: name.Text}
+	if p.cur().Kind == TokAssign {
+		p.next()
+		neg := false
+		if p.cur().Kind == TokMinus {
+			p.next()
+			neg = true
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		d.Init = n.Num
+		if neg {
+			d.Init = -d.Init
+		}
+	}
+	return d, nil
+}
+
+func (p *Parser) parseProcDecl() (*ProcDecl, error) {
+	pos := p.next().Pos // proc
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.atKeyword("endproc") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(pos, "proc %s: missing endproc", name.Text)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.next() // endproc
+	return &ProcDecl{Pos: pos, Name: name.Text, Body: body}, nil
+}
+
+// parseStmtsUntil parses statements until one of the terminator keywords
+// is current (the terminator is not consumed).
+func (p *Parser) parseStmtsUntil(terms ...string) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.cur().Pos, "unexpected end of file; expected one of %v", terms)
+		}
+		for _, t := range terms {
+			if p.atKeyword(t) {
+				return out, nil
+			}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "pardo":
+			return p.parsePardo()
+		case "do":
+			return p.parseDo()
+		case "if":
+			return p.parseIf()
+		case "get":
+			p.next()
+			ref, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			return &Get{Pos: t.Pos, Ref: ref}, nil
+		case "request":
+			p.next()
+			ref, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			return &Request{Pos: t.Pos, Ref: ref}, nil
+		case "put":
+			return p.parsePut()
+		case "prepare":
+			return p.parsePrepare()
+		case "compute_integrals":
+			p.next()
+			ref, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			return &ComputeIntegrals{Pos: t.Pos, Ref: ref}, nil
+		case "execute":
+			return p.parseExecute()
+		case "call":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos: t.Pos, Name: name.Text}, nil
+		case "sip_barrier":
+			p.next()
+			return &Barrier{Pos: t.Pos, Server: false}, nil
+		case "server_barrier":
+			p.next()
+			return &Barrier{Pos: t.Pos, Server: true}, nil
+		case "collective":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Collective{Pos: t.Pos, Name: name.Text}, nil
+		case "print":
+			return p.parsePrint()
+		case "blocks_to_list":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &BlocksToList{Pos: t.Pos, Array: name.Text}, nil
+		case "list_to_blocks":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ListToBlocks{Pos: t.Pos, Array: name.Text}, nil
+		}
+		return nil, errf(t.Pos, "unexpected keyword %q", t.Text)
+	}
+	if t.Kind == TokIdent {
+		return p.parseAssign()
+	}
+	return nil, errf(t.Pos, "unexpected token %s", t)
+}
+
+func (p *Parser) parsePardo() (Stmt, error) {
+	pos := p.next().Pos // pardo
+	var idx []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		idx = append(idx, id.Text)
+		if p.cur().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	var where []*Cond
+	for p.acceptKeyword("where") {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		where = append(where, c)
+	}
+	body, err := p.parseStmtsUntil("endpardo")
+	if err != nil {
+		return nil, err
+	}
+	p.next() // endpardo
+	// Optional trailing index list echoes the header; validate if present.
+	if p.cur().Kind == TokIdent {
+		for i := 0; ; i++ {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if i >= len(idx) || idx[i] != id.Text {
+				return nil, errf(id.Pos, "endpardo index %q does not match pardo header %v", id.Text, idx)
+			}
+			if p.cur().Kind == TokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return &Pardo{Pos: pos, Idx: idx, Where: where, Body: body}, nil
+}
+
+func (p *Parser) parseDo() (Stmt, error) {
+	pos := p.next().Pos // do
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("in") {
+		super, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtsUntil("enddo")
+		if err != nil {
+			return nil, err
+		}
+		p.next()
+		if p.cur().Kind == TokIdent { // optional trailing index
+			tid := p.next()
+			if tid.Text != id.Text {
+				return nil, errf(tid.Pos, "enddo index %q does not match do %q", tid.Text, id.Text)
+			}
+		}
+		return &DoIn{Pos: pos, Sub: id.Text, Super: super.Text, Body: body}, nil
+	}
+	body, err := p.parseStmtsUntil("enddo")
+	if err != nil {
+		return nil, err
+	}
+	p.next()
+	if p.cur().Kind == TokIdent {
+		tid := p.next()
+		if tid.Text != id.Text {
+			return nil, errf(tid.Pos, "enddo index %q does not match do %q", tid.Text, id.Text)
+		}
+	}
+	return &Do{Pos: pos, Idx: id.Text, Body: body}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // if
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmtsUntil("else", "endif")
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.acceptKeyword("else") {
+		els, err = p.parseStmtsUntil("endif")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("endif"); err != nil {
+		return nil, err
+	}
+	return &If{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) parsePut() (Stmt, error) {
+	pos := p.next().Pos // put
+	dst, err := p.parseBlockRef()
+	if err != nil {
+		return nil, err
+	}
+	acc := false
+	switch p.cur().Kind {
+	case TokAssign:
+		p.next()
+	case TokPlusEq:
+		p.next()
+		acc = true
+	default:
+		return nil, errf(p.cur().Pos, "put requires '=' or '+=', found %s", p.cur())
+	}
+	src, err := p.parseBlockRef()
+	if err != nil {
+		return nil, err
+	}
+	return &Put{Pos: pos, Dst: dst, Src: src, Acc: acc}, nil
+}
+
+func (p *Parser) parsePrepare() (Stmt, error) {
+	pos := p.next().Pos // prepare
+	dst, err := p.parseBlockRef()
+	if err != nil {
+		return nil, err
+	}
+	acc := false
+	switch p.cur().Kind {
+	case TokAssign:
+		p.next()
+	case TokPlusEq:
+		p.next()
+		acc = true
+	default:
+		return nil, errf(p.cur().Pos, "prepare requires '=' or '+=', found %s", p.cur())
+	}
+	src, err := p.parseBlockRef()
+	if err != nil {
+		return nil, err
+	}
+	return &Prepare{Pos: pos, Dst: dst, Src: src, Acc: acc}, nil
+}
+
+func (p *Parser) parseExecute() (Stmt, error) {
+	pos := p.next().Pos // execute
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ex := &Execute{Pos: pos, Name: name.Text}
+	if p.cur().Kind != TokIdent {
+		return ex, nil
+	}
+	for {
+		if p.cur().Kind != TokIdent {
+			return nil, errf(p.cur().Pos, "execute: expected argument, found %s", p.cur())
+		}
+		if p.peekAt(1).Kind == TokLParen {
+			ref, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			ex.Blocks = append(ex.Blocks, ref)
+		} else {
+			ex.Scalars = append(ex.Scalars, p.next().Text)
+		}
+		if p.cur().Kind == TokComma {
+			p.next()
+			continue
+		}
+		return ex, nil
+	}
+}
+
+func (p *Parser) parsePrint() (Stmt, error) {
+	pos := p.next().Pos // print
+	pr := &Print{Pos: pos}
+	switch p.cur().Kind {
+	case TokString:
+		pr.Text = p.next().Text
+		if p.cur().Kind == TokComma {
+			p.next()
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			pr.Scalar = id.Text
+		}
+	case TokIdent:
+		pr.Scalar = p.next().Text
+	default:
+		return nil, errf(p.cur().Pos, "print expects a string or scalar, found %s", p.cur())
+	}
+	return pr, nil
+}
+
+// parseBlockRef parses IDENT "(" identlist ")".
+func (p *Parser) parseBlockRef() (BlockRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return BlockRef{}, err
+	}
+	idx, err := p.parseIdentList()
+	if err != nil {
+		return BlockRef{}, err
+	}
+	return BlockRef{Pos: name.Pos, Array: name.Text, Idx: idx}, nil
+}
+
+// parseAssign parses either a block assignment or a scalar assignment,
+// distinguished by the shape of the left-hand side.
+func (p *Parser) parseAssign() (Stmt, error) {
+	if p.peekAt(1).Kind == TokLParen {
+		return p.parseBlockAssign()
+	}
+	return p.parseScalarAssign()
+}
+
+func assignKindOf(t Token) (AssignKind, bool) {
+	switch t.Kind {
+	case TokAssign:
+		return AssignSet, true
+	case TokPlusEq:
+		return AssignAdd, true
+	case TokMinusEq:
+		return AssignSub, true
+	case TokStarEq:
+		return AssignMul, true
+	}
+	return 0, false
+}
+
+func (p *Parser) parseBlockAssign() (Stmt, error) {
+	dst, err := p.parseBlockRef()
+	if err != nil {
+		return nil, err
+	}
+	kind, ok := assignKindOf(p.cur())
+	if !ok {
+		return nil, errf(p.cur().Pos, "expected assignment operator, found %s", p.cur())
+	}
+	opPos := p.next().Pos
+	expr, err := p.parseBlockExpr(opPos)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockAssign{Pos: dst.Pos, Kind: kind, Dst: dst, Expr: expr}, nil
+}
+
+// parseBlockExpr parses the right-hand side of a block assignment:
+//
+//	blockRef                      copy / permute / slice / insert
+//	blockRef * blockRef           contraction
+//	blockRef + blockRef           elementwise sum
+//	blockRef - blockRef           elementwise difference
+//	atom * blockRef               scale (atom = number or scalar name)
+//	scalarExpr                    fill
+func (p *Parser) parseBlockExpr(pos Pos) (BlockExpr, error) {
+	if p.cur().Kind == TokIdent && p.peekAt(1).Kind == TokLParen {
+		a, err := p.parseBlockRef()
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().Kind {
+		case TokStar:
+			p.next()
+			b, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			return &BlockContract{Pos: pos, A: a, B: b}, nil
+		case TokPlus, TokMinus:
+			op := p.next().Kind
+			b, err := p.parseBlockRef()
+			if err != nil {
+				return nil, err
+			}
+			return &BlockSum{Pos: pos, Op: op, A: a, B: b}, nil
+		}
+		return &BlockCopy{Pos: pos, Src: a}, nil
+	}
+	// "atom * blockRef" scale pattern: a single number or identifier
+	// followed by '*' and a block reference.
+	if (p.cur().Kind == TokNumber || p.cur().Kind == TokIdent) &&
+		p.peekAt(1).Kind == TokStar &&
+		p.peekAt(2).Kind == TokIdent && p.peekAt(3).Kind == TokLParen {
+		var atom ScalarExpr
+		t := p.next()
+		if t.Kind == TokNumber {
+			atom = &NumLit{Pos: t.Pos, Val: t.Num}
+		} else {
+			atom = &ScalarRef{Pos: t.Pos, Name: t.Text}
+		}
+		p.next() // '*'
+		src, err := p.parseBlockRef()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockScale{Pos: pos, Val: atom, Src: src}, nil
+	}
+	// Otherwise: a scalar expression filling the block.
+	e, err := p.parseScalarExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockFill{Pos: pos, Val: e}, nil
+}
+
+func (p *Parser) parseScalarAssign() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	kind, ok := assignKindOf(p.cur())
+	if !ok {
+		return nil, errf(p.cur().Pos, "expected assignment operator, found %s", p.cur())
+	}
+	p.next()
+	e, err := p.parseScalarExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ScalarAssign{Pos: name.Pos, Kind: kind, Dst: name.Text, Expr: e}, nil
+}
+
+// parseCond parses "scalarExpr relop scalarExpr".
+func (p *Parser) parseCond() (*Cond, error) {
+	pos := p.cur().Pos
+	l, err := p.parseScalarExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.cur().Kind
+	switch op {
+	case TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE:
+		p.next()
+	default:
+		return nil, errf(p.cur().Pos, "expected comparison operator, found %s", p.cur())
+	}
+	r, err := p.parseScalarExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Pos: pos, Op: op, L: l, R: r}, nil
+}
+
+// Scalar expression grammar with standard precedence:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | factor
+//	factor := NUMBER | IDENT | dot '(' blockRef ',' blockRef ')' | '(' expr ')'
+func (p *Parser) parseScalarExpr() (ScalarExpr, error) {
+	l, err := p.parseScalarTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokPlus || p.cur().Kind == TokMinus {
+		op := p.next()
+		r, err := p.parseScalarTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseScalarTerm() (ScalarExpr, error) {
+	l, err := p.parseScalarUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokStar || p.cur().Kind == TokSlash {
+		op := p.next()
+		r, err := p.parseScalarUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseScalarUnary() (ScalarExpr, error) {
+	if p.cur().Kind == TokMinus {
+		pos := p.next().Pos
+		e, err := p.parseScalarUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Pos: pos, Op: TokMinus, L: &NumLit{Pos: pos, Val: 0}, R: e}, nil
+	}
+	return p.parseScalarFactor()
+}
+
+func (p *Parser) parseScalarFactor() (ScalarExpr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumLit{Pos: t.Pos, Val: t.Num}, nil
+	case t.Kind == TokKeyword && t.Text == "dot":
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		a, err := p.parseBlockRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		b, err := p.parseBlockRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &DotExpr{Pos: t.Pos, A: a, B: b}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		return &ScalarRef{Pos: t.Pos, Name: t.Text}, nil
+	case t.Kind == TokLParen:
+		p.next()
+		e, err := p.parseScalarExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected scalar expression, found %s", t)
+}

@@ -1,0 +1,336 @@
+package sial
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperExample is the SIAL fragment from paper §IV-D, wrapped in the
+// declarations its caption says were omitted.
+const paperExample = `
+sial ccsd_term
+param norb = 4
+param nocc = 2
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L,S,I,J)
+distributed R(M,N,I,J)
+temp V(M,N,L,S)
+temp tmp(M,N,I,J)
+temp tmpsum(M,N,I,J)
+
+pardo M, N, I, J
+  tmpsum(M,N,I,J) = 0.0
+  do L
+    do S
+      get T(L,S,I,J)
+      compute_integrals V(M,N,L,S)
+      tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+      tmpsum(M,N,I,J) += tmp(M,N,I,J)
+    enddo S
+  enddo L
+  put R(M,N,I,J) = tmpsum(M,N,I,J)
+endpardo M, N, I, J
+sip_barrier
+endsial
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParsePaperExample(t *testing.T) {
+	prog := mustParse(t, paperExample)
+	if prog.Name != "ccsd_term" {
+		t.Fatalf("name = %q", prog.Name)
+	}
+	if len(prog.Params) != 2 {
+		t.Fatalf("params = %d", len(prog.Params))
+	}
+	if len(prog.Body) != 2 { // pardo + barrier
+		t.Fatalf("body statements = %d", len(prog.Body))
+	}
+	pardo, ok := prog.Body[0].(*Pardo)
+	if !ok {
+		t.Fatalf("first statement is %T", prog.Body[0])
+	}
+	if len(pardo.Idx) != 4 || pardo.Idx[0] != "M" || pardo.Idx[3] != "J" {
+		t.Fatalf("pardo indices %v", pardo.Idx)
+	}
+	if len(pardo.Body) != 3 { // fill, do L, put
+		t.Fatalf("pardo body = %d statements", len(pardo.Body))
+	}
+	doL, ok := pardo.Body[1].(*Do)
+	if !ok || doL.Idx != "L" {
+		t.Fatalf("expected do L, got %T", pardo.Body[1])
+	}
+	doS := doL.Body[0].(*Do)
+	if len(doS.Body) != 4 {
+		t.Fatalf("do S body = %d", len(doS.Body))
+	}
+	if _, ok := doS.Body[0].(*Get); !ok {
+		t.Fatalf("expected get, got %T", doS.Body[0])
+	}
+	if _, ok := doS.Body[1].(*ComputeIntegrals); !ok {
+		t.Fatalf("expected compute_integrals, got %T", doS.Body[1])
+	}
+	contract := doS.Body[2].(*BlockAssign)
+	if _, ok := contract.Expr.(*BlockContract); !ok {
+		t.Fatalf("expected contraction, got %T", contract.Expr)
+	}
+	acc := doS.Body[3].(*BlockAssign)
+	if acc.Kind != AssignAdd {
+		t.Fatalf("expected +=, got %v", acc.Kind)
+	}
+	put := pardo.Body[2].(*Put)
+	if put.Dst.Array != "R" || put.Acc {
+		t.Fatalf("put = %+v", put)
+	}
+	if _, ok := prog.Body[1].(*Barrier); !ok {
+		t.Fatalf("expected barrier, got %T", prog.Body[1])
+	}
+}
+
+func TestParseWhereClauses(t *testing.T) {
+	prog := mustParse(t, `
+sial sym
+aoindex M = 1, 4
+aoindex N = 1, 4
+pardo M, N where M <= N where N < 4
+endpardo
+endsial`)
+	pardo := prog.Body[0].(*Pardo)
+	if len(pardo.Where) != 2 {
+		t.Fatalf("where clauses = %d", len(pardo.Where))
+	}
+	if pardo.Where[0].Op != TokLE || pardo.Where[1].Op != TokLT {
+		t.Fatalf("ops = %v %v", pardo.Where[0].Op, pardo.Where[1].Op)
+	}
+}
+
+func TestParseSubindexAndDoIn(t *testing.T) {
+	prog := mustParse(t, `
+sial subidx
+moaindex j = 1, 4
+moaindex i = 1, 4
+subindex ii of i
+temp Xi(i,j)
+temp Xii(ii,j)
+pardo j
+  do i
+    do ii in i
+      Xii(ii,j) = Xi(ii,j)
+    enddo ii
+  enddo i
+endpardo j
+endsial`)
+	var found bool
+	pardo := prog.Body[0].(*Pardo)
+	doI := pardo.Body[0].(*Do)
+	if din, ok := doI.Body[0].(*DoIn); ok {
+		found = true
+		if din.Sub != "ii" || din.Super != "i" {
+			t.Fatalf("do in: %+v", din)
+		}
+		asg := din.Body[0].(*BlockAssign)
+		if _, ok := asg.Expr.(*BlockCopy); !ok {
+			t.Fatalf("expected copy, got %T", asg.Expr)
+		}
+	}
+	if !found {
+		t.Fatal("do ii in i not parsed")
+	}
+}
+
+func TestParsePermutationAssignment(t *testing.T) {
+	prog := mustParse(t, `
+sial perm
+aoindex I = 1, 4
+aoindex J = 1, 4
+aoindex K = 1, 4
+temp V1(K,J,I)
+temp V2(I,J,K)
+pardo I, J, K
+  V1(K,J,I) = V2(I,J,K)
+endpardo
+endsial`)
+	pardo := prog.Body[0].(*Pardo)
+	asg := pardo.Body[0].(*BlockAssign)
+	cp := asg.Expr.(*BlockCopy)
+	if cp.Src.Array != "V2" {
+		t.Fatalf("src = %v", cp.Src)
+	}
+}
+
+func TestParseScaleFillSum(t *testing.T) {
+	prog := mustParse(t, `
+sial ops
+aoindex I = 1, 4
+scalar alpha = 0.5
+temp A(I,I)
+temp B(I,I)
+temp C(I,I)
+pardo I
+endpardo
+do I
+  A(I,I) = 1.0
+  B(I,I) = alpha * A(I,I)
+  C(I,I) = A(I,I) + B(I,I)
+  C(I,I) -= B(I,I)
+  C(I,I) *= 2.0
+enddo I
+endsial`)
+	do := prog.Body[1].(*Do)
+	if _, ok := do.Body[0].(*BlockAssign).Expr.(*BlockFill); !ok {
+		t.Fatalf("fill: %T", do.Body[0].(*BlockAssign).Expr)
+	}
+	if _, ok := do.Body[1].(*BlockAssign).Expr.(*BlockScale); !ok {
+		t.Fatalf("scale: %T", do.Body[1].(*BlockAssign).Expr)
+	}
+	sum := do.Body[2].(*BlockAssign).Expr.(*BlockSum)
+	if sum.Op != TokPlus {
+		t.Fatalf("sum op %v", sum.Op)
+	}
+	if do.Body[3].(*BlockAssign).Kind != AssignSub {
+		t.Fatal("-= not parsed")
+	}
+	mul := do.Body[4].(*BlockAssign)
+	if mul.Kind != AssignMul {
+		t.Fatal("*= not parsed")
+	}
+}
+
+func TestParseScalarStatements(t *testing.T) {
+	prog := mustParse(t, `
+sial scal
+aoindex I = 1, 4
+temp A(I,I)
+scalar e
+scalar twoe
+do I
+  e += dot(A(I,I), A(I,I))
+enddo I
+collective e
+twoe = 2 * e + 1
+print "energy:", e
+print twoe
+endsial`)
+	if _, ok := prog.Body[1].(*Collective); !ok {
+		t.Fatalf("collective: %T", prog.Body[1])
+	}
+	asg := prog.Body[2].(*ScalarAssign)
+	if asg.Dst != "twoe" {
+		t.Fatalf("scalar assign: %+v", asg)
+	}
+	pr := prog.Body[3].(*Print)
+	if pr.Text != "energy:" || pr.Scalar != "e" {
+		t.Fatalf("print: %+v", pr)
+	}
+}
+
+func TestParseProcAndCall(t *testing.T) {
+	prog := mustParse(t, `
+sial procs
+aoindex I = 1, 4
+temp A(I,I)
+proc init_a
+  do I
+    A(I,I) = 0.0
+  enddo I
+endproc
+call init_a
+endsial`)
+	if len(prog.Decls) < 3 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	call := prog.Body[0].(*Call)
+	if call.Name != "init_a" {
+		t.Fatalf("call: %+v", call)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	prog := mustParse(t, `
+sial cond
+scalar x = 1
+scalar y
+if x < 2
+  y = 1
+else
+  y = 2
+endif
+endsial`)
+	ifs := prog.Body[0].(*If)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("if: %+v", ifs)
+	}
+}
+
+func TestParseServedAndExecute(t *testing.T) {
+	prog := mustParse(t, `
+sial served_ops
+aoindex I = 1, 4
+served S(I,I)
+temp A(I,I)
+scalar w
+pardo I
+  request S(I,I)
+  A(I,I) = S(I,I)
+  execute my_op A(I,I), w
+  prepare S(I,I) += A(I,I)
+endpardo
+server_barrier
+blocks_to_list S
+endsial`)
+	_ = prog
+	pardo := prog.Body[0].(*Pardo)
+	if _, ok := pardo.Body[0].(*Request); !ok {
+		t.Fatalf("request: %T", pardo.Body[0])
+	}
+	ex := pardo.Body[2].(*Execute)
+	if ex.Name != "my_op" || len(ex.Blocks) != 1 || len(ex.Scalars) != 1 {
+		t.Fatalf("execute: %+v", ex)
+	}
+	prep := pardo.Body[3].(*Prepare)
+	if !prep.Acc {
+		t.Fatal("prepare += not parsed")
+	}
+	b := prog.Body[1].(*Barrier)
+	if !b.Server {
+		t.Fatal("server_barrier not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing sial", "pardo I endpardo", "expected \"sial\""},
+		{"missing endsial", "sial x\npardo I\nendpardo", "missing endsial"},
+		{"trailing garbage", "sial x endsial extra", "trailing input"},
+		{"endpardo mismatch", "sial x\naoindex I = 1, 4\naoindex J = 1, 4\npardo I, J endpardo J endsial", "does not match"},
+		{"enddo mismatch", "sial x\naoindex I = 1, 4\ndo I enddo J endsial", "does not match"},
+		{"put without assign", "sial x\naoindex I = 1, 4\ndistributed D(I,I)\npardo I\nput D(I,I)\nendpardo endsial", "put requires"},
+		{"bad where", "sial x\naoindex I = 1, 4\npardo I where endpardo endsial", "expected scalar expression"},
+		{"if without endif", "sial x\nscalar s\nif s < 1\ns = 2\nendsial", "unexpected keyword"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

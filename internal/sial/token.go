@@ -1,0 +1,137 @@
+// Package sial implements the front end of the Super Instruction Assembly
+// Language: lexer, parser, AST, and semantic checker.
+//
+// SIAL (paper §IV) is a small block-oriented parallel language.  The
+// concrete grammar accepted here follows the paper's examples:
+//
+//	sial ccsd_term
+//	param norb = 4
+//	param nocc = 2
+//	aoindex M = 1, norb
+//	moindex I = 1, nocc
+//	distributed T(L,S,I,J)
+//	temp tmp(M,N,I,J)
+//	scalar etot
+//	pardo M, N, I, J where M <= N
+//	  tmpsum(M,N,I,J) = 0.0
+//	  do L
+//	    get T(L,S,I,J)
+//	    compute_integrals V(M,N,L,S)
+//	    tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+//	    tmpsum(M,N,I,J) += tmp(M,N,I,J)
+//	  enddo L
+//	  put R(M,N,I,J) = tmpsum(M,N,I,J)
+//	endpardo M, N, I, J
+//	sip_barrier
+//	endsial
+//
+// Compilation to SIA bytecode lives in internal/compiler; execution in
+// internal/sip.
+package sial
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokComma
+	TokAssign  // =
+	TokPlusEq  // +=
+	TokMinusEq // -=
+	TokStarEq  // *=
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokLT      // <
+	TokLE      // <=
+	TokGT      // >
+	TokGE      // >=
+	TokEQ      // ==
+	TokNE      // !=
+)
+
+var tokKindNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokNumber: "number",
+	TokString: "string", TokKeyword: "keyword", TokLParen: "'('",
+	TokRParen: "')'", TokComma: "','", TokAssign: "'='", TokPlusEq: "'+='",
+	TokMinusEq: "'-='", TokStarEq: "'*='", TokPlus: "'+'", TokMinus: "'-'",
+	TokStar: "'*'", TokSlash: "'/'", TokLT: "'<'", TokLE: "'<='",
+	TokGT: "'>'", TokGE: "'>='", TokEQ: "'=='", TokNE: "'!='",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// keywords is the set of reserved words.  Index-declaration and
+// array-declaration keywords are included so identifiers cannot shadow
+// them.
+var keywords = map[string]bool{
+	"sial": true, "endsial": true,
+	"index": true, "aoindex": true, "moindex": true, "moaindex": true,
+	"mobindex": true, "subindex": true, "of": true,
+	"static": true, "distributed": true, "served": true, "temp": true,
+	"local": true, "scalar": true, "param": true,
+	"pardo": true, "endpardo": true, "where": true,
+	"do": true, "enddo": true, "in": true,
+	"if": true, "else": true, "endif": true,
+	"proc": true, "endproc": true, "call": true,
+	"get": true, "put": true, "request": true, "prepare": true,
+	"compute_integrals": true, "execute": true,
+	"sip_barrier": true, "server_barrier": true,
+	"collective": true, "print": true, "dot": true,
+	"blocks_to_list": true, "list_to_blocks": true,
+}
+
+// Pos locates a token in the source.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier/keyword text, string contents, or number literal
+	Num  float64
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokKeyword:
+		return t.Text
+	case TokNumber:
+		return t.Text
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned front-end error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sial: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

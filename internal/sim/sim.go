@@ -1,0 +1,121 @@
+// Package sim is a minimal deterministic discrete-event simulation
+// kernel: a virtual clock, an event queue, and serially-shared
+// resources.  The performance model (internal/perfmodel) uses it to
+// replay SIP executions at scales — tens of thousands of workers — that
+// cannot be run in process.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine owns the virtual clock and the pending event queue.  Events at
+// equal times fire in scheduling order, making runs fully deterministic.
+type Engine struct {
+	now   float64
+	seq   int64
+	pq    eventQueue
+	fired int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// At schedules fn at absolute virtual time t, which must not precede the
+// current time.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d time units from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() float64 {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.time
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Resource is a serially-shared facility (a master process, a NIC, a
+// disk head): requests queue in arrival order and are served one at a
+// time.
+type Resource struct {
+	free float64
+	busy float64 // accumulated busy time
+	uses int64
+}
+
+// NewResource returns an idle resource.
+func NewResource() *Resource { return &Resource{} }
+
+// Use books the resource for dur time units for a request arriving at
+// time ready, returning the start and completion times.
+func (r *Resource) Use(ready, dur float64) (start, end float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %g", dur))
+	}
+	start = ready
+	if r.free > start {
+		start = r.free
+	}
+	end = start + dur
+	r.free = end
+	r.busy += dur
+	r.uses++
+	return start, end
+}
+
+// Busy returns the accumulated busy time.
+func (r *Resource) Busy() float64 { return r.busy }
+
+// Uses returns the number of completed uses.
+func (r *Resource) Uses() int64 { return r.uses }

@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(1, func() { order = append(order, 10) }) // same time: scheduling order
+	e.At(3, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end time %g", end)
+	}
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("fired %d", e.Fired())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestSchedulingIntoThePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource()
+	s1, e1 := r.Use(0, 5)
+	if s1 != 0 || e1 != 5 {
+		t.Fatalf("first use [%g,%g]", s1, e1)
+	}
+	// Arrives at 2 while busy: starts when free.
+	s2, e2 := r.Use(2, 3)
+	if s2 != 5 || e2 != 8 {
+		t.Fatalf("second use [%g,%g]", s2, e2)
+	}
+	// Arrives after free: starts immediately.
+	s3, e3 := r.Use(10, 1)
+	if s3 != 10 || e3 != 11 {
+		t.Fatalf("third use [%g,%g]", s3, e3)
+	}
+	if r.Busy() != 9 || r.Uses() != 3 {
+		t.Fatalf("busy %g uses %d", r.Busy(), r.Uses())
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource().Use(0, -1)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		r := NewResource()
+		var log []float64
+		for i := 0; i < 10; i++ {
+			e.At(float64(i%3), func() {
+				_, end := r.Use(e.Now(), 0.5)
+				log = append(log, end)
+			})
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

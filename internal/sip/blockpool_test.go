@@ -1,0 +1,69 @@
+package sip
+
+import (
+	"testing"
+
+	"repro/internal/block"
+)
+
+func TestBlockPoolReuse(t *testing.T) {
+	p := newBlockPool()
+	b1 := p.get([]int{2, 3})
+	b1.Fill(7)
+	p.put(b1)
+	b2 := p.get([]int{2, 3})
+	if b2 != b1 {
+		t.Fatal("same-shape block not reused")
+	}
+	for _, v := range b2.Data() {
+		if v != 0 {
+			t.Fatal("reused block not zeroed")
+		}
+	}
+	if p.allocs != 1 || p.reuses != 1 {
+		t.Fatalf("allocs=%d reuses=%d", p.allocs, p.reuses)
+	}
+}
+
+func TestBlockPoolShapeMismatchSameSize(t *testing.T) {
+	p := newBlockPool()
+	p.put(block.New(2, 3))  // 6 elements
+	b := p.get([]int{3, 2}) // also 6 elements, different shape
+	if d := b.Dims(); d[0] != 3 || d[1] != 2 {
+		t.Fatalf("got dims %v", d)
+	}
+	if p.reuses != 0 {
+		t.Fatal("must not reuse a block of a different shape")
+	}
+}
+
+func TestBlockPoolBounded(t *testing.T) {
+	p := newBlockPool()
+	for i := 0; i < 200; i++ {
+		p.put(block.New(2))
+	}
+	if n := len(p.free[2]); n > 64 {
+		t.Fatalf("pool stack grew to %d, cap is 64", n)
+	}
+	p.drain()
+	if len(p.free) != 0 {
+		t.Fatal("drain left entries")
+	}
+}
+
+func TestPoolReuseInProgram(t *testing.T) {
+	// The paper program's per-iteration temps must hit the pool from
+	// the second iteration on.
+	res := runPaperProgram(t, Config{Workers: 1})
+	if res.Profile.PoolReuses == 0 {
+		t.Fatalf("no pool reuse recorded: %d allocs", res.Profile.PoolAllocs)
+	}
+	if res.Profile.PoolAllocs == 0 {
+		t.Fatal("no pool allocations recorded")
+	}
+	// Steady state: reuses dominate allocations across many iterations.
+	if res.Profile.PoolReuses < res.Profile.PoolAllocs {
+		t.Fatalf("reuses (%d) should exceed allocs (%d) over many iterations",
+			res.Profile.PoolReuses, res.Profile.PoolAllocs)
+	}
+}

@@ -1,0 +1,146 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/compiler"
+)
+
+func TestDryRunPaperExample(t *testing.T) {
+	prog, err := compiler.CompileSource(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 4, Params: map[string]int{"norb": 4, "nocc": 2},
+		Seg: bytecode.DefaultSegConfig(2), CacheBlocks: 8}
+	r, err := DryRun(prog, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T is 4x4x2x2 = 64 elements = 512 bytes.
+	if r.ArrayBytes["T"] != 512 {
+		t.Fatalf("T bytes = %d, want 512", r.ArrayBytes["T"])
+	}
+	if len(r.PardoIterations) != 1 || r.PardoIterations[0] != 2*2*1*1 {
+		t.Fatalf("pardo iterations = %v, want [4]", r.PardoIterations)
+	}
+	if !r.Feasible {
+		t.Fatal("unlimited budget must be feasible")
+	}
+	if r.PerWorkerBytes <= 0 {
+		t.Fatal("per-worker bytes not computed")
+	}
+}
+
+func TestDryRunInfeasibleSuggestsWorkers(t *testing.T) {
+	// Large distributed array, tiny budget at 1 worker: the report must
+	// name a sufficient worker count.
+	src := `
+sial big
+param n = 64
+aoindex I = 1, n
+aoindex J = 1, n
+distributed D(I,J)
+temp t(I,J)
+pardo I, J
+  get D(I,J)
+  t(I,J) = D(I,J)
+endpardo
+endsial
+`
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1, Seg: bytecode.DefaultSegConfig(8), CacheBlocks: 1}
+	// Full D is 64*64*8 = 32 KiB. Budget 6 KiB: needs several workers.
+	r, err := DryRun(prog, cfg, 6<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Fatalf("expected infeasible at 1 worker: %+v", r)
+	}
+	if r.MinWorkers < 2 {
+		t.Fatalf("MinWorkers = %d, want >= 2", r.MinWorkers)
+	}
+	// Verify the suggestion actually fits.
+	cfg2 := cfg
+	cfg2.Workers = r.MinWorkers
+	r2, err := DryRun(prog, cfg2, 6<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Feasible {
+		t.Fatalf("suggested %d workers still infeasible (%d bytes)", r.MinWorkers, r2.PerWorkerBytes)
+	}
+	if !strings.Contains(r.String(), "INFEASIBLE") {
+		t.Fatalf("report missing INFEASIBLE: %s", r)
+	}
+}
+
+func TestDryRunNeverFeasible(t *testing.T) {
+	// Static arrays are replicated, so no worker count helps.
+	src := `
+sial stat
+param n = 64
+aoindex I = 1, n
+aoindex J = 1, n
+static F(I,J)
+do I
+do J
+  F(I,J) = 0.0
+enddo
+enddo
+endsial
+`
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1, Seg: bytecode.DefaultSegConfig(8), CacheBlocks: 1}
+	r, err := DryRun(prog, cfg, 4<<10) // F alone is 32 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible || r.MinWorkers != -1 {
+		t.Fatalf("expected unresolvable infeasibility, got %+v", r)
+	}
+	if !strings.Contains(r.String(), "any worker count") {
+		t.Fatalf("report: %s", r)
+	}
+}
+
+func TestDryRunServed(t *testing.T) {
+	src := `
+sial srv
+param n = 16
+aoindex I = 1, n
+aoindex J = 1, n
+served S(I,J)
+temp t(I,J)
+pardo I, J
+  t(I,J) = 1.0
+  prepare S(I,J) = t(I,J)
+endpardo
+server_barrier
+endsial
+`
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 2, Servers: 2, Seg: bytecode.DefaultSegConfig(4), ServerCacheBlocks: 4}
+	r, err := DryRun(prog, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DiskBytes != 16*16*8 {
+		t.Fatalf("disk bytes = %d, want %d", r.DiskBytes, 16*16*8)
+	}
+	if r.PerServerBytes != 4*4*4*8 {
+		t.Fatalf("per-server bytes = %d, want %d", r.PerServerBytes, 4*4*4*8)
+	}
+}

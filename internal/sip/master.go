@@ -1,0 +1,279 @@
+package sip
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bytecode"
+	"repro/internal/mpi"
+)
+
+// master is the SIP management task (paper §V-B): it allocates pardo
+// iterations to workers in guided chunks, coordinates checkpoints, and
+// runs the shutdown protocol.
+type master struct {
+	rt   *runtime
+	comm *mpi.Comm
+
+	runs      map[[2]int]*pardoRun // (pardo id, generation) -> scheduler state
+	ckptSaves map[int]*ckptCollect
+	ckptLoads map[int][]int // array id -> requesting worker ranks
+}
+
+type ckptCollect struct {
+	blocks  []ArrayBlock
+	origins []int
+}
+
+func newMaster(rt *runtime) *master {
+	return &master{
+		rt:        rt,
+		comm:      rt.world.Comm(0),
+		runs:      map[[2]int]*pardoRun{},
+		ckptSaves: map[int]*ckptCollect{},
+		ckptLoads: map[int][]int{},
+	}
+}
+
+// pardoRun enumerates the iteration space of one pardo execution lazily
+// and tracks guided-scheduling state.
+type pardoRun struct {
+	rt      *runtime
+	info    bytecode.PardoInfo
+	vals    []int // odometer (current candidate), empty when exhausted
+	los     []int
+	his     []int
+	started bool
+	done    bool
+
+	totalEst   int64 // product of ranges (upper bound; where clauses shrink it)
+	issued     int64
+	emptyPolls int // workers that have received a final empty chunk
+}
+
+func newPardoRun(rt *runtime, pid int) *pardoRun {
+	info := rt.prog.Pardos[pid]
+	r := &pardoRun{rt: rt, info: info}
+	r.vals = make([]int, len(info.Indices))
+	r.los = make([]int, len(info.Indices))
+	r.his = make([]int, len(info.Indices))
+	r.totalEst = 1
+	for i, id := range info.Indices {
+		lo, hi := rt.layout.IndexRange(id)
+		r.los[i], r.his[i] = lo, hi
+		r.vals[i] = lo
+		if hi < lo {
+			r.done = true
+		}
+		r.totalEst *= int64(hi - lo + 1)
+	}
+	return r
+}
+
+// passes reports whether the current odometer values satisfy all where
+// clauses.
+func (r *pardoRun) passes() bool {
+	if len(r.info.Where) == 0 {
+		return true
+	}
+	idxVal := func(id int) int {
+		for i, iid := range r.info.Indices {
+			if iid == id {
+				return r.vals[i]
+			}
+		}
+		return 0
+	}
+	paramVal := func(id int) int { return r.rt.layout.ParamVal(id) }
+	for _, wc := range r.info.Where {
+		l := wc.L.Eval(idxVal, paramVal)
+		rr := wc.R.Eval(idxVal, paramVal)
+		if !bytecode.EvalCmp(wc.Cmp, l, rr) {
+			return false
+		}
+	}
+	return true
+}
+
+// advance moves the odometer to the next raw position; reports false at
+// the end of the space.
+func (r *pardoRun) advance() bool {
+	for i := len(r.vals) - 1; i >= 0; i-- {
+		r.vals[i]++
+		if r.vals[i] <= r.his[i] {
+			return true
+		}
+		r.vals[i] = r.los[i]
+	}
+	return false
+}
+
+// next returns up to n iterations that satisfy the where clauses.
+func (r *pardoRun) next(n int) [][]int {
+	var out [][]int
+	for !r.done && len(out) < n {
+		if r.started {
+			if !r.advance() {
+				r.done = true
+				break
+			}
+		} else {
+			r.started = true
+		}
+		if r.passes() {
+			out = append(out, append([]int(nil), r.vals...))
+		}
+	}
+	r.issued += int64(len(out))
+	return out
+}
+
+// chunkSize implements guided self-scheduling: chunks shrink as the
+// remaining work shrinks ("The chunk size decreases as the computation
+// proceeds.  This is similar to ... guided scheduling in OpenMP",
+// paper §V-B).
+func (r *pardoRun) chunkSize(workers int) int {
+	remaining := r.totalEst - r.issued
+	if remaining < 1 {
+		remaining = 1
+	}
+	size := remaining / int64(2*workers)
+	if size < 1 {
+		size = 1
+	}
+	if size > 4096 {
+		size = 4096
+	}
+	return int(size)
+}
+
+// run services messages until every worker reports done, then shuts down
+// service loops and I/O servers and returns the gathered result.
+func (m *master) run() (*Result, error) {
+	rt := m.rt
+	res := &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
+	doneCount := 0
+	for doneCount < rt.workers {
+		msg := m.comm.Recv(mpi.AnySource, mpi.AnyTag)
+		switch msg.Tag {
+		case tagChunkReq:
+			req := msg.Data.(chunkMsg)
+			key := [2]int{req.pardo, req.gen}
+			r, ok := m.runs[key]
+			if !ok {
+				r = newPardoRun(rt, req.pardo)
+				m.runs[key] = r
+			}
+			iters := r.next(r.chunkSize(rt.workers))
+			if len(iters) == 0 {
+				r.emptyPolls++
+				if r.emptyPolls == rt.workers {
+					delete(m.runs, key) // every worker has drained this run
+				}
+			}
+			m.comm.Send(req.origin, tagChunkRep, chunkReply{iters: iters})
+		case tagCkpt:
+			req := msg.Data.(ckptMsg)
+			if err := m.handleCkpt(req); err != nil {
+				return res, err
+			}
+		case tagGather:
+			g := msg.Data.(gatherMsg)
+			m.recordGather(res.Arrays, g)
+		case tagDone:
+			doneCount++
+		}
+	}
+	// All workers finished: stop service loops, then servers.
+	for wr := 1; wr <= rt.workers; wr++ {
+		m.comm.Send(wr, tagService, shutdownMsg{})
+	}
+	for s := 0; s < rt.servers; s++ {
+		m.comm.Send(1+rt.workers+s, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays})
+	}
+	if rt.cfg.GatherArrays {
+		for s := 0; s < rt.servers; s++ {
+			msg := m.comm.Recv(mpi.AnySource, tagGather)
+			m.recordGather(res.Served, msg.Data.(gatherMsg))
+		}
+	}
+	return res, nil
+}
+
+func (m *master) recordGather(dst map[string][]ArrayBlock, g gatherMsg) {
+	for arr, blocks := range g.arrays {
+		name := m.rt.prog.Arrays[arr].Name
+		dst[name] = append(dst[name], blocks...)
+	}
+}
+
+// ckptPath returns the checkpoint file for an array.
+func (m *master) ckptPath(arr int) string {
+	return filepath.Join(m.rt.scratch, fmt.Sprintf("ckpt_%s.gob", m.rt.prog.Arrays[arr].Name))
+}
+
+// handleCkpt advances the blocks_to_list / list_to_blocks protocols.
+func (m *master) handleCkpt(req ckptMsg) error {
+	rt := m.rt
+	switch req.op {
+	case ckptSave:
+		col := m.ckptSaves[req.arr]
+		if col == nil {
+			col = &ckptCollect{}
+			m.ckptSaves[req.arr] = col
+		}
+		col.blocks = append(col.blocks, req.blocks...)
+		col.origins = append(col.origins, req.origin)
+		if len(col.origins) < rt.workers {
+			return nil
+		}
+		delete(m.ckptSaves, req.arr)
+		f, err := os.Create(m.ckptPath(req.arr))
+		if err == nil {
+			err = gob.NewEncoder(f).Encode(col.blocks)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		ack := ""
+		if err != nil {
+			ack = err.Error()
+		}
+		for _, origin := range col.origins {
+			m.comm.Send(origin, tagCkpt, ack)
+		}
+		return nil
+	case ckptLoad:
+		m.ckptLoads[req.arr] = append(m.ckptLoads[req.arr], req.origin)
+		if len(m.ckptLoads[req.arr]) < rt.workers {
+			return nil
+		}
+		origins := m.ckptLoads[req.arr]
+		delete(m.ckptLoads, req.arr)
+		var blocks []ArrayBlock
+		f, err := os.Open(m.ckptPath(req.arr))
+		if err == nil {
+			err = gob.NewDecoder(f).Decode(&blocks)
+			f.Close()
+		}
+		if err != nil {
+			for _, origin := range origins {
+				m.comm.Send(origin, tagCkpt, err.Error())
+			}
+			return nil
+		}
+		// Partition blocks by home worker.
+		perWorker := map[int][]ArrayBlock{}
+		for _, ab := range blocks {
+			home := rt.homeWorker(req.arr, ab.Ord)
+			perWorker[home] = append(perWorker[home], ab)
+		}
+		for _, origin := range origins {
+			m.comm.Send(origin, tagCkpt, ckptData{arr: req.arr, blocks: perWorker[origin]})
+		}
+		return nil
+	}
+	return fmt.Errorf("sip: master: unknown checkpoint op %d", req.op)
+}

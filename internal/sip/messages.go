@@ -1,0 +1,82 @@
+package sip
+
+import "repro/internal/block"
+
+// getMsg asks a block's home for a copy of it.  The reply carries a
+// *block.Block on the requester's unique replyTag.
+type getMsg struct {
+	key      blockKey
+	replyTag int
+	origin   int
+}
+
+// putMsg delivers a block to its home (distributed arrays) or its server
+// (served arrays).  acc selects atomic accumulate.  needAck requests a
+// tagPutAck / tagPrepAck so the origin can drain outstanding writes at
+// barriers.
+type putMsg struct {
+	key     blockKey
+	b       *block.Block
+	acc     bool
+	origin  int
+	needAck bool
+}
+
+// flushMsg asks an I/O server to write all dirty cached blocks to disk
+// (server_barrier).
+type flushMsg struct {
+	origin int
+}
+
+// shutdownMsg terminates a service loop or I/O server.  gather asks the
+// recipient to send its array contents to the master first.
+type shutdownMsg struct {
+	gather bool
+}
+
+// chunkMsg asks the master for the next chunk of pardo iterations.
+// gen distinguishes repeated executions of the same pardo.
+type chunkMsg struct {
+	pardo  int
+	gen    int
+	origin int
+}
+
+// chunkReply carries the assigned iterations; each iteration is one
+// value per pardo index.  An empty list means the pardo is exhausted for
+// this worker.
+type chunkReply struct {
+	iters [][]int
+}
+
+// doneMsg tells the master a worker reached halt.
+type doneMsg struct {
+	origin int
+}
+
+// Checkpoint operations (blocks_to_list / list_to_blocks).
+const (
+	ckptSave = iota
+	ckptLoad
+)
+
+// ckptMsg carries checkpoint traffic between workers and the master.
+type ckptMsg struct {
+	op     int
+	arr    int
+	blocks []ArrayBlock
+	origin int
+}
+
+// ckptData delivers restored blocks to their home worker during
+// list_to_blocks.
+type ckptData struct {
+	arr    int
+	blocks []ArrayBlock
+}
+
+// gatherMsg carries a rank's array contents to the master at shutdown.
+type gatherMsg struct {
+	origin int
+	arrays map[int][]ArrayBlock // array id -> blocks
+}

@@ -1,0 +1,81 @@
+package sip
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/compiler"
+)
+
+func TestPlacementStrategiesSameResult(t *testing.T) {
+	// SIAL semantics must be placement-independent (paper §V-B): run
+	// the paper program under three placement strategies and compare
+	// densified results.
+	prog, err := compiler.CompileSource(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := prog.Resolve(map[string]int{"norb": 4, "nocc": 2}, bytecode.DefaultSegConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksOf := func(arr int) int { return layout.Shapes[arr].NumBlocks() }
+
+	strategies := map[string]PlacementFunc{
+		"hash":       HashPlacement,
+		"roundrobin": RoundRobinPlacement,
+		"blocked":    NewBlockedPlacement(blocksOf),
+	}
+	var first []float64
+	for name, place := range strategies {
+		cfg := Config{Workers: 3, Params: map[string]int{"norb": 4, "nocc": 2},
+			Seg: bytecode.DefaultSegConfig(2), GatherArrays: true,
+			Placement: place,
+			Preset:    map[string]PresetFunc{"T": presetFrom(tElem)}}
+		res, err := RunSource(paperProgram, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := dense(t, layout.Shapes[prog.ArrayID("R")], res.Arrays["R"])
+		if first == nil {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("%s: element %d differs: %g vs %g", name, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPlacementFunctions(t *testing.T) {
+	if HashPlacement(1, 5, 4) < 0 || HashPlacement(1, 5, 4) >= 4 {
+		t.Fatal("hash out of range")
+	}
+	if RoundRobinPlacement(0, 7, 4) != 3 {
+		t.Fatal("round robin wrong")
+	}
+	blocked := NewBlockedPlacement(func(arr int) int { return 10 })
+	if blocked(0, 0, 2) != 0 || blocked(0, 9, 2) != 1 {
+		t.Fatal("blocked placement wrong")
+	}
+	if blocked(0, 9, 3) > 2 {
+		t.Fatal("blocked placement out of range")
+	}
+	empty := NewBlockedPlacement(func(arr int) int { return 0 })
+	if empty(0, 0, 2) != 0 {
+		t.Fatal("empty array placement wrong")
+	}
+}
+
+func TestBadPlacementPanicsCleanly(t *testing.T) {
+	cfg := Config{Workers: 2, Params: map[string]int{"norb": 4, "nocc": 2},
+		Seg:       bytecode.DefaultSegConfig(2),
+		Placement: func(arr, ord, workers int) int { return 99 },
+		Preset:    map[string]PresetFunc{"T": presetFrom(tElem)}}
+	_, err := RunSource(paperProgram, cfg)
+	if err == nil {
+		t.Fatal("out-of-range placement must fail the run, not hang")
+	}
+}

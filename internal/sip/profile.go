@@ -1,0 +1,184 @@
+package sip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bytecode"
+)
+
+// OpStat aggregates executions of one opcode.
+type OpStat struct {
+	Count int64
+	Time  time.Duration
+}
+
+// PardoStat aggregates one pardo loop across its executions and workers.
+// Wait is the time spent blocked on block arrivals inside the pardo —
+// the paper's primary tuning signal ("Small wait times indicate
+// effective overlap of computation and communication", §VI-B).
+type PardoStat struct {
+	Elapsed    time.Duration // max over workers (wall time)
+	Wait       time.Duration // summed over workers
+	Iterations int64
+}
+
+// ProcStat aggregates the executions of one SIAL procedure (paper
+// §VI-B: "timing data collected includes execution time for pardo
+// loops, procedures, and individual super instructions").
+type ProcStat struct {
+	Count int64
+	Time  time.Duration
+}
+
+// Profile is the per-run performance report the SIP collects without
+// separate profiling tools (paper §VI-B): because basic operations are
+// relatively time consuming, detailed metrics cost nothing noticeable.
+type Profile struct {
+	Ops    map[bytecode.Op]*OpStat
+	Pardos []PardoStat
+	Procs  []ProcStat
+
+	TotalWait  time.Duration
+	Flops      int64
+	fetches    int64
+	prefetches int64
+
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+
+	// Block-pool statistics (paper §V-B: preallocated block stacks).
+	PoolAllocs int64
+	PoolReuses int64
+}
+
+func newProfile(prog *bytecode.Program) *Profile {
+	return &Profile{
+		Ops:    map[bytecode.Op]*OpStat{},
+		Pardos: make([]PardoStat, len(prog.Pardos)),
+		Procs:  make([]ProcStat, len(prog.Procs)),
+	}
+}
+
+func (p *Profile) record(op bytecode.Op, line int, d time.Duration) {
+	st := p.Ops[op]
+	if st == nil {
+		st = &OpStat{}
+		p.Ops[op] = st
+	}
+	st.Count++
+	st.Time += d
+}
+
+func (p *Profile) addWait(pardo int, d time.Duration) {
+	p.TotalWait += d
+	if pardo >= 0 && pardo < len(p.Pardos) {
+		p.Pardos[pardo].Wait += d
+	}
+}
+
+func (p *Profile) pardoDone(pardo int, elapsed time.Duration, iters int64) {
+	if pardo < 0 || pardo >= len(p.Pardos) {
+		return
+	}
+	st := &p.Pardos[pardo]
+	st.Elapsed += elapsed
+	st.Iterations += iters
+}
+
+func (p *Profile) addFlops(n int64) { p.Flops += n }
+
+func (p *Profile) procDone(proc int, d time.Duration) {
+	if proc < 0 || proc >= len(p.Procs) {
+		return
+	}
+	p.Procs[proc].Count++
+	p.Procs[proc].Time += d
+}
+
+// Fetches returns the number of remote block fetches issued (including
+// prefetches).
+func (p *Profile) Fetches() int64 { return p.fetches }
+
+// Prefetches returns the number of look-ahead fetches issued.
+func (p *Profile) Prefetches() int64 { return p.prefetches }
+
+// mergeProfiles combines per-worker profiles into the run-level report.
+func mergeProfiles(workers []*worker) *Profile {
+	out := &Profile{Ops: map[bytecode.Op]*OpStat{}}
+	if len(workers) == 0 {
+		return out
+	}
+	out.Pardos = make([]PardoStat, len(workers[0].prof.Pardos))
+	out.Procs = make([]ProcStat, len(workers[0].prof.Procs))
+	for _, w := range workers {
+		p := w.prof
+		for op, st := range p.Ops {
+			dst := out.Ops[op]
+			if dst == nil {
+				dst = &OpStat{}
+				out.Ops[op] = dst
+			}
+			dst.Count += st.Count
+			dst.Time += st.Time
+		}
+		for i, ps := range p.Pardos {
+			if ps.Elapsed > out.Pardos[i].Elapsed {
+				out.Pardos[i].Elapsed = ps.Elapsed
+			}
+			out.Pardos[i].Wait += ps.Wait
+			out.Pardos[i].Iterations += ps.Iterations
+		}
+		for i, ps := range p.Procs {
+			out.Procs[i].Count += ps.Count
+			out.Procs[i].Time += ps.Time
+		}
+		out.TotalWait += p.TotalWait
+		out.Flops += p.Flops
+		out.fetches += p.fetches
+		out.prefetches += p.prefetches
+		out.CacheHits += w.cache.hits
+		out.CacheMisses += w.cache.misses
+		out.CacheEvictions += w.cache.evictions
+		out.PoolAllocs += w.pool.allocs
+		out.PoolReuses += w.pool.reuses
+	}
+	return out
+}
+
+// String renders the profile as the per-run report SIAL programmers tune
+// from.
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteString("SIP profile\n")
+	type row struct {
+		op bytecode.Op
+		st *OpStat
+	}
+	rows := make([]row, 0, len(p.Ops))
+	for op, st := range p.Ops {
+		rows = append(rows, row{op, st})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Time > rows[j].st.Time })
+	fmt.Fprintf(&b, "  %-20s %10s %14s\n", "super instruction", "count", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %10d %14s\n", r.op, r.st.Count, r.st.Time)
+	}
+	for i, ps := range p.Pardos {
+		fmt.Fprintf(&b, "  pardo %d: elapsed %s, wait %s, %d iterations\n",
+			i, ps.Elapsed, ps.Wait, ps.Iterations)
+	}
+	for i, ps := range p.Procs {
+		if ps.Count > 0 {
+			fmt.Fprintf(&b, "  proc %d: %d calls, %s\n", i, ps.Count, ps.Time)
+		}
+	}
+	fmt.Fprintf(&b, "  total wait %s, %d flops, %d fetches (%d prefetched), cache %d/%d hits, %d evictions\n",
+		p.TotalWait, p.Flops, p.fetches, p.prefetches,
+		p.CacheHits, p.CacheHits+p.CacheMisses, p.CacheEvictions)
+	fmt.Fprintf(&b, "  block pool: %d allocated, %d reused\n", p.PoolAllocs, p.PoolReuses)
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package sip
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/block"
+	"repro/internal/bytecode"
+	"repro/internal/mpi"
+	"repro/internal/segment"
+)
+
+// ioServer holds blocks of served (disk-backed) arrays (paper §V-B).
+// Blocks arriving from prepare are cached and lazily written to disk;
+// requested blocks are answered from the cache when possible.
+// Replacement is LRU; dirty blocks are written out on eviction, at
+// server barriers, and at shutdown.
+type ioServer struct {
+	rt   *runtime
+	comm *mpi.Comm
+	rank int
+
+	capacity int
+	entries  map[blockKey]*srvEntry
+	lru      *list.List
+	onDisk   map[blockKey]bool
+	dir      string
+
+	hits, misses, diskReads, diskWrites int64
+}
+
+type srvEntry struct {
+	key   blockKey
+	b     *block.Block
+	dirty bool
+	elem  *list.Element
+}
+
+func newIOServer(rt *runtime, rank int) *ioServer {
+	return &ioServer{
+		rt:       rt,
+		comm:     rt.world.Comm(rank),
+		rank:     rank,
+		capacity: rt.cfg.ServerCacheBlocks,
+		entries:  map[blockKey]*srvEntry{},
+		lru:      list.New(),
+		onDisk:   map[blockKey]bool{},
+		dir:      filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
+	}
+}
+
+func (s *ioServer) blockPath(k blockKey) string {
+	return filepath.Join(s.dir, fmt.Sprintf("a%d_b%d.blk", k.arr, k.ord))
+}
+
+func (s *ioServer) blockDims(k blockKey) []int {
+	shape := s.rt.layout.Shapes[k.arr]
+	return shape.BlockDims(shape.CoordOf(k.ord))
+}
+
+// run is the server main loop.  All operations are handled from one
+// goroutine, which serializes access and makes accumulates atomic.
+func (s *ioServer) run() {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		// Without scratch space the server cannot function; surfacing
+		// the error happens when workers time out — but in-process we
+		// prefer a loud failure.
+		panic(fmt.Sprintf("sip: server %d: %v", s.rank, err))
+	}
+	s.installPresets()
+	for {
+		m := s.comm.Recv(mpi.AnySource, tagServer)
+		switch msg := m.Data.(type) {
+		case getMsg:
+			b := s.fetch(msg.key)
+			s.comm.Send(msg.origin, msg.replyTag, b.Clone())
+		case putMsg:
+			s.apply(msg.key, msg.b, msg.acc)
+			if msg.needAck {
+				s.comm.Send(msg.origin, tagPrepAck, struct{}{})
+			}
+		case flushMsg:
+			s.flushAll()
+			s.comm.Send(msg.origin, tagFlushAck, struct{}{})
+		case shutdownMsg:
+			s.flushAll()
+			if msg.gather {
+				s.comm.Send(0, tagGather, gatherMsg{origin: s.rank, arrays: s.gather()})
+			}
+			return
+		}
+	}
+}
+
+// installPresets loads Config.Preset blocks for served arrays this
+// server homes.
+func (s *ioServer) installPresets() {
+	for name, fn := range s.rt.cfg.Preset {
+		arr := s.rt.prog.ArrayID(name)
+		if arr < 0 || s.rt.prog.Arrays[arr].Kind != bytecode.ArrayServed {
+			continue
+		}
+		shape := s.rt.layout.Shapes[arr]
+		shape.EachCoord(func(c segment.Coord) {
+			ord := shape.Ordinal(c)
+			if s.rt.homeServer(arr, ord) != s.rank {
+				return
+			}
+			lo, hi := shape.BlockBounds(c)
+			b := fn(c.Clone(), lo, hi)
+			if b == nil {
+				return
+			}
+			s.apply(blockKey{arr, ord}, b, false)
+		})
+	}
+}
+
+// fetch returns the cached block, reading from disk on a miss; absent
+// blocks are implicitly zero (paper §V-B: blocks are allocated "only
+// when actually filled with data").
+func (s *ioServer) fetch(k blockKey) *block.Block {
+	if e, ok := s.entries[k]; ok {
+		s.hits++
+		s.lru.MoveToFront(e.elem)
+		return e.b
+	}
+	s.misses++
+	var b *block.Block
+	if s.onDisk[k] {
+		b = s.readDisk(k)
+	} else {
+		b = block.New(s.blockDims(k)...)
+	}
+	s.insert(k, b, false)
+	return b
+}
+
+// apply stores or accumulates an incoming block.
+func (s *ioServer) apply(k blockKey, b *block.Block, acc bool) {
+	if acc {
+		cur := s.fetch(k)
+		cur.AddScaled(1, b)
+		s.entries[k].dirty = true
+		return
+	}
+	if e, ok := s.entries[k]; ok {
+		e.b = b
+		e.dirty = true
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	s.insert(k, b, true)
+}
+
+func (s *ioServer) insert(k blockKey, b *block.Block, dirty bool) {
+	e := &srvEntry{key: k, b: b, dirty: dirty}
+	e.elem = s.lru.PushFront(e)
+	s.entries[k] = e
+	for len(s.entries) > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*srvEntry)
+		if victim.dirty {
+			s.writeDisk(victim.key, victim.b)
+		}
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+	}
+}
+
+// flushAll writes every dirty cached block to disk (server_barrier and
+// shutdown).
+func (s *ioServer) flushAll() {
+	for _, e := range s.entries {
+		if e.dirty {
+			s.writeDisk(e.key, e.b)
+			e.dirty = false
+		}
+	}
+}
+
+// gather returns all blocks this server holds (cache plus disk) for the
+// final result.
+func (s *ioServer) gather() map[int][]ArrayBlock {
+	out := map[int][]ArrayBlock{}
+	seen := map[blockKey]bool{}
+	for k, e := range s.entries {
+		out[k.arr] = append(out[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), e.b.Data()...)})
+		seen[k] = true
+	}
+	for k := range s.onDisk {
+		if seen[k] {
+			continue
+		}
+		b := s.readDisk(k)
+		out[k.arr] = append(out[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
+	}
+	return out
+}
+
+// writeDisk persists one block as raw little-endian float64s.
+func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
+	data := b.Data()
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(s.blockPath(k), buf, 0o644); err != nil {
+		panic(fmt.Sprintf("sip: server %d: write block %v: %v", s.rank, k, err))
+	}
+	s.onDisk[k] = true
+	s.diskWrites++
+}
+
+// readDisk loads one block previously written by writeDisk.
+func (s *ioServer) readDisk(k blockKey) *block.Block {
+	buf, err := os.ReadFile(s.blockPath(k))
+	if err != nil {
+		panic(fmt.Sprintf("sip: server %d: read block %v: %v", s.rank, k, err))
+	}
+	dims := s.blockDims(k)
+	b := block.New(dims...)
+	data := b.Data()
+	if len(buf) != 8*len(data) {
+		panic(fmt.Sprintf("sip: server %d: block %v has %d bytes, want %d", s.rank, k, len(buf), 8*len(data)))
+	}
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	s.diskReads++
+	return b
+}

@@ -1,0 +1,371 @@
+// Package sip implements the Super Instruction Processor: the parallel
+// virtual machine that executes SIA byte code (paper §V).
+//
+// A SIP instance is organized as a master, a set of workers, and a set of
+// I/O servers (paper §V-B), each played by goroutines communicating
+// through the in-process MPI layer:
+//
+//   - The master assigns pardo iterations to workers in guided chunks
+//     whose size decreases as the computation proceeds, and coordinates
+//     checkpointing and shutdown.
+//   - Each worker interprets the byte code: it manages temp/local/static
+//     blocks, fetches distributed blocks asynchronously with get
+//     (overlapping communication with computation and prefetching ahead
+//     in sequential loops), stores them with put, and talks to the I/O
+//     servers for served (disk-backed) arrays.  A service goroutine per
+//     worker answers get/put requests against the worker's partition of
+//     each distributed array, providing the asynchronous progress a real
+//     MPI implementation gets from its progress engine.
+//   - Each I/O server holds a write-back LRU cache of served-array
+//     blocks, lazily persisting dirty blocks to scratch files.
+//
+// Rank layout: rank 0 is the master, ranks 1..W are workers, and ranks
+// W+1..W+S are I/O servers.
+package sip
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/bytecode"
+	"repro/internal/compiler"
+	"repro/internal/mpi"
+	"repro/internal/segment"
+)
+
+// Message tags.
+const (
+	tagChunkReq  = 1  // worker -> master: request a pardo chunk
+	tagChunkRep  = 2  // master -> worker: iteration chunk
+	tagService   = 3  // worker -> worker service loop: get/put/shutdown
+	tagPutAck    = 4  // home -> origin: put applied
+	tagServer    = 5  // worker -> server: request/prepare/flush/shutdown
+	tagPrepAck   = 6  // server -> worker: prepare applied
+	tagFlushAck  = 7  // server -> worker: all dirty blocks written
+	tagDone      = 8  // worker -> master: reached halt
+	tagCkpt      = 9  // worker <-> master: checkpoint traffic
+	tagGather    = 10 // worker/server -> master: final array gather
+	tagReplyBase = 1 << 16
+)
+
+// PresetFunc initializes one block of an array at startup.  coord is the
+// block coordinate; lo and hi are the inclusive element bounds per
+// dimension.  Returning nil leaves the block unallocated (implicitly
+// zero).
+type PresetFunc func(coord segment.Coord, lo, hi []int) *block.Block
+
+// IntegralFunc computes an integral block on demand for
+// compute_integrals.  arr is the SIAL array name; lo and hi are the
+// inclusive element bounds of the block.
+type IntegralFunc func(arr string, lo, hi []int) *block.Block
+
+// ExecCtx gives user super instructions access to their execution
+// environment.
+type ExecCtx struct {
+	Worker int // worker index, 0-based
+	Layout *bytecode.Layout
+}
+
+// SuperFunc is a user-registered computational super instruction invoked
+// by the SIAL execute statement.  Blocks are resolved read-write; scalars
+// are passed by pointer.
+type SuperFunc func(ctx *ExecCtx, blocks []*block.Block, scalars []*float64) error
+
+// Config parameterizes a SIP run.
+type Config struct {
+	// Workers is the number of worker tasks (>= 1).
+	Workers int
+	// Servers is the number of I/O server tasks; required only when the
+	// program uses served arrays.
+	Servers int
+	// Params supplies values for the program's symbolic constants.
+	Params map[string]int
+	// Seg selects segment sizes (the key runtime tuning parameter).
+	Seg bytecode.SegConfig
+	// PrefetchWindow is the number of future do-loop iterations whose
+	// get blocks are requested ahead of use.  0 disables prefetching.
+	PrefetchWindow int
+	// CacheBlocks bounds each worker's remote-block cache (0 = 1024).
+	CacheBlocks int
+	// ServerCacheBlocks bounds each I/O server's block cache (0 = 1024).
+	ServerCacheBlocks int
+	// ScratchDir is where served arrays and checkpoints are written.
+	// Empty means a fresh temporary directory.
+	ScratchDir string
+	// Placement chooses the home worker (0-based index) for each block
+	// of a distributed array.  Nil selects the default static hash.
+	// The paper emphasizes that "the approach to data distribution
+	// could be modified and improved at any time without requiring any
+	// change in the SIAL programs" (§V-B) — SIAL semantics never depend
+	// on placement.
+	Placement PlacementFunc
+	// Preset initializes distributed and served arrays by name before
+	// execution begins.
+	Preset map[string]PresetFunc
+	// Super registers user super instructions by name.
+	Super map[string]SuperFunc
+	// Integrals computes blocks for compute_integrals.  Defaults to a
+	// deterministic synthetic generator.
+	Integrals IntegralFunc
+	// Output receives print statements (default os.Stdout).  Prints are
+	// executed by worker 1 only.
+	Output io.Writer
+	// Trace, when non-nil, receives one line per instruction executed
+	// by worker 1: the pc, source line, opcode, and current pardo
+	// iteration.  The transparent relationship between SIAL source and
+	// execution is a design goal the paper emphasizes (§VI-B).
+	Trace io.Writer
+	// GatherArrays collects all distributed and served array contents
+	// into the Result after the run (for tests and small problems).
+	GatherArrays bool
+}
+
+func (c *Config) fill() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("sip: Workers = %d, need >= 1", c.Workers)
+	}
+	if c.Servers < 0 {
+		return fmt.Errorf("sip: Servers = %d, need >= 0", c.Servers)
+	}
+	if c.Seg.Default == 0 {
+		c.Seg = bytecode.DefaultSegConfig(4)
+	}
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = 1024
+	}
+	if c.ServerCacheBlocks == 0 {
+		c.ServerCacheBlocks = 1024
+	}
+	if c.Output == nil {
+		c.Output = os.Stdout
+	}
+	if c.Integrals == nil {
+		c.Integrals = DefaultIntegrals
+	}
+	return nil
+}
+
+// ArrayBlock is one gathered block of a distributed or served array.
+type ArrayBlock struct {
+	Ord  int // block ordinal within the array shape
+	Data []float64
+}
+
+// Result reports the outcome of a SIP run.
+type Result struct {
+	// Scalars holds final scalar values (from worker 1; collectives
+	// make them identical across workers).
+	Scalars map[string]float64
+	// Arrays holds gathered distributed arrays (GatherArrays only).
+	Arrays map[string][]ArrayBlock
+	// Served holds gathered served arrays (GatherArrays only).
+	Served map[string][]ArrayBlock
+	// Profile aggregates per-instruction timing and wait statistics.
+	Profile *Profile
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// runtime is the state shared (read-only after construction) by all
+// ranks of one SIP run.
+type runtime struct {
+	cfg     Config
+	prog    *bytecode.Program
+	layout  *bytecode.Layout
+	world   *mpi.World
+	workers int
+	servers int
+
+	workerGroup *mpi.Group // workers only: barriers, collectives
+	scratch     string
+
+	outMu sync.Mutex
+}
+
+// DefaultIntegrals is the built-in synthetic two-electron integral
+// generator: a deterministic, smooth, symmetric function of the global
+// element indices with 1/(1+distance) decay, standing in for the real
+// integrals the paper computes on demand (§V-B).
+func DefaultIntegrals(arr string, lo, hi []int) *block.Block {
+	dims := make([]int, len(lo))
+	for d := range lo {
+		dims[d] = hi[d] - lo[d] + 1
+	}
+	b := block.New(dims...)
+	idx := make([]int, len(dims))
+	data := b.Data()
+	for off := range data {
+		// Decode off into a multi-index (row-major).
+		rem := off
+		for d := len(dims) - 1; d >= 0; d-- {
+			idx[d] = rem%dims[d] + lo[d]
+			rem /= dims[d]
+		}
+		var spread, center float64
+		for _, v := range idx {
+			center += float64(v)
+		}
+		center /= float64(len(idx))
+		for _, v := range idx {
+			dv := float64(v) - center
+			spread += dv * dv
+		}
+		data[off] = 1.0 / (1.0 + spread + 0.1*center)
+	}
+	return b
+}
+
+// PlacementFunc maps (array id, block ordinal, worker count) to the
+// 0-based index of the worker that homes the block.
+type PlacementFunc func(arr, ord, workers int) int
+
+// HashPlacement is the default static strategy: a multiplicative hash
+// spreading blocks without regard to locality, which "works well in
+// practice" because access patterns are irregular and communication is
+// overlapped anyway (paper §V-B).
+func HashPlacement(arr, ord, workers int) int {
+	return (arr*2654435761 + ord) % workers
+}
+
+// RoundRobinPlacement deals the blocks of each array out cyclically.
+func RoundRobinPlacement(arr, ord, workers int) int {
+	return ord % workers
+}
+
+// BlockedPlacement gives each worker a contiguous range of ordinals per
+// array (requires knowing the block count, so it closes over the
+// layout; see NewBlockedPlacement).
+func NewBlockedPlacement(blocksOf func(arr int) int) PlacementFunc {
+	return func(arr, ord, workers int) int {
+		n := blocksOf(arr)
+		if n <= 0 {
+			return 0
+		}
+		w := ord * workers / n
+		if w >= workers {
+			w = workers - 1
+		}
+		return w
+	}
+}
+
+// homeWorker returns the world rank of the worker that owns block ord of
+// array arr.
+func (rt *runtime) homeWorker(arr, ord int) int {
+	place := rt.cfg.Placement
+	if place == nil {
+		place = HashPlacement
+	}
+	w := place(arr, ord, rt.workers)
+	if w < 0 || w >= rt.workers {
+		panic(fmt.Sprintf("sip: placement returned worker %d out of range [0,%d)", w, rt.workers))
+	}
+	return 1 + w
+}
+
+// homeServer returns the world rank of the I/O server that owns block
+// ord of served array arr.
+func (rt *runtime) homeServer(arr, ord int) int {
+	if rt.servers == 0 {
+		panic(fmt.Sprintf("sip: array %s is served but no I/O servers configured", rt.prog.Arrays[arr].Name))
+	}
+	return 1 + rt.workers + (arr*2654435761+ord)%rt.servers
+}
+
+// Run compiles nothing: it executes an already compiled program under the
+// given configuration and returns the result.
+func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
+	started := time.Now()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	layout, err := prog.Resolve(cfg.Params, cfg.Seg)
+	if err != nil {
+		return nil, err
+	}
+	scratch := cfg.ScratchDir
+	if scratch == "" {
+		dir, err := os.MkdirTemp("", "sip-scratch-")
+		if err != nil {
+			return nil, fmt.Errorf("sip: scratch dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		scratch = dir
+	}
+
+	nRanks := 1 + cfg.Workers + cfg.Servers
+	rt := &runtime{
+		cfg:     cfg,
+		prog:    prog,
+		layout:  layout,
+		world:   mpi.NewWorld(nRanks),
+		workers: cfg.Workers,
+		servers: cfg.Servers,
+		scratch: scratch,
+	}
+	rt.workerGroup = rt.world.NewGroup(cfg.Workers)
+
+	m := newMaster(rt)
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = newWorker(rt, 1+i)
+	}
+	servers := make([]*ioServer, cfg.Servers)
+	for i := range servers {
+		servers[i] = newIOServer(rt, 1+cfg.Workers+i)
+	}
+
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(2)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = w.run()
+		}(i, w)
+		go func(w *worker) {
+			defer wg.Done()
+			w.serviceLoop()
+		}(w)
+	}
+	for _, s := range servers {
+		wg.Add(1)
+		go func(s *ioServer) {
+			defer wg.Done()
+			s.run()
+		}(s)
+	}
+	res, masterErr := m.run()
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if masterErr != nil {
+		return nil, masterErr
+	}
+
+	// Attach final scalar values and merged profiles.
+	res.Scalars = map[string]float64{}
+	for i, s := range prog.Scalars {
+		res.Scalars[s.Name] = workers[0].scalars[i]
+	}
+	res.Profile = mergeProfiles(workers)
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// RunSource is a convenience wrapper: parse, check, compile, run.
+func RunSource(src string, cfg Config) (*Result, error) {
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(prog, cfg)
+}

@@ -1,0 +1,59 @@
+package sip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+func TestTraceOutput(t *testing.T) {
+	src := `
+sial traced
+param n = 4
+aoindex I = 1, n
+distributed D(I,I)
+temp one(I,I)
+pardo I
+  one(I,I) = 1.0
+  put D(I,I) = one(I,I)
+endpardo I
+sip_barrier
+endsial
+`
+	var buf bytes.Buffer
+	cfg := Config{Workers: 1, Seg: bytecode.DefaultSegConfig(2), Trace: &buf}
+	if _, err := RunSource(src, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pardo_start", "block_fill", "put", "barrier", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// The pardo body lines must carry the iteration's index values.
+	if !strings.Contains(out, "[I=1]") || !strings.Contains(out, "[I=2]") {
+		t.Errorf("trace missing pardo iteration annotations:\n%s", out)
+	}
+	// Source lines are attached.
+	if !strings.Contains(out, "line=") {
+		t.Errorf("trace missing source lines:\n%s", out)
+	}
+}
+
+func TestTraceOnlyWorkerOne(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Workers: 3, Seg: bytecode.DefaultSegConfig(2), Trace: &buf,
+		Params: map[string]int{"norb": 4, "nocc": 2},
+		Preset: map[string]PresetFunc{"T": presetFrom(tElem)}}
+	if _, err := RunSource(paperProgram, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.HasPrefix(line, "w1 ") {
+			t.Fatalf("trace line from a worker other than 1: %q", line)
+		}
+	}
+}

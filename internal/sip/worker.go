@@ -1,0 +1,1107 @@
+package sip
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/bytecode"
+	"repro/internal/mpi"
+	"repro/internal/segment"
+)
+
+// frame kinds on the interpreter's control stack.
+const (
+	frameDo = iota
+	frameDoIn
+	framePardo
+	frameCall
+)
+
+// frame is one entry of the interpreter control stack.
+type frame struct {
+	kind    int
+	idx     int // loop index id (do/doIn)
+	cur, hi int
+	startPC int // pc of the loop-start instruction
+
+	// pardo state
+	pid    int
+	chunk  [][]int
+	pos    int
+	exitPC int
+
+	// call state
+	retPC  int
+	procID int
+
+	// profiling
+	started time.Time
+	iters   int64
+}
+
+// worker interprets byte code on one rank (paper §V: "Each worker loops
+// through the instruction table executing bytecode instructions").
+type worker struct {
+	rt   *runtime
+	comm *mpi.Comm
+	rank int
+
+	scalars  []float64
+	idxVal   []int
+	idxBound []bool
+	stack    []float64
+	frames   []frame
+	pc       int
+
+	temps   map[blockKey]*block.Block
+	locals  map[blockKey]*block.Block
+	statics map[blockKey]*block.Block
+	dist    *store
+	cache   *blockCache
+	pool    *blockPool
+
+	pendingPutAcks  int
+	pendingPrepAcks int
+	nextReply       int
+
+	// pardoGen counts executions of each pardo so the master can keep
+	// scheduling state per execution (a pardo inside a do loop runs many
+	// times; all workers execute the surrounding control flow
+	// identically, so generations stay in step).
+	pardoGen []int
+
+	prof *Profile
+}
+
+func newWorker(rt *runtime, rank int) *worker {
+	w := &worker{
+		rt:       rt,
+		comm:     rt.world.Comm(rank),
+		rank:     rank,
+		scalars:  make([]float64, len(rt.prog.Scalars)),
+		idxVal:   make([]int, len(rt.prog.Indices)),
+		idxBound: make([]bool, len(rt.prog.Indices)),
+		temps:    map[blockKey]*block.Block{},
+		locals:   map[blockKey]*block.Block{},
+		statics:  map[blockKey]*block.Block{},
+		dist:     newStore(),
+		cache:    newBlockCache(rt.cfg.CacheBlocks),
+		pool:     newBlockPool(),
+		pardoGen: make([]int, len(rt.prog.Pardos)),
+		prof:     newProfile(rt.prog),
+	}
+	for i, s := range rt.prog.Scalars {
+		w.scalars[i] = s.Init
+	}
+	return w
+}
+
+// workerIndex is this worker's 0-based index among workers.
+func (w *worker) workerIndex() int { return w.rank - 1 }
+
+// initPresets populates this worker's partition of distributed arrays
+// from Config.Preset.
+func (w *worker) initPresets() error {
+	for name, fn := range w.rt.cfg.Preset {
+		arr := w.rt.prog.ArrayID(name)
+		if arr < 0 {
+			return fmt.Errorf("sip: preset for unknown array %q", name)
+		}
+		if w.rt.prog.Arrays[arr].Kind != bytecode.ArrayDistributed {
+			continue // served presets are installed by the I/O servers
+		}
+		shape := w.rt.layout.Shapes[arr]
+		var err error
+		shape.EachCoord(func(c segment.Coord) {
+			ord := shape.Ordinal(c)
+			if w.rt.homeWorker(arr, ord) != w.rank || err != nil {
+				return
+			}
+			lo, hi := shape.BlockBounds(c)
+			b := fn(c.Clone(), lo, hi)
+			if b == nil {
+				return
+			}
+			if !dimsEqual(b.Dims(), shape.BlockDims(c)) {
+				err = fmt.Errorf("sip: preset %s%v returned dims %v, want %v", name, c, b.Dims(), shape.BlockDims(c))
+				return
+			}
+			w.dist.put(blockKey{arr, ord}, b, false)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dimsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes the program to completion.  On any failure it poisons the
+// worker group (so peers blocked in collectives abort instead of
+// hanging) and still reports done to the master, which keeps the
+// shutdown protocol deadlock-free.
+func (w *worker) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == mpi.ErrAborted {
+				err = fmt.Errorf("sip: worker %d: aborted after peer failure", w.rank)
+			} else {
+				err = fmt.Errorf("sip: worker %d: panic: %v", w.rank, r)
+			}
+		}
+		if err != nil {
+			w.rt.workerGroup.Poison()
+			w.comm.Send(0, tagDone, doneMsg{origin: w.rank})
+		}
+	}()
+	if err := w.initPresets(); err != nil {
+		return err
+	}
+	// All homes are initialized before anyone can fetch.
+	w.rt.workerGroup.Barrier()
+
+	code := w.rt.prog.Code
+	for {
+		in := &code[w.pc]
+		switch in.Op {
+		case bytecode.OpHalt:
+			if w.rt.cfg.Trace != nil && w.rank == 1 {
+				w.trace(in)
+			}
+			w.shutdown()
+			return nil
+		default:
+			if err := w.exec(in); err != nil {
+				return fmt.Errorf("sip: worker %d: pc %d line %d (%s): %w",
+					w.rank, w.pc, in.Line, in.Op, err)
+			}
+		}
+	}
+}
+
+// shutdown runs the end-of-program protocol.  Service loops stay alive
+// until the master has heard from every worker, so late get/put requests
+// from stragglers are still answered; the master shuts them down.
+func (w *worker) shutdown() {
+	w.drainPutAcks()
+	w.drainPrepAcks()
+	w.rt.workerGroup.Barrier()
+	if w.rt.cfg.GatherArrays {
+		arrays := map[int][]ArrayBlock{}
+		w.dist.each(func(k blockKey, b *block.Block) {
+			arrays[k.arr] = append(arrays[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
+		})
+		w.comm.Send(0, tagGather, gatherMsg{origin: w.rank, arrays: arrays})
+	}
+	w.comm.Send(0, tagDone, doneMsg{origin: w.rank})
+}
+
+// exec dispatches one instruction.  On return the pc has been advanced.
+func (w *worker) exec(in *bytecode.Instr) error {
+	if w.rt.cfg.Trace != nil && w.rank == 1 {
+		w.trace(in)
+	}
+	start := time.Now()
+	next := w.pc + 1
+	switch in.Op {
+	case bytecode.OpNop:
+
+	// --- scalar stack ---
+	case bytecode.OpPushLit:
+		w.push(in.F)
+	case bytecode.OpPushScalar:
+		w.push(w.scalars[in.A])
+	case bytecode.OpPushParam:
+		w.push(float64(w.rt.layout.ParamVal(in.A)))
+	case bytecode.OpPushIndex:
+		if !w.idxBound[in.A] {
+			return fmt.Errorf("index %s has no value", w.rt.prog.Indices[in.A].Name)
+		}
+		w.push(float64(w.idxVal[in.A]))
+	case bytecode.OpAdd:
+		r, l := w.pop(), w.pop()
+		w.push(l + r)
+	case bytecode.OpSub:
+		r, l := w.pop(), w.pop()
+		w.push(l - r)
+	case bytecode.OpMul:
+		r, l := w.pop(), w.pop()
+		w.push(l * r)
+	case bytecode.OpDiv:
+		r, l := w.pop(), w.pop()
+		w.push(l / r)
+	case bytecode.OpCmp:
+		r, l := w.pop(), w.pop()
+		if bytecode.EvalCmp(in.A, l, r) {
+			w.push(1)
+		} else {
+			w.push(0)
+		}
+	case bytecode.OpStoreScalar:
+		v := w.pop()
+		switch in.B {
+		case bytecode.AssignSet:
+			w.scalars[in.A] = v
+		case bytecode.AssignAdd:
+			w.scalars[in.A] += v
+		case bytecode.AssignSub:
+			w.scalars[in.A] -= v
+		case bytecode.AssignMul:
+			w.scalars[in.A] *= v
+		}
+	case bytecode.OpDot:
+		a, err := w.readBlock(in.R[1])
+		if err != nil {
+			return err
+		}
+		b, err := w.readBlock(in.R[2])
+		if err != nil {
+			return err
+		}
+		w.push(block.Dot(a, b))
+
+	// --- control flow ---
+	case bytecode.OpJump:
+		next = in.A
+	case bytecode.OpJumpIfFalse:
+		if w.pop() == 0 {
+			next = in.A
+		}
+	case bytecode.OpDoStart:
+		lo, hi := w.rt.layout.IndexRange(in.A)
+		if lo > hi {
+			next = in.C
+			break
+		}
+		w.frames = append(w.frames, frame{kind: frameDo, idx: in.A, cur: lo, hi: hi, startPC: w.pc})
+		w.bind(in.A, lo)
+	case bytecode.OpDoEnd:
+		f := &w.frames[len(w.frames)-1]
+		f.cur++
+		if f.cur <= f.hi {
+			w.bind(f.idx, f.cur)
+			next = f.startPC + 1
+		} else {
+			w.unbind(f.idx)
+			w.frames = w.frames[:len(w.frames)-1]
+		}
+	case bytecode.OpDoInStart:
+		sub := w.rt.layout.Indices[in.A]
+		super := w.rt.layout.Indices[in.B]
+		if !w.idxBound[in.B] {
+			return fmt.Errorf("do %s in %s: super index unbound", sub.Name, super.Name)
+		}
+		lo, hi := super.SubSegments(sub, w.idxVal[in.B])
+		if lo > hi {
+			next = in.C
+			break
+		}
+		w.frames = append(w.frames, frame{kind: frameDoIn, idx: in.A, cur: lo, hi: hi, startPC: w.pc})
+		w.bind(in.A, lo)
+	case bytecode.OpDoInEnd:
+		f := &w.frames[len(w.frames)-1]
+		f.cur++
+		if f.cur <= f.hi {
+			w.bind(f.idx, f.cur)
+			next = f.startPC + 1
+		} else {
+			w.unbind(f.idx)
+			w.frames = w.frames[:len(w.frames)-1]
+		}
+	case bytecode.OpPardoStart:
+		gen := w.pardoGen[in.A]
+		w.pardoGen[in.A]++
+		f := frame{kind: framePardo, pid: in.A, cur: gen, startPC: w.pc, exitPC: in.C, started: time.Now()}
+		chunk := w.fetchChunk(in.A, gen)
+		if len(chunk) == 0 {
+			w.prof.pardoDone(in.A, time.Since(f.started), 0)
+			next = in.C
+			break
+		}
+		f.chunk = chunk
+		w.frames = append(w.frames, f)
+		w.setIteration(in.A, chunk[0])
+	case bytecode.OpPardoEnd:
+		f := &w.frames[len(w.frames)-1]
+		w.clearTemps()
+		f.pos++
+		f.iters++
+		if f.pos >= len(f.chunk) {
+			f.chunk = w.fetchChunk(f.pid, f.cur)
+			f.pos = 0
+		}
+		if len(f.chunk) > 0 {
+			w.setIteration(f.pid, f.chunk[f.pos])
+			next = f.startPC + 1
+		} else {
+			for _, id := range w.rt.prog.Pardos[f.pid].Indices {
+				w.unbind(id)
+			}
+			w.prof.pardoDone(f.pid, time.Since(f.started), f.iters)
+			next = f.exitPC
+			w.frames = w.frames[:len(w.frames)-1]
+		}
+	case bytecode.OpCall:
+		w.frames = append(w.frames, frame{kind: frameCall, retPC: w.pc + 1,
+			procID: in.A, started: time.Now()})
+		next = w.rt.prog.Procs[in.A].Entry
+	case bytecode.OpReturn:
+		f := w.frames[len(w.frames)-1]
+		if f.kind != frameCall {
+			return fmt.Errorf("return outside procedure")
+		}
+		w.prof.procDone(f.procID, time.Since(f.started))
+		w.frames = w.frames[:len(w.frames)-1]
+		next = f.retPC
+
+	// --- block super instructions ---
+	case bytecode.OpBlockFill:
+		v := w.pop()
+		loc, err := w.locate(in.R[0])
+		if err != nil {
+			return err
+		}
+		var dims []int
+		if loc.region {
+			dims = loc.rext
+		} else {
+			dims = loc.dims
+		}
+		b := w.newBlock(w.rt.prog.Arrays[in.R[0].Arr].Kind, dims)
+		b.Fill(v)
+		if err := w.storeDst(in.R[0], loc, b, in.B); err != nil {
+			return err
+		}
+	case bytecode.OpBlockCopy:
+		src, err := w.readBlock(in.R[1])
+		if err != nil {
+			return err
+		}
+		loc, err := w.locate(in.R[0])
+		if err != nil {
+			return err
+		}
+		var val *block.Block
+		if in.A == bytecode.CopyPermute && !identityPerm(in.Aux) {
+			val = src.Permute(in.Aux)
+		} else {
+			val = src.Clone()
+		}
+		if err := w.storeDst(in.R[0], loc, val, in.B); err != nil {
+			return err
+		}
+	case bytecode.OpBlockScale:
+		v := w.pop()
+		src, err := w.readBlock(in.R[1])
+		if err != nil {
+			return err
+		}
+		val := src.Clone()
+		val.Scale(v)
+		loc, err := w.locate(in.R[0])
+		if err != nil {
+			return err
+		}
+		if err := w.storeDst(in.R[0], loc, val, in.B); err != nil {
+			return err
+		}
+	case bytecode.OpBlockSum:
+		a, err := w.readBlock(in.R[1])
+		if err != nil {
+			return err
+		}
+		b, err := w.readBlock(in.R[2])
+		if err != nil {
+			return err
+		}
+		val := a.Clone()
+		if in.A == 0 {
+			val.AddScaled(1, b)
+		} else {
+			val.AddScaled(-1, b)
+		}
+		loc, err := w.locate(in.R[0])
+		if err != nil {
+			return err
+		}
+		if err := w.storeDst(in.R[0], loc, val, in.B); err != nil {
+			return err
+		}
+	case bytecode.OpContract:
+		a, err := w.readBlock(in.R[1])
+		if err != nil {
+			return err
+		}
+		b, err := w.readBlock(in.R[2])
+		if err != nil {
+			return err
+		}
+		spec := block.Spec{A: in.R[1].Idx, B: in.R[2].Idx, C: in.R[0].Idx}
+		val, err := block.Contract(spec, a, b)
+		if err != nil {
+			return err
+		}
+		if fl, err := block.ContractFlops(spec, a.Dims(), b.Dims()); err == nil {
+			w.prof.addFlops(fl)
+		}
+		loc, err := w.locate(in.R[0])
+		if err != nil {
+			return err
+		}
+		if err := w.storeDst(in.R[0], loc, val, in.B); err != nil {
+			return err
+		}
+
+	// --- communication super instructions ---
+	case bytecode.OpGet:
+		if err := w.doGet(in.R[0], true); err != nil {
+			return err
+		}
+	case bytecode.OpRequest:
+		if err := w.doGet(in.R[0], true); err != nil {
+			return err
+		}
+	case bytecode.OpPut:
+		if err := w.doPut(in.R[0], in.R[1], in.A == 1); err != nil {
+			return err
+		}
+	case bytecode.OpPrepare:
+		if err := w.doPut(in.R[0], in.R[1], in.A == 1); err != nil {
+			return err
+		}
+	case bytecode.OpComputeIntegrals:
+		if err := w.doComputeIntegrals(in.R[0]); err != nil {
+			return err
+		}
+	case bytecode.OpExecute:
+		if err := w.doExecute(in); err != nil {
+			return err
+		}
+	case bytecode.OpBarrier:
+		if in.A == 1 {
+			w.serverBarrier()
+		} else {
+			w.sipBarrier()
+		}
+	case bytecode.OpCollective:
+		w.drainPutAcks()
+		w.scalars[in.A] = w.rt.workerGroup.AllreduceSum(w.scalars[in.A])
+	case bytecode.OpPrint:
+		if w.rank == 1 {
+			w.rt.outMu.Lock()
+			if in.A >= 0 {
+				fmt.Fprint(w.rt.cfg.Output, w.rt.prog.Strings[in.A])
+			}
+			if in.B >= 0 {
+				if in.A >= 0 {
+					fmt.Fprint(w.rt.cfg.Output, " ")
+				}
+				fmt.Fprintf(w.rt.cfg.Output, "%.12g", w.scalars[in.B])
+			}
+			fmt.Fprintln(w.rt.cfg.Output)
+			w.rt.outMu.Unlock()
+		}
+	case bytecode.OpBlocksToList:
+		if err := w.checkpointSave(in.A); err != nil {
+			return err
+		}
+	case bytecode.OpListToBlocks:
+		if err := w.checkpointLoad(in.A); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unhandled opcode %s", in.Op)
+	}
+	w.prof.record(in.Op, in.Line, time.Since(start))
+	w.pc = next
+	return nil
+}
+
+// trace emits one line describing the instruction about to execute,
+// including the active pardo iteration's index values.
+func (w *worker) trace(in *bytecode.Instr) {
+	iter := ""
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		if w.frames[i].kind == framePardo {
+			pd := w.rt.prog.Pardos[w.frames[i].pid]
+			parts := make([]string, len(pd.Indices))
+			for d, id := range pd.Indices {
+				parts[d] = fmt.Sprintf("%s=%d", w.rt.prog.Indices[id].Name, w.idxVal[id])
+			}
+			iter = " [" + strings.Join(parts, ",") + "]"
+			break
+		}
+	}
+	w.rt.outMu.Lock()
+	fmt.Fprintf(w.rt.cfg.Trace, "w%d pc=%-4d line=%-3d %s%s\n", w.rank, w.pc, in.Line, in.Op, iter)
+	w.rt.outMu.Unlock()
+}
+
+func identityPerm(p []int) bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *worker) push(v float64) { w.stack = append(w.stack, v) }
+
+func (w *worker) pop() float64 {
+	v := w.stack[len(w.stack)-1]
+	w.stack = w.stack[:len(w.stack)-1]
+	return v
+}
+
+func (w *worker) bind(id, v int) {
+	w.idxVal[id] = v
+	w.idxBound[id] = true
+}
+
+func (w *worker) unbind(id int) { w.idxBound[id] = false }
+
+// setIteration binds the pardo indices to one iteration's values.
+func (w *worker) setIteration(pid int, vals []int) {
+	for i, id := range w.rt.prog.Pardos[pid].Indices {
+		w.bind(id, vals[i])
+	}
+}
+
+// clearTemps recycles all per-iteration temp blocks into the block pool
+// (paper §V-B: worker memory is managed as stacks of preallocated
+// blocks, so steady-state iterations allocate nothing).
+func (w *worker) clearTemps() {
+	for _, b := range w.temps {
+		w.pool.put(b)
+	}
+	clear(w.temps)
+}
+
+// fetchChunk asks the master for the next iterations of a pardo
+// execution ("Initially, the set of iterations ... is divided into
+// 'chunks' and doled out to the workers.  When a worker completes its
+// chunk, it requests another chunk from the master", paper §V-B).
+func (w *worker) fetchChunk(pid, gen int) [][]int {
+	w.comm.Send(0, tagChunkReq, chunkMsg{pardo: pid, gen: gen, origin: w.rank})
+	rep := w.comm.Recv(0, tagChunkRep).Data.(chunkReply)
+	return rep.iters
+}
+
+// refLoc is the resolved location of a block reference: the block
+// coordinate plus, for subindex references, the region within the block.
+type refLoc struct {
+	key    blockKey
+	coord  segment.Coord
+	dims   []int
+	region bool
+	rlo    []int // region offset within the block (0-based)
+	rext   []int // region extent
+}
+
+// locate resolves a reference against the current index values.
+// overrides, if non-nil, substitutes values for specific index ids
+// (used by the prefetcher to address future iterations).
+func (w *worker) locateWith(ref bytecode.Ref, overrides map[int]int) (refLoc, error) {
+	prog := w.rt.prog
+	layout := w.rt.layout
+	arr := prog.Arrays[ref.Arr]
+	shape := layout.Shapes[ref.Arr]
+	loc := refLoc{coord: make(segment.Coord, len(ref.Idx))}
+	val := func(id int) (int, error) {
+		if v, ok := overrides[id]; ok {
+			return v, nil
+		}
+		if !w.idxBound[id] {
+			return 0, fmt.Errorf("index %s has no value", prog.Indices[id].Name)
+		}
+		return w.idxVal[id], nil
+	}
+	for i, id := range ref.Idx {
+		sym := prog.Indices[id]
+		dimID := arr.Dims[i]
+		dimSym := prog.Indices[dimID]
+		if sym.Parent >= 0 && dimSym.Parent < 0 {
+			// Subindex against a super dimension: the block coordinate
+			// comes from the parent; the region from the subindex.
+			pv, err := val(sym.Parent)
+			if err != nil {
+				return loc, err
+			}
+			sv, err := val(id)
+			if err != nil {
+				return loc, err
+			}
+			loc.coord[i] = pv
+			if !loc.region {
+				loc.region = true
+				loc.rlo = make([]int, len(ref.Idx))
+				loc.rext = make([]int, len(ref.Idx))
+			}
+			parent := layout.Indices[sym.Parent]
+			sub := layout.Indices[id]
+			blockLo, _ := parent.SegBounds(pv)
+			subLo, subHi := sub.SegBounds(sv)
+			loc.rlo[i] = subLo - blockLo
+			loc.rext[i] = subHi - subLo + 1
+			continue
+		}
+		v, err := val(id)
+		if err != nil {
+			return loc, err
+		}
+		loc.coord[i] = v
+	}
+	if err := shape.CheckCoord(loc.coord); err != nil {
+		return loc, err
+	}
+	loc.key = blockKey{arr: ref.Arr, ord: shape.Ordinal(loc.coord)}
+	loc.dims = shape.BlockDims(loc.coord)
+	if loc.region {
+		// Fill region defaults for non-sub dimensions: whole extent.
+		for i := range ref.Idx {
+			if loc.rext[i] == 0 {
+				loc.rlo[i] = 0
+				loc.rext[i] = loc.dims[i]
+			}
+		}
+	}
+	return loc, nil
+}
+
+func (w *worker) locate(ref bytecode.Ref) (refLoc, error) {
+	return w.locateWith(ref, nil)
+}
+
+// localMap returns the worker-local map holding blocks of the given
+// array kind, or nil for communicated arrays.
+func (w *worker) localMap(kind bytecode.ArrayKind) map[blockKey]*block.Block {
+	switch kind {
+	case bytecode.ArrayTemp:
+		return w.temps
+	case bytecode.ArrayLocal:
+		return w.locals
+	case bytecode.ArrayStatic:
+		return w.statics
+	}
+	return nil
+}
+
+// newBlock allocates a zeroed block for a worker-local array, drawing
+// temp blocks from the recycling pool.
+func (w *worker) newBlock(kind bytecode.ArrayKind, dims []int) *block.Block {
+	if kind == bytecode.ArrayTemp {
+		return w.pool.get(dims)
+	}
+	return block.New(dims...)
+}
+
+// readBlock resolves a reference to a block value: local blocks from the
+// worker maps, distributed/served blocks from the cache (waiting for
+// in-flight fetches and charging the wait to the enclosing pardo).
+// Region references return the extracted subblock.
+func (w *worker) readBlock(ref bytecode.Ref) (*block.Block, error) {
+	loc, err := w.locate(ref)
+	if err != nil {
+		return nil, err
+	}
+	arr := w.rt.prog.Arrays[ref.Arr]
+	var b *block.Block
+	if m := w.localMap(arr.Kind); m != nil {
+		b = m[loc.key]
+		if b == nil {
+			return nil, fmt.Errorf("read of uninitialized %s block %s%v", arr.Kind, arr.Name, loc.coord)
+		}
+	} else {
+		e := w.cache.lookup(loc.key)
+		if e == nil {
+			return nil, fmt.Errorf("block %s%v used without get/request", arr.Name, loc.coord)
+		}
+		b = w.waitBlock(e)
+	}
+	if loc.region {
+		return b.Extract(loc.rlo, loc.rext), nil
+	}
+	return b, nil
+}
+
+// waitBlock waits for an in-flight fetch, recording the wait time
+// against the innermost pardo (paper §VI-B: per-pardo wait times are the
+// primary tuning signal).
+func (w *worker) waitBlock(e *cacheEntry) *block.Block {
+	if !e.pending() {
+		return e.b
+	}
+	start := time.Now()
+	b := e.wait()
+	w.prof.addWait(w.currentPardo(), time.Since(start))
+	return b
+}
+
+// currentPardo returns the innermost active pardo id, or -1.
+func (w *worker) currentPardo() int {
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		if w.frames[i].kind == framePardo {
+			return w.frames[i].pid
+		}
+	}
+	return -1
+}
+
+// storeDst writes a computed value into a destination reference with the
+// given assign mode.  Region destinations read-modify-write the base
+// block.
+func (w *worker) storeDst(ref bytecode.Ref, loc refLoc, val *block.Block, mode int) error {
+	arr := w.rt.prog.Arrays[ref.Arr]
+	m := w.localMap(arr.Kind)
+	if m == nil {
+		return fmt.Errorf("direct write to %s array %s", arr.Kind, arr.Name)
+	}
+	if loc.region {
+		base := m[loc.key]
+		if base == nil {
+			base = w.newBlock(arr.Kind, loc.dims)
+			m[loc.key] = base
+		}
+		switch mode {
+		case bytecode.AssignSet:
+			base.Insert(loc.rlo, val)
+		case bytecode.AssignAdd, bytecode.AssignSub:
+			cur := base.Extract(loc.rlo, loc.rext)
+			if mode == bytecode.AssignAdd {
+				cur.AddScaled(1, val)
+			} else {
+				cur.AddScaled(-1, val)
+			}
+			base.Insert(loc.rlo, cur)
+		default:
+			return fmt.Errorf("unsupported assign mode for subblock destination")
+		}
+		return nil
+	}
+	switch mode {
+	case bytecode.AssignSet:
+		if !dimsEqual(val.Dims(), loc.dims) {
+			return fmt.Errorf("assignment to %s%v: got dims %v, want %v", arr.Name, loc.coord, val.Dims(), loc.dims)
+		}
+		m[loc.key] = val
+	case bytecode.AssignAdd, bytecode.AssignSub:
+		cur := m[loc.key]
+		if cur == nil {
+			cur = w.newBlock(arr.Kind, loc.dims)
+			m[loc.key] = cur
+		}
+		if mode == bytecode.AssignAdd {
+			cur.AddScaled(1, val)
+		} else {
+			cur.AddScaled(-1, val)
+		}
+	default:
+		return fmt.Errorf("unsupported assign mode %d for block destination", mode)
+	}
+	return nil
+}
+
+// doGet implements get (distributed) and request (served): resolve the
+// block's location and start an asynchronous fetch unless it is already
+// cached.  Prefetches ahead in the innermost sequential loop.
+func (w *worker) doGet(ref bytecode.Ref, prefetch bool) error {
+	loc, err := w.locate(ref)
+	if err != nil {
+		return err
+	}
+	if e := w.cache.lookup(loc.key); e != nil {
+		e.poll()
+	} else {
+		w.startFetch(ref.Arr, loc)
+	}
+	if prefetch && w.rt.cfg.PrefetchWindow > 0 {
+		w.prefetchAhead(ref)
+	}
+	return nil
+}
+
+// startFetch begins an asynchronous fetch of one block into the cache.
+func (w *worker) startFetch(arrID int, loc refLoc) *cacheEntry {
+	arr := w.rt.prog.Arrays[arrID]
+	var home int
+	if arr.Kind == bytecode.ArrayServed {
+		home = w.rt.homeServer(arrID, loc.key.ord)
+	} else {
+		home = w.rt.homeWorker(arrID, loc.key.ord)
+	}
+	if home == w.rank {
+		// Locally homed: copy out of the store under its lock.
+		b := w.dist.getCopy(loc.key, loc.dims)
+		return w.cache.insertReady(loc.key, b)
+	}
+	replyTag := tagReplyBase + w.nextReply
+	w.nextReply++
+	req := w.comm.Irecv(home, replyTag)
+	msgTag := tagService
+	if arr.Kind == bytecode.ArrayServed {
+		msgTag = tagServer
+	}
+	w.comm.Send(home, msgTag, getMsg{key: loc.key, replyTag: replyTag, origin: w.rank})
+	w.prof.fetches++
+	return w.cache.insertPending(loc.key, req)
+}
+
+// prefetchAhead requests the blocks this get will need in the next
+// iterations of the innermost enclosing sequential loop (paper §V-A:
+// "The SIP looks ahead and requests several blocks that it expects will
+// be needed soon").
+func (w *worker) prefetchAhead(ref bytecode.Ref) {
+	// Find the innermost do/doIn frame whose index appears in the ref
+	// (directly or as the parent of a subindex used by the ref).
+	var fr *frame
+	for i := len(w.frames) - 1; i >= 0 && fr == nil; i-- {
+		f := &w.frames[i]
+		if f.kind != frameDo && f.kind != frameDoIn {
+			continue
+		}
+		for _, id := range ref.Idx {
+			if id == f.idx || w.rt.prog.Indices[id].Parent == f.idx {
+				fr = f
+				break
+			}
+		}
+	}
+	if fr == nil {
+		return
+	}
+	for ahead := 1; ahead <= w.rt.cfg.PrefetchWindow; ahead++ {
+		v := fr.cur + ahead
+		if v > fr.hi {
+			return
+		}
+		loc, err := w.locateWith(ref, map[int]int{fr.idx: v})
+		if err != nil {
+			return
+		}
+		if w.cache.lookup(loc.key) == nil {
+			w.startFetch(ref.Arr, loc)
+			w.prof.prefetches++
+		}
+	}
+}
+
+// doPut implements put (distributed) and prepare (served).
+func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
+	loc, err := w.locate(dst)
+	if err != nil {
+		return err
+	}
+	val, err := w.readBlock(src)
+	if err != nil {
+		return err
+	}
+	if !dimsEqual(val.Dims(), loc.dims) {
+		return fmt.Errorf("put %s%v: got dims %v, want %v",
+			w.rt.prog.Arrays[dst.Arr].Name, loc.coord, val.Dims(), loc.dims)
+	}
+	arr := w.rt.prog.Arrays[dst.Arr]
+	payload := val.Clone() // the source block may be reused next iteration
+	if arr.Kind == bytecode.ArrayServed {
+		home := w.rt.homeServer(dst.Arr, loc.key.ord)
+		w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true})
+		w.pendingPrepAcks++
+	} else {
+		home := w.rt.homeWorker(dst.Arr, loc.key.ord)
+		if home == w.rank {
+			w.dist.put(loc.key, payload, acc)
+		} else {
+			w.comm.Send(home, tagService, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true})
+			w.pendingPutAcks++
+		}
+	}
+	// Drop any stale cached copy of the block we just overwrote.
+	w.cache.invalidate(loc.key)
+	return nil
+}
+
+func (w *worker) doComputeIntegrals(ref bytecode.Ref) error {
+	loc, err := w.locate(ref)
+	if err != nil {
+		return err
+	}
+	arr := w.rt.prog.Arrays[ref.Arr]
+	shape := w.rt.layout.Shapes[ref.Arr]
+	lo, hi := shape.BlockBounds(loc.coord)
+	b := w.rt.cfg.Integrals(arr.Name, lo, hi)
+	if b == nil || !dimsEqual(b.Dims(), loc.dims) {
+		return fmt.Errorf("compute_integrals %s%v: generator returned wrong dims", arr.Name, loc.coord)
+	}
+	m := w.localMap(arr.Kind)
+	m[loc.key] = b
+	return nil
+}
+
+func (w *worker) doExecute(in *bytecode.Instr) error {
+	name := w.rt.prog.Strings[in.A]
+	fn, ok := w.rt.cfg.Super[name]
+	if !ok {
+		fn, ok = builtinSuper[name]
+	}
+	if !ok {
+		return fmt.Errorf("execute: super instruction %q not registered", name)
+	}
+	blocks := make([]*block.Block, in.B)
+	for i := 0; i < in.B; i++ {
+		ref := in.R[i]
+		arr := w.rt.prog.Arrays[ref.Arr]
+		loc, err := w.locate(ref)
+		if err != nil {
+			return err
+		}
+		if loc.region {
+			return fmt.Errorf("execute %s: subblock arguments not supported", name)
+		}
+		if m := w.localMap(arr.Kind); m != nil {
+			b := m[loc.key]
+			if b == nil {
+				b = block.New(loc.dims...)
+				m[loc.key] = b
+			}
+			blocks[i] = b
+		} else {
+			b, err := w.readBlock(ref)
+			if err != nil {
+				return err
+			}
+			blocks[i] = b.Clone() // protect the cache from mutation
+		}
+	}
+	scalars := make([]*float64, len(in.Aux))
+	for i, id := range in.Aux {
+		scalars[i] = &w.scalars[id]
+	}
+	ctx := &ExecCtx{Worker: w.workerIndex(), Layout: w.rt.layout}
+	return fn(ctx, blocks, scalars)
+}
+
+// drainPutAcks consumes acknowledgements for all outstanding distributed
+// puts.
+func (w *worker) drainPutAcks() {
+	for w.pendingPutAcks > 0 {
+		w.comm.Recv(mpi.AnySource, tagPutAck)
+		w.pendingPutAcks--
+	}
+}
+
+// drainPrepAcks consumes acknowledgements for all outstanding prepares.
+func (w *worker) drainPrepAcks() {
+	for w.pendingPrepAcks > 0 {
+		w.comm.Recv(mpi.AnySource, tagPrepAck)
+		w.pendingPrepAcks--
+	}
+}
+
+// sipBarrier separates conflicting accesses to distributed arrays: all
+// outstanding puts are applied, all workers rendezvous, and cached remote
+// blocks are invalidated so later gets see the new values.
+func (w *worker) sipBarrier() {
+	w.drainPutAcks()
+	w.rt.workerGroup.Barrier()
+	w.cache.invalidateAll()
+}
+
+// serverBarrier separates conflicting accesses to served arrays: all
+// prepares applied, dirty server caches flushed, caches invalidated.
+func (w *worker) serverBarrier() {
+	w.drainPrepAcks()
+	w.rt.workerGroup.Barrier()
+	// One worker triggers the flush on every server; all wait for it.
+	if w.rank == 1 {
+		for s := 0; s < w.rt.servers; s++ {
+			srv := 1 + w.rt.workers + s
+			w.comm.Send(srv, tagServer, flushMsg{origin: w.rank})
+		}
+		for s := 0; s < w.rt.servers; s++ {
+			w.comm.Recv(mpi.AnySource, tagFlushAck)
+		}
+	}
+	w.rt.workerGroup.Barrier()
+	w.cache.invalidateAll()
+}
+
+// serviceLoop answers get/put requests against this worker's partition
+// of the distributed arrays.  It runs concurrently with the interpreter,
+// providing the asynchronous progress the paper's SIP achieves by
+// periodically polling for messages (§V-B).
+func (w *worker) serviceLoop() {
+	for {
+		m := w.comm.Recv(mpi.AnySource, tagService)
+		switch msg := m.Data.(type) {
+		case getMsg:
+			dims := w.rt.layout.Shapes[msg.key.arr].BlockDims(w.rt.layout.Shapes[msg.key.arr].CoordOf(msg.key.ord))
+			b := w.dist.getCopy(msg.key, dims)
+			w.comm.Send(msg.origin, msg.replyTag, b)
+		case putMsg:
+			w.dist.put(msg.key, msg.b, msg.acc)
+			if msg.needAck {
+				w.comm.Send(msg.origin, tagPutAck, struct{}{})
+			}
+		case shutdownMsg:
+			return
+		}
+	}
+}
+
+// checkpointSave implements blocks_to_list: every worker ships its
+// partition of the array to the master, which serializes the whole array
+// (paper §IV-C: used to pass data between SIAL programs and for
+// rudimentary checkpointing).
+func (w *worker) checkpointSave(arrID int) error {
+	w.drainPutAcks()
+	w.rt.workerGroup.Barrier()
+	var blocks []ArrayBlock
+	w.dist.each(func(k blockKey, b *block.Block) {
+		if k.arr == arrID {
+			blocks = append(blocks, ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
+		}
+	})
+	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptSave, arr: arrID, blocks: blocks, origin: w.rank})
+	// Wait for the master's completion ack.
+	w.comm.Recv(0, tagCkpt)
+	w.rt.workerGroup.Barrier()
+	return nil
+}
+
+// checkpointLoad implements list_to_blocks: every worker asks the
+// master, which reads the serialized array and replies to each worker
+// with the blocks that worker homes; the worker installs them directly
+// into its own store.
+func (w *worker) checkpointLoad(arrID int) error {
+	w.drainPutAcks()
+	w.rt.workerGroup.Barrier()
+	w.dist.deleteArray(arrID)
+	w.cache.invalidateAll()
+	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptLoad, arr: arrID, origin: w.rank})
+	m := w.comm.Recv(0, tagCkpt)
+	switch data := m.Data.(type) {
+	case string:
+		return fmt.Errorf("list_to_blocks: %s", data)
+	case ckptData:
+		shape := w.rt.layout.Shapes[arrID]
+		for _, ab := range data.blocks {
+			dims := shape.BlockDims(shape.CoordOf(ab.Ord))
+			w.dist.put(blockKey{arrID, ab.Ord}, block.FromData(ab.Data, dims...), false)
+		}
+	}
+	w.rt.workerGroup.Barrier()
+	return nil
+}
