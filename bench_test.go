@@ -372,3 +372,52 @@ endsial
 		}
 	}
 }
+
+// BenchmarkInterp measures the interpreter's instruction dispatch on a
+// do-loop-heavy program with trivial block math, so the fixed per-
+// instruction cost dominates.  The sub-benchmarks compare the
+// observability layer disabled (the nil-check fast path) against fully
+// enabled tracing and metrics; "off" must not regress against a build
+// without the layer.
+func BenchmarkInterp(b *testing.B) {
+	prog, err := core.Compile(`
+sial interp_bench
+param n = 64
+aoindex I = 1, n
+temp a(I,I)
+scalar s
+do I
+  a(I,I) = 1.5
+  s += dot(a(I,I), a(I,I))
+enddo I
+endsial
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := b.TempDir()
+	base := core.Config{
+		Workers:    1,
+		Seg:        bytecode.DefaultSegConfig(2),
+		ScratchDir: scratch,
+		Output:     io.Discard,
+	}
+	b.Run("off", func(b *testing.B) {
+		cfg := base
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Tracer = core.NewTracer(core.TracerConfig{})
+			cfg.Metrics = core.NewMetricsRegistry()
+			if _, err := core.Run(prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

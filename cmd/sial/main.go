@@ -7,10 +7,12 @@
 //	sial compile  prog.sial [-o prog.siox]
 //	sial disasm   prog.sial|prog.siox
 //	sial dryrun   prog.sial [-workers N] [-servers N] [-seg S] [-mem BYTES] [-param k=v ...]
-//	sial run      prog.sial [-workers N] [-servers N] [-seg S] [-prefetch W] [-param k=v ...] [-profile]
+//	sial run      prog.sial [-workers N] [-servers N] [-seg S] [-prefetch W] [-param k=v ...]
+//	              [-profile] [-metrics] [-trace] [-trace-json out.json] [-trace-ranks all|N,M]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
-// container format).
+// container format).  -trace-json writes a Chrome trace-event file
+// loadable in Perfetto (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/chem"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sial"
 )
 
@@ -72,7 +75,8 @@ func usage(w io.Writer) {
   sial disasm  prog.sial|prog.siox
   sial dryrun  prog.sial [flags]
   sial run     prog.sial [flags]
-run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile`)
+run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
+run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -137,9 +141,13 @@ func doDisasm(file string, stdout io.Writer) error {
 
 // runFlags parses the shared run/dryrun flag set.
 type runFlags struct {
-	cfg  core.Config
-	mem  int64
-	prof bool
+	cfg       core.Config
+	mem       int64
+	prof      bool
+	metrics   bool
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	traceJSON string
 }
 
 func parseRunFlags(name string, args []string) (*runFlags, error) {
@@ -150,13 +158,16 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	prefetch := fs.Int("prefetch", 2, "prefetch window (do-loop iterations)")
 	mem := fs.Int64("mem", 0, "per-worker memory budget in bytes for dry run (0 = unlimited)")
 	prof := fs.Bool("profile", false, "print the SIP profile after the run")
-	trace := fs.Bool("trace", false, "trace every instruction executed by worker 1")
+	trace := fs.Bool("trace", false, "text-trace every instruction executed by traced workers")
+	traceJSON := fs.String("trace-json", "", "write per-rank spans as Chrome trace-event JSON to this file")
+	traceRanks := fs.String("trace-ranks", "all", "ranks to trace: all, or comma-separated world ranks (e.g. 1,2)")
+	metrics := fs.Bool("metrics", false, "collect and print the metrics snapshot after the run")
 	var params paramList
 	fs.Var(&params, "param", "parameter assignment k=v (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	rf := &runFlags{mem: *mem, prof: *prof}
+	rf := &runFlags{mem: *mem, prof: *prof, metrics: *metrics, traceJSON: *traceJSON}
 	super := chem.MP2Super()
 	for name, fn := range chem.TriplesSuper() {
 		super[name] = fn
@@ -170,10 +181,40 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		Integrals:      chem.AOIntegrals(),
 		Super:          super,
 	}
+	ranks, err := parseRanks(*traceRanks)
+	if err != nil {
+		return nil, err
+	}
 	if *trace {
 		rf.cfg.Trace = os.Stderr
+		rf.cfg.TraceRanks = ranks
+	}
+	if rf.traceJSON != "" {
+		rf.tracer = obs.NewTracer(obs.TracerConfig{Ranks: ranks})
+		rf.cfg.Tracer = rf.tracer
+	}
+	if rf.metrics {
+		rf.reg = obs.NewRegistry()
+		rf.cfg.Metrics = rf.reg
 	}
 	return rf, nil
+}
+
+// parseRanks interprets a -trace-ranks value: "all" (or empty) selects
+// every rank; otherwise a comma-separated list of world ranks.
+func parseRanks(s string) ([]int, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var ranks []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -trace-ranks %q: %v", s, err)
+		}
+		ranks = append(ranks, r)
+	}
+	return ranks, nil
 }
 
 type paramList struct{ vals map[string]int }
@@ -243,6 +284,24 @@ func doRun(file string, args []string, stdout io.Writer) error {
 	}
 	if rf.prof {
 		fmt.Fprint(stdout, res.Profile)
+	}
+	if rf.metrics && !rf.prof {
+		// -profile already folds the snapshot into the profile report.
+		fmt.Fprint(stdout, res.Profile.Metrics)
+	}
+	if rf.traceJSON != "" {
+		f, err := os.Create(rf.traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := rf.tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s (open in https://ui.perfetto.dev)\n", rf.traceJSON)
 	}
 	return nil
 }

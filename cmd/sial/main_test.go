@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,5 +129,102 @@ func TestCLIErrors(t *testing.T) {
 	// Missing file.
 	if code, _, _ := runCLI(t, "run", "/nonexistent.sial"); code != 1 {
 		t.Fatalf("missing file exit %d", code)
+	}
+}
+
+// obsProgram uses a pardo so multiple workers participate and the
+// master dispatches chunks — the trace then spans several ranks.
+const obsProgram = `
+sial cli_obs
+param n = 8
+aoindex I = 1, n
+distributed D(I,I)
+temp one(I,I)
+pardo I
+  one(I,I) = 1.0
+  put D(I,I) = one(I,I)
+endpardo I
+sip_barrier
+endsial
+`
+
+func TestCLITraceJSONAndMetrics(t *testing.T) {
+	path := writeProgram(t, obsProgram)
+	traceFile := filepath.Join(filepath.Dir(path), "trace.json")
+	code, out, errOut := runCLI(t, "run", path, "-workers", "4", "-seg", "2",
+		"-trace-json", traceFile, "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "metrics:") || !strings.Contains(out, "mpi.msgs.chunk_req") {
+		t.Fatalf("metrics snapshot missing:\n%s", out)
+	}
+	if !strings.Contains(out, "trace written to") {
+		t.Fatalf("trace confirmation missing:\n%s", out)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			pids[ev.Pid] = true
+		}
+	}
+	workers := 0
+	for pid := 1; pid <= 4; pid++ {
+		if pids[pid] {
+			workers++
+		}
+	}
+	if !pids[0] || workers < 2 {
+		t.Fatalf("trace pids = %v, want master plus >= 2 workers", pids)
+	}
+}
+
+func TestCLITraceRanksFilter(t *testing.T) {
+	path := writeProgram(t, obsProgram)
+	traceFile := filepath.Join(filepath.Dir(path), "trace.json")
+	code, _, errOut := runCLI(t, "run", path, "-workers", "4", "-seg", "2",
+		"-trace-json", traceFile, "-trace-ranks", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Pid int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid != 1 {
+			t.Fatalf("event from pid %d with -trace-ranks 1", ev.Pid)
+		}
+	}
+	// Malformed rank lists are rejected.
+	if _, err := parseRanks("1,x"); err == nil {
+		t.Error("parseRanks accepted garbage")
+	}
+	if ranks, err := parseRanks("all"); err != nil || ranks != nil {
+		t.Errorf("parseRanks(all) = %v, %v", ranks, err)
+	}
+	if ranks, err := parseRanks("2, 3"); err != nil || len(ranks) != 2 || ranks[0] != 2 || ranks[1] != 3 {
+		t.Errorf("parseRanks(2, 3) = %v, %v", ranks, err)
 	}
 }

@@ -18,6 +18,7 @@ package core
 import (
 	"repro/internal/bytecode"
 	"repro/internal/compiler"
+	"repro/internal/obs"
 	"repro/internal/sial"
 	"repro/internal/sip"
 )
@@ -52,6 +53,21 @@ type IntegralFunc = sip.IntegralFunc
 
 // ExecCtx is the execution context passed to super instructions.
 type ExecCtx = sip.ExecCtx
+
+// Tracer records per-rank spans for Chrome-trace export (Config.Tracer).
+type Tracer = obs.Tracer
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig = obs.TracerConfig
+
+// MetricsRegistry collects run metrics (Config.Metrics).
+type MetricsRegistry = obs.Registry
+
+// NewTracer creates a span tracer for Config.Tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// NewMetricsRegistry creates a metrics registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // DefaultSegConfig returns a uniform segment-size configuration.
 func DefaultSegConfig(seg int) SegConfig { return bytecode.DefaultSegConfig(seg) }

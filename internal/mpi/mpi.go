@@ -38,12 +38,28 @@ type Message struct {
 	valid bool // set when the message was actually dequeued
 }
 
+// Observer receives message-level instrumentation callbacks.  Methods
+// are invoked synchronously on the sender's goroutine and must be
+// cheap and concurrency-safe.
+type Observer interface {
+	// OnSend is called after a message is enqueued.  depth is the
+	// destination mailbox's queue length right after the enqueue (the
+	// send-side view of backlog: its maximum is the high-water mark of
+	// the receiver's inbox).
+	OnSend(src, dst, tag int, data any, depth int)
+}
+
 // World is a set of communicating ranks.
 type World struct {
 	n      int
 	boxes  []*mailbox
+	obs    Observer
 	groups sync.Map // map[string]*Group, keyed by rank-set signature
 }
+
+// SetObserver installs a message observer.  It must be called before
+// any rank starts communicating.
+func (w *World) SetObserver(o Observer) { w.obs = o }
 
 // NewWorld creates a world with n ranks numbered 0..n-1.
 func NewWorld(n int) *World {
@@ -88,7 +104,10 @@ func (c *Comm) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("mpi: send to rank %d out of range [0,%d)", dst, c.world.n))
 	}
-	c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: data})
+	depth := c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: data})
+	if o := c.world.obs; o != nil {
+		o.OnSend(c.rank, dst, tag, data, depth)
+	}
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns it.
@@ -160,12 +179,14 @@ func newMailbox() *mailbox {
 	return mb
 }
 
-func (mb *mailbox) put(m Message) {
+func (mb *mailbox) put(m Message) int {
 	mb.mu.Lock()
 	m.valid = true
 	mb.queue = append(mb.queue, m)
+	depth := len(mb.queue)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+	return depth
 }
 
 func matches(m Message, src, tag int) bool {

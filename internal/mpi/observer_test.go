@@ -1,0 +1,58 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+type recordedSend struct {
+	src, dst, tag, depth int
+	data                 any
+}
+
+type recordingObserver struct {
+	mu    sync.Mutex
+	sends []recordedSend
+}
+
+func (o *recordingObserver) OnSend(src, dst, tag int, data any, depth int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sends = append(o.sends, recordedSend{src, dst, tag, depth, data})
+}
+
+func TestObserverOnSend(t *testing.T) {
+	w := NewWorld(3)
+	obs := &recordingObserver{}
+	w.SetObserver(obs)
+
+	// Two unreceived sends to rank 2: the observed queue depth grows.
+	w.Comm(0).Send(2, 7, "a")
+	w.Comm(1).Send(2, 7, "b")
+	if len(obs.sends) != 2 {
+		t.Fatalf("observed %d sends, want 2", len(obs.sends))
+	}
+	first, second := obs.sends[0], obs.sends[1]
+	if first.src != 0 || first.dst != 2 || first.tag != 7 || first.data != "a" {
+		t.Errorf("first send = %+v", first)
+	}
+	if first.depth != 1 || second.depth != 2 {
+		t.Errorf("depths = %d, %d, want 1, 2", first.depth, second.depth)
+	}
+
+	// Draining and sending again reports the drained depth.
+	w.Comm(2).Recv(AnySource, 7)
+	w.Comm(2).Recv(AnySource, 7)
+	w.Comm(0).Send(2, 9, "c")
+	if got := obs.sends[2].depth; got != 1 {
+		t.Errorf("post-drain depth = %d, want 1", got)
+	}
+}
+
+func TestNoObserverSendsStillWork(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 1, 42)
+	if m := w.Comm(1).Recv(0, 1); m.Data != 42 {
+		t.Fatalf("recv = %+v", m)
+	}
+}

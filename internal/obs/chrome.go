@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   int64          `json:"ts"`
+	Cat  string         `json:"cat,omitempty"`
+	Dur  *int64         `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports all recorded events as Chrome trace-event JSON.
+// Each track becomes a thread (tid) of its rank's process (pid), with
+// process_name / thread_name metadata so Perfetto labels the timeline
+// by SIP role.  Safe to call once the traced goroutines have stopped.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	var tracks []*Track
+	if t != nil {
+		t.mu.Lock()
+		tracks = append(tracks, t.tracks...)
+		t.mu.Unlock()
+	}
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+
+	namedPid := map[int]bool{}
+	for _, trk := range tracks {
+		if !namedPid[trk.pid] {
+			namedPid[trk.pid] = true
+			if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: trk.pid,
+				Args: map[string]any{"name": trk.proc}}); err != nil {
+				return err
+			}
+		}
+		meta := map[string]any{"name": trk.name}
+		if d := trk.Dropped(); d > 0 {
+			meta["dropped_events"] = d
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: trk.pid, Tid: trk.tid,
+			Args: meta}); err != nil {
+			return err
+		}
+		for _, ev := range trk.Events() {
+			ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Pid: trk.pid, Tid: trk.tid, TS: ev.TS}
+			if ev.Dur >= 0 {
+				ce.Ph = "X"
+				dur := ev.Dur
+				ce.Dur = &dur
+			} else {
+				ce.Ph = "i"
+				ce.S = "t" // thread-scoped instant
+			}
+			if ev.NArg > 0 {
+				args := make(map[string]any, ev.NArg)
+				for i := 0; i < ev.NArg; i++ {
+					args[ev.Args[i].Key] = ev.Args[i].Val
+				}
+				ce.Args = args
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

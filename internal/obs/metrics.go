@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.  A nil *Counter
+// is valid and discards updates, so disabled-metrics call sites need no
+// guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable level metric that also remembers its high-water
+// mark (e.g. a mailbox queue depth).  A nil *Gauge discards updates.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current level and updates the maximum.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Add adjusts the level by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	v := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	return v
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram accumulates a distribution of non-negative int64 samples in
+// power-of-two buckets (bucket i holds values with bit length i), which
+// is plenty of resolution for latencies and sizes at near-zero cost.
+// A nil *Histogram discards observations.
+type Histogram struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one sample.  Negative samples count as zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
+// the bucket boundaries.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << i) - 1
+		}
+	}
+	return h.sum.Load()
+}
+
+// Registry holds the named metrics of one run.  Lookup is guarded by a
+// mutex; the returned metric handles update lock-free, so hot paths
+// should hold on to handles rather than re-looking them up.  A nil
+// *Registry hands out nil handles, making disabled metrics free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeValue is a gauge's state in a snapshot.
+type GaugeValue struct {
+	Value int64
+	Max   int64
+}
+
+// HistValue is a histogram's state in a snapshot.
+type HistValue struct {
+	Count, Sum    int64
+	P50, P90, P99 int64
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]GaugeValue
+	Hists    map[string]HistValue
+}
+
+// Snapshot captures all metrics.  Nil registries yield an empty
+// snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]GaugeValue{},
+		Hists:    map[string]HistValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = HistValue{
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
+// fmtVal renders a metric value, using durations for *_ns names.
+func fmtVal(name string, v int64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// String renders the snapshot as a sorted text table.
+func (s *Snapshot) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("metrics:\n")
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  counter %-36s %s\n", name, fmtVal(name, s.Counters[name]))
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "  gauge   %-36s %s (max %s)\n", name, fmtVal(name, g.Value), fmtVal(name, g.Max))
+	}
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Hists[name]
+		fmt.Fprintf(&b, "  hist    %-36s count %d sum %s p50 %s p90 %s p99 %s\n",
+			name, h.Count, fmtVal(name, h.Sum), fmtVal(name, h.P50), fmtVal(name, h.P90), fmtVal(name, h.P99))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mpi.msgs.chunk_req")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("mpi.msgs.chunk_req") != c {
+		t.Error("counter lookup not idempotent")
+	}
+
+	g := r.Gauge("mpi.qdepth.rank1")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Errorf("gauge = %d max %d, want 3 max 7", g.Value(), g.Max())
+	}
+	if got := g.Add(10); got != 13 || g.Max() != 13 {
+		t.Errorf("gauge after Add = %d max %d, want 13 max 13", got, g.Max())
+	}
+
+	h := r.Histogram("sip.worker.wait_ns")
+	for _, v := range []int64{1, 2, 4, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1_001_007 {
+		t.Errorf("hist count %d sum %d", h.Count(), h.Sum())
+	}
+	if p50 := h.Quantile(0.5); p50 < 4 || p50 > 7 {
+		t.Errorf("p50 = %d, want a bound near 4", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 1_000_000 {
+		t.Errorf("p99 = %d, want >= 1000000", p99)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sip.server.disk.reads").Add(3)
+	r.Gauge("mpi.qdepth.rank2").Set(5)
+	r.Histogram("sip.worker.wait_ns").Observe(1500)
+	s := r.Snapshot()
+	out := s.String()
+	if !strings.HasPrefix(out, "metrics:\n") {
+		t.Errorf("snapshot header: %q", out)
+	}
+	for _, want := range []string{
+		"counter sip.server.disk.reads", "gauge   mpi.qdepth.rank2", "hist    sip.worker.wait_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+	// *_ns metrics render as durations.
+	if !strings.Contains(out, "µs") && !strings.Contains(out, "ms") {
+		t.Errorf("wait_ns not rendered as a duration:\n%s", out)
+	}
+	if (*Snapshot)(nil).String() != "" {
+		t.Error("nil snapshot String not empty")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil metric handles recorded state")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Hists) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestRegistryConcurrent exercises lookup and update races under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != 8000 {
+		t.Errorf("gauge = %d, want 8000", got)
+	}
+}

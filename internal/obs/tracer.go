@@ -1,0 +1,210 @@
+// Package obs is the SIP's built-in observability layer: per-rank span
+// tracing with Chrome trace-event export, and a registry of named
+// counters, gauges, and histograms.
+//
+// The paper's SIP collects timing data for pardo loops, procedures, and
+// individual super instructions without any external profiler (§VI-B);
+// this package generalizes that idea into structured, exportable form.
+// Spans are recorded into fixed-size per-track ring buffers so long
+// runs keep the most recent window of events; the whole layer is
+// nil-safe, so a disabled tracer or registry costs only a nil check on
+// the hot paths.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span categories used by the SIP instrumentation.  Traces may use any
+// category string; these are the conventional ones rendered by the
+// Perfetto color scheme and documented in docs/OBSERVABILITY.md.
+const (
+	CatInterp      = "interp"       // byte-code instruction execution
+	CatGet         = "get"          // block fetch requests
+	CatPut         = "put"          // block put/prepare traffic
+	CatWait        = "wait"         // blocked on an in-flight block
+	CatChunk       = "chunk"        // pardo chunk scheduling
+	CatServerCache = "server_cache" // I/O-server cache operations
+	CatDisk        = "disk"         // I/O-server disk reads/writes
+)
+
+// Arg is one key=value attribute attached to an event.  Events hold at
+// most two inline args; extras are dropped.
+type Arg struct {
+	Key, Val string
+}
+
+// A builds a string-valued attribute.
+func A(k, v string) Arg { return Arg{k, v} }
+
+// AInt builds an integer-valued attribute.
+func AInt(k string, v int) Arg { return Arg{k, strconv.Itoa(v)} }
+
+// Event is one recorded trace event.  Durations and timestamps are in
+// microseconds since the tracer was created (the Chrome trace-event
+// time base).
+type Event struct {
+	Name string
+	Cat  string
+	TS   int64 // µs since tracer start
+	Dur  int64 // µs; < 0 marks an instant event
+	Args [2]Arg
+	NArg int
+}
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig struct {
+	// Capacity is the number of events retained per track (a ring
+	// buffer; older events are dropped).  0 means 32768.
+	Capacity int
+	// Ranks restricts recording to these world ranks.  Empty means all
+	// ranks record.
+	Ranks []int
+	// Text, when non-nil, additionally streams every event as one text
+	// line (the plain-text mode of the trace layer).
+	Text io.Writer
+}
+
+// Tracer records spans and instants across the tracks (rank ×
+// goroutine) of one run.  A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	start time.Time
+	cap   int
+	ranks map[int]bool // nil = all
+	text  io.Writer
+
+	mu     sync.Mutex
+	tracks []*Track
+	textMu sync.Mutex
+}
+
+// NewTracer creates a tracer.  The zero config is usable.
+func NewTracer(cfg TracerConfig) *Tracer {
+	t := &Tracer{start: time.Now(), cap: cfg.Capacity, text: cfg.Text}
+	if t.cap <= 0 {
+		t.cap = 32768
+	}
+	if len(cfg.Ranks) > 0 {
+		t.ranks = map[int]bool{}
+		for _, r := range cfg.Ranks {
+			t.ranks[r] = true
+		}
+	}
+	return t
+}
+
+// Track registers a new event track for one goroutine of one rank.
+// rank becomes the Chrome pid, tid distinguishes goroutines within the
+// rank, proc names the rank ("worker 2"), and name the track
+// ("interp", "service").  Returns nil — a valid no-op track — when the
+// tracer is nil or the rank is filtered out.
+//
+// A Track's recording methods must be used by a single goroutine.
+func (t *Tracer) Track(rank, tid int, proc, name string) *Track {
+	if t == nil || (t.ranks != nil && !t.ranks[rank]) {
+		return nil
+	}
+	trk := &Track{tr: t, pid: rank, tid: tid, proc: proc, name: name, ring: make([]Event, t.cap)}
+	t.mu.Lock()
+	t.tracks = append(t.tracks, trk)
+	t.mu.Unlock()
+	return trk
+}
+
+// since converts a wall-clock time to trace microseconds.
+func (t *Tracer) since(at time.Time) int64 {
+	return at.Sub(t.start).Microseconds()
+}
+
+// Track is one rank-goroutine's event stream.  All methods are nil-safe
+// so call sites need no enabled checks beyond avoiding attribute
+// construction.
+type Track struct {
+	tr         *Tracer
+	pid, tid   int
+	proc, name string
+	ring       []Event
+	n          int // total events recorded; ring index is n % len(ring)
+}
+
+func (t *Track) record(ev Event) {
+	t.ring[t.n%len(t.ring)] = ev
+	t.n++
+	if t.tr.text != nil {
+		t.tr.writeText(t, ev)
+	}
+}
+
+// Complete records a span with an explicit start time and duration
+// (use when the caller already timed the work, e.g. for profiling).
+func (t *Track) Complete(start time.Time, d time.Duration, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, TS: t.tr.since(start), Dur: d.Microseconds()}
+	ev.NArg = copy(ev.Args[:], args)
+	t.record(ev)
+}
+
+// End records a span that began at start and ends now.
+func (t *Track) End(start time.Time, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.Complete(start, time.Since(start), cat, name, args...)
+}
+
+// Instant records a point-in-time event.
+func (t *Track) Instant(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, TS: t.tr.since(time.Now()), Dur: -1}
+	ev.NArg = copy(ev.Args[:], args)
+	t.record(ev)
+}
+
+// Dropped returns how many events were overwritten in the ring.
+func (t *Track) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	if t.n <= len(t.ring) {
+		return 0
+	}
+	return t.n - len(t.ring)
+}
+
+// Events returns the retained events, oldest first.  Intended for
+// export and tests after the traced goroutines have stopped.
+func (t *Track) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if t.n <= len(t.ring) {
+		return t.ring[:t.n]
+	}
+	out := make([]Event, len(t.ring))
+	head := t.n % len(t.ring)
+	copy(out, t.ring[head:])
+	copy(out[len(t.ring)-head:], t.ring[:head])
+	return out
+}
+
+// writeText renders one event as a text line: the plain-text trace mode.
+func (t *Tracer) writeText(trk *Track, ev Event) {
+	t.textMu.Lock()
+	defer t.textMu.Unlock()
+	fmt.Fprintf(t.text, "%10.3fms r%d/%s %s %s", float64(ev.TS)/1e3, trk.pid, trk.name, ev.Cat, ev.Name)
+	if ev.Dur >= 0 {
+		fmt.Fprintf(t.text, " dur=%s", time.Duration(ev.Dur)*time.Microsecond)
+	}
+	for i := 0; i < ev.NArg; i++ {
+		fmt.Fprintf(t.text, " %s=%s", ev.Args[i].Key, ev.Args[i].Val)
+	}
+	fmt.Fprintln(t.text)
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // master is the SIP management task (paper §V-B): it allocates pardo
@@ -153,12 +155,19 @@ func (r *pardoRun) chunkSize(workers int) int {
 // service loops and I/O servers and returns the gathered result.
 func (m *master) run() (*Result, error) {
 	rt := m.rt
+	trk := rt.tracer.Track(0, 0, "master", "dispatch")
+	chunkCtr := rt.metrics.Counter(metricMasterChunks)
+	iterCtr := rt.metrics.Counter(metricMasterIters)
 	res := &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
 	doneCount := 0
 	for doneCount < rt.workers {
 		msg := m.comm.Recv(mpi.AnySource, mpi.AnyTag)
 		switch msg.Tag {
 		case tagChunkReq:
+			var start time.Time
+			if trk != nil {
+				start = time.Now()
+			}
 			req := msg.Data.(chunkMsg)
 			key := [2]int{req.pardo, req.gen}
 			r, ok := m.runs[key]
@@ -174,6 +183,12 @@ func (m *master) run() (*Result, error) {
 				}
 			}
 			m.comm.Send(req.origin, tagChunkRep, chunkReply{iters: iters})
+			chunkCtr.Inc()
+			iterCtr.Add(int64(len(iters)))
+			if trk != nil {
+				trk.End(start, obs.CatChunk, "dispatch_chunk",
+					obs.AInt("pardo", req.pardo), obs.AInt("iters", len(iters)))
+			}
 		case tagCkpt:
 			req := msg.Data.(ckptMsg)
 			if err := m.handleCkpt(req); err != nil {
@@ -184,6 +199,9 @@ func (m *master) run() (*Result, error) {
 			m.recordGather(res.Arrays, g)
 		case tagDone:
 			doneCount++
+			if trk != nil {
+				trk.Instant(obs.CatChunk, "worker_done", obs.AInt("rank", msg.Source))
+			}
 		}
 	}
 	// All workers finished: stop service loops, then servers.

@@ -1,0 +1,178 @@
+package sip
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Metric names exposed by the SIP (documented in docs/OBSERVABILITY.md).
+// MPI message metrics are per tag: mpi.msgs.<tag> / mpi.bytes.<tag>;
+// mailbox backlog gauges are per rank: mpi.qdepth.rank<N>.
+const (
+	metricWorkerFetches    = "sip.worker.fetches"
+	metricWorkerPrefetches = "sip.worker.prefetches"
+	metricWorkerCacheHits  = "sip.worker.cache.hits"
+	metricWorkerCacheMiss  = "sip.worker.cache.misses"
+	metricWorkerCacheEvict = "sip.worker.cache.evictions"
+	metricWorkerWait       = "sip.worker.wait_ns"
+	metricPoolAllocs       = "sip.worker.pool.allocs"
+	metricPoolReuses       = "sip.worker.pool.reuses"
+	metricMasterChunks     = "sip.master.chunks"
+	metricMasterIters      = "sip.master.iters"
+	metricServerCacheHits  = "sip.server.cache.hits"
+	metricServerCacheMiss  = "sip.server.cache.misses"
+	metricServerDiskReads  = "sip.server.disk.reads"
+	metricServerDiskWrites = "sip.server.disk.writes"
+)
+
+// tagNames labels the fixed message tags for per-tag metrics; block
+// replies use per-request tags >= tagReplyBase and share one label.
+var tagNames = [...]string{
+	tagChunkReq: "chunk_req",
+	tagChunkRep: "chunk_rep",
+	tagService:  "service",
+	tagPutAck:   "put_ack",
+	tagServer:   "server",
+	tagPrepAck:  "prep_ack",
+	tagFlushAck: "flush_ack",
+	tagDone:     "done",
+	tagCkpt:     "ckpt",
+	tagGather:   "gather",
+}
+
+const replyTagSlot = len(tagNames) // index for the shared block-reply label
+
+// tagIndex maps a tag to its slot in the mpiStats counter tables.
+func tagIndex(tag int) int {
+	if tag > 0 && tag < len(tagNames) && tagNames[tag] != "" {
+		return tag
+	}
+	return replyTagSlot
+}
+
+// mpiStats implements mpi.Observer: per-tag message count/byte counters
+// and per-rank mailbox depth gauges.  Counters are resolved once at
+// construction so the per-send cost is two atomic adds and a gauge set.
+var _ mpi.Observer = (*mpiStats)(nil)
+
+type mpiStats struct {
+	msgs   [replyTagSlot + 1]*obs.Counter
+	bytes  [replyTagSlot + 1]*obs.Counter
+	qdepth []*obs.Gauge
+}
+
+func newMPIStats(reg *obs.Registry, ranks int) *mpiStats {
+	s := &mpiStats{qdepth: make([]*obs.Gauge, ranks)}
+	for tag, name := range tagNames {
+		if name == "" {
+			continue
+		}
+		s.msgs[tag] = reg.Counter("mpi.msgs." + name)
+		s.bytes[tag] = reg.Counter("mpi.bytes." + name)
+	}
+	s.msgs[replyTagSlot] = reg.Counter("mpi.msgs.block_reply")
+	s.bytes[replyTagSlot] = reg.Counter("mpi.bytes.block_reply")
+	for r := range s.qdepth {
+		s.qdepth[r] = reg.Gauge(fmt.Sprintf("mpi.qdepth.rank%d", r))
+	}
+	return s
+}
+
+func (s *mpiStats) OnSend(src, dst, tag int, data any, depth int) {
+	i := tagIndex(tag)
+	s.msgs[i].Inc()
+	s.bytes[i].Add(msgBytes(data))
+	if dst >= 0 && dst < len(s.qdepth) {
+		s.qdepth[dst].Set(int64(depth))
+	}
+}
+
+// msgBytes estimates the wire size a message would have under a real
+// MPI transport: a fixed envelope plus the float64 payload of any
+// blocks carried.
+func msgBytes(data any) int64 {
+	const envelope = 24
+	switch v := data.(type) {
+	case *block.Block:
+		return envelope + 8*int64(v.Size())
+	case putMsg:
+		n := int64(envelope + 32)
+		if v.b != nil {
+			n += 8 * int64(v.b.Size())
+		}
+		return n
+	case getMsg:
+		return envelope + 24
+	case chunkMsg:
+		return envelope + 24
+	case chunkReply:
+		n := int64(envelope)
+		for _, it := range v.iters {
+			n += 8 * int64(len(it))
+		}
+		return n
+	case gatherMsg:
+		n := int64(envelope)
+		for _, blocks := range v.arrays {
+			for _, ab := range blocks {
+				n += 16 + 8*int64(len(ab.Data))
+			}
+		}
+		return n
+	case ckptMsg:
+		n := int64(envelope + 16)
+		for _, ab := range v.blocks {
+			n += 16 + 8*int64(len(ab.Data))
+		}
+		return n
+	case ckptData:
+		n := int64(envelope + 8)
+		for _, ab := range v.blocks {
+			n += 16 + 8*int64(len(ab.Data))
+		}
+		return n
+	default:
+		return envelope
+	}
+}
+
+// foldRunMetrics folds the per-rank aggregate statistics collected by
+// workers and servers during the run into the metrics registry, so the
+// snapshot is one coherent report.
+func foldRunMetrics(reg *obs.Registry, workers []*worker, servers []*ioServer) {
+	for _, w := range workers {
+		reg.Counter(metricWorkerFetches).Add(w.prof.fetches)
+		reg.Counter(metricWorkerPrefetches).Add(w.prof.prefetches)
+		reg.Counter(metricWorkerCacheHits).Add(w.cache.hits)
+		reg.Counter(metricWorkerCacheMiss).Add(w.cache.misses)
+		reg.Counter(metricWorkerCacheEvict).Add(w.cache.evictions)
+		reg.Counter(metricPoolAllocs).Add(w.pool.allocs)
+		reg.Counter(metricPoolReuses).Add(w.pool.reuses)
+	}
+	for _, s := range servers {
+		reg.Counter(metricServerCacheHits).Add(s.hits)
+		reg.Counter(metricServerCacheMiss).Add(s.misses)
+		reg.Counter(metricServerDiskReads).Add(s.diskReads)
+		reg.Counter(metricServerDiskWrites).Add(s.diskWrites)
+	}
+}
+
+// traceRank reports whether the text trace is enabled for a world rank
+// (Config.Trace set and the rank selected by Config.TraceRanks).
+func (rt *runtime) traceRank(rank int) bool {
+	if rt.cfg.Trace == nil {
+		return false
+	}
+	if len(rt.cfg.TraceRanks) == 0 {
+		return true
+	}
+	for _, r := range rt.cfg.TraceRanks {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/obs"
 )
 
 // OpStat aggregates executions of one opcode.
@@ -33,6 +34,20 @@ type ProcStat struct {
 	Time  time.Duration
 }
 
+// LineStat aggregates the executions attributed to one SIAL source
+// line — the per-line hot-spot table.
+type LineStat struct {
+	Count int64
+	Time  time.Duration
+}
+
+// ServerStat is one I/O server's cache and disk activity.
+type ServerStat struct {
+	Rank                   int
+	CacheHits, CacheMisses int64
+	DiskReads, DiskWrites  int64
+}
+
 // Profile is the per-run performance report the SIP collects without
 // separate profiling tools (paper §VI-B): because basic operations are
 // relatively time consuming, detailed metrics cost nothing noticeable.
@@ -40,6 +55,8 @@ type Profile struct {
 	Ops    map[bytecode.Op]*OpStat
 	Pardos []PardoStat
 	Procs  []ProcStat
+	// Lines attributes instruction executions to SIAL source lines.
+	Lines map[int]*LineStat
 
 	TotalWait  time.Duration
 	Flops      int64
@@ -53,6 +70,13 @@ type Profile struct {
 	// Block-pool statistics (paper §V-B: preallocated block stacks).
 	PoolAllocs int64
 	PoolReuses int64
+
+	// Servers reports per-I/O-server cache and disk activity.
+	Servers []ServerStat
+
+	// Metrics is the run's metrics snapshot when Config.Metrics was
+	// set; nil otherwise.
+	Metrics *obs.Snapshot
 }
 
 func newProfile(prog *bytecode.Program) *Profile {
@@ -60,6 +84,7 @@ func newProfile(prog *bytecode.Program) *Profile {
 		Ops:    map[bytecode.Op]*OpStat{},
 		Pardos: make([]PardoStat, len(prog.Pardos)),
 		Procs:  make([]ProcStat, len(prog.Procs)),
+		Lines:  map[int]*LineStat{},
 	}
 }
 
@@ -71,6 +96,13 @@ func (p *Profile) record(op bytecode.Op, line int, d time.Duration) {
 	}
 	st.Count++
 	st.Time += d
+	ls := p.Lines[line]
+	if ls == nil {
+		ls = &LineStat{}
+		p.Lines[line] = ls
+	}
+	ls.Count++
+	ls.Time += d
 }
 
 func (p *Profile) addWait(pardo int, d time.Duration) {
@@ -106,9 +138,18 @@ func (p *Profile) Fetches() int64 { return p.fetches }
 // Prefetches returns the number of look-ahead fetches issued.
 func (p *Profile) Prefetches() int64 { return p.prefetches }
 
-// mergeProfiles combines per-worker profiles into the run-level report.
-func mergeProfiles(workers []*worker) *Profile {
-	out := &Profile{Ops: map[bytecode.Op]*OpStat{}}
+// mergeProfiles combines per-worker profiles and per-server statistics
+// into the run-level report.  Op counts/times, waits, and iteration
+// counts sum across workers; pardo elapsed takes the per-worker maximum
+// (wall time of the slowest worker, the paper's §VI-B signal).
+func mergeProfiles(workers []*worker, servers []*ioServer) *Profile {
+	out := &Profile{Ops: map[bytecode.Op]*OpStat{}, Lines: map[int]*LineStat{}}
+	for _, s := range servers {
+		out.Servers = append(out.Servers, ServerStat{
+			Rank: s.rank, CacheHits: s.hits, CacheMisses: s.misses,
+			DiskReads: s.diskReads, DiskWrites: s.diskWrites,
+		})
+	}
 	if len(workers) == 0 {
 		return out
 	}
@@ -135,6 +176,15 @@ func mergeProfiles(workers []*worker) *Profile {
 		for i, ps := range p.Procs {
 			out.Procs[i].Count += ps.Count
 			out.Procs[i].Time += ps.Time
+		}
+		for line, ls := range p.Lines {
+			dst := out.Lines[line]
+			if dst == nil {
+				dst = &LineStat{}
+				out.Lines[line] = dst
+			}
+			dst.Count += ls.Count
+			dst.Time += ls.Time
 		}
 		out.TotalWait += p.TotalWait
 		out.Flops += p.Flops
@@ -176,9 +226,58 @@ func (p *Profile) String() string {
 			fmt.Fprintf(&b, "  proc %d: %d calls, %s\n", i, ps.Count, ps.Time)
 		}
 	}
+	if len(p.Lines) > 0 {
+		type lrow struct {
+			line int
+			st   *LineStat
+		}
+		lrows := make([]lrow, 0, len(p.Lines))
+		for line, st := range p.Lines {
+			lrows = append(lrows, lrow{line, st})
+		}
+		sort.Slice(lrows, func(i, j int) bool { return lrows[i].st.Time > lrows[j].st.Time })
+		if len(lrows) > hotLineRows {
+			lrows = lrows[:hotLineRows]
+		}
+		b.WriteString("  hot lines:\n")
+		fmt.Fprintf(&b, "    %-6s %10s %14s\n", "line", "count", "time")
+		for _, r := range lrows {
+			fmt.Fprintf(&b, "    %-6d %10d %14s\n", r.line, r.st.Count, r.st.Time)
+		}
+	}
 	fmt.Fprintf(&b, "  total wait %s, %d flops, %d fetches (%d prefetched), cache %d/%d hits, %d evictions\n",
 		p.TotalWait, p.Flops, p.fetches, p.prefetches,
 		p.CacheHits, p.CacheHits+p.CacheMisses, p.CacheEvictions)
 	fmt.Fprintf(&b, "  block pool: %d allocated, %d reused\n", p.PoolAllocs, p.PoolReuses)
+	if len(p.Servers) > 0 {
+		var tot ServerStat
+		for _, s := range p.Servers {
+			fmt.Fprintf(&b, "  server r%d: cache %d/%d hits, %d disk reads, %d disk writes\n",
+				s.Rank, s.CacheHits, s.CacheHits+s.CacheMisses, s.DiskReads, s.DiskWrites)
+			tot.CacheHits += s.CacheHits
+			tot.CacheMisses += s.CacheMisses
+			tot.DiskReads += s.DiskReads
+			tot.DiskWrites += s.DiskWrites
+		}
+		fmt.Fprintf(&b, "  servers total: cache %d/%d hits, %d disk reads, %d disk writes\n",
+			tot.CacheHits, tot.CacheHits+tot.CacheMisses, tot.DiskReads, tot.DiskWrites)
+	}
+	if p.Metrics != nil {
+		b.WriteString(indent(p.Metrics.String(), "  "))
+	}
 	return b.String()
+}
+
+// hotLineRows bounds the per-line hot-spot table in Profile.String.
+const hotLineRows = 10
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

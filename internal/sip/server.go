@@ -7,10 +7,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/bytecode"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -31,6 +33,8 @@ type ioServer struct {
 	dir      string
 
 	hits, misses, diskReads, diskWrites int64
+
+	trk *obs.Track // cache/disk span track; nil when tracing is off
 }
 
 type srvEntry struct {
@@ -50,6 +54,7 @@ func newIOServer(rt *runtime, rank int) *ioServer {
 		lru:      list.New(),
 		onDisk:   map[blockKey]bool{},
 		dir:      filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
+		trk:      rt.tracer.Track(rank, 0, fmt.Sprintf("server %d", rank), "cache"),
 	}
 }
 
@@ -76,20 +81,50 @@ func (s *ioServer) run() {
 		m := s.comm.Recv(mpi.AnySource, tagServer)
 		switch msg := m.Data.(type) {
 		case getMsg:
+			var start time.Time
+			if s.trk != nil {
+				start = time.Now()
+			}
 			b := s.fetch(msg.key)
 			s.comm.Send(msg.origin, msg.replyTag, b.Clone())
+			if s.trk != nil {
+				s.trk.End(start, obs.CatServerCache, "serve_get",
+					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
+			}
 		case putMsg:
+			var start time.Time
+			if s.trk != nil {
+				start = time.Now()
+			}
 			s.apply(msg.key, msg.b, msg.acc)
 			if msg.needAck {
 				s.comm.Send(msg.origin, tagPrepAck, struct{}{})
 			}
+			if s.trk != nil {
+				s.trk.End(start, obs.CatServerCache, "serve_put",
+					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
+			}
 		case flushMsg:
+			var start time.Time
+			if s.trk != nil {
+				start = time.Now()
+			}
 			s.flushAll()
 			s.comm.Send(msg.origin, tagFlushAck, struct{}{})
+			if s.trk != nil {
+				s.trk.End(start, obs.CatServerCache, "flush")
+			}
 		case shutdownMsg:
+			var start time.Time
+			if s.trk != nil {
+				start = time.Now()
+			}
 			s.flushAll()
 			if msg.gather {
 				s.comm.Send(0, tagGather, gatherMsg{origin: s.rank, arrays: s.gather()})
+			}
+			if s.trk != nil {
+				s.trk.End(start, obs.CatServerCache, "shutdown")
 			}
 			return
 		}
@@ -207,6 +242,10 @@ func (s *ioServer) gather() map[int][]ArrayBlock {
 
 // writeDisk persists one block as raw little-endian float64s.
 func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
+	var start time.Time
+	if s.trk != nil {
+		start = time.Now()
+	}
 	data := b.Data()
 	buf := make([]byte, 8*len(data))
 	for i, v := range data {
@@ -217,10 +256,18 @@ func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
 	}
 	s.onDisk[k] = true
 	s.diskWrites++
+	if s.trk != nil {
+		s.trk.End(start, obs.CatDisk, "disk_write",
+			obs.A("block", k.String()), obs.AInt("bytes", len(buf)))
+	}
 }
 
 // readDisk loads one block previously written by writeDisk.
 func (s *ioServer) readDisk(k blockKey) *block.Block {
+	var start time.Time
+	if s.trk != nil {
+		start = time.Now()
+	}
 	buf, err := os.ReadFile(s.blockPath(k))
 	if err != nil {
 		panic(fmt.Sprintf("sip: server %d: read block %v: %v", s.rank, k, err))
@@ -235,5 +282,9 @@ func (s *ioServer) readDisk(k blockKey) *block.Block {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
 	s.diskReads++
+	if s.trk != nil {
+		s.trk.End(start, obs.CatDisk, "disk_read",
+			obs.A("block", k.String()), obs.AInt("bytes", len(buf)))
+	}
 	return b
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/compiler"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -115,10 +116,22 @@ type Config struct {
 	// executed by worker 1 only.
 	Output io.Writer
 	// Trace, when non-nil, receives one line per instruction executed
-	// by worker 1: the pc, source line, opcode, and current pardo
-	// iteration.  The transparent relationship between SIAL source and
-	// execution is a design goal the paper emphasizes (§VI-B).
+	// by each traced worker: the rank, pc, source line, opcode, and
+	// current pardo iteration.  The transparent relationship between
+	// SIAL source and execution is a design goal the paper emphasizes
+	// (§VI-B).  All workers trace unless TraceRanks narrows the set.
 	Trace io.Writer
+	// TraceRanks restricts Trace (and nothing else) to these world
+	// ranks.  Empty means every worker traces.
+	TraceRanks []int
+	// Tracer, when non-nil, records per-rank spans (instruction, get,
+	// put, wait, chunk, server cache, disk) for Chrome-trace export.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, collects named counters/gauges/histograms:
+	// per-tag MPI message counts and bytes, mailbox depth high-water
+	// marks, worker fetch/prefetch/cache statistics, wait-time
+	// histograms, and server cache/disk counters.
+	Metrics *obs.Registry
 	// GatherArrays collects all distributed and served array contents
 	// into the Result after the run (for tests and small problems).
 	GatherArrays bool
@@ -182,6 +195,9 @@ type runtime struct {
 
 	workerGroup *mpi.Group // workers only: barriers, collectives
 	scratch     string
+
+	tracer  *obs.Tracer   // nil when span tracing is disabled
+	metrics *obs.Registry // nil when metrics are disabled
 
 	outMu sync.Mutex
 }
@@ -306,8 +322,13 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 		workers: cfg.Workers,
 		servers: cfg.Servers,
 		scratch: scratch,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
 	}
 	rt.workerGroup = rt.world.NewGroup(cfg.Workers)
+	if cfg.Metrics != nil {
+		rt.world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
+	}
 
 	m := newMaster(rt)
 	workers := make([]*worker, cfg.Workers)
@@ -356,7 +377,11 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 	for i, s := range prog.Scalars {
 		res.Scalars[s.Name] = workers[0].scalars[i]
 	}
-	res.Profile = mergeProfiles(workers)
+	res.Profile = mergeProfiles(workers, servers)
+	if cfg.Metrics != nil {
+		foldRunMetrics(cfg.Metrics, workers, servers)
+		res.Profile.Metrics = cfg.Metrics.Snapshot()
+	}
 	res.Elapsed = time.Since(started)
 	return res, nil
 }

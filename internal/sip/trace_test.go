@@ -43,7 +43,32 @@ endsial
 	}
 }
 
-func TestTraceOnlyWorkerOne(t *testing.T) {
+// TestTraceRanksFilter is the regression test for the historical
+// single-rank trace: TraceRanks {1} must reproduce the old
+// worker-1-only output shape.
+func TestTraceRanksFilter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Workers: 3, Seg: bytecode.DefaultSegConfig(2), Trace: &buf,
+		TraceRanks: []int{1},
+		Params:     map[string]int{"norb": 4, "nocc": 2},
+		Preset:     map[string]PresetFunc{"T": presetFrom(tElem)}}
+	if _, err := RunSource(paperProgram, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if out == "" {
+		t.Fatal("no trace output")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "w1 ") {
+			t.Fatalf("trace line from a worker other than 1: %q", line)
+		}
+	}
+}
+
+// TestTraceAllRanks checks that without a filter every worker traces,
+// each line carrying its rank prefix.
+func TestTraceAllRanks(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := Config{Workers: 3, Seg: bytecode.DefaultSegConfig(2), Trace: &buf,
 		Params: map[string]int{"norb": 4, "nocc": 2},
@@ -51,9 +76,17 @@ func TestTraceOnlyWorkerOne(t *testing.T) {
 	if _, err := RunSource(paperProgram, cfg); err != nil {
 		t.Fatal(err)
 	}
+	ranks := map[string]bool{}
 	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
-		if !strings.HasPrefix(line, "w1 ") {
-			t.Fatalf("trace line from a worker other than 1: %q", line)
+		prefix, _, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasPrefix(prefix, "w") {
+			t.Fatalf("malformed trace line: %q", line)
+		}
+		ranks[prefix] = true
+	}
+	for _, want := range []string{"w1", "w2", "w3"} {
+		if !ranks[want] {
+			t.Errorf("no trace lines from %s (saw %v)", want, ranks)
 		}
 	}
 }

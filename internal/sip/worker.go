@@ -8,6 +8,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/bytecode"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -73,6 +74,14 @@ type worker struct {
 	pardoGen []int
 
 	prof *Profile
+
+	// Observability: trk is the interpreter's span track (nil when
+	// tracing is off — every instrumented site nil-checks before
+	// building attributes), waitHist the shared wait-time histogram,
+	// and traceOn whether this rank emits text trace lines.
+	trk      *obs.Track
+	waitHist *obs.Histogram
+	traceOn  bool
 }
 
 func newWorker(rt *runtime, rank int) *worker {
@@ -95,6 +104,9 @@ func newWorker(rt *runtime, rank int) *worker {
 	for i, s := range rt.prog.Scalars {
 		w.scalars[i] = s.Init
 	}
+	w.trk = rt.tracer.Track(rank, 0, fmt.Sprintf("worker %d", rank), "interp")
+	w.waitHist = rt.metrics.Histogram(metricWorkerWait)
+	w.traceOn = rt.traceRank(rank)
 	return w
 }
 
@@ -178,7 +190,7 @@ func (w *worker) run() (err error) {
 		in := &code[w.pc]
 		switch in.Op {
 		case bytecode.OpHalt:
-			if w.rt.cfg.Trace != nil && w.rank == 1 {
+			if w.traceOn {
 				w.trace(in)
 			}
 			w.shutdown()
@@ -211,7 +223,7 @@ func (w *worker) shutdown() {
 
 // exec dispatches one instruction.  On return the pc has been advanced.
 func (w *worker) exec(in *bytecode.Instr) error {
-	if w.rt.cfg.Trace != nil && w.rank == 1 {
+	if w.traceOn {
 		w.trace(in)
 	}
 	start := time.Now()
@@ -525,7 +537,11 @@ func (w *worker) exec(in *bytecode.Instr) error {
 	default:
 		return fmt.Errorf("unhandled opcode %s", in.Op)
 	}
-	w.prof.record(in.Op, in.Line, time.Since(start))
+	d := time.Since(start)
+	w.prof.record(in.Op, in.Line, d)
+	if w.trk != nil {
+		w.trk.Complete(start, d, obs.CatInterp, in.Op.String(), obs.AInt("line", in.Line))
+	}
 	w.pc = next
 	return nil
 }
@@ -596,8 +612,13 @@ func (w *worker) clearTemps() {
 // 'chunks' and doled out to the workers.  When a worker completes its
 // chunk, it requests another chunk from the master", paper §V-B).
 func (w *worker) fetchChunk(pid, gen int) [][]int {
+	start := time.Now()
 	w.comm.Send(0, tagChunkReq, chunkMsg{pardo: pid, gen: gen, origin: w.rank})
 	rep := w.comm.Recv(0, tagChunkRep).Data.(chunkReply)
+	if w.trk != nil {
+		w.trk.End(start, obs.CatChunk, "fetch_chunk",
+			obs.AInt("pardo", pid), obs.AInt("iters", len(rep.iters)))
+	}
 	return rep.iters
 }
 
@@ -747,7 +768,12 @@ func (w *worker) waitBlock(e *cacheEntry) *block.Block {
 	}
 	start := time.Now()
 	b := e.wait()
-	w.prof.addWait(w.currentPardo(), time.Since(start))
+	d := time.Since(start)
+	w.prof.addWait(w.currentPardo(), d)
+	w.waitHist.Observe(int64(d))
+	if w.trk != nil {
+		w.trk.Complete(start, d, obs.CatWait, "wait_block", obs.A("block", e.key.String()))
+	}
 	return b
 }
 
@@ -857,6 +883,10 @@ func (w *worker) startFetch(arrID int, loc refLoc) *cacheEntry {
 	}
 	w.comm.Send(home, msgTag, getMsg{key: loc.key, replyTag: replyTag, origin: w.rank})
 	w.prof.fetches++
+	if w.trk != nil {
+		w.trk.Instant(obs.CatGet, "fetch_issued",
+			obs.A("block", loc.key.String()), obs.AInt("home", home))
+	}
 	return w.cache.insertPending(loc.key, req)
 }
 
@@ -915,6 +945,10 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 	}
 	arr := w.rt.prog.Arrays[dst.Arr]
 	payload := val.Clone() // the source block may be reused next iteration
+	if w.trk != nil {
+		w.trk.Instant(obs.CatPut, "put_issued",
+			obs.A("block", loc.key.String()), obs.AInt("bytes", 8*payload.Size()))
+	}
 	if arr.Kind == bytecode.ArrayServed {
 		home := w.rt.homeServer(dst.Arr, loc.key.ord)
 		w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true})
@@ -1043,17 +1077,34 @@ func (w *worker) serverBarrier() {
 // providing the asynchronous progress the paper's SIP achieves by
 // periodically polling for messages (§V-B).
 func (w *worker) serviceLoop() {
+	trk := w.rt.tracer.Track(w.rank, 1, fmt.Sprintf("worker %d", w.rank), "service")
 	for {
 		m := w.comm.Recv(mpi.AnySource, tagService)
 		switch msg := m.Data.(type) {
 		case getMsg:
+			var start time.Time
+			if trk != nil {
+				start = time.Now()
+			}
 			dims := w.rt.layout.Shapes[msg.key.arr].BlockDims(w.rt.layout.Shapes[msg.key.arr].CoordOf(msg.key.ord))
 			b := w.dist.getCopy(msg.key, dims)
 			w.comm.Send(msg.origin, msg.replyTag, b)
+			if trk != nil {
+				trk.End(start, obs.CatGet, "serve_get",
+					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
+			}
 		case putMsg:
+			var start time.Time
+			if trk != nil {
+				start = time.Now()
+			}
 			w.dist.put(msg.key, msg.b, msg.acc)
 			if msg.needAck {
 				w.comm.Send(msg.origin, tagPutAck, struct{}{})
+			}
+			if trk != nil {
+				trk.End(start, obs.CatPut, "serve_put",
+					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
 			}
 		case shutdownMsg:
 			return
