@@ -14,6 +14,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"net"
 	"testing"
 
 	"repro/internal/block"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
 	"repro/internal/perfmodel"
 	"repro/internal/segment"
 )
@@ -419,5 +421,78 @@ endsial
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkTransportLoopback compares a block echo (send + reply) over
+// the in-process Router against the TCP transport on loopback — the
+// per-message cost of the wire codec, framing, and kernel round trip.
+func BenchmarkTransportLoopback(b *testing.B) {
+	const side = 32 // 32x32 block = 8 KiB payload
+	echo := func(w *mpi.World) {
+		c := w.Comm(1)
+		for {
+			m := c.Recv(0, 1)
+			if s, ok := m.Data.(string); ok && s == "done" {
+				return
+			}
+			c.Send(0, 2, m.Data)
+		}
+	}
+	drive := func(b *testing.B, worlds []*mpi.World) {
+		go echo(worlds[1])
+		c := worlds[0].Comm(0)
+		payload := block.New(side, side)
+		payload.Fill(1.25)
+		b.SetBytes(2 * int64(payload.Size()) * 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Send(1, 1, payload)
+			c.Recv(1, 2)
+		}
+		b.StopTimer()
+		c.Send(1, 1, "done")
+	}
+	b.Run("router", func(b *testing.B) {
+		r := transport.NewRouter()
+		eps := []*transport.Local{r.Endpoint(0), r.Endpoint(1)}
+		worlds := make([]*mpi.World, 2)
+		for i := range worlds {
+			w, err := mpi.NewDistributedWorld(2, []int{i}, eps[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			worlds[i] = w
+		}
+		defer worlds[0].Close()
+		defer worlds[1].Close()
+		drive(b, worlds)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		lns := make([]net.Listener, 2)
+		addrs := make([]string, 2)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns[i] = ln
+			addrs[i] = ln.Addr().String()
+		}
+		worlds := make([]*mpi.World, 2)
+		for i := range worlds {
+			tr, err := transport.NewTCP(transport.TCPConfig{Rank: i, Addrs: addrs, Listener: lns[i]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := mpi.NewDistributedWorld(2, []int{i}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			worlds[i] = w
+		}
+		defer worlds[0].Close()
+		defer worlds[1].Close()
+		drive(b, worlds)
 	})
 }

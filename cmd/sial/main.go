@@ -9,26 +9,40 @@
 //	sial dryrun   prog.sial [-workers N] [-servers N] [-seg S] [-mem BYTES] [-param k=v ...]
 //	sial run      prog.sial [-workers N] [-servers N] [-seg S] [-prefetch W] [-param k=v ...]
 //	              [-profile] [-metrics] [-trace] [-trace-json out.json] [-trace-ranks all|N,M]
+//	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
 // container format).  -trace-json writes a Chrome trace-event file
 // loadable in Perfetto (see docs/OBSERVABILITY.md).
+//
+// By default `run` executes every SIP rank inside this process.  With
+// `-transport tcp` each rank is a separate OS process: either start one
+// process per rank by hand (`-rank N -peers ...`, see docs/TRANSPORT.md)
+// or pass `-launch` to have this process spawn the whole rank set on
+// localhost and merge their output.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/bytecode"
 	"repro/internal/chem"
 	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
 	"repro/internal/obs"
 	"repro/internal/sial"
+	"repro/internal/sip"
 )
 
 func main() {
@@ -76,7 +90,8 @@ func usage(w io.Writer) {
   sial dryrun  prog.sial [flags]
   sial run     prog.sial [flags]
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
-run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M`)
+run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
+run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -148,6 +163,12 @@ type runFlags struct {
 	reg       *obs.Registry
 	tracer    *obs.Tracer
 	traceJSON string
+
+	// run-only transport selection (see docs/TRANSPORT.md).
+	transport string   // "inproc" or "tcp"
+	rank      int      // this process's world rank under tcp, -1 unset
+	peers     []string // host:port per world rank under tcp
+	launch    bool     // spawn one process per rank on localhost
 }
 
 func parseRunFlags(name string, args []string) (*runFlags, error) {
@@ -164,10 +185,32 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	metrics := fs.Bool("metrics", false, "collect and print the metrics snapshot after the run")
 	var params paramList
 	fs.Var(&params, "param", "parameter assignment k=v (repeatable)")
+	var transportName *string
+	var rank *int
+	var peers *string
+	var launch *bool
+	if name == "run" {
+		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
+		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
+		peers = fs.String("peers", "", "comma-separated host:port, one per world rank (with -transport tcp)")
+		launch = fs.Bool("launch", false, "spawn one process per rank on localhost over tcp and merge their output")
+	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	rf := &runFlags{mem: *mem, prof: *prof, metrics: *metrics, traceJSON: *traceJSON}
+	rf := &runFlags{mem: *mem, prof: *prof, metrics: *metrics, traceJSON: *traceJSON,
+		transport: "inproc", rank: -1}
+	if name == "run" {
+		rf.transport, rf.rank, rf.launch = *transportName, *rank, *launch
+		if *peers != "" {
+			for _, p := range strings.Split(*peers, ",") {
+				rf.peers = append(rf.peers, strings.TrimSpace(p))
+			}
+		}
+		if err := rf.validateTransport(); err != nil {
+			return nil, err
+		}
+	}
 	super := chem.MP2Super()
 	for name, fn := range chem.TriplesSuper() {
 		super[name] = fn
@@ -198,6 +241,37 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		rf.cfg.Metrics = rf.reg
 	}
 	return rf, nil
+}
+
+// validateTransport checks the -transport/-rank/-peers/-launch flag
+// combination before any work starts, so misuse fails fast with a
+// message instead of a hung dial loop.
+func (rf *runFlags) validateTransport() error {
+	switch rf.transport {
+	case "inproc", "tcp":
+	default:
+		return fmt.Errorf("bad -transport %q, want inproc or tcp", rf.transport)
+	}
+	if rf.launch {
+		rf.transport = "tcp" // -launch implies the tcp transport
+		if rf.rank >= 0 || len(rf.peers) > 0 {
+			return fmt.Errorf("-launch assigns ranks and ports itself; drop -rank/-peers")
+		}
+		if rf.traceJSON != "" {
+			return fmt.Errorf("-trace-json under -launch: every child would clobber the same file; run ranks by hand with -rank and per-rank file names")
+		}
+		return nil
+	}
+	if rf.transport == "inproc" {
+		if rf.rank >= 0 || len(rf.peers) > 0 {
+			return fmt.Errorf("-rank/-peers require -transport tcp")
+		}
+		return nil
+	}
+	if rf.rank < 0 || len(rf.peers) == 0 {
+		return fmt.Errorf("-transport tcp needs -rank and -peers (or use -launch to spawn all ranks locally)")
+	}
+	return nil
 }
 
 // parseRanks interprets a -trace-ranks value: "all" (or empty) selects
@@ -262,6 +336,12 @@ func doRun(file string, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if rf.launch {
+		return doLaunch(file, args, rf, stdout)
+	}
+	if rf.transport == "tcp" {
+		return runDistributed(file, rf, stdout)
+	}
 	prog, err := load(file)
 	if err != nil {
 		return err
@@ -271,6 +351,14 @@ func doRun(file string, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return printResult(rf, res, stdout)
+}
+
+// printResult renders a run's scalars, profile, metrics, and trace file
+// according to the flags.  Distributed ranks may carry a nil Profile
+// (only the master folds a metrics snapshot in); that just skips the
+// report.
+func printResult(rf *runFlags, res *core.Result, stdout io.Writer) error {
 	if len(res.Scalars) > 0 {
 		names := make([]string, 0, len(res.Scalars))
 		for name := range res.Scalars {
@@ -282,10 +370,10 @@ func doRun(file string, args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %s = %.12g\n", name, res.Scalars[name])
 		}
 	}
-	if rf.prof {
+	if rf.prof && res.Profile != nil {
 		fmt.Fprint(stdout, res.Profile)
 	}
-	if rf.metrics && !rf.prof {
+	if rf.metrics && !rf.prof && res.Profile != nil {
 		// -profile already folds the snapshot into the profile report.
 		fmt.Fprint(stdout, res.Profile.Metrics)
 	}
@@ -304,4 +392,189 @@ func doRun(file string, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "trace written to %s (open in https://ui.perfetto.dev)\n", rf.traceJSON)
 	}
 	return nil
+}
+
+// runDistributed plays one world rank of a multi-process run: it binds
+// this rank's listener, connects to the peers on demand, and drives
+// sip.RunRank.  Every process of the run must be started with the same
+// program, -workers/-servers/-seg/-param set, and -peers list.
+func runDistributed(file string, rf *runFlags, stdout io.Writer) error {
+	prog, err := load(file)
+	if err != nil {
+		return err
+	}
+	ranks := sip.NewRanks(rf.cfg)
+	if len(rf.peers) != ranks.N {
+		return fmt.Errorf("-peers lists %d addresses, config needs %d (1 master + %d workers + %d servers)",
+			len(rf.peers), ranks.N, ranks.Workers, ranks.Servers)
+	}
+	if rf.rank < 0 || rf.rank >= ranks.N {
+		return fmt.Errorf("-rank %d out of range [0,%d)", rf.rank, ranks.N)
+	}
+	tcfg := transport.TCPConfig{Rank: rf.rank, Addrs: rf.peers}
+	if rf.reg != nil {
+		tcfg.Observer = sip.NewNetObserver(rf.reg)
+	}
+	tr, err := transport.NewTCP(tcfg)
+	if err != nil {
+		return err
+	}
+	world, err := mpi.NewDistributedWorld(ranks.N, []int{rf.rank}, tr)
+	if err != nil {
+		tr.Close()
+		return err
+	}
+	defer world.Close()
+	rf.cfg.Output = stdout
+	res, err := sip.RunRank(prog, rf.cfg, world, rf.rank)
+	if err != nil {
+		return err
+	}
+	if rf.rank != 0 {
+		// The master's Result carries the authoritative scalars; a
+		// worker's are its local partial view, so don't echo them.
+		res.Scalars = nil
+	}
+	return printResult(rf, res, stdout)
+}
+
+// doLaunch runs a whole multi-process SIP on localhost: it reserves one
+// loopback port per rank, spawns one child process per rank (re-running
+// this binary with -transport tcp -rank N -peers ...), merges the
+// children's output line by line under a [role] prefix, and fails if
+// any child exits non-zero.
+func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error {
+	ranks := sip.NewRanks(rf.cfg)
+	addrs, err := reservePorts(ranks.N)
+	if err != nil {
+		return fmt.Errorf("launch: %v", err)
+	}
+	exe := os.Getenv("SIAL_LAUNCH_EXE")
+	if exe == "" {
+		if exe, err = os.Executable(); err != nil {
+			return fmt.Errorf("launch: %v", err)
+		}
+	}
+	// Children re-parse the original flags, minus the launch/transport
+	// selection, plus their own rank assignment.
+	base := stripFlag(stripFlag(args, "launch", false), "transport", true)
+	peers := strings.Join(addrs, ",")
+
+	var mu sync.Mutex // serializes merged output lines
+	var relays sync.WaitGroup
+	cmds := make([]*exec.Cmd, 0, ranks.N)
+	for rank := 0; rank < ranks.N; rank++ {
+		childArgs := append([]string{"run", file}, base...)
+		childArgs = append(childArgs, "-transport", "tcp", "-rank", strconv.Itoa(rank), "-peers", peers)
+		cmd := exec.Command(exe, childArgs...)
+		// SIAL_CHILD_MAIN lets a test binary standing in for the real
+		// CLI (via SIAL_LAUNCH_EXE or os.Executable) reroute into
+		// realMain instead of the test runner.
+		cmd.Env = append(os.Environ(), "SIAL_CHILD_MAIN=1")
+		tag := fmt.Sprintf("[%s] ", ranks.Role(rank))
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			killAll(cmds)
+			return fmt.Errorf("launch: %v", err)
+		}
+		errPipe, err := cmd.StderrPipe()
+		if err != nil {
+			killAll(cmds)
+			return fmt.Errorf("launch: %v", err)
+		}
+		if err := cmd.Start(); err != nil {
+			killAll(cmds)
+			return fmt.Errorf("launch: start %s: %v", ranks.Role(rank), err)
+		}
+		relay(&relays, &mu, stdout, tag, outPipe)
+		relay(&relays, &mu, stdout, tag, errPipe)
+		cmds = append(cmds, cmd)
+	}
+
+	// All reads must finish before Wait (it closes the pipes).
+	relays.Wait()
+	waitErrs := make([]error, len(cmds))
+	for rank, cmd := range cmds {
+		waitErrs[rank] = cmd.Wait()
+	}
+	for rank, err := range waitErrs {
+		if err == nil {
+			continue
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return fmt.Errorf("launch: %s exited with status %d", ranks.Role(rank), ee.ExitCode())
+		}
+		return fmt.Errorf("launch: %s: %v", ranks.Role(rank), err)
+	}
+	return nil
+}
+
+// reservePorts picks n free loopback ports by binding and immediately
+// releasing them.  The children re-bind; the window between release and
+// re-bind is racy in principle, but the ports were kernel-assigned
+// moments ago and the dial retry loop absorbs slow starters.
+func reservePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// stripFlag removes -name (or --name, -name=v, and the separate value
+// when takesValue) from a raw argument list.
+func stripFlag(args []string, name string, takesValue bool) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		bare := strings.TrimLeft(a, "-")
+		if len(bare) < len(a) { // a flag token
+			if bare == name {
+				if takesValue && i+1 < len(args) {
+					i++
+				}
+				continue
+			}
+			if strings.HasPrefix(bare, name+"=") {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// relay copies one child stream to the merged output, one prefixed line
+// at a time so ranks never interleave mid-line.
+func relay(wg *sync.WaitGroup, mu *sync.Mutex, w io.Writer, tag string, r io.Reader) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			mu.Lock()
+			fmt.Fprintf(w, "%s%s\n", tag, sc.Text())
+			mu.Unlock()
+		}
+	}()
+}
+
+// killAll tears down already-started children after a launch failure.
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
 }

@@ -3,11 +3,25 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
+
+// TestMain doubles as the launch-child entry point: doLaunch spawns
+// os.Executable(), which under `go test` is this test binary, with
+// SIAL_CHILD_MAIN=1 in the environment.  Such children run the real CLI
+// instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("SIAL_CHILD_MAIN") == "1" {
+		os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 const testProgram = `
 sial cli_test
@@ -226,5 +240,175 @@ func TestCLITraceRanksFilter(t *testing.T) {
 	}
 	if ranks, err := parseRanks("2, 3"); err != nil || len(ranks) != 2 || ranks[0] != 2 || ranks[1] != 3 {
 		t.Errorf("parseRanks(2, 3) = %v, %v", ranks, err)
+	}
+}
+
+// --- multi-process transport (docs/TRANSPORT.md) ---
+
+func TestCLITransportFlagValidation(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown transport", []string{"-transport", "carrier-pigeon"}, "bad -transport"},
+		{"tcp without rank", []string{"-transport", "tcp"}, "-rank and -peers"},
+		{"rank without tcp", []string{"-rank", "1"}, "require -transport tcp"},
+		{"peers without tcp", []string{"-peers", "localhost:1"}, "require -transport tcp"},
+		{"launch with rank", []string{"-launch", "-rank", "0"}, "drop -rank"},
+		{"launch with trace-json", []string{"-launch", "-trace-json", "t.json"}, "-trace-json under -launch"},
+		{"peers count mismatch", []string{"-workers", "1", "-servers", "1",
+			"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2"}, "lists 2 addresses"},
+		{"rank out of range", []string{"-workers", "1", "-servers", "1",
+			"-transport", "tcp", "-rank", "7", "-peers", "a:1,b:2,c:3"}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, append([]string{"run", path}, tc.args...)...)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("stderr %q lacks %q", errOut, tc.want)
+			}
+		})
+	}
+}
+
+func TestStripFlag(t *testing.T) {
+	args := []string{"-workers", "2", "-launch", "-transport", "tcp", "-param", "n=4", "-transport=tcp"}
+	got := stripFlag(stripFlag(args, "launch", false), "transport", true)
+	want := []string{"-workers", "2", "-param", "n=4"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("stripFlag = %q, want %q", got, want)
+	}
+	// Values that merely look like flag names are preserved.
+	kept := stripFlag([]string{"-param", "launch=1"}, "launch", false)
+	if strings.Join(kept, " ") != "-param launch=1" {
+		t.Fatalf("stripFlag ate a value: %q", kept)
+	}
+}
+
+// TestCLILaunchExitCodePropagation: a failing child must fail the
+// launcher with the child's status surfaced.
+func TestCLILaunchExitCodePropagation(t *testing.T) {
+	if _, err := os.Stat("/bin/false"); err != nil {
+		t.Skipf("/bin/false unavailable: %v", err)
+	}
+	path := writeProgram(t, testProgram)
+	t.Setenv("SIAL_LAUNCH_EXE", "/bin/false")
+	code, _, errOut := runCLI(t, "run", path, "-launch", "-workers", "1", "-servers", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "exited with status 1") {
+		t.Fatalf("stderr %q lacks the child's status", errOut)
+	}
+}
+
+// TestCLILaunchMissingExe: a bad launcher target fails fast instead of
+// leaving half a world running.
+func TestCLILaunchMissingExe(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	t.Setenv("SIAL_LAUNCH_EXE", filepath.Join(t.TempDir(), "no-such-binary"))
+	code, _, errOut := runCLI(t, "run", path, "-launch", "-workers", "1")
+	if code != 1 || !strings.Contains(errOut, "launch") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+var scalarRe = regexp.MustCompile(`emp2 = (-?[0-9.eE+-]+)`)
+
+func extractEMP2(t *testing.T, out string) float64 {
+	t.Helper()
+	m := scalarRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no emp2 scalar in output:\n%s", out)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCLILaunchLoopbackSmoke runs the MP2 example as 1 master + 2
+// workers + 1 I/O server, four real OS processes over TCP loopback, and
+// requires the energy to match the in-process reference to 1e-10.
+func TestCLILaunchLoopbackSmoke(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sial", "mp2_energy.sial")
+	if _, err := os.Stat(example); err != nil {
+		t.Fatalf("example missing: %v", err)
+	}
+	common := []string{"-workers", "2", "-servers", "1", "-seg", "2",
+		"-param", "no=2", "-param", "nv=2"}
+
+	code, serialOut, errOut := runCLI(t, append([]string{"run", example}, common...)...)
+	if code != 0 {
+		t.Fatalf("serial reference exit %d: %s", code, errOut)
+	}
+	want := extractEMP2(t, serialOut)
+
+	args := append([]string{"run", example}, common...)
+	args = append(args, "-launch", "-metrics")
+	code, out, errOut := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("launch exit %d: %s\n%s", code, errOut, out)
+	}
+	got := extractEMP2(t, out)
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("distributed emp2 = %.15g, serial = %.15g", got, want)
+	}
+	// The program's print executes on a worker process.
+	if !strings.Contains(out, "E_MP2 =") {
+		t.Errorf("worker print missing from merged output:\n%s", out)
+	}
+	// Output is tagged per role, and -metrics surfaces network traffic.
+	for _, wantLine := range []string{"[master] ", "[worker1] ", "net."} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("merged output lacks %q:\n%s", wantLine, out)
+		}
+	}
+}
+
+// TestCLIManualRankMode drives -transport tcp -rank/-peers directly (no
+// -launch) with every rank hosted by this test process.
+func TestCLIManualRankMode(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	addrs, err := reservePorts(3) // 1 master + 1 worker + 1 server
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := strings.Join(addrs, ",")
+	type res struct {
+		code int
+		out  string
+		err  string
+	}
+	results := make([]res, 3)
+	done := make(chan int, 3)
+	for rank := 0; rank < 3; rank++ {
+		go func(rank int) {
+			code, out, errOut := runCLI(t, "run", path, "-workers", "1", "-servers", "1",
+				"-seg", "2", "-transport", "tcp", "-rank", strconv.Itoa(rank), "-peers", peers)
+			results[rank] = res{code, out, errOut}
+			done <- rank
+		}(rank)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	for rank, r := range results {
+		if r.code != 0 {
+			t.Fatalf("rank %d exit %d: %s", rank, r.code, r.err)
+		}
+	}
+	// The master reports the scalar; the worker ran the prints.
+	if !strings.Contains(results[0].out, "s = 8") {
+		t.Errorf("master output:\n%s", results[0].out)
+	}
+	if !strings.Contains(results[1].out, "trace =") {
+		t.Errorf("worker output:\n%s", results[1].out)
 	}
 }

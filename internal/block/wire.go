@@ -1,0 +1,42 @@
+package block
+
+import "repro/internal/wire"
+
+// WireID is the wire type id of *Block (see the id blocks in
+// internal/wire).
+const WireID = 8
+
+// EncodeWire appends the block's wire form: dims as a length-prefixed
+// int slice, then the row-major data.  A rank-0 block encodes as zero
+// dims plus its single element.
+func (b *Block) EncodeWire(e *wire.Encoder) {
+	e.Ints(b.dims)
+	e.Float64s(b.data)
+}
+
+// DecodeWire reads a block previously written by EncodeWire.  It
+// returns nil (latching an error on d) when the payload is malformed.
+func DecodeWire(d *wire.Decoder) *Block {
+	dims := d.Ints()
+	data := d.Float64s()
+	if d.Err() != nil {
+		return nil
+	}
+	n := 1
+	for _, v := range dims {
+		if v <= 0 {
+			d.Fail("block: non-positive dimension in %v", dims)
+			return nil
+		}
+		n *= v
+	}
+	if len(data) != n {
+		d.Fail("block: %d data elements for dims %v (want %d)", len(data), dims, n)
+		return nil
+	}
+	return &Block{dims: dims, data: data}
+}
+
+func init() {
+	wire.Register(WireID, func(e *wire.Encoder, b *Block) { b.EncodeWire(e) }, DecodeWire)
+}

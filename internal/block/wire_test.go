@@ -1,0 +1,83 @@
+package block
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func roundTrip(t *testing.T, b *Block) *Block {
+	t.Helper()
+	got, err := wire.Decode(wire.Encode(b))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	out, ok := got.(*Block)
+	if !ok {
+		t.Fatalf("decoded %T, want *Block", got)
+	}
+	return out
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	b := New(3, 2)
+	for i := range b.Data() {
+		b.Data()[i] = float64(i) * 1.25
+	}
+	out := roundTrip(t, b)
+	if !reflect.DeepEqual(out.Dims(), b.Dims()) || !reflect.DeepEqual(out.Data(), b.Data()) {
+		t.Fatalf("round trip: dims %v data %v", out.Dims(), out.Data())
+	}
+}
+
+func TestWireRoundTripRankZero(t *testing.T) {
+	// A rank-0 (scalar) block: zero dims, one element.
+	b := New()
+	b.Data()[0] = math.Pi
+	out := roundTrip(t, b)
+	if out.Rank() != 0 || out.Size() != 1 || out.Data()[0] != math.Pi {
+		t.Fatalf("rank-0 round trip: rank %d size %d data %v", out.Rank(), out.Size(), out.Data())
+	}
+}
+
+func TestWireRoundTripMaxRank(t *testing.T) {
+	// Rank 6 is the largest block shape SIAL programs produce
+	// (paper §IV: up to six-index arrays).
+	b := New(2, 3, 2, 1, 2, 3)
+	for i := range b.Data() {
+		b.Data()[i] = -float64(i)
+	}
+	out := roundTrip(t, b)
+	if !reflect.DeepEqual(out.Dims(), []int{2, 3, 2, 1, 2, 3}) {
+		t.Fatalf("dims = %v", out.Dims())
+	}
+	if !reflect.DeepEqual(out.Data(), b.Data()) {
+		t.Fatal("data mismatch after round trip")
+	}
+}
+
+func TestWireDecodeRejectsMalformed(t *testing.T) {
+	// Data length inconsistent with dims.
+	e := wire.NewEncoder(0)
+	e.Byte(WireID)
+	e.Ints([]int{2, 2})
+	e.Float64s([]float64{1, 2, 3}) // want 4
+	if _, err := wire.Decode(e.Bytes()); err == nil {
+		t.Error("dims/data mismatch decoded without error")
+	}
+	// Non-positive dimension.
+	e = wire.NewEncoder(0)
+	e.Byte(WireID)
+	e.Ints([]int{2, -2})
+	e.Float64s(nil)
+	if _, err := wire.Decode(e.Bytes()); err == nil {
+		t.Error("negative dimension decoded without error")
+	}
+	// Truncated payload.
+	buf := wire.Encode(New(4, 4))
+	if _, err := wire.Decode(buf[:len(buf)-5]); err == nil {
+		t.Error("truncated block decoded without error")
+	}
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/mpi/transport"
+	"repro/internal/wire"
+)
+
+// NewDistributedWorld creates a world of n ranks in which only the
+// ranks listed in local are hosted by this process; messages to every
+// other rank go through tr, and inbound traffic from tr is delivered to
+// the local mailboxes.  The transport is started (and later closed by
+// World.Close); the caller must not Start or Close it directly.
+//
+// Payload types crossing a serializing transport must be registered
+// with internal/wire.
+func NewDistributedWorld(n int, local []int, tr transport.Transport) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", n)
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("mpi: no local ranks")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("mpi: distributed world needs a transport")
+	}
+	w := &World{n: n, boxes: make([]*mailbox, n), tr: tr}
+	for _, r := range local {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("mpi: local rank %d out of range [0,%d)", r, n)
+		}
+		if w.boxes[r] != nil {
+			return nil, fmt.Errorf("mpi: local rank %d listed twice", r)
+		}
+		w.boxes[r] = newMailbox()
+	}
+	if err := tr.Start(w.deliver, w.peerDown); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// deliver is the transport's receive handler: it routes one inbound
+// message to the destination rank's mailbox.  Poison frames abort the
+// world instead of being enqueued.
+func (w *World) deliver(src, dst, tag int, data any) {
+	if _, ok := data.(groupPoison); ok {
+		if !w.closed.Load() {
+			w.Abort()
+		}
+		return
+	}
+	box := w.boxes[dst]
+	if dst < 0 || dst >= w.n || box == nil {
+		// Misrouted frame; drop rather than crash the reader.
+		return
+	}
+	box.put(Message{Source: src, Tag: tag, Data: data})
+}
+
+// peerDown is the transport's failure callback: a lost peer outside
+// clean shutdown means pending receives can never complete, so the
+// world aborts.
+func (w *World) peerDown(peer int, err error) {
+	if !w.closed.Load() {
+		w.Abort()
+	}
+}
+
+// Wire ids for the collective messages (block 16..31, see
+// internal/wire).
+const (
+	wireIDGroupContrib = 16
+	wireIDGroupResult  = 17
+	wireIDGroupPoison  = 18
+)
+
+func init() {
+	wire.Register(wireIDGroupContrib,
+		func(e *wire.Encoder, m groupContrib) {
+			e.String(m.Key)
+			e.Int(m.Gen)
+			e.Float64(m.V)
+		},
+		func(d *wire.Decoder) groupContrib {
+			return groupContrib{Key: d.String(), Gen: d.Int(), V: d.Float64()}
+		})
+	wire.Register(wireIDGroupResult,
+		func(e *wire.Encoder, m groupResult) {
+			e.String(m.Key)
+			e.Int(m.Gen)
+			e.Float64(m.V)
+		},
+		func(d *wire.Decoder) groupResult {
+			return groupResult{Key: d.String(), Gen: d.Int(), V: d.Float64()}
+		})
+	wire.Register(wireIDGroupPoison,
+		func(e *wire.Encoder, m groupPoison) { e.String(m.Key) },
+		func(d *wire.Decoder) groupPoison { return groupPoison{Key: d.String()} })
+}

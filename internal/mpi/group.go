@@ -1,0 +1,255 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Group is a subset of ranks supporting collective operations, like an
+// MPI communicator.  Every member must call each collective operation
+// exactly once per "round"; mixing operations across a round is a
+// programming error.
+type Group interface {
+	// Barrier blocks until all group members have called it.
+	Barrier()
+	// AllreduceSum sums v across all members and returns the total to
+	// each.  On a poisoned group it panics with ErrAborted instead of
+	// blocking forever on members that will never arrive.
+	AllreduceSum(v float64) float64
+	// Poison aborts the group: members blocked in collectives panic
+	// with ErrAborted, and future collective calls panic immediately.
+	// Member-aware groups (GroupOf) also wake members blocked in
+	// point-to-point receives.
+	Poison()
+}
+
+// NewGroup creates an anonymous collective group of n participants.  It
+// predates GroupOf and stays for callers that coordinate goroutines
+// without caring which ranks they are; its Poison wakes only members
+// blocked in collectives.  Prefer Comm.GroupOf, which works on
+// distributed worlds and aborts blocked receives too.
+func (w *World) NewGroup(n int) Group {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: group size %d < 1", n))
+	}
+	g := &sharedGroup{n: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// GroupOf returns the collective group over the given ranks for this
+// member.  All members must pass the same rank list; ranks[0] acts as
+// the root on distributed worlds.  Groups are cached: repeated calls
+// with the same rank list return the same (or a protocol-compatible)
+// group, and Abort poisons every group handed out.
+func (c *Comm) GroupOf(ranks ...int) Group {
+	if len(ranks) < 1 {
+		panic("mpi: empty group")
+	}
+	member := false
+	for _, r := range ranks {
+		if r < 0 || r >= c.world.n {
+			panic(fmt.Sprintf("mpi: group rank %d out of range [0,%d)", r, c.world.n))
+		}
+		member = member || r == c.rank
+	}
+	if !member {
+		panic(fmt.Sprintf("mpi: rank %d is not in group %v", c.rank, ranks))
+	}
+	key := groupKey(c, ranks)
+	if g, ok := c.world.groups.Load(key); ok {
+		return g.(Group)
+	}
+	var g Group
+	if c.world.tr == nil {
+		g = newSharedGroup(c.world, ranks)
+	} else {
+		g = &commGroup{comm: c, ranks: append([]int(nil), ranks...)}
+	}
+	actual, _ := c.world.groups.LoadOrStore(key, g)
+	return actual.(Group)
+}
+
+// groupKey builds the cache key for a group.  On a local world the
+// group state is shared by all members, so the key is the rank set
+// alone; on a distributed world each member keeps its own protocol
+// state, so the member rank is part of the key.
+func groupKey(c *Comm, ranks []int) string {
+	var sb strings.Builder
+	if c.world.tr != nil {
+		fmt.Fprintf(&sb, "m%d|", c.rank)
+	}
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "%d,", r)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory group
+
+// sharedGroup is the in-process implementation: one shared state block
+// under a mutex, members rendezvous through a condition variable.
+type sharedGroup struct {
+	n     int
+	world *World // nil for anonymous NewGroup groups
+	ranks []int  // nil for anonymous NewGroup groups
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      int
+	count    int
+	acc      float64
+	result   float64
+	poisoned bool
+}
+
+func newSharedGroup(w *World, ranks []int) *sharedGroup {
+	g := &sharedGroup{n: len(ranks), world: w, ranks: append([]int(nil), ranks...)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *sharedGroup) Barrier() { g.AllreduceSum(0) }
+
+func (g *sharedGroup) AllreduceSum(v float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.poisoned {
+		panic(ErrAborted)
+	}
+	gen := g.gen
+	g.acc += v
+	g.count++
+	if g.count == g.n {
+		g.result = g.acc
+		g.acc = 0
+		g.count = 0
+		g.gen++
+		g.cond.Broadcast()
+		return g.result
+	}
+	for g.gen == gen && !g.poisoned {
+		g.cond.Wait()
+	}
+	if g.gen == gen && g.poisoned {
+		panic(ErrAborted)
+	}
+	return g.result
+}
+
+// Poison aborts the group.  Member-aware groups also abort the members'
+// mailboxes, so a member blocked in Recv or Request.Wait wakes with
+// ErrAborted instead of deadlocking on a message that will never come.
+func (g *sharedGroup) Poison() {
+	g.mu.Lock()
+	g.poisoned = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	if g.world != nil {
+		for _, r := range g.ranks {
+			if box := g.world.boxes[r]; box != nil {
+				box.abort()
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Message-based group (distributed worlds)
+
+// collectiveTag is the reserved point-to-point tag carrying group
+// traffic.  Negative so it can never collide with application tags
+// (reply tags grow upward without bound).
+const collectiveTag = -2
+
+// groupContrib is a member's contribution for one reduction round,
+// sent to the root.
+type groupContrib struct {
+	Key string  // group cache signature (sanity check)
+	Gen int     // round number (sanity check)
+	V   float64 // contribution
+}
+
+// groupResult is the reduced value the root returns to each member.
+type groupResult struct {
+	Key string
+	Gen int
+	V   float64
+}
+
+// groupPoison aborts the receiving process's world.  It is intercepted
+// by the transport delivery path before reaching any mailbox.
+type groupPoison struct {
+	Key string
+}
+
+// commGroup is the distributed implementation: members send their
+// contributions to the root (ranks[0]), which reduces and sends the
+// result back.  Each member holds one commGroup instance; protocol
+// state is this member's view only.
+type commGroup struct {
+	comm  *Comm
+	ranks []int
+
+	mu  sync.Mutex // serializes rounds if members share the handle
+	gen int
+}
+
+func (g *commGroup) root() int { return g.ranks[0] }
+
+func (g *commGroup) Barrier() { g.AllreduceSum(0) }
+
+func (g *commGroup) AllreduceSum(v float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.comm.world.aborted.Load() {
+		panic(ErrAborted)
+	}
+	key := groupKey(g.comm, g.ranks)
+	gen := g.gen
+	g.gen++
+	if g.comm.rank != g.root() {
+		g.comm.Send(g.root(), collectiveTag, groupContrib{Key: key, Gen: gen, V: v})
+		m := g.comm.Recv(g.root(), collectiveTag) // panics ErrAborted on abort
+		res, ok := m.Data.(groupResult)
+		if !ok || res.Gen != gen {
+			panic(fmt.Sprintf("mpi: group %v rank %d: unexpected collective reply %#v in round %d",
+				g.ranks, g.comm.rank, m.Data, gen))
+		}
+		return res.V
+	}
+	// Root: collect len(ranks)-1 contributions, reduce, reply.
+	sum := v
+	for i := 1; i < len(g.ranks); i++ {
+		m := g.comm.Recv(AnySource, collectiveTag)
+		c, ok := m.Data.(groupContrib)
+		if !ok || c.Gen != gen {
+			panic(fmt.Sprintf("mpi: group %v root: unexpected contribution %#v in round %d",
+				g.ranks, m.Data, gen))
+		}
+		sum += c.V
+	}
+	for _, r := range g.ranks[1:] {
+		g.comm.Send(r, collectiveTag, groupResult{Key: key, Gen: gen, V: sum})
+	}
+	return sum
+}
+
+// Poison aborts the whole group: remote members get a groupPoison frame
+// (their transport delivery aborts their world), and the local world is
+// aborted directly.
+func (g *commGroup) Poison() {
+	w := g.comm.world
+	for _, r := range g.ranks {
+		if r != g.comm.rank && w.boxes[r] == nil {
+			// Best-effort: the connection may already be gone.
+			w.tr.Send(g.comm.rank, r, collectiveTag, groupPoison{Key: groupKey(g.comm, g.ranks)})
+		}
+	}
+	w.Abort()
+}

@@ -21,6 +21,9 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpi/transport"
 )
 
 // Wildcards for Recv matching.
@@ -49,12 +52,17 @@ type Observer interface {
 	OnSend(src, dst, tag int, data any, depth int)
 }
 
-// World is a set of communicating ranks.
+// World is a set of communicating ranks.  The default world created by
+// NewWorld hosts every rank in-process; NewDistributedWorld hosts a
+// subset of the ranks and reaches the rest through a Transport.
 type World struct {
-	n      int
-	boxes  []*mailbox
-	obs    Observer
-	groups sync.Map // map[string]*Group, keyed by rank-set signature
+	n       int
+	boxes   []*mailbox // nil entries are remote ranks
+	obs     Observer
+	groups  sync.Map // map[string]Group, keyed by rank-set signature
+	tr      transport.Transport
+	closed  atomic.Bool
+	aborted atomic.Bool
 }
 
 // SetObserver installs a message observer.  It must be called before
@@ -99,33 +107,64 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.n }
 
 // Send delivers data to dst with the given tag.  It never blocks
-// (buffered, eager).  The receiver takes ownership of data.
+// (buffered, eager).
+//
+// Ownership of data depends on the transport: the in-process fast path
+// and the Router transport hand the receiver the same pointer, so the
+// sender must not mutate data after sending; the TCP transport
+// serializes data before Send returns, so the sender may reuse it.
+// Code that must run on either transport follows the stricter
+// in-process contract.
 func (c *Comm) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("mpi: send to rank %d out of range [0,%d)", dst, c.world.n))
 	}
-	depth := c.world.boxes[dst].put(Message{Source: c.rank, Tag: tag, Data: data})
-	if o := c.world.obs; o != nil {
+	w := c.world
+	depth := -1 // remote sends have no mailbox-depth view
+	if box := w.boxes[dst]; box != nil {
+		depth = box.put(Message{Source: c.rank, Tag: tag, Data: data})
+	} else if err := w.tr.Send(c.rank, dst, tag, data); err != nil {
+		// The connection is gone: abort locally instead of hanging on
+		// replies that can never arrive.  (During clean teardown the
+		// closed flag suppresses the abort.)
+		if !w.closed.Load() {
+			w.Abort()
+		}
+	}
+	if o := w.obs; o != nil {
 		o.OnSend(c.rank, dst, tag, data, depth)
 	}
 }
 
-// Recv blocks until a message matching (src, tag) arrives and returns it.
-// Use AnySource / AnyTag as wildcards.
-func (c *Comm) Recv(src, tag int) Message {
-	return c.world.boxes[c.rank].get(src, tag, true)
+// box returns this rank's mailbox, which must be hosted locally.
+func (c *Comm) box() *mailbox {
+	b := c.world.boxes[c.rank]
+	if b == nil {
+		panic(fmt.Sprintf("mpi: rank %d is not hosted by this world", c.rank))
+	}
+	return b
 }
 
-// TryRecv returns a matching message if one is already queued.
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// Use AnySource / AnyTag as wildcards.  On an aborted world it drains
+// already-delivered matching messages, then panics with ErrAborted
+// instead of blocking forever.
+func (c *Comm) Recv(src, tag int) Message {
+	return c.box().get(src, tag, true)
+}
+
+// TryRecv returns a matching message if one is already queued.  On an
+// aborted world with no queued match it panics with ErrAborted, so
+// Test/TryRecv polling loops terminate like blocked receives do.
 func (c *Comm) TryRecv(src, tag int) (Message, bool) {
-	m := c.world.boxes[c.rank].get(src, tag, false)
+	m := c.box().get(src, tag, false)
 	return m, m.valid
 }
 
 // Probe reports whether a message matching (src, tag) is queued, without
 // removing it.
 func (c *Comm) Probe(src, tag int) bool {
-	return c.world.boxes[c.rank].probe(src, tag)
+	return c.box().probe(src, tag)
 }
 
 // Irecv posts a non-blocking receive and returns a request handle.
@@ -168,9 +207,10 @@ func (r *Request) Wait() Message {
 // mailbox is one rank's unbounded, order-preserving message queue with
 // (source, tag) matching.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []Message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	aborted bool
 }
 
 func newMailbox() *mailbox {
@@ -203,11 +243,27 @@ func (mb *mailbox) get(src, tag int, blocking bool) Message {
 				return m
 			}
 		}
+		// Drain-then-abort: messages delivered before the abort are
+		// still consumable (so receivers already holding their answer
+		// finish cleanly); only a receive that would otherwise wait —
+		// or poll forever — aborts.
+		if mb.aborted {
+			panic(ErrAborted)
+		}
 		if !blocking {
 			return Message{}
 		}
 		mb.cond.Wait()
 	}
+}
+
+// abort wakes blocked receivers: they drain queued matches and then
+// panic with ErrAborted instead of waiting forever.
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	mb.aborted = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
 }
 
 func (mb *mailbox) probe(src, tag int) bool {
@@ -222,75 +278,42 @@ func (mb *mailbox) probe(src, tag int) bool {
 }
 
 // ErrAborted is the panic value delivered to collective operations on a
-// poisoned group.  Callers that poison a group should recover it.
+// poisoned group and to receives on an aborted world.  Callers that
+// poison a group should recover it.
 var ErrAborted = fmt.Errorf("mpi: group aborted")
 
-// Group is a subset of ranks supporting collective operations, like an
-// MPI communicator.
-type Group struct {
-	n        int
-	mu       sync.Mutex
-	cond     *sync.Cond
-	gen      int
-	count    int
-	acc      float64
-	result   float64
-	poisoned bool
+// Abort poisons the world: every locally hosted mailbox wakes its
+// blocked receivers with ErrAborted (after draining already-delivered
+// matches), and every group created through GroupOf is poisoned.  It is
+// idempotent and safe to call from any goroutine; transports call it
+// when a peer connection dies.
+func (w *World) Abort() {
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	w.groups.Range(func(_, v any) bool {
+		v.(Group).Poison()
+		return true
+	})
+	for _, box := range w.boxes {
+		if box != nil {
+			box.abort()
+		}
+	}
 }
 
-// NewGroup creates a collective group of n participants.  Every
-// participant must call each collective operation exactly once per
-// "round"; mixing operations across a round is a programming error.
-func (w *World) NewGroup(n int) *Group {
-	if n < 1 {
-		panic(fmt.Sprintf("mpi: group size %d < 1", n))
-	}
-	g := &Group{n: n}
-	g.cond = sync.NewCond(&g.mu)
-	return g
-}
+// Aborted reports whether the world has been aborted.
+func (w *World) Aborted() bool { return w.aborted.Load() }
 
-// Barrier blocks until all group members have called it.
-func (g *Group) Barrier() {
-	g.AllreduceSum(0)
-}
-
-// AllreduceSum sums v across all members and returns the total to each.
-// On a poisoned group it panics with ErrAborted instead of blocking
-// forever on members that will never arrive.
-func (g *Group) AllreduceSum(v float64) float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.poisoned {
-		panic(ErrAborted)
+// Close tears the world down, closing its transport (if any).  Peer
+// disconnects observed after Close are part of normal teardown and do
+// not abort the world.
+func (w *World) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
 	}
-	gen := g.gen
-	g.acc += v
-	g.count++
-	if g.count == g.n {
-		g.result = g.acc
-		g.acc = 0
-		g.count = 0
-		g.gen++
-		g.cond.Broadcast()
-		return g.result
+	if w.tr != nil {
+		return w.tr.Close()
 	}
-	for g.gen == gen && !g.poisoned {
-		g.cond.Wait()
-	}
-	if g.gen == gen && g.poisoned {
-		panic(ErrAborted)
-	}
-	return g.result
-}
-
-// Poison aborts the group: members blocked in collectives panic with
-// ErrAborted, and future collective calls panic immediately.  Used to
-// convert a member failure into a clean collective shutdown instead of a
-// deadlock.
-func (g *Group) Poison() {
-	g.mu.Lock()
-	g.poisoned = true
-	g.mu.Unlock()
-	g.cond.Broadcast()
+	return nil
 }

@@ -1,0 +1,475 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Wire protocol constants.  Every frame on a connection is a 4-byte
+// big-endian payload length followed by the payload.  The first frame
+// after connect is a handshake: the 4 magic bytes, a version byte, and
+// the dialer's rank as a zigzag varint.  Every later frame is a
+// message: src, dst, and tag as zigzag varints followed by the
+// wire-encoded payload (type id + body).
+const (
+	tcpMagic   = "SIPW"
+	tcpVersion = 1
+)
+
+// TCPConfig parameterizes a TCP transport endpoint.
+type TCPConfig struct {
+	// Rank is the world rank this process plays.
+	Rank int
+	// Addrs maps every rank to its host:port.  Addrs[Rank] is this
+	// process's listen address unless Listener is set.
+	Addrs []string
+	// Listener, when non-nil, is a pre-bound listener used instead of
+	// listening on Addrs[Rank] (tests use it to avoid port races).
+	Listener net.Listener
+
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RetryBase is the first dial-retry backoff (default 25ms); it
+	// doubles per attempt up to RetryMax (default 1s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryDeadline bounds the total time spent dialing one peer
+	// (default 15s); past it the peer is reported down.
+	RetryDeadline time.Duration
+	// WriteTimeout bounds one frame write (default 30s).
+	WriteTimeout time.Duration
+	// MaxFrame bounds accepted frame payloads (default 1 GiB).
+	MaxFrame int
+
+	// Observer receives connection metrics; nil disables them.
+	Observer Observer
+}
+
+func (c *TCPConfig) fill() error {
+	if c.Rank < 0 || c.Rank >= len(c.Addrs) {
+		return fmt.Errorf("transport: rank %d out of range for %d addresses", c.Rank, len(c.Addrs))
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	if c.RetryDeadline <= 0 {
+		c.RetryDeadline = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 1 << 30
+	}
+	if c.Observer == nil {
+		c.Observer = NopObserver{}
+	}
+	return nil
+}
+
+// TCP is the socket transport: length-prefixed frames over one lazily
+// dialed connection per outbound peer, with dial retry and exponential
+// backoff.  Payloads are serialized with internal/wire before Send
+// returns, so (unlike the in-process transports) senders may reuse the
+// payload immediately.
+type TCP struct {
+	cfg TCPConfig
+	ln  net.Listener
+
+	handler Handler
+	down    PeerDown
+
+	mu    sync.Mutex
+	peers map[int]*tcpPeer
+	conns map[net.Conn]bool // inbound connections, for teardown
+
+	closed   atomic.Bool
+	writerWG sync.WaitGroup
+	readerWG sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// tcpPeer is the outbound side of one peer connection: an unbounded
+// frame queue drained by a dedicated writer goroutine, so Send never
+// blocks on the network (MPI eager-send semantics).
+type tcpPeer struct {
+	rank int
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue   [][]byte
+	depth   int
+	closing bool
+	failed  error
+}
+
+// NewTCP binds the endpoint's listener and returns the transport.
+// Peers can connect as soon as NewTCP returns; inbound traffic is
+// processed once Start installs the handler.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+		}
+	}
+	return &TCP{cfg: cfg, ln: ln, peers: map[int]*tcpPeer{}, conns: map[net.Conn]bool{}}, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0" ports).
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// Start installs the receive handler and begins accepting connections.
+func (t *TCP) Start(h Handler, down PeerDown) error {
+	if t.handler != nil {
+		return errors.New("transport: Start called twice")
+	}
+	t.handler = h
+	t.down = down
+	t.readerWG.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.readerWG.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = true
+		t.mu.Unlock()
+		t.readerWG.Add(1)
+		go t.readConn(conn)
+	}
+}
+
+// readConn consumes one inbound connection: handshake, then frames.
+func (t *TCP) readConn(conn net.Conn) {
+	defer t.readerWG.Done()
+	peer, err := t.readHandshake(conn)
+	if err != nil {
+		conn.Close()
+		if !t.closed.Load() {
+			t.cfg.Observer.OnPeerDown(-1, err)
+		}
+		return
+	}
+	t.cfg.Observer.OnAccept(peer)
+	for {
+		payload, err := readFrame(conn, t.cfg.MaxFrame)
+		if err != nil {
+			conn.Close()
+			if !t.closed.Load() && !errors.Is(err, io.EOF) {
+				t.reportDown(peer, err)
+			}
+			return
+		}
+		t.cfg.Observer.OnFrameRecv(peer, len(payload))
+		if err := t.dispatch(payload); err != nil {
+			conn.Close()
+			if !t.closed.Load() {
+				t.reportDown(peer, err)
+			}
+			return
+		}
+	}
+}
+
+// reportDown forwards a connection failure to the observer and the
+// world layer.
+func (t *TCP) reportDown(peer int, err error) {
+	t.cfg.Observer.OnPeerDown(peer, err)
+	if t.down != nil {
+		t.down(peer, err)
+	}
+}
+
+func (t *TCP) readHandshake(conn net.Conn) (int, error) {
+	payload, err := readFrame(conn, 64)
+	if err != nil {
+		return -1, fmt.Errorf("transport: handshake: %w", err)
+	}
+	if len(payload) < len(tcpMagic)+1 || string(payload[:len(tcpMagic)]) != tcpMagic {
+		return -1, fmt.Errorf("transport: bad handshake magic")
+	}
+	if v := payload[len(tcpMagic)]; v != tcpVersion {
+		return -1, fmt.Errorf("transport: protocol version %d, want %d", v, tcpVersion)
+	}
+	d := wire.NewDecoder(payload[len(tcpMagic)+1:])
+	rank := d.Int()
+	if d.Err() != nil {
+		return -1, fmt.Errorf("transport: handshake rank: %w", d.Err())
+	}
+	return rank, nil
+}
+
+// dispatch decodes one message frame and hands it to the world layer.
+func (t *TCP) dispatch(payload []byte) error {
+	d := wire.NewDecoder(payload)
+	src, dst, tag := d.Int(), d.Int(), d.Int()
+	data := d.Any()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("transport: bad frame: %w", err)
+	}
+	t.handler(src, dst, tag, data)
+	return nil
+}
+
+// Send serializes the payload and queues the frame for the peer's
+// writer, dialing the connection lazily.  The payload is fully encoded
+// before Send returns: the caller may mutate it afterwards.
+func (t *TCP) Send(src, dst, tag int, data any) error {
+	if t.closed.Load() {
+		return errors.New("transport: closed")
+	}
+	e := wire.NewEncoder(64)
+	e.Int(src)
+	e.Int(dst)
+	e.Int(tag)
+	e.Any(data)
+	return t.peer(dst).enqueue(e.Bytes())
+}
+
+// QueueDepth returns the outbound backlog for dst in frames.
+func (t *TCP) QueueDepth(dst int) int {
+	t.mu.Lock()
+	p := t.peers[dst]
+	t.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.depth
+}
+
+func (t *TCP) peer(rank int) *tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[rank]
+	if p == nil {
+		p = &tcpPeer{rank: rank}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[rank] = p
+		t.writerWG.Add(1)
+		go t.writeLoop(p)
+	}
+	return p
+}
+
+func (p *tcpPeer) enqueue(frame []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed != nil {
+		return p.failed
+	}
+	if p.closing {
+		return errors.New("transport: peer connection closing")
+	}
+	p.queue = append(p.queue, frame)
+	p.depth = len(p.queue)
+	p.cond.Signal()
+	return nil
+}
+
+// next blocks until a frame is queued or the peer is closing with an
+// empty queue.
+func (p *tcpPeer) next() ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closing {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return nil, false
+	}
+	frame := p.queue[0]
+	p.queue = p.queue[1:]
+	p.depth = len(p.queue)
+	return frame, true
+}
+
+// pending reports whether frames are still queued.
+func (p *tcpPeer) pending() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) > 0
+}
+
+// fail latches a send error and discards the backlog.
+func (p *tcpPeer) fail(err error) {
+	p.mu.Lock()
+	p.failed = err
+	p.queue = nil
+	p.depth = 0
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// writeLoop dials the peer with retry + exponential backoff, sends the
+// handshake, and drains the frame queue.
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.writerWG.Done()
+	conn, err := t.dialBackoff(p)
+	if err != nil {
+		p.fail(err)
+		if !t.closed.Load() {
+			t.reportDown(p.rank, err)
+		}
+		return
+	}
+	defer conn.Close()
+	for {
+		frame, ok := p.next()
+		if !ok {
+			return // clean close, queue drained
+		}
+		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if err := writeFrame(conn, frame); err != nil {
+			p.fail(err)
+			if !t.closed.Load() {
+				t.reportDown(p.rank, err)
+			}
+			return
+		}
+		t.cfg.Observer.OnFrameSend(p.rank, len(frame))
+	}
+}
+
+// dialBackoff establishes the outbound connection to p, retrying with
+// exponential backoff until RetryDeadline, and sends the handshake.
+func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
+	if p.rank < 0 || p.rank >= len(t.cfg.Addrs) {
+		return nil, fmt.Errorf("transport: no address for rank %d", p.rank)
+	}
+	addr := t.cfg.Addrs[p.rank]
+	deadline := time.Now().Add(t.cfg.RetryDeadline)
+	backoff := t.cfg.RetryBase
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		// Close flushes queues, so a pending backlog keeps the dial loop
+		// alive (bounded by RetryDeadline); without one there is nothing
+		// left to deliver and the writer can stop immediately.
+		if t.closed.Load() && !p.pending() {
+			return nil, errors.New("transport: closed")
+		}
+		conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err == nil {
+			e := wire.NewEncoder(16)
+			e.Byte(tcpMagic[0])
+			e.Byte(tcpMagic[1])
+			e.Byte(tcpMagic[2])
+			e.Byte(tcpMagic[3])
+			e.Byte(tcpVersion)
+			e.Int(t.cfg.Rank)
+			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+			if err := writeFrame(conn, e.Bytes()); err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("transport: handshake to rank %d: %w", p.rank, err)
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			t.cfg.Observer.OnConnect(p.rank, attempt)
+			return conn, nil
+		}
+		lastErr = err
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("transport: dial rank %d (%s) after %d attempts: %w",
+				p.rank, addr, attempt, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > t.cfg.RetryMax {
+			backoff = t.cfg.RetryMax
+		}
+	}
+}
+
+// Close flushes queued outbound frames, then tears all connections
+// down.  Peer failures observed during and after Close are not
+// reported.
+func (t *TCP) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Stop outbound writers after their queues drain (writers have write
+	// deadlines, so this terminates even against a dead peer).
+	t.mu.Lock()
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.closing = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}
+	t.writerWG.Wait()
+	// Now stop inbound traffic.
+	t.ln.Close()
+	t.mu.Lock()
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	t.readerWG.Wait()
+	return nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(conn net.Conn, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

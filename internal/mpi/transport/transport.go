@@ -1,0 +1,194 @@
+// Package transport provides the pluggable message transports behind
+// the MPI substitution layer (mpi.World).
+//
+// A Transport moves tagged messages between world ranks that live in
+// different endpoints — separate OS processes connected over TCP
+// (NewTCP), or separate in-process worlds wired through a Router (used
+// by tests and benchmarks).  The all-local world created by
+// mpi.NewWorld does not use a Transport at all: its mailboxes deliver
+// payloads by pointer, which is the in-process fast path the SIP runs
+// on by default.
+//
+// Payloads crossing a TCP transport are encoded with internal/wire, so
+// every type sent through a distributed world must be registered there.
+// The in-process Router shares pointers, exactly like the default
+// world; the difference in ownership semantics between the two is part
+// of the documented send contract (see docs/TRANSPORT.md).
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Handler delivers an incoming message to the receiving endpoint.  It
+// is invoked from the transport's receive machinery and must be safe
+// for concurrent use.
+type Handler func(src, dst, tag int, data any)
+
+// PeerDown reports that the connection to a peer failed outside a clean
+// shutdown.  The world layer uses it to abort blocked receivers instead
+// of hanging on messages that can never arrive.
+type PeerDown func(peer int, err error)
+
+// Transport moves messages between world endpoints.
+type Transport interface {
+	// Start installs the receive handler and failure callback and begins
+	// accepting traffic.  It must be called exactly once, before Send.
+	Start(h Handler, down PeerDown) error
+	// Send delivers data to rank dst.  Implementations either share the
+	// payload pointer (in-process) or serialize it before returning
+	// (TCP), per the ownership contract.
+	Send(src, dst, tag int, data any) error
+	// Close tears the transport down, flushing queued outbound messages
+	// where possible.  After Close, Send fails and peer failures are no
+	// longer reported.
+	Close() error
+}
+
+// Observer receives connection-level instrumentation callbacks.
+// Methods must be cheap and safe for concurrent use.  Implementations
+// may embed NopObserver to pick up defaults.
+type Observer interface {
+	// OnConnect reports a successfully established outbound connection;
+	// attempts counts the dials needed (attempts > 1 means retries).
+	OnConnect(peer, attempts int)
+	// OnAccept reports an accepted inbound connection.
+	OnAccept(peer int)
+	// OnFrameSend / OnFrameRecv report one framed message moved on the
+	// wire, with its payload size in bytes.
+	OnFrameSend(peer, bytes int)
+	OnFrameRecv(peer, bytes int)
+	// OnPeerDown reports a connection failure outside clean shutdown.
+	OnPeerDown(peer int, err error)
+}
+
+// NopObserver is an Observer that ignores every callback.
+type NopObserver struct{}
+
+func (NopObserver) OnConnect(int, int)    {}
+func (NopObserver) OnAccept(int)          {}
+func (NopObserver) OnFrameSend(int, int)  {}
+func (NopObserver) OnFrameRecv(int, int)  {}
+func (NopObserver) OnPeerDown(int, error) {}
+
+// ---------------------------------------------------------------------
+// In-process router transport
+
+// Router wires several in-process endpoints into one logical world: it
+// is the channel-based transport, sharing payload pointers and
+// delivering synchronously on the sender's goroutine — the same
+// semantics as the default all-local world, but across distinct
+// mpi.World instances.  Tests and benchmarks use it to exercise the
+// distributed code paths without sockets.
+type Router struct {
+	mu     sync.RWMutex
+	owners map[int]*Local
+}
+
+// NewRouter creates an empty router.
+func NewRouter() *Router { return &Router{owners: map[int]*Local{}} }
+
+// Endpoint registers a new endpoint owning the given ranks.
+func (r *Router) Endpoint(ranks ...int) *Local {
+	l := &Local{router: r, ranks: ranks}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rank := range ranks {
+		if _, ok := r.owners[rank]; ok {
+			panic(fmt.Sprintf("transport: rank %d registered twice", rank))
+		}
+		r.owners[rank] = l
+	}
+	return l
+}
+
+// Local is one endpoint of a Router.
+type Local struct {
+	router *Router
+	ranks  []int
+
+	mu      sync.RWMutex
+	handler Handler
+	down    PeerDown
+	closed  bool
+}
+
+var _ Transport = (*Local)(nil)
+
+// Start installs the receive handler.
+func (l *Local) Start(h Handler, down PeerDown) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.handler != nil {
+		return fmt.Errorf("transport: Start called twice")
+	}
+	l.handler = h
+	l.down = down
+	return nil
+}
+
+// Send delivers data synchronously to the endpoint owning dst.  The
+// receiver gets the same pointer the sender passed: senders must not
+// mutate the payload after sending.
+func (l *Local) Send(src, dst, tag int, data any) error {
+	l.mu.RLock()
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("transport: endpoint closed")
+	}
+	l.router.mu.RLock()
+	target := l.router.owners[dst]
+	l.router.mu.RUnlock()
+	if target == nil {
+		return fmt.Errorf("transport: no endpoint owns rank %d", dst)
+	}
+	target.mu.RLock()
+	h, closed := target.handler, target.closed
+	target.mu.RUnlock()
+	if closed || h == nil {
+		return fmt.Errorf("transport: endpoint for rank %d not receiving", dst)
+	}
+	h(src, dst, tag, data)
+	return nil
+}
+
+// Close deregisters the endpoint and notifies the remaining endpoints
+// that its ranks are down (mirroring a TCP connection teardown).
+func (l *Local) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	l.router.mu.Lock()
+	var others []*Local
+	seen := map[*Local]bool{l: true}
+	for _, rank := range l.ranks {
+		delete(l.router.owners, rank)
+	}
+	for _, ep := range l.router.owners {
+		if !seen[ep] {
+			seen[ep] = true
+			others = append(others, ep)
+		}
+	}
+	l.router.mu.Unlock()
+
+	for _, ep := range others {
+		ep.mu.RLock()
+		down, closed := ep.down, ep.closed
+		ep.mu.RUnlock()
+		if closed || down == nil {
+			continue
+		}
+		for _, rank := range l.ranks {
+			down(rank, fmt.Errorf("transport: endpoint for rank %d closed", rank))
+		}
+	}
+	return nil
+}

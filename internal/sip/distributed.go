@@ -1,0 +1,189 @@
+package sip
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
+	"repro/internal/obs"
+)
+
+// RunRank plays one world rank of a SIP run in this process: the master
+// (rank 0), a worker (1..Workers), or an I/O server.  It is the
+// multi-process counterpart of Run — every process builds the same
+// program and Config, constructs a distributed world over a shared rank
+// layout, and calls RunRank with its own rank.
+//
+// Only the master's Result carries scalars and gathered arrays; worker
+// Results report the worker's local view (scalars and profile), and
+// server Results are empty.  A failure anywhere surfaces as an error on
+// at least the failing rank and the master.
+func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (res *Result, err error) {
+	started := time.Now()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	layout, err := prog.Resolve(cfg.Params, cfg.Seg)
+	if err != nil {
+		return nil, err
+	}
+	nRanks := 1 + cfg.Workers + cfg.Servers
+	if world.Size() != nRanks {
+		return nil, fmt.Errorf("sip: world has %d ranks, config needs %d (1 master + %d workers + %d servers)",
+			world.Size(), nRanks, cfg.Workers, cfg.Servers)
+	}
+	if rank < 0 || rank >= nRanks {
+		return nil, fmt.Errorf("sip: rank %d out of range [0,%d)", rank, nRanks)
+	}
+	scratch := cfg.ScratchDir
+	if scratch == "" {
+		dir, err := os.MkdirTemp("", "sip-scratch-")
+		if err != nil {
+			return nil, fmt.Errorf("sip: scratch dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		scratch = dir
+	}
+	rt := &runtime{
+		cfg:     cfg,
+		prog:    prog,
+		layout:  layout,
+		world:   world,
+		workers: cfg.Workers,
+		servers: cfg.Servers,
+		scratch: scratch,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
+	}
+	if cfg.Metrics != nil {
+		world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
+	}
+
+	// A dead peer aborts the world; surface that as an error rather
+	// than a panic so the process exits cleanly with a diagnosis.
+	defer func() {
+		if r := recover(); r != nil {
+			if r == mpi.ErrAborted {
+				err = fmt.Errorf("sip: rank %d: aborted after peer failure: %w", rank, mpi.ErrAborted)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	switch {
+	case rank == 0:
+		m := newMaster(rt)
+		res, err = m.run()
+		if res != nil {
+			res.Elapsed = time.Since(started)
+			if cfg.Metrics != nil {
+				res.Profile = &Profile{Metrics: cfg.Metrics.Snapshot()}
+			}
+		}
+		return res, err
+	case rank <= cfg.Workers:
+		rt.workerGroup = world.Comm(rank).GroupOf(rt.workerRanks()...)
+		w := newWorker(rt, rank)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.serviceLoop()
+		}()
+		err = w.run()
+		wg.Wait()
+		res = &Result{Scalars: map[string]float64{}, Elapsed: time.Since(started)}
+		for i, s := range prog.Scalars {
+			res.Scalars[s.Name] = w.scalars[i]
+		}
+		res.Profile = mergeProfiles([]*worker{w}, nil)
+		if cfg.Metrics != nil {
+			foldRunMetrics(cfg.Metrics, []*worker{w}, nil)
+			res.Profile.Metrics = cfg.Metrics.Snapshot()
+		}
+		return res, err
+	default:
+		s := newIOServer(rt, rank)
+		s.run()
+		res = &Result{Elapsed: time.Since(started)}
+		res.Profile = mergeProfiles(nil, []*ioServer{s})
+		if cfg.Metrics != nil {
+			foldRunMetrics(cfg.Metrics, nil, []*ioServer{s})
+			res.Profile.Metrics = cfg.Metrics.Snapshot()
+		}
+		return res, nil
+	}
+}
+
+// NewNetObserver adapts a metrics registry to the transport's
+// connection-level instrumentation: per-peer byte/frame counters plus
+// connect, dial-retry, and failure counts (documented in
+// docs/OBSERVABILITY.md, reported by `sial run -metrics`).
+func NewNetObserver(reg *obs.Registry) transport.Observer {
+	return &netObserver{reg: reg}
+}
+
+type netObserver struct {
+	reg *obs.Registry
+}
+
+var _ transport.Observer = (*netObserver)(nil)
+
+func (n *netObserver) peerCounter(kind string, peer int) *obs.Counter {
+	return n.reg.Counter(fmt.Sprintf("net.%s.peer%d", kind, peer))
+}
+
+func (n *netObserver) OnConnect(peer, attempts int) {
+	n.peerCounter("connects", peer).Inc()
+	if attempts > 1 {
+		n.peerCounter("dial_retries", peer).Add(int64(attempts - 1))
+	}
+}
+
+func (n *netObserver) OnAccept(peer int) {
+	n.peerCounter("accepts", peer).Inc()
+}
+
+func (n *netObserver) OnFrameSend(peer, bytes int) {
+	n.peerCounter("frames_out", peer).Inc()
+	n.peerCounter("bytes_out", peer).Add(int64(bytes))
+}
+
+func (n *netObserver) OnFrameRecv(peer, bytes int) {
+	n.peerCounter("frames_in", peer).Inc()
+	n.peerCounter("bytes_in", peer).Add(int64(bytes))
+}
+
+func (n *netObserver) OnPeerDown(peer int, err error) {
+	n.peerCounter("peer_down", peer).Inc()
+}
+
+// Ranks describes the world layout of a distributed SIP run, mapping
+// the SIP roles onto world ranks for launchers.
+type Ranks struct {
+	N       int // total ranks: 1 + workers + servers
+	Workers int
+	Servers int
+}
+
+// NewRanks builds the rank layout for a Config.
+func NewRanks(cfg Config) Ranks {
+	return Ranks{N: 1 + cfg.Workers + cfg.Servers, Workers: cfg.Workers, Servers: cfg.Servers}
+}
+
+// Role names rank r: "master", "worker<i>", or "server<i>".
+func (r Ranks) Role(rank int) string {
+	switch {
+	case rank == 0:
+		return "master"
+	case rank <= r.Workers:
+		return fmt.Sprintf("worker%d", rank)
+	default:
+		return fmt.Sprintf("server%d", rank-r.Workers)
+	}
+}

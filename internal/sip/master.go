@@ -159,6 +159,8 @@ func (m *master) run() (*Result, error) {
 	chunkCtr := rt.metrics.Counter(metricMasterChunks)
 	iterCtr := rt.metrics.Counter(metricMasterIters)
 	res := &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
+	var scalarVals []float64
+	var workerErr error
 	doneCount := 0
 	for doneCount < rt.workers {
 		msg := m.comm.Recv(mpi.AnySource, mpi.AnyTag)
@@ -198,7 +200,14 @@ func (m *master) run() (*Result, error) {
 			g := msg.Data.(gatherMsg)
 			m.recordGather(res.Arrays, g)
 		case tagDone:
+			done := msg.Data.(doneMsg)
 			doneCount++
+			if done.scalars != nil {
+				scalarVals = done.scalars
+			}
+			if done.err != "" && workerErr == nil {
+				workerErr = fmt.Errorf("%s", done.err)
+			}
 			if trk != nil {
 				trk.Instant(obs.CatChunk, "worker_done", obs.AInt("rank", msg.Source))
 			}
@@ -217,7 +226,13 @@ func (m *master) run() (*Result, error) {
 			m.recordGather(res.Served, msg.Data.(gatherMsg))
 		}
 	}
-	return res, nil
+	res.Scalars = map[string]float64{}
+	for i, s := range rt.prog.Scalars {
+		if i < len(scalarVals) {
+			res.Scalars[s.Name] = scalarVals[i]
+		}
+	}
+	return res, workerErr
 }
 
 func (m *master) recordGather(dst map[string][]ArrayBlock, g gatherMsg) {

@@ -49,10 +49,20 @@ type chunkReply struct {
 	iters [][]int
 }
 
-// doneMsg tells the master a worker reached halt.
+// doneMsg tells the master a worker reached halt (or failed, when err
+// is non-empty).  Worker rank 1 attaches its final scalar values, which
+// collectives make identical across workers, so the master can report
+// them without sharing memory with any worker.
 type doneMsg struct {
-	origin int
+	origin  int
+	err     string
+	scalars []float64
 }
+
+// ackMsg is the payload of tagPutAck / tagPrepAck / tagFlushAck
+// acknowledgements.  (A named type rather than struct{}{} so it can be
+// registered with the wire codec.)
+type ackMsg struct{}
 
 // Checkpoint operations (blocks_to_list / list_to_blocks).
 const (

@@ -85,7 +85,9 @@ func (s *mpiStats) OnSend(src, dst, tag int, data any, depth int) {
 	i := tagIndex(tag)
 	s.msgs[i].Inc()
 	s.bytes[i].Add(msgBytes(data))
-	if dst >= 0 && dst < len(s.qdepth) {
+	// Remote sends report depth -1: the sender has no view of a remote
+	// mailbox's backlog.
+	if depth >= 0 && dst >= 0 && dst < len(s.qdepth) {
 		s.qdepth[dst].Set(int64(depth))
 	}
 }
@@ -134,6 +136,8 @@ func msgBytes(data any) int64 {
 			n += 16 + 8*int64(len(ab.Data))
 		}
 		return n
+	case doneMsg:
+		return envelope + 16 + 8*int64(len(v.scalars)) + int64(len(v.err))
 	default:
 		return envelope
 	}

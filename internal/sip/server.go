@@ -98,7 +98,7 @@ func (s *ioServer) run() {
 			}
 			s.apply(msg.key, msg.b, msg.acc)
 			if msg.needAck {
-				s.comm.Send(msg.origin, tagPrepAck, struct{}{})
+				s.comm.Send(msg.origin, tagPrepAck, ackMsg{})
 			}
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "serve_put",
@@ -110,7 +110,7 @@ func (s *ioServer) run() {
 				start = time.Now()
 			}
 			s.flushAll()
-			s.comm.Send(msg.origin, tagFlushAck, struct{}{})
+			s.comm.Send(msg.origin, tagFlushAck, ackMsg{})
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "flush")
 			}

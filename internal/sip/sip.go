@@ -24,6 +24,7 @@
 package sip
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -193,7 +194,7 @@ type runtime struct {
 	workers int
 	servers int
 
-	workerGroup *mpi.Group // workers only: barriers, collectives
+	workerGroup mpi.Group // workers only: barriers, collectives
 	scratch     string
 
 	tracer  *obs.Tracer   // nil when span tracing is disabled
@@ -269,6 +270,16 @@ func NewBlockedPlacement(blocksOf func(arr int) int) PlacementFunc {
 	}
 }
 
+// workerRanks returns the world ranks of all workers (1..W), the member
+// list of the worker collective group.
+func (rt *runtime) workerRanks() []int {
+	ranks := make([]int, rt.workers)
+	for i := range ranks {
+		ranks[i] = 1 + i
+	}
+	return ranks
+}
+
 // homeWorker returns the world rank of the worker that owns block ord of
 // array arr.
 func (rt *runtime) homeWorker(arr, ord int) int {
@@ -325,7 +336,7 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
 	}
-	rt.workerGroup = rt.world.NewGroup(cfg.Workers)
+	rt.workerGroup = rt.world.Comm(1).GroupOf(rt.workerRanks()...)
 	if cfg.Metrics != nil {
 		rt.world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
 	}
@@ -363,20 +374,29 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 	res, masterErr := m.run()
 	wg.Wait()
 
+	// Prefer a rank's own failure over the secondary "aborted after
+	// peer failure" errors the poison fans out to the other ranks.
+	var abortErr error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, mpi.ErrAborted):
+			if abortErr == nil {
+				abortErr = err
+			}
+		default:
 			return nil, err
 		}
 	}
 	if masterErr != nil {
 		return nil, masterErr
 	}
-
-	// Attach final scalar values and merged profiles.
-	res.Scalars = map[string]float64{}
-	for i, s := range prog.Scalars {
-		res.Scalars[s.Name] = workers[0].scalars[i]
+	if abortErr != nil {
+		return nil, abortErr
 	}
+
+	// Scalars were collected by the master from worker 1's doneMsg;
+	// attach the merged profiles.
 	res.Profile = mergeProfiles(workers, servers)
 	if cfg.Metrics != nil {
 		foldRunMetrics(cfg.Metrics, workers, servers)

@@ -1,0 +1,163 @@
+package sip
+
+import (
+	"repro/internal/block"
+	"repro/internal/wire"
+)
+
+// Wire ids of the SIP message types (block 32..63, see internal/wire).
+// The master/worker/server protocols send exactly these payloads, so
+// registering them here is what makes the SIP runnable over a
+// serializing transport.
+const (
+	wireIDGetMsg = 32 + iota
+	wireIDPutMsg
+	wireIDFlushMsg
+	wireIDShutdownMsg
+	wireIDChunkMsg
+	wireIDChunkReply
+	wireIDDoneMsg
+	wireIDCkptMsg
+	wireIDCkptData
+	wireIDGatherMsg
+	wireIDAckMsg
+)
+
+func encodeKey(e *wire.Encoder, k blockKey) {
+	e.Int(k.arr)
+	e.Int(k.ord)
+}
+
+func decodeKey(d *wire.Decoder) blockKey {
+	return blockKey{arr: d.Int(), ord: d.Int()}
+}
+
+func encodeArrayBlocks(e *wire.Encoder, blocks []ArrayBlock) {
+	e.Uvarint(uint64(len(blocks)))
+	for _, ab := range blocks {
+		e.Int(ab.Ord)
+		e.Float64s(ab.Data)
+	}
+}
+
+func decodeArrayBlocks(d *wire.Decoder) []ArrayBlock {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.Fail("sip: %d gathered blocks exceed remaining %d bytes", n, d.Remaining())
+		return nil
+	}
+	blocks := make([]ArrayBlock, n)
+	for i := range blocks {
+		blocks[i] = ArrayBlock{Ord: d.Int(), Data: d.Float64s()}
+	}
+	return blocks
+}
+
+func init() {
+	wire.Register(wireIDGetMsg,
+		func(e *wire.Encoder, m getMsg) {
+			encodeKey(e, m.key)
+			e.Int(m.replyTag)
+			e.Int(m.origin)
+		},
+		func(d *wire.Decoder) getMsg {
+			return getMsg{key: decodeKey(d), replyTag: d.Int(), origin: d.Int()}
+		})
+	wire.Register(wireIDPutMsg,
+		func(e *wire.Encoder, m putMsg) {
+			encodeKey(e, m.key)
+			e.Bool(m.acc)
+			e.Int(m.origin)
+			e.Bool(m.needAck)
+			e.Bool(m.b != nil)
+			if m.b != nil {
+				m.b.EncodeWire(e)
+			}
+		},
+		func(d *wire.Decoder) putMsg {
+			m := putMsg{key: decodeKey(d), acc: d.Bool(), origin: d.Int(), needAck: d.Bool()}
+			if d.Bool() {
+				m.b = block.DecodeWire(d)
+			}
+			return m
+		})
+	wire.Register(wireIDFlushMsg,
+		func(e *wire.Encoder, m flushMsg) { e.Int(m.origin) },
+		func(d *wire.Decoder) flushMsg { return flushMsg{origin: d.Int()} })
+	wire.Register(wireIDShutdownMsg,
+		func(e *wire.Encoder, m shutdownMsg) { e.Bool(m.gather) },
+		func(d *wire.Decoder) shutdownMsg { return shutdownMsg{gather: d.Bool()} })
+	wire.Register(wireIDChunkMsg,
+		func(e *wire.Encoder, m chunkMsg) {
+			e.Int(m.pardo)
+			e.Int(m.gen)
+			e.Int(m.origin)
+		},
+		func(d *wire.Decoder) chunkMsg {
+			return chunkMsg{pardo: d.Int(), gen: d.Int(), origin: d.Int()}
+		})
+	wire.Register(wireIDChunkReply,
+		func(e *wire.Encoder, m chunkReply) { e.IntSlices(m.iters) },
+		func(d *wire.Decoder) chunkReply { return chunkReply{iters: d.IntSlices()} })
+	wire.Register(wireIDDoneMsg,
+		func(e *wire.Encoder, m doneMsg) {
+			e.Int(m.origin)
+			e.String(m.err)
+			e.Float64s(m.scalars)
+		},
+		func(d *wire.Decoder) doneMsg {
+			return doneMsg{origin: d.Int(), err: d.String(), scalars: d.Float64s()}
+		})
+	wire.Register(wireIDCkptMsg,
+		func(e *wire.Encoder, m ckptMsg) {
+			e.Int(m.op)
+			e.Int(m.arr)
+			e.Int(m.origin)
+			encodeArrayBlocks(e, m.blocks)
+		},
+		func(d *wire.Decoder) ckptMsg {
+			return ckptMsg{op: d.Int(), arr: d.Int(), origin: d.Int(), blocks: decodeArrayBlocks(d)}
+		})
+	wire.Register(wireIDCkptData,
+		func(e *wire.Encoder, m ckptData) {
+			e.Int(m.arr)
+			encodeArrayBlocks(e, m.blocks)
+		},
+		func(d *wire.Decoder) ckptData {
+			return ckptData{arr: d.Int(), blocks: decodeArrayBlocks(d)}
+		})
+	wire.Register(wireIDGatherMsg,
+		func(e *wire.Encoder, m gatherMsg) {
+			e.Int(m.origin)
+			e.Uvarint(uint64(len(m.arrays)))
+			for arr, blocks := range m.arrays {
+				e.Int(arr)
+				encodeArrayBlocks(e, blocks)
+			}
+		},
+		func(d *wire.Decoder) gatherMsg {
+			m := gatherMsg{origin: d.Int()}
+			n := d.Uvarint()
+			if d.Err() != nil {
+				return m
+			}
+			if n > uint64(d.Remaining()) {
+				d.Fail("sip: %d gathered arrays exceed remaining %d bytes", n, d.Remaining())
+				return m
+			}
+			if n > 0 {
+				m.arrays = make(map[int][]ArrayBlock, n)
+				for i := uint64(0); i < n; i++ {
+					arr := d.Int()
+					m.arrays[arr] = decodeArrayBlocks(d)
+				}
+			}
+			return m
+		})
+	wire.Register(wireIDAckMsg,
+		func(e *wire.Encoder, m ackMsg) {},
+		func(d *wire.Decoder) ackMsg { return ackMsg{} })
+}

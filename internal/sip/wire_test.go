@@ -1,0 +1,81 @@
+package sip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/wire"
+)
+
+// sipRoundTrip encodes and decodes one message through the wire
+// registry, as the TCP transport does for every frame.
+func sipRoundTrip(t *testing.T, v any) any {
+	t.Helper()
+	got, err := wire.Decode(wire.Encode(v))
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return got
+}
+
+func TestMessageWireRoundTrips(t *testing.T) {
+	b := block.New(2, 3)
+	for i := range b.Data() {
+		b.Data()[i] = float64(i) + 0.5
+	}
+	msgs := []any{
+		getMsg{key: blockKey{arr: 3, ord: 17}, replyTag: 1 << 16, origin: 2},
+		flushMsg{origin: 4},
+		shutdownMsg{gather: true},
+		shutdownMsg{},
+		chunkMsg{pardo: 2, gen: 5, origin: 1},
+		chunkReply{iters: [][]int{{1, 2, 3}, {4, 5, 6}}},
+		chunkReply{},
+		doneMsg{origin: 1, scalars: []float64{1.5, -2}},
+		doneMsg{origin: 2, err: "worker exploded"},
+		ckptMsg{op: ckptSave, arr: 7, origin: 3,
+			blocks: []ArrayBlock{{Ord: 0, Data: []float64{1, 2}}, {Ord: 9, Data: []float64{3}}}},
+		ckptData{arr: 7, blocks: []ArrayBlock{{Ord: 1, Data: []float64{4}}}},
+		ackMsg{},
+	}
+	for _, want := range msgs {
+		got := sipRoundTrip(t, want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %T:\n got %#v\nwant %#v", want, got, want)
+		}
+	}
+}
+
+func TestPutMsgWireRoundTrip(t *testing.T) {
+	b := block.New(2, 2)
+	copy(b.Data(), []float64{1, 2, 3, 4})
+	want := putMsg{key: blockKey{arr: 1, ord: 2}, b: b, acc: true, origin: 5, needAck: true}
+	got := sipRoundTrip(t, want).(putMsg)
+	if got.key != want.key || got.acc != want.acc || got.origin != want.origin || got.needAck != want.needAck {
+		t.Fatalf("header mismatch: %#v", got)
+	}
+	if !reflect.DeepEqual(got.b.Dims(), b.Dims()) || !reflect.DeepEqual(got.b.Data(), b.Data()) {
+		t.Fatalf("block mismatch: %v %v", got.b.Dims(), got.b.Data())
+	}
+	// A nil block (allocate-on-demand put) survives too.
+	nilPut := sipRoundTrip(t, putMsg{key: blockKey{arr: 1, ord: 3}}).(putMsg)
+	if nilPut.b != nil {
+		t.Fatalf("nil block decoded as %v", nilPut.b)
+	}
+}
+
+func TestGatherMsgWireRoundTrip(t *testing.T) {
+	want := gatherMsg{origin: 3, arrays: map[int][]ArrayBlock{
+		2: {{Ord: 0, Data: []float64{1, 2, 3}}},
+		5: {{Ord: 1, Data: []float64{4}}, {Ord: 2, Data: []float64{5, 6}}},
+	}}
+	got := sipRoundTrip(t, want).(gatherMsg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gather round trip:\n got %#v\nwant %#v", got, want)
+	}
+	empty := sipRoundTrip(t, gatherMsg{origin: 9}).(gatherMsg)
+	if empty.origin != 9 || empty.arrays != nil {
+		t.Fatalf("empty gather round trip: %#v", empty)
+	}
+}

@@ -169,14 +169,14 @@ func (w *worker) run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if r == mpi.ErrAborted {
-				err = fmt.Errorf("sip: worker %d: aborted after peer failure", w.rank)
+				err = fmt.Errorf("sip: worker %d: aborted after peer failure: %w", w.rank, mpi.ErrAborted)
 			} else {
 				err = fmt.Errorf("sip: worker %d: panic: %v", w.rank, r)
 			}
 		}
 		if err != nil {
 			w.rt.workerGroup.Poison()
-			w.comm.Send(0, tagDone, doneMsg{origin: w.rank})
+			w.comm.Send(0, tagDone, doneMsg{origin: w.rank, err: err.Error()})
 		}
 	}()
 	if err := w.initPresets(); err != nil {
@@ -218,7 +218,13 @@ func (w *worker) shutdown() {
 		})
 		w.comm.Send(0, tagGather, gatherMsg{origin: w.rank, arrays: arrays})
 	}
-	w.comm.Send(0, tagDone, doneMsg{origin: w.rank})
+	done := doneMsg{origin: w.rank}
+	if w.rank == 1 {
+		// Collectives make scalars identical across workers; rank 1
+		// reports them so the master never shares memory with a worker.
+		done.scalars = append([]float64(nil), w.scalars...)
+	}
+	w.comm.Send(0, tagDone, done)
 }
 
 // exec dispatches one instruction.  On return the pc has been advanced.
@@ -1077,6 +1083,14 @@ func (w *worker) serverBarrier() {
 // providing the asynchronous progress the paper's SIP achieves by
 // periodically polling for messages (§V-B).
 func (w *worker) serviceLoop() {
+	// A poisoned run aborts this worker's mailbox; the blocked Recv
+	// below then panics with ErrAborted instead of waiting for a
+	// shutdown message that may never come.
+	defer func() {
+		if r := recover(); r != nil && r != mpi.ErrAborted {
+			panic(r)
+		}
+	}()
 	trk := w.rt.tracer.Track(w.rank, 1, fmt.Sprintf("worker %d", w.rank), "service")
 	for {
 		m := w.comm.Recv(mpi.AnySource, tagService)
@@ -1100,7 +1114,7 @@ func (w *worker) serviceLoop() {
 			}
 			w.dist.put(msg.key, msg.b, msg.acc)
 			if msg.needAck {
-				w.comm.Send(msg.origin, tagPutAck, struct{}{})
+				w.comm.Send(msg.origin, tagPutAck, ackMsg{})
 			}
 			if trk != nil {
 				trk.End(start, obs.CatPut, "serve_put",

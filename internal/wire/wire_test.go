@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPrimitiveRoundTrips(t *testing.T) {
+	e := NewEncoder(0)
+	e.Byte(0xab)
+	e.Uvarint(1 << 40)
+	e.Int(-12345)
+	e.Int(0)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(math.Pi)
+	e.Float64(math.Inf(-1))
+	e.String("héllo")
+	e.String("")
+	e.Ints([]int{3, -1, 1 << 30})
+	e.Ints(nil)
+	e.IntSlices([][]int{{1, 2}, {}, {-7}})
+	e.Float64s([]float64{1.5, -2.25, 0})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Byte(); got != 0xab {
+		t.Errorf("Byte = %x", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Int(); got != -12345 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Int(); got != 0 {
+		t.Errorf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := d.String(); got != "héllo" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Ints(); !reflect.DeepEqual(got, []int{3, -1, 1 << 30}) {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := d.Ints(); got != nil {
+		t.Errorf("nil Ints = %v", got)
+	}
+	if got := d.IntSlices(); !reflect.DeepEqual(got, [][]int{{1, 2}, nil, {-7}}) {
+		t.Errorf("IntSlices = %v", got)
+	}
+	if got := d.Float64s(); !reflect.DeepEqual(got, []float64{1.5, -2.25, 0}) {
+		t.Errorf("Float64s = %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestFloat64BitExact(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), math.NaN(), math.SmallestNonzeroFloat64, -math.MaxFloat64}
+	e := NewEncoder(0)
+	for _, v := range vals {
+		e.Float64(v)
+	}
+	d := NewDecoder(e.Bytes())
+	for i, want := range vals {
+		got := d.Float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("value %d: bits %x, want %x", i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+func TestAnyRoundTrip(t *testing.T) {
+	for _, v := range []any{"hi", 3.5, -9, true} {
+		buf := Encode(v)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestAnyUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unregistered type")
+		}
+	}()
+	Encode(struct{ X int }{1})
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Truncated body.
+	if _, err := Decode([]byte{IDFloat64, 1, 2}); err == nil {
+		t.Error("truncated float64 decoded without error")
+	}
+	// Unregistered id.
+	if _, err := Decode([]byte{200}); err == nil {
+		t.Error("unknown id decoded without error")
+	}
+	// Empty buffer.
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty buffer decoded without error")
+	}
+	// Hostile slice length: claims 2^50 elements in a 3-byte body.
+	e := NewEncoder(0)
+	e.Uvarint(1 << 50)
+	d := NewDecoder(e.Bytes())
+	if got := d.Float64s(); got != nil || d.Err() == nil {
+		t.Error("oversized float slice length was not rejected")
+	}
+	// Errors latch: later reads keep failing without panicking.
+	if d.Int() != 0 || d.Err() == nil {
+		t.Error("latched error did not persist")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate id")
+		}
+	}()
+	Register(IDString, func(e *Encoder, v int8) {}, func(d *Decoder) int8 { return 0 })
+}
