@@ -10,6 +10,7 @@
 //	sial run      prog.sial [-workers N] [-servers N] [-seg S] [-prefetch W] [-param k=v ...]
 //	              [-profile] [-metrics] [-trace] [-trace-json out.json] [-trace-ranks all|N,M]
 //	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
+//	              [-recv-timeout D] [-hb-interval D] [-hb-timeout D] [-fault-spec SPEC]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
 // container format).  -trace-json writes a Chrome trace-event file
@@ -20,6 +21,11 @@
 // process per rank by hand (`-rank N -peers ...`, see docs/TRANSPORT.md)
 // or pass `-launch` to have this process spawn the whole rank set on
 // localhost and merge their output.
+//
+// Multi-process runs detect failed peers by heartbeat (-hb-interval,
+// -hb-timeout) and may bound every blocking protocol receive with
+// -recv-timeout; -fault-spec injects transport faults for chaos testing
+// (see docs/FAULTS.md for the failure semantics and the spec syntax).
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/chem"
@@ -91,7 +98,8 @@ func usage(w io.Writer) {
   sial run     prog.sial [flags]
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
-run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch`)
+run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
+run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -169,6 +177,11 @@ type runFlags struct {
 	rank      int      // this process's world rank under tcp, -1 unset
 	peers     []string // host:port per world rank under tcp
 	launch    bool     // spawn one process per rank on localhost
+
+	// run-only failure detection and fault injection (see docs/FAULTS.md).
+	hbInterval time.Duration       // heartbeat interval under tcp (0 disables liveness)
+	hbTimeout  time.Duration       // silence bound before a rank is declared dead
+	faultSpec  transport.FaultSpec // injected transport faults (chaos testing)
 }
 
 func parseRunFlags(name string, args []string) (*runFlags, error) {
@@ -189,11 +202,17 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	var rank *int
 	var peers *string
 	var launch *bool
+	var recvTimeout, hbInterval, hbTimeout *time.Duration
+	var faultSpec *string
 	if name == "run" {
 		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
 		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
 		peers = fs.String("peers", "", "comma-separated host:port, one per world rank (with -transport tcp)")
 		launch = fs.Bool("launch", false, "spawn one process per rank on localhost over tcp and merge their output")
+		recvTimeout = fs.Duration("recv-timeout", 0, "bound every blocking protocol receive (0 = wait forever)")
+		hbInterval = fs.Duration("hb-interval", time.Second, "heartbeat interval for failure detection under tcp (0 disables)")
+		hbTimeout = fs.Duration("hb-timeout", 0, "silence bound before a rank is declared dead (default 8x interval)")
+		faultSpec = fs.String("fault-spec", "", "inject transport faults, e.g. 'seed=7;drop=0.1;kill=3@100' (see docs/FAULTS.md)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -206,6 +225,11 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 			for _, p := range strings.Split(*peers, ",") {
 				rf.peers = append(rf.peers, strings.TrimSpace(p))
 			}
+		}
+		rf.hbInterval, rf.hbTimeout = *hbInterval, *hbTimeout
+		var err error
+		if rf.faultSpec, err = transport.ParseFaultSpec(*faultSpec); err != nil {
+			return nil, err
 		}
 		if err := rf.validateTransport(); err != nil {
 			return nil, err
@@ -223,6 +247,9 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		Params:         params.vals,
 		Integrals:      chem.AOIntegrals(),
 		Super:          super,
+	}
+	if recvTimeout != nil {
+		rf.cfg.RecvTimeout = *recvTimeout
 	}
 	ranks, err := parseRanks(*traceRanks)
 	if err != nil {
@@ -265,6 +292,9 @@ func (rf *runFlags) validateTransport() error {
 	if rf.transport == "inproc" {
 		if rf.rank >= 0 || len(rf.peers) > 0 {
 			return fmt.Errorf("-rank/-peers require -transport tcp")
+		}
+		if rf.faultSpec.Active() {
+			return fmt.Errorf("-fault-spec injects transport faults; it requires -transport tcp or -launch")
 		}
 		return nil
 	}
@@ -415,9 +445,14 @@ func runDistributed(file string, rf *runFlags, stdout io.Writer) error {
 	if rf.reg != nil {
 		tcfg.Observer = sip.NewNetObserver(rf.reg)
 	}
-	tr, err := transport.NewTCP(tcfg)
+	var tr transport.Transport
+	tr, err = transport.NewTCP(tcfg)
 	if err != nil {
 		return err
+	}
+	if rf.faultSpec.Active() {
+		fmt.Fprintf(os.Stderr, "sial: rank %d: injecting faults: %s\n", rf.rank, rf.faultSpec)
+		tr = transport.NewFault(tr, []int{rf.rank}, rf.faultSpec, sip.FaultEvents(rf.reg))
 	}
 	world, err := mpi.NewDistributedWorld(ranks.N, []int{rf.rank}, tr)
 	if err != nil {
@@ -425,6 +460,19 @@ func runDistributed(file string, rf *runFlags, stdout io.Writer) error {
 		return err
 	}
 	defer world.Close()
+	if rf.hbInterval > 0 {
+		lv := mpi.Liveness{Interval: rf.hbInterval, Timeout: rf.hbTimeout}
+		lv.OnDown = func(rank int, reason string) {
+			fmt.Fprintf(os.Stderr, "sial: rank %d: detected failure of %s (rank %d): %s\n",
+				rf.rank, ranks.Role(rank), rank, reason)
+			if rf.reg != nil {
+				rf.reg.Counter(fmt.Sprintf("fault.rank_down.rank%d", rank)).Inc()
+			}
+		}
+		if err := world.StartLiveness(lv); err != nil {
+			return err
+		}
+	}
 	rf.cfg.Output = stdout
 	res, err := sip.RunRank(prog, rf.cfg, world, rf.rank)
 	if err != nil {

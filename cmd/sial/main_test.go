@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMain doubles as the launch-child entry point: doLaunch spawns
@@ -369,6 +370,65 @@ func TestCLILaunchLoopbackSmoke(t *testing.T) {
 		if !strings.Contains(out, wantLine) {
 			t.Errorf("merged output lacks %q:\n%s", wantLine, out)
 		}
+	}
+}
+
+// TestCLIFaultFlagValidation: fault-injection and detection flags are
+// rejected where they cannot work.
+func TestCLIFaultFlagValidation(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"fault-spec without tcp", []string{"-fault-spec", "drop=0.5"}, "requires -transport tcp"},
+		{"garbage fault-spec", []string{"-launch", "-fault-spec", "explode=yes"}, "unknown fault spec key"},
+		{"bad probability", []string{"-launch", "-fault-spec", "drop=1.5"}, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, append([]string{"run", path}, tc.args...)...)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("stderr %q lacks %q", errOut, tc.want)
+			}
+		})
+	}
+}
+
+// TestCLILaunchChaosServerKill is the acceptance drill from
+// docs/FAULTS.md: a real four-process MP2 run over TCP loopback whose
+// lone I/O server (world rank 3) is wedged by fault injection from its
+// very first frame (kill=3@0 — a later trigger would race this tiny
+// problem size).  The run must terminate within the detection bound,
+// exit non-zero, and name the dead rank in the merged output.
+func TestCLILaunchChaosServerKill(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sial", "mp2_served.sial")
+	if _, err := os.Stat(example); err != nil {
+		t.Fatalf("example missing: %v", err)
+	}
+	start := time.Now()
+	code, out, errOut := runCLI(t, "run", example,
+		"-workers", "2", "-servers", "1", "-seg", "2",
+		"-param", "no=2", "-param", "nv=2",
+		"-launch", "-fault-spec", "seed=7;kill=3",
+		"-hb-interval", "50ms", "-hb-timeout", "500ms", "-recv-timeout", "2s")
+	elapsed := time.Since(start)
+	if code == 0 {
+		t.Fatalf("run with a killed server succeeded:\n%s", out)
+	}
+	if elapsed > 60*time.Second {
+		t.Errorf("detection took %v, want well under a minute", elapsed)
+	}
+	merged := out + errOut
+	if !strings.Contains(merged, "rank 3") {
+		t.Errorf("diagnosis does not name the dead server rank:\n%s", merged)
+	}
+	if !strings.Contains(merged, "injecting faults") {
+		t.Errorf("fault injection banner missing:\n%s", merged)
 	}
 }
 

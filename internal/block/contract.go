@@ -130,10 +130,19 @@ func Contract(spec Spec, a, b *Block) (*Block, error) {
 		}
 	}
 	// Permute A to [freeA..., contracted...] and B to [contracted..., freeB...].
+	// Operands already in GEMM order (e.g. plain matrix multiply, or the
+	// common case of leading free / trailing contracted labels) are used
+	// in place: an identity permutation would copy the whole block for
+	// nothing.
 	aperm := append(append([]int{}, p.freeA...), p.contractedA...)
 	bperm := append(append([]int{}, p.contractedB...), p.freeB...)
-	ap := a.Permute(aperm)
-	bp := b.Permute(bperm)
+	ap, bp := a, b
+	if !IdentityPerm(aperm) {
+		ap = a.Permute(aperm)
+	}
+	if !IdentityPerm(bperm) {
+		bp = b.Permute(bperm)
+	}
 
 	m := prodDims(a.dims, p.freeA)
 	k := prodDims(a.dims, p.contractedA)
@@ -153,7 +162,21 @@ func Contract(spec Spec, a, b *Block) (*Block, error) {
 		rawDims = append(rawDims, b.dims[j])
 	}
 	rawBlock := FromData(raw, rawDims...)
+	if IdentityPerm(p.outPerm) {
+		return rawBlock, nil
+	}
 	return rawBlock.Permute(p.outPerm), nil
+}
+
+// IdentityPerm reports whether perm maps every position to itself, i.e.
+// applying it would only copy.  Callers use it to skip permutations.
+func IdentityPerm(perm []int) bool {
+	for i, p := range perm {
+		if p != i {
+			return false
+		}
+	}
+	return true
 }
 
 // MustContract is Contract that panics on error; used where the spec was

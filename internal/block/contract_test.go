@@ -209,3 +209,77 @@ func TestMustContractPanics(t *testing.T) {
 	}()
 	MustContract(Spec{A: []int{0, 0}, B: []int{0}, C: nil}, New(2, 2), New(2))
 }
+
+func TestIdentityPerm(t *testing.T) {
+	for _, tc := range []struct {
+		perm []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 1, 2, 3}, true},
+		{[]int{1, 0}, false},
+		{[]int{0, 2, 1}, false},
+	} {
+		if got := IdentityPerm(tc.perm); got != tc.want {
+			t.Errorf("IdentityPerm(%v) = %v, want %v", tc.perm, got, tc.want)
+		}
+	}
+}
+
+// TestContractInPlaceOperands pins down that the identity-permutation
+// fast path still contracts correctly when operands are already in GEMM
+// order (no permutes at all) and does not alias the result to an operand.
+func TestContractInPlaceOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randBlock(rng, 3, 4)
+	b := randBlock(rng, 4, 5)
+	spec := Spec{A: []int{0, 1}, B: []int{1, 2}, C: []int{0, 2}}
+	got, err := Contract(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ContractNaive(spec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blocksAlmostEqual(got, want, 1e-12) {
+		t.Fatal("fast path disagrees with naive contraction")
+	}
+	if &got.data[0] == &a.data[0] || &got.data[0] == &b.data[0] {
+		t.Fatal("result aliases an operand")
+	}
+}
+
+// BenchmarkContractGEMMOrder measures the common case where operands and
+// output are already in GEMM order, so no permutation runs at all.
+func BenchmarkContractGEMMOrder(bm *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randBlock(rng, 16, 16, 16, 16)
+	b := randBlock(rng, 16, 16, 16, 16)
+	spec := Spec{A: []int{0, 1, 2, 3}, B: []int{2, 3, 4, 5}, C: []int{0, 1, 4, 5}}
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if _, err := Contract(spec, a, b); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContractPermuted measures the slow case where both operands
+// and the output need a permutation.
+func BenchmarkContractPermuted(bm *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randBlock(rng, 16, 16, 16, 16)
+	b := randBlock(rng, 16, 16, 16, 16)
+	// Contracted labels lead in A and trail in B; output order reversed.
+	spec := Spec{A: []int{2, 3, 0, 1}, B: []int{4, 5, 2, 3}, C: []int{5, 4, 1, 0}}
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if _, err := Contract(spec, a, b); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}

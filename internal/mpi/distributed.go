@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/mpi/transport"
 	"repro/internal/wire"
@@ -34,6 +36,7 @@ func NewDistributedWorld(n int, local []int, tr transport.Transport) (*World, er
 			return nil, fmt.Errorf("mpi: local rank %d listed twice", r)
 		}
 		w.boxes[r] = newMailbox()
+		w.local = append(w.local, r)
 	}
 	if err := tr.Start(w.deliver, w.peerDown); err != nil {
 		return nil, err
@@ -43,10 +46,23 @@ func NewDistributedWorld(n int, local []int, tr transport.Transport) (*World, er
 
 // deliver is the transport's receive handler: it routes one inbound
 // message to the destination rank's mailbox.  Poison frames abort the
-// world instead of being enqueued.
+// world (recording the failure diagnosis they carry, if any) and
+// heartbeat frames refresh liveness state; neither is enqueued.
 func (w *World) deliver(src, dst, tag int, data any) {
-	if _, ok := data.(groupPoison); ok {
+	if l := w.live.Load(); l != nil {
+		l.note(src)
+		if hb, ok := data.(heartbeatMsg); ok {
+			l.note(hb.Ranks...)
+		}
+	}
+	if _, ok := data.(heartbeatMsg); ok {
+		return
+	}
+	if p, ok := data.(groupPoison); ok {
 		if !w.closed.Load() {
+			if p.Rank >= 0 {
+				w.recordFailure(p.Rank, p.Reason)
+			}
 			w.Abort()
 		}
 		return
@@ -61,19 +77,156 @@ func (w *World) deliver(src, dst, tag int, data any) {
 
 // peerDown is the transport's failure callback: a lost peer outside
 // clean shutdown means pending receives can never complete, so the
-// world aborts.
+// world records the failure and aborts.
 func (w *World) peerDown(peer int, err error) {
-	if !w.closed.Load() {
+	if w.closed.Load() {
+		return
+	}
+	if peer >= 0 {
+		w.Fail(peer, fmt.Sprintf("connection lost: %v", err))
+	} else {
 		w.Abort()
 	}
 }
 
-// Wire ids for the collective messages (block 16..31, see
+// ---------------------------------------------------------------------
+// Liveness (heartbeat-based failure detection)
+
+// heartbeatTag is the reserved tag for liveness frames.  Like
+// collectiveTag it is negative so application tags can never collide;
+// heartbeat frames are intercepted before reaching any mailbox, so the
+// tag never surfaces.
+const heartbeatTag = -3
+
+// heartbeatMsg announces that the sending endpoint — and every rank it
+// hosts — is alive.
+type heartbeatMsg struct {
+	Ranks []int
+}
+
+// Liveness configures heartbeat-based failure detection on a
+// distributed world.  The world periodically announces its local ranks
+// to every remote rank and watches inbound traffic (any message counts,
+// not just heartbeats); a remote rank silent for longer than Timeout is
+// declared failed: the world records a RankFailure naming it, notifies
+// the other ranks, and aborts.
+//
+// Timeout bounds detection latency for a crashed or wedged peer, and
+// must also cover startup skew between processes plus the longest
+// legitimate network stall — heartbeats keep flowing while peers
+// compute, so it need not cover computation time.
+type Liveness struct {
+	// Interval between heartbeat rounds.  Must be positive.
+	Interval time.Duration
+	// Timeout is the silence bound after which a remote rank is declared
+	// failed (default 8 * Interval).
+	Timeout time.Duration
+	// OnDown, if set, is invoked once with the failed rank and diagnosis
+	// before the world aborts (observability hook).
+	OnDown func(rank int, reason string)
+}
+
+// liveness is the running state behind StartLiveness.
+type liveness struct {
+	lv       Liveness
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	heard map[int]time.Time
+}
+
+func (l *liveness) note(ranks ...int) {
+	now := time.Now()
+	l.mu.Lock()
+	for _, r := range ranks {
+		l.heard[r] = now
+	}
+	l.mu.Unlock()
+}
+
+func (l *liveness) lastHeard(rank int, fallback time.Time) time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.heard[rank]; ok {
+		return t
+	}
+	return fallback
+}
+
+// StartLiveness begins heartbeat-based failure detection on a
+// distributed world.  It may be called at most once, any time after
+// NewDistributedWorld; detection stops when the world is closed or
+// aborts.
+func (w *World) StartLiveness(lv Liveness) error {
+	if w.tr == nil {
+		return fmt.Errorf("mpi: liveness requires a distributed world")
+	}
+	if lv.Interval <= 0 {
+		return fmt.Errorf("mpi: liveness interval %v must be positive", lv.Interval)
+	}
+	if lv.Timeout <= 0 {
+		lv.Timeout = 8 * lv.Interval
+	}
+	l := &liveness{lv: lv, stop: make(chan struct{}), heard: map[int]time.Time{}}
+	if !w.live.CompareAndSwap(nil, l) {
+		return fmt.Errorf("mpi: liveness already started")
+	}
+	go w.monitor(l)
+	return nil
+}
+
+// monitor is the liveness loop: each round it heartbeats every remote
+// rank and checks how long each has been silent.  Ranks not yet heard
+// from are measured against the monitor's start (startup grace of one
+// Timeout).
+func (w *World) monitor(l *liveness) {
+	start := time.Now()
+	ticker := time.NewTicker(l.lv.Interval)
+	defer ticker.Stop()
+	src := w.local[0]
+	var remotes []int
+	for r, box := range w.boxes {
+		if box == nil {
+			remotes = append(remotes, r)
+		}
+	}
+	hb := heartbeatMsg{Ranks: w.local}
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+		}
+		if w.closed.Load() || w.aborted.Load() {
+			return
+		}
+		for _, r := range remotes {
+			// Best-effort: failures surface through peerDown/silence.
+			w.tr.Send(src, r, heartbeatTag, hb)
+		}
+		now := time.Now()
+		for _, r := range remotes {
+			if silent := now.Sub(l.lastHeard(r, start)); silent > l.lv.Timeout {
+				reason := fmt.Sprintf("no traffic for %v (liveness timeout %v)",
+					silent.Round(time.Millisecond), l.lv.Timeout)
+				if l.lv.OnDown != nil {
+					l.lv.OnDown(r, reason)
+				}
+				w.Fail(r, reason)
+				return
+			}
+		}
+	}
+}
+
+// Wire ids for the collective and liveness messages (block 16..31, see
 // internal/wire).
 const (
 	wireIDGroupContrib = 16
 	wireIDGroupResult  = 17
 	wireIDGroupPoison  = 18
+	wireIDHeartbeat    = 19
 )
 
 func init() {
@@ -96,6 +249,26 @@ func init() {
 			return groupResult{Key: d.String(), Gen: d.Int(), V: d.Float64()}
 		})
 	wire.Register(wireIDGroupPoison,
-		func(e *wire.Encoder, m groupPoison) { e.String(m.Key) },
-		func(d *wire.Decoder) groupPoison { return groupPoison{Key: d.String()} })
+		func(e *wire.Encoder, m groupPoison) {
+			e.String(m.Key)
+			e.Int(m.Rank)
+			e.String(m.Reason)
+		},
+		func(d *wire.Decoder) groupPoison {
+			return groupPoison{Key: d.String(), Rank: d.Int(), Reason: d.String()}
+		})
+	wire.Register(wireIDHeartbeat,
+		func(e *wire.Encoder, m heartbeatMsg) {
+			e.Int(len(m.Ranks))
+			for _, r := range m.Ranks {
+				e.Int(r)
+			}
+		},
+		func(d *wire.Decoder) heartbeatMsg {
+			rs := make([]int, d.Int())
+			for i := range rs {
+				rs[i] = d.Int()
+			}
+			return heartbeatMsg{Ranks: rs}
+		})
 }

@@ -183,9 +183,13 @@ type groupResult struct {
 }
 
 // groupPoison aborts the receiving process's world.  It is intercepted
-// by the transport delivery path before reaching any mailbox.
+// by the transport delivery path before reaching any mailbox.  A frame
+// with Rank >= 0 also carries the sender's failure diagnosis, which the
+// receiver records (first diagnosis wins) before aborting.
 type groupPoison struct {
-	Key string
+	Key    string
+	Rank   int // failed rank, or -1 when the abort has no attributed cause
+	Reason string
 }
 
 // commGroup is the distributed implementation: members send their
@@ -248,7 +252,8 @@ func (g *commGroup) Poison() {
 	for _, r := range g.ranks {
 		if r != g.comm.rank && w.boxes[r] == nil {
 			// Best-effort: the connection may already be gone.
-			w.tr.Send(g.comm.rank, r, collectiveTag, groupPoison{Key: groupKey(g.comm, g.ranks)})
+			w.tr.Send(g.comm.rank, r, collectiveTag,
+				groupPoison{Key: groupKey(g.comm, g.ranks), Rank: -1})
 		}
 	}
 	w.Abort()

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mpi/transport"
 )
@@ -58,11 +59,16 @@ type Observer interface {
 type World struct {
 	n       int
 	boxes   []*mailbox // nil entries are remote ranks
+	local   []int      // locally hosted ranks, in rank order
 	obs     Observer
 	groups  sync.Map // map[string]Group, keyed by rank-set signature
 	tr      transport.Transport
 	closed  atomic.Bool
 	aborted atomic.Bool
+
+	failMu  sync.Mutex
+	failure *RankFailure
+	live    atomic.Pointer[liveness]
 }
 
 // SetObserver installs a message observer.  It must be called before
@@ -77,6 +83,7 @@ func NewWorld(n int) *World {
 	w := &World{n: n, boxes: make([]*mailbox, n)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+		w.local = append(w.local, i)
 	}
 	return w
 }
@@ -153,6 +160,18 @@ func (c *Comm) Recv(src, tag int) Message {
 	return c.box().get(src, tag, true)
 }
 
+// RecvTimeout blocks up to d for a message matching (src, tag).  It
+// returns ok == false on timeout; d <= 0 means no deadline (plain
+// Recv).  Abort semantics match Recv: delivered matches are drained,
+// then an aborted world panics with ErrAborted.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
+	if d <= 0 {
+		return c.Recv(src, tag), true
+	}
+	m := c.box().getWithin(src, tag, d)
+	return m, m.valid
+}
+
 // TryRecv returns a matching message if one is already queued.  On an
 // aborted world with no queued match it panics with ErrAborted, so
 // Test/TryRecv polling loops terminate like blocked receives do.
@@ -203,6 +222,25 @@ func (r *Request) Wait() Message {
 	r.done = true
 	return r.msg
 }
+
+// WaitTimeout blocks up to d for the receive to complete.  It returns
+// ok == false on timeout; the request stays pending and may be waited
+// on again.  d <= 0 waits without a deadline.
+func (r *Request) WaitTimeout(d time.Duration) (Message, bool) {
+	if r.done {
+		return r.msg, true
+	}
+	m, ok := r.comm.RecvTimeout(r.src, r.tag, d)
+	if ok {
+		r.msg = m
+		r.done = true
+	}
+	return r.msg, r.done
+}
+
+// Source returns the source rank this request matches (possibly
+// AnySource).
+func (r *Request) Source() int { return r.src }
 
 // mailbox is one rank's unbounded, order-preserving message queue with
 // (source, tag) matching.
@@ -257,6 +295,39 @@ func (mb *mailbox) get(src, tag int, blocking bool) Message {
 	}
 }
 
+// getWithin is get with a deadline: it returns the zero Message (valid
+// == false) if no match arrives within d.  Abort still panics with
+// ErrAborted, after draining delivered matches.
+func (mb *mailbox) getWithin(src, tag int, d time.Duration) Message {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; a timer that takes the lock before
+	// broadcasting cannot fire between the waiter's deadline check and
+	// its cond.Wait, so the wakeup is never lost.
+	timer := time.AfterFunc(d, func() {
+		mb.mu.Lock()
+		mb.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		mb.cond.Broadcast()
+	})
+	defer timer.Stop()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if matches(m, src, tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		if mb.aborted {
+			panic(ErrAborted)
+		}
+		if !time.Now().Before(deadline) {
+			return Message{}
+		}
+		mb.cond.Wait()
+	}
+}
+
 // abort wakes blocked receivers: they drain queued matches and then
 // panic with ErrAborted instead of waiting forever.
 func (mb *mailbox) abort() {
@@ -305,12 +376,70 @@ func (w *World) Abort() {
 // Aborted reports whether the world has been aborted.
 func (w *World) Aborted() bool { return w.aborted.Load() }
 
+// RankFailure identifies a world rank diagnosed as failed and why.  It
+// is recorded by Fail (local detection: liveness timeout, receive
+// deadline, lost connection) or by a reason-carrying poison frame from
+// the rank that detected the failure, and is retrievable via
+// World.Failure for per-rank diagnosis after an abort.
+type RankFailure struct {
+	Rank   int
+	Reason string
+}
+
+func (f *RankFailure) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %s", f.Rank, f.Reason)
+}
+
+// Fail records rank as failed (the first recorded failure wins),
+// propagates a reason-carrying poison frame to every remote rank so
+// their worlds learn the diagnosis, and aborts this world.  Safe from
+// any goroutine and idempotent.
+func (w *World) Fail(rank int, reason string) {
+	first := w.recordFailure(rank, reason)
+	if first && w.tr != nil && !w.closed.Load() {
+		src := 0
+		if len(w.local) > 0 {
+			src = w.local[0]
+		}
+		for r, box := range w.boxes {
+			if box == nil {
+				// Best-effort: the connection may itself be the casualty.
+				w.tr.Send(src, r, collectiveTag, groupPoison{Rank: rank, Reason: reason})
+			}
+		}
+	}
+	w.Abort()
+}
+
+// recordFailure stores the first failure diagnosis and reports whether
+// this call was the one that stored it.
+func (w *World) recordFailure(rank int, reason string) bool {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if w.failure != nil {
+		return false
+	}
+	w.failure = &RankFailure{Rank: rank, Reason: reason}
+	return true
+}
+
+// Failure returns the recorded rank failure, or nil if the world never
+// diagnosed one (including worlds aborted without an attributed cause).
+func (w *World) Failure() *RankFailure {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failure
+}
+
 // Close tears the world down, closing its transport (if any).  Peer
 // disconnects observed after Close are part of normal teardown and do
 // not abort the world.
 func (w *World) Close() error {
 	if !w.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if l := w.live.Load(); l != nil {
+		l.stopOnce.Do(func() { close(l.stop) })
 	}
 	if w.tr != nil {
 		return w.tr.Close()

@@ -98,6 +98,7 @@ type TCP struct {
 	conns map[net.Conn]bool // inbound connections, for teardown
 
 	closed   atomic.Bool
+	closeCh  chan struct{} // closed by Close; interrupts dial backoffs
 	writerWG sync.WaitGroup
 	readerWG sync.WaitGroup
 }
@@ -133,7 +134,8 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
 		}
 	}
-	return &TCP{cfg: cfg, ln: ln, peers: map[int]*tcpPeer{}, conns: map[net.Conn]bool{}}, nil
+	return &TCP{cfg: cfg, ln: ln, peers: map[int]*tcpPeer{},
+		conns: map[net.Conn]bool{}, closeCh: make(chan struct{})}, nil
 }
 
 // Addr returns the listener's actual address (useful with ":0" ports).
@@ -375,10 +377,12 @@ func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
 	backoff := t.cfg.RetryBase
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		// Close flushes queues, so a pending backlog keeps the dial loop
-		// alive (bounded by RetryDeadline); without one there is nothing
-		// left to deliver and the writer can stop immediately.
-		if t.closed.Load() && !p.pending() {
+		// After Close, a pending backlog earns exactly one more dial
+		// attempt (flush-if-reachable); without one there is nothing left
+		// to deliver and the writer stops immediately.  Either way Close
+		// is never held hostage by the retry schedule.
+		closing := t.closed.Load()
+		if closing && !p.pending() {
 			return nil, errors.New("transport: closed")
 		}
 		conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
@@ -402,11 +406,21 @@ func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		if closing {
+			return nil, fmt.Errorf("transport: dial rank %d (%s) abandoned at close: %w",
+				p.rank, addr, lastErr)
+		}
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, fmt.Errorf("transport: dial rank %d (%s) after %d attempts: %w",
 				p.rank, addr, attempt, lastErr)
 		}
-		time.Sleep(backoff)
+		// Sleep the backoff, but let Close interrupt it: an
+		// uninterruptible time.Sleep here held Close hostage for up to
+		// RetryMax per peer.
+		select {
+		case <-t.closeCh:
+		case <-time.After(backoff):
+		}
 		if backoff *= 2; backoff > t.cfg.RetryMax {
 			backoff = t.cfg.RetryMax
 		}
@@ -420,6 +434,7 @@ func (t *TCP) Close() error {
 	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(t.closeCh) // wake writers sleeping in a dial backoff
 	// Stop outbound writers after their queues drain (writers have write
 	// deadlines, so this terminates even against a dead peer).
 	t.mu.Lock()

@@ -349,3 +349,42 @@ func TestRouterDelivery(t *testing.T) {
 		t.Fatalf("down ranks = %v, want [1 2]", got)
 	}
 }
+
+// TestTCPClosePromptMidBackoff: Close must not wait out a dial-retry
+// backoff.  Before the close-signal channel, the writer goroutine slept
+// in an uninterruptible time.Sleep(backoff), so Close blocked for up to
+// RetryMax per unreachable peer.
+func TestTCPClosePromptMidBackoff(t *testing.T) {
+	// Reserve a port for rank 1 and close it again: dials are refused
+	// instantly, so the writer spends its time in the backoff sleep.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, err := NewTCP(TCPConfig{Rank: 0, Addrs: []string{ln0.Addr().String(), addr}, Listener: ln0,
+		RetryBase: 5 * time.Second, RetryMax: 5 * time.Second, RetryDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0.Start(newRecvQ().handler, nil)
+	if err := t0.Send(0, 1, 1, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the first dial fail and the writer enter its 5s backoff.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := t0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("Close took %v with a writer mid-backoff; want prompt return", d)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	CatChunk       = "chunk"        // pardo chunk scheduling
 	CatServerCache = "server_cache" // I/O-server cache operations
 	CatDisk        = "disk"         // I/O-server disk reads/writes
+	CatFault       = "fault"        // failure detection and injection events
 )
 
 // Arg is one key=value attribute attached to an event.  Events hold at

@@ -103,16 +103,6 @@ func (e *cacheEntry) poll() {
 	}
 }
 
-// wait blocks until the block is available and returns it.
-func (e *cacheEntry) wait() *block.Block {
-	if e.b == nil && e.req != nil {
-		m := e.req.Wait()
-		e.b = m.Data.(*block.Block)
-		e.req = nil
-	}
-	return e.b
-}
-
 // pending reports whether the fetch is still in flight.
 func (e *cacheEntry) pending() bool {
 	e.poll()

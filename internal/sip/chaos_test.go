@@ -1,0 +1,176 @@
+package sip
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/transport"
+	"repro/internal/obs"
+)
+
+// Chaos tests: drive the full distributed protocol (distProgram uses
+// every message path) through the fault-injection transport and require
+// fail-fast, attributed termination instead of a hang.  The worst
+// acceptable case is the test binary's own deadline; the asserted bound
+// is chaosBound.
+const chaosBound = 30 * time.Second
+
+// chaosLiveness is tight enough to keep the tests fast but wide enough
+// (8 missed heartbeats) to ride out scheduler hiccups under -race.
+func chaosLiveness() mpi.Liveness {
+	return mpi.Liveness{Interval: 25 * time.Millisecond, Timeout: 500 * time.Millisecond}
+}
+
+// noFault is the inactive spec (KillRank 0 would mean "kill rank 0").
+var noFault = transport.FaultSpec{Seed: 1, KillRank: -1}
+
+// faultWorldMaker mirrors routerWorldMaker but wraps every rank's
+// endpoint in a fault injector (spec may differ per rank) and starts
+// heartbeat liveness on each world.  All worlds are built eagerly,
+// before any rank runs: the Local transport has no dial retry (unlike
+// TCP), so a heartbeat racing a lazily-built peer world would read as a
+// connection failure and blame an innocent rank.
+func faultWorldMaker(t *testing.T, n int, spec func(rank int) transport.FaultSpec,
+	events func(kind string, peer int)) func(rank int) *mpi.World {
+	t.Helper()
+	r := transport.NewRouter()
+	worlds := make([]*mpi.World, n)
+	for rank := 0; rank < n; rank++ {
+		tr := transport.NewFault(r.Endpoint(rank), []int{rank}, spec(rank), events)
+		w, err := mpi.NewDistributedWorld(n, []int{rank}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.StartLiveness(chaosLiveness()); err != nil {
+			t.Fatal(err)
+		}
+		worlds[rank] = w
+	}
+	return func(rank int) *mpi.World { return worlds[rank] }
+}
+
+func chaosConfig(out *bytes.Buffer) Config {
+	cfg := distConfig(out)
+	// Generous receive deadline: liveness (0.5s) should win the race to
+	// diagnose, with the deadline as backstop.
+	cfg.RecvTimeout = 2 * time.Second
+	return cfg
+}
+
+// runChaos runs distProgram over faulty worlds and returns the per-rank
+// errors, failing the test if the run outlives chaosBound.
+func runChaos(t *testing.T, spec func(rank int) transport.FaultSpec,
+	events func(kind string, peer int), cfg func(rank int) Config) []error {
+	t.Helper()
+	mkWorld := faultWorldMaker(t, 4, spec, events) // master + 2 workers + 1 server
+	start := time.Now()
+	_, errs := runRanksOver(t, distProgram, mkWorld, cfg)
+	if d := time.Since(start); d > chaosBound {
+		t.Errorf("chaos run took %v, want < %v", d, chaosBound)
+	}
+	return errs
+}
+
+// assertBlames requires err to carry a RankFailure naming rank.
+func assertBlames(t *testing.T, who string, err error, rank int) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s reported no error, want failure of rank %d", who, rank)
+	}
+	var rf *mpi.RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("%s error carries no RankFailure: %v", who, err)
+	}
+	if rf.Rank != rank {
+		t.Errorf("%s blamed rank %d, want %d: %v", who, rf.Rank, rank, err)
+	}
+}
+
+// TestChaosKilledServerRank: the lone I/O server (rank 3) goes silent
+// mid-run.  Every rank must terminate, and the master's diagnosis must
+// name the dead server.
+func TestChaosKilledServerRank(t *testing.T) {
+	var outs [4]bytes.Buffer
+	reg := obs.NewRegistry()
+	spec := func(rank int) transport.FaultSpec {
+		s := noFault
+		s.KillRank = 3
+		s.KillAfter = 10 // let startup traffic through, then wedge
+		return s
+	}
+	errs := runChaos(t, spec, nil, func(rank int) Config {
+		cfg := chaosConfig(&outs[rank])
+		if rank == 0 {
+			cfg.Metrics = reg
+		}
+		return cfg
+	})
+	assertBlames(t, "master", errs[0], 3)
+	for rank := 1; rank <= 2; rank++ {
+		if errs[rank] == nil {
+			t.Errorf("worker %d reported no error", rank)
+		}
+	}
+	// The detection event reached the master's metrics.
+	if got := reg.Snapshot().Counters[metricFaultRankFailure]; got < 1 {
+		t.Errorf("%s counter = %d, want >= 1", metricFaultRankFailure, got)
+	}
+}
+
+// TestChaosKilledWorkerRank: worker rank 2 wedges.  The master must
+// blame rank 2; the surviving worker and server must terminate too.
+// (Rank 2 itself is partitioned from everyone and may blame any peer.)
+func TestChaosKilledWorkerRank(t *testing.T) {
+	var outs [4]bytes.Buffer
+	spec := func(rank int) transport.FaultSpec {
+		s := noFault
+		s.KillRank = 2
+		s.KillAfter = 10
+		return s
+	}
+	errs := runChaos(t, spec, nil, func(rank int) Config {
+		return chaosConfig(&outs[rank])
+	})
+	assertBlames(t, "master", errs[0], 2)
+	if errs[1] == nil {
+		t.Error("surviving worker 1 reported no error")
+	}
+	if errs[3] == nil {
+		t.Error("server reported no error")
+	}
+}
+
+// TestChaosDroppedFrames: worker 1 silently loses 40% of its outbound
+// frames.  The run cannot complete, but it must fail fast with an
+// attributed RankFailure on the master rather than hang, and the fault
+// injector's event hook must have observed drops.
+func TestChaosDroppedFrames(t *testing.T) {
+	var outs [4]bytes.Buffer
+	reg := obs.NewRegistry()
+	spec := func(rank int) transport.FaultSpec {
+		s := noFault
+		if rank == 1 {
+			s.Seed = 7
+			s.Drop = 0.4
+		}
+		return s
+	}
+	errs := runChaos(t, spec, FaultEvents(reg), func(rank int) Config {
+		cfg := chaosConfig(&outs[rank])
+		// Lost frames stall the protocol silently (the lossy rank still
+		// heartbeats), so the receive deadline is the detector here.
+		cfg.RecvTimeout = 500 * time.Millisecond
+		return cfg
+	})
+	// No rank died here, so no particular RankFailure is required — only
+	// that the run fails fast instead of hanging on the lost frames.
+	if errs[0] == nil {
+		t.Fatal("master reported no error despite 40% frame loss")
+	}
+	if got := reg.Snapshot().Counters["fault."+transport.FaultDrop]; got < 1 {
+		t.Errorf("fault.drop counter = %d, want >= 1", got)
+	}
+}

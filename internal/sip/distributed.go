@@ -65,13 +65,19 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 
 	// A dead peer aborts the world; surface that as an error rather
 	// than a panic so the process exits cleanly with a diagnosis.
+	// When the abort was attributed (liveness timeout, receive deadline,
+	// lost connection), name the failed rank and its SIP role.
 	defer func() {
 		if r := recover(); r != nil {
 			if r == mpi.ErrAborted {
-				err = fmt.Errorf("sip: rank %d: aborted after peer failure: %w", rank, mpi.ErrAborted)
+				err = rankAbortError(cfg, world, rank)
+				observeFailure(cfg.Metrics, cfg.Tracer, world)
 				return
 			}
 			panic(r)
+		}
+		if err != nil {
+			observeFailure(cfg.Metrics, cfg.Tracer, world)
 		}
 	}()
 
@@ -109,14 +115,60 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 		return res, err
 	default:
 		s := newIOServer(rt, rank)
-		s.run()
+		err = s.run()
 		res = &Result{Elapsed: time.Since(started)}
 		res.Profile = mergeProfiles(nil, []*ioServer{s})
 		if cfg.Metrics != nil {
 			foldRunMetrics(cfg.Metrics, nil, []*ioServer{s})
 			res.Profile.Metrics = cfg.Metrics.Snapshot()
 		}
-		return res, nil
+		return res, err
+	}
+}
+
+// rankAbortError names the cause of an aborted rank: the recorded
+// RankFailure when detection attributed the abort, or a generic message
+// otherwise.
+func rankAbortError(cfg Config, world *mpi.World, rank int) error {
+	if f := world.Failure(); f != nil {
+		// Wraps both the RankFailure (errors.As for programmatic rank
+		// extraction) and ErrAborted (errors.Is for abort
+		// classification).
+		return fmt.Errorf("sip: rank %d: aborted: %w (%s): %w",
+			rank, f, NewRanks(cfg).Role(f.Rank), mpi.ErrAborted)
+	}
+	return fmt.Errorf("sip: rank %d: aborted after peer failure: %w", rank, mpi.ErrAborted)
+}
+
+// observeFailure feeds a rank failure into the metrics registry and
+// tracer (a fault.rank_failure counter plus an instant span naming the
+// failed rank), so detection events appear alongside the run's other
+// observability output.
+func observeFailure(reg *obs.Registry, tracer *obs.Tracer, world *mpi.World) {
+	f := world.Failure()
+	if f == nil {
+		return
+	}
+	if reg != nil {
+		reg.Counter(metricFaultRankFailure).Inc()
+		reg.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankFailure, f.Rank)).Inc()
+	}
+	if trk := tracer.Track(f.Rank, 2, fmt.Sprintf("rank %d", f.Rank), "fault"); trk != nil {
+		trk.Instant(obs.CatFault, "rank_failure",
+			obs.AInt("rank", f.Rank), obs.A("reason", f.Reason))
+	}
+}
+
+// FaultEvents adapts a metrics registry to the fault-injection
+// transport's event hook (transport.NewFault): every injected event is
+// counted as fault.<kind> and fault.<kind>.peer<N>.
+func FaultEvents(reg *obs.Registry) func(kind string, peer int) {
+	if reg == nil {
+		return nil
+	}
+	return func(kind string, peer int) {
+		reg.Counter("fault." + kind).Inc()
+		reg.Counter(fmt.Sprintf("fault.%s.peer%d", kind, peer)).Inc()
 	}
 }
 

@@ -2,6 +2,7 @@ package sip
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -151,19 +152,109 @@ func (r *pardoRun) chunkSize(workers int) int {
 	return int(size)
 }
 
+// recvAny is the master's main-loop receive.  With Config.RecvTimeout
+// set it bounds the wait: when every retry expires without traffic the
+// master diagnoses the stall (blaming a rank from suspects, the ranks
+// it is still waiting on), fails the world, and returns the failure
+// instead of hanging forever on a crashed rank.
+func (m *master) recvAny(tag int, what string, suspects func() []int) (mpi.Message, error) {
+	d := m.rt.cfg.RecvTimeout
+	if d <= 0 {
+		return m.comm.Recv(mpi.AnySource, tag), nil
+	}
+	attempts := 1 + m.rt.cfg.RecvRetries
+	for i := 0; i < attempts; i++ {
+		if msg, ok := m.comm.RecvTimeout(mpi.AnySource, tag, d); ok {
+			return msg, nil
+		}
+	}
+	total := time.Duration(attempts) * d
+	waiting := suspects()
+	if len(waiting) == 0 {
+		return mpi.Message{}, fmt.Errorf("sip: master: no %s within %v", what, total)
+	}
+	rf := &mpi.RankFailure{
+		Rank:   waiting[0],
+		Reason: fmt.Sprintf("master heard no %s within %v (still waiting on ranks %v)", what, total, waiting),
+	}
+	m.rt.world.Fail(rf.Rank, rf.Reason)
+	return mpi.Message{}, rf
+}
+
+// relayErr rebuilds a failure reported over the done path.  When the
+// reporter attributed it to a specific rank, the returned error wraps a
+// reconstructed RankFailure so errors.As works on the master's result
+// even if the relay beat the master's own detection.
+func (m *master) relayErr(done doneMsg) error {
+	if done.failRank < 0 {
+		return fmt.Errorf("%s", done.err)
+	}
+	rf := &mpi.RankFailure{Rank: done.failRank, Reason: done.failReason}
+	return fmt.Errorf("sip: master: %w (%s; reported by rank %d)",
+		rf, NewRanks(m.rt.cfg).Role(rf.Rank), done.origin)
+}
+
+// recordRelay folds one relayed failure into the running diagnosis.
+// The first error wins, except that an attributed relay (one carrying a
+// RankFailure) replaces an earlier unattributed one: with several ranks
+// racing to report, a bystander's generic "group aborted" can reach the
+// master before the detecting rank's diagnosis.
+func (m *master) recordRelay(cur error, done doneMsg) error {
+	if done.err == "" {
+		return cur
+	}
+	relay := m.relayErr(done)
+	var rf *mpi.RankFailure
+	if cur == nil || (!errors.As(cur, &rf) && errors.As(relay, &rf)) {
+		return relay
+	}
+	return cur
+}
+
+// abortDiagnosis converts an ErrAborted panic into an error carrying
+// the world's failure diagnosis, when one was recorded.
+func (m *master) abortDiagnosis() error {
+	if f := m.rt.world.Failure(); f != nil {
+		return fmt.Errorf("sip: master: aborted: %w (%s): %w",
+			f, NewRanks(m.rt.cfg).Role(f.Rank), mpi.ErrAborted)
+	}
+	return fmt.Errorf("sip: master: aborted after peer failure: %w", mpi.ErrAborted)
+}
+
 // run services messages until every worker reports done, then shuts down
 // service loops and I/O servers and returns the gathered result.
-func (m *master) run() (*Result, error) {
+func (m *master) run() (res *Result, err error) {
 	rt := m.rt
+	defer func() {
+		if r := recover(); r != nil {
+			if r == mpi.ErrAborted {
+				err = m.abortDiagnosis()
+				return
+			}
+			panic(r)
+		}
+	}()
 	trk := rt.tracer.Track(0, 0, "master", "dispatch")
 	chunkCtr := rt.metrics.Counter(metricMasterChunks)
 	iterCtr := rt.metrics.Counter(metricMasterIters)
-	res := &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
+	res = &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
 	var scalarVals []float64
 	var workerErr error
+	doneRanks := map[int]bool{}
 	doneCount := 0
 	for doneCount < rt.workers {
-		msg := m.comm.Recv(mpi.AnySource, mpi.AnyTag)
+		msg, err := m.recvAny(mpi.AnyTag, "worker traffic", func() []int {
+			var waiting []int
+			for wr := 1; wr <= rt.workers; wr++ {
+				if !doneRanks[wr] {
+					waiting = append(waiting, wr)
+				}
+			}
+			return waiting
+		})
+		if err != nil {
+			return res, err
+		}
 		switch msg.Tag {
 		case tagChunkReq:
 			var start time.Time
@@ -201,13 +292,23 @@ func (m *master) run() (*Result, error) {
 			m.recordGather(res.Arrays, g)
 		case tagDone:
 			done := msg.Data.(doneMsg)
+			if done.origin > rt.workers {
+				// A server reporting failure over the done path: record
+				// the diagnosis but do not count it toward worker
+				// completion (the world abort it triggers unblocks the
+				// loop if workers can no longer finish).
+				workerErr = m.recordRelay(workerErr, done)
+				if trk != nil {
+					trk.Instant(obs.CatChunk, "server_failed", obs.AInt("rank", done.origin))
+				}
+				break
+			}
+			doneRanks[done.origin] = true
 			doneCount++
 			if done.scalars != nil {
 				scalarVals = done.scalars
 			}
-			if done.err != "" && workerErr == nil {
-				workerErr = fmt.Errorf("%s", done.err)
-			}
+			workerErr = m.recordRelay(workerErr, done)
 			if trk != nil {
 				trk.Instant(obs.CatChunk, "worker_done", obs.AInt("rank", msg.Source))
 			}
@@ -221,9 +322,23 @@ func (m *master) run() (*Result, error) {
 		m.comm.Send(1+rt.workers+s, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays})
 	}
 	if rt.cfg.GatherArrays {
+		gathered := map[int]bool{}
 		for s := 0; s < rt.servers; s++ {
-			msg := m.comm.Recv(mpi.AnySource, tagGather)
-			m.recordGather(res.Served, msg.Data.(gatherMsg))
+			msg, err := m.recvAny(tagGather, "server gather", func() []int {
+				var waiting []int
+				for i := 0; i < rt.servers; i++ {
+					if sr := 1 + rt.workers + i; !gathered[sr] {
+						waiting = append(waiting, sr)
+					}
+				}
+				return waiting
+			})
+			if err != nil {
+				return res, err
+			}
+			g := msg.Data.(gatherMsg)
+			gathered[g.origin] = true
+			m.recordGather(res.Served, g)
 		}
 	}
 	res.Scalars = map[string]float64{}

@@ -52,11 +52,17 @@ type chunkReply struct {
 // doneMsg tells the master a worker reached halt (or failed, when err
 // is non-empty).  Worker rank 1 attaches its final scalar values, which
 // collectives make identical across workers, so the master can report
-// them without sharing memory with any worker.
+// them without sharing memory with any worker.  When the failure was
+// attributed to a specific rank (liveness timeout, receive deadline),
+// failRank/failReason carry the diagnosis structurally so the master
+// can rebuild the RankFailure; failRank is -1 otherwise (0 is a valid
+// failed rank — the master itself).
 type doneMsg struct {
-	origin  int
-	err     string
-	scalars []float64
+	origin     int
+	err        string
+	scalars    []float64
+	failRank   int
+	failReason string
 }
 
 // ackMsg is the payload of tagPutAck / tagPrepAck / tagFlushAck

@@ -26,6 +26,12 @@ const (
 	metricServerCacheMiss  = "sip.server.cache.misses"
 	metricServerDiskReads  = "sip.server.disk.reads"
 	metricServerDiskWrites = "sip.server.disk.writes"
+	// Failure detection: incremented once per process when a run ends
+	// with an attributed rank failure (plus a .rank<N> breakdown).
+	// Injected fault events are counted separately as fault.<kind> /
+	// fault.<kind>.peer<N> (see FaultEvents) and liveness detections as
+	// fault.rank_down.rank<N> (wired by cmd/sial).
+	metricFaultRankFailure = "fault.rank_failure"
 )
 
 // tagNames labels the fixed message tags for per-tag metrics; block

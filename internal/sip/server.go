@@ -3,6 +3,7 @@ package sip
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -69,14 +70,33 @@ func (s *ioServer) blockDims(k blockKey) []int {
 
 // run is the server main loop.  All operations are handled from one
 // goroutine, which serializes access and makes accumulates atomic.
-func (s *ioServer) run() {
+//
+// A server that cannot do its job (scratch dir unavailable, disk I/O
+// failing, corrupt block file) returns an error instead of panicking:
+// the error is reported to the master over the regular doneMsg path and
+// the world is failed with this rank as the diagnosis, so workers
+// blocked on acks wake with a cause instead of hanging.
+func (s *ioServer) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == mpi.ErrAborted {
+				err = fmt.Errorf("sip: server %d: aborted after peer failure: %w", s.rank, mpi.ErrAborted)
+				return
+			}
+			err = fmt.Errorf("sip: server %d: panic: %v", s.rank, r)
+		}
+		if err != nil && !errors.Is(err, mpi.ErrAborted) {
+			// Best-effort: the master may already be gone.
+			s.comm.Send(0, tagDone, doneMsg{origin: s.rank, err: err.Error(), failRank: -1})
+			s.rt.world.Fail(s.rank, err.Error())
+		}
+	}()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		// Without scratch space the server cannot function; surfacing
-		// the error happens when workers time out — but in-process we
-		// prefer a loud failure.
-		panic(fmt.Sprintf("sip: server %d: %v", s.rank, err))
+		return fmt.Errorf("sip: server %d: scratch dir: %w", s.rank, err)
 	}
-	s.installPresets()
+	if err := s.installPresets(); err != nil {
+		return err
+	}
 	for {
 		m := s.comm.Recv(mpi.AnySource, tagServer)
 		switch msg := m.Data.(type) {
@@ -85,7 +105,10 @@ func (s *ioServer) run() {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			b := s.fetch(msg.key)
+			b, err := s.fetch(msg.key)
+			if err != nil {
+				return err
+			}
 			s.comm.Send(msg.origin, msg.replyTag, b.Clone())
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "serve_get",
@@ -96,7 +119,9 @@ func (s *ioServer) run() {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			s.apply(msg.key, msg.b, msg.acc)
+			if err := s.apply(msg.key, msg.b, msg.acc); err != nil {
+				return err
+			}
 			if msg.needAck {
 				s.comm.Send(msg.origin, tagPrepAck, ackMsg{})
 			}
@@ -109,7 +134,9 @@ func (s *ioServer) run() {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			s.flushAll()
+			if err := s.flushAll(); err != nil {
+				return err
+			}
 			s.comm.Send(msg.origin, tagFlushAck, ackMsg{})
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "flush")
@@ -119,30 +146,37 @@ func (s *ioServer) run() {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			s.flushAll()
+			if err := s.flushAll(); err != nil {
+				return err
+			}
 			if msg.gather {
-				s.comm.Send(0, tagGather, gatherMsg{origin: s.rank, arrays: s.gather()})
+				arrays, err := s.gather()
+				if err != nil {
+					return err
+				}
+				s.comm.Send(0, tagGather, gatherMsg{origin: s.rank, arrays: arrays})
 			}
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "shutdown")
 			}
-			return
+			return nil
 		}
 	}
 }
 
 // installPresets loads Config.Preset blocks for served arrays this
 // server homes.
-func (s *ioServer) installPresets() {
+func (s *ioServer) installPresets() error {
 	for name, fn := range s.rt.cfg.Preset {
 		arr := s.rt.prog.ArrayID(name)
 		if arr < 0 || s.rt.prog.Arrays[arr].Kind != bytecode.ArrayServed {
 			continue
 		}
 		shape := s.rt.layout.Shapes[arr]
+		var err error
 		shape.EachCoord(func(c segment.Coord) {
 			ord := shape.Ordinal(c)
-			if s.rt.homeServer(arr, ord) != s.rank {
+			if err != nil || s.rt.homeServer(arr, ord) != s.rank {
 				return
 			}
 			lo, hi := shape.BlockBounds(c)
@@ -150,80 +184,102 @@ func (s *ioServer) installPresets() {
 			if b == nil {
 				return
 			}
-			s.apply(blockKey{arr, ord}, b, false)
+			err = s.apply(blockKey{arr, ord}, b, false)
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // fetch returns the cached block, reading from disk on a miss; absent
 // blocks are implicitly zero (paper §V-B: blocks are allocated "only
 // when actually filled with data").
-func (s *ioServer) fetch(k blockKey) *block.Block {
+func (s *ioServer) fetch(k blockKey) (*block.Block, error) {
 	if e, ok := s.entries[k]; ok {
 		s.hits++
 		s.lru.MoveToFront(e.elem)
-		return e.b
+		return e.b, nil
 	}
 	s.misses++
 	var b *block.Block
 	if s.onDisk[k] {
-		b = s.readDisk(k)
+		var err error
+		b, err = s.readDisk(k)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		b = block.New(s.blockDims(k)...)
 	}
-	s.insert(k, b, false)
-	return b
+	if err := s.insert(k, b, false); err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
 // apply stores or accumulates an incoming block.
-func (s *ioServer) apply(k blockKey, b *block.Block, acc bool) {
+func (s *ioServer) apply(k blockKey, b *block.Block, acc bool) error {
 	if acc {
-		cur := s.fetch(k)
+		cur, err := s.fetch(k)
+		if err != nil {
+			return err
+		}
 		cur.AddScaled(1, b)
 		s.entries[k].dirty = true
-		return
+		return nil
 	}
 	if e, ok := s.entries[k]; ok {
 		e.b = b
 		e.dirty = true
 		s.lru.MoveToFront(e.elem)
-		return
+		return nil
 	}
-	s.insert(k, b, true)
+	return s.insert(k, b, true)
 }
 
-func (s *ioServer) insert(k blockKey, b *block.Block, dirty bool) {
+func (s *ioServer) insert(k blockKey, b *block.Block, dirty bool) error {
 	e := &srvEntry{key: k, b: b, dirty: dirty}
 	e.elem = s.lru.PushFront(e)
 	s.entries[k] = e
 	for len(s.entries) > s.capacity {
 		back := s.lru.Back()
-		if back == nil {
+		if back == nil || back == e.elem {
+			// Never evict the entry just inserted: callers (accumulate,
+			// fetch) hold a reference into s.entries[k] right after this
+			// returns, so evicting it would leave them a dangling key.
 			break
 		}
 		victim := back.Value.(*srvEntry)
 		if victim.dirty {
-			s.writeDisk(victim.key, victim.b)
+			if err := s.writeDisk(victim.key, victim.b); err != nil {
+				return err
+			}
 		}
 		s.lru.Remove(back)
 		delete(s.entries, victim.key)
 	}
+	return nil
 }
 
 // flushAll writes every dirty cached block to disk (server_barrier and
 // shutdown).
-func (s *ioServer) flushAll() {
+func (s *ioServer) flushAll() error {
 	for _, e := range s.entries {
 		if e.dirty {
-			s.writeDisk(e.key, e.b)
+			if err := s.writeDisk(e.key, e.b); err != nil {
+				return err
+			}
 			e.dirty = false
 		}
 	}
+	return nil
 }
 
 // gather returns all blocks this server holds (cache plus disk) for the
 // final result.
-func (s *ioServer) gather() map[int][]ArrayBlock {
+func (s *ioServer) gather() (map[int][]ArrayBlock, error) {
 	out := map[int][]ArrayBlock{}
 	seen := map[blockKey]bool{}
 	for k, e := range s.entries {
@@ -234,14 +290,17 @@ func (s *ioServer) gather() map[int][]ArrayBlock {
 		if seen[k] {
 			continue
 		}
-		b := s.readDisk(k)
+		b, err := s.readDisk(k)
+		if err != nil {
+			return nil, err
+		}
 		out[k.arr] = append(out[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
 	}
-	return out
+	return out, nil
 }
 
 // writeDisk persists one block as raw little-endian float64s.
-func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
+func (s *ioServer) writeDisk(k blockKey, b *block.Block) error {
 	var start time.Time
 	if s.trk != nil {
 		start = time.Now()
@@ -252,7 +311,7 @@ func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
 	if err := os.WriteFile(s.blockPath(k), buf, 0o644); err != nil {
-		panic(fmt.Sprintf("sip: server %d: write block %v: %v", s.rank, k, err))
+		return fmt.Errorf("sip: server %d: write block %v: %w", s.rank, k, err)
 	}
 	s.onDisk[k] = true
 	s.diskWrites++
@@ -260,23 +319,24 @@ func (s *ioServer) writeDisk(k blockKey, b *block.Block) {
 		s.trk.End(start, obs.CatDisk, "disk_write",
 			obs.A("block", k.String()), obs.AInt("bytes", len(buf)))
 	}
+	return nil
 }
 
 // readDisk loads one block previously written by writeDisk.
-func (s *ioServer) readDisk(k blockKey) *block.Block {
+func (s *ioServer) readDisk(k blockKey) (*block.Block, error) {
 	var start time.Time
 	if s.trk != nil {
 		start = time.Now()
 	}
 	buf, err := os.ReadFile(s.blockPath(k))
 	if err != nil {
-		panic(fmt.Sprintf("sip: server %d: read block %v: %v", s.rank, k, err))
+		return nil, fmt.Errorf("sip: server %d: read block %v: %w", s.rank, k, err)
 	}
 	dims := s.blockDims(k)
 	b := block.New(dims...)
 	data := b.Data()
 	if len(buf) != 8*len(data) {
-		panic(fmt.Sprintf("sip: server %d: block %v has %d bytes, want %d", s.rank, k, len(buf), 8*len(data)))
+		return nil, fmt.Errorf("sip: server %d: block %v has %d bytes, want %d", s.rank, k, len(buf), 8*len(data))
 	}
 	for i := range data {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
@@ -286,5 +346,5 @@ func (s *ioServer) readDisk(k blockKey) *block.Block {
 		s.trk.End(start, obs.CatDisk, "disk_read",
 			obs.A("block", k.String()), obs.AInt("bytes", len(buf)))
 	}
-	return b
+	return b, nil
 }

@@ -136,6 +136,19 @@ type Config struct {
 	// GatherArrays collects all distributed and served array contents
 	// into the Result after the run (for tests and small problems).
 	GatherArrays bool
+	// RecvTimeout bounds each blocking receive a worker or the master
+	// performs (chunk replies, block replies, acks, checkpoint traffic,
+	// gather).  0 disables deadlines (the default, right for in-process
+	// runs where no rank can silently vanish).  When a receive times out
+	// after all retries, the waiting rank diagnoses the silent peer with
+	// an mpi.RankFailure and fails the whole world instead of hanging.
+	// It must exceed the longest legitimate quiet stretch (e.g. a server
+	// flushing a large cache to disk).
+	RecvTimeout time.Duration
+	// RecvRetries is the number of extra RecvTimeout-long waits after the
+	// first before a receive is declared failed (default 2, so a receive
+	// waits 3*RecvTimeout in total).  Negative means no retries.
+	RecvRetries int
 }
 
 func (c *Config) fill() error {
@@ -153,6 +166,17 @@ func (c *Config) fill() error {
 	}
 	if c.ServerCacheBlocks == 0 {
 		c.ServerCacheBlocks = 1024
+	}
+	if c.ServerCacheBlocks < 1 {
+		// A server must be able to pin at least the block it is working
+		// on; smaller values would make insert evict its own entry.
+		c.ServerCacheBlocks = 1
+	}
+	if c.RecvRetries == 0 {
+		c.RecvRetries = 2
+	}
+	if c.RecvRetries < 0 {
+		c.RecvRetries = 0
 	}
 	if c.Output == nil {
 		c.Output = os.Stdout
@@ -364,12 +388,13 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 			w.serviceLoop()
 		}(w)
 	}
-	for _, s := range servers {
+	srvErrs := make([]error, cfg.Servers)
+	for i, s := range servers {
 		wg.Add(1)
-		go func(s *ioServer) {
+		go func(i int, s *ioServer) {
 			defer wg.Done()
-			s.run()
-		}(s)
+			srvErrs[i] = s.run()
+		}(i, s)
 	}
 	res, masterErr := m.run()
 	wg.Wait()
@@ -377,7 +402,7 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 	// Prefer a rank's own failure over the secondary "aborted after
 	// peer failure" errors the poison fans out to the other ranks.
 	var abortErr error
-	for _, err := range errs {
+	for _, err := range append(append([]error(nil), errs...), srvErrs...) {
 		switch {
 		case err == nil:
 		case errors.Is(err, mpi.ErrAborted):

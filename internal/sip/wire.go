@@ -107,9 +107,12 @@ func init() {
 			e.Int(m.origin)
 			e.String(m.err)
 			e.Float64s(m.scalars)
+			e.Int(m.failRank)
+			e.String(m.failReason)
 		},
 		func(d *wire.Decoder) doneMsg {
-			return doneMsg{origin: d.Int(), err: d.String(), scalars: d.Float64s()}
+			return doneMsg{origin: d.Int(), err: d.String(), scalars: d.Float64s(),
+				failRank: d.Int(), failReason: d.String()}
 		})
 	wire.Register(wireIDCkptMsg,
 		func(e *wire.Encoder, m ckptMsg) {

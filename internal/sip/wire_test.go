@@ -32,8 +32,10 @@ func TestMessageWireRoundTrips(t *testing.T) {
 		chunkMsg{pardo: 2, gen: 5, origin: 1},
 		chunkReply{iters: [][]int{{1, 2, 3}, {4, 5, 6}}},
 		chunkReply{},
-		doneMsg{origin: 1, scalars: []float64{1.5, -2}},
-		doneMsg{origin: 2, err: "worker exploded"},
+		doneMsg{origin: 1, scalars: []float64{1.5, -2}, failRank: -1},
+		doneMsg{origin: 2, err: "worker exploded", failRank: -1},
+		doneMsg{origin: 2, err: "aborted", failRank: 0, failReason: "no heartbeat"},
+		doneMsg{origin: 1, err: "aborted", failRank: 3, failReason: "no traffic for 1s"},
 		ckptMsg{op: ckptSave, arr: 7, origin: 3,
 			blocks: []ArrayBlock{{Ord: 0, Data: []float64{1, 2}}, {Ord: 9, Data: []float64{3}}}},
 		ckptData{arr: 7, blocks: []ArrayBlock{{Ord: 1, Data: []float64{4}}}},

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -170,13 +171,30 @@ func (w *worker) run() (err error) {
 		if r := recover(); r != nil {
 			if r == mpi.ErrAborted {
 				err = fmt.Errorf("sip: worker %d: aborted after peer failure: %w", w.rank, mpi.ErrAborted)
+				if f := w.rt.world.Failure(); f != nil {
+					err = fmt.Errorf("sip: worker %d: aborted: %w: %w", w.rank, f, mpi.ErrAborted)
+				}
 			} else {
 				err = fmt.Errorf("sip: worker %d: panic: %v", w.rank, r)
 			}
 		}
 		if err != nil {
+			// A diagnosed rank failure (receive deadline naming a silent
+			// peer) fails the whole world so every rank learns the cause;
+			// ordinary errors only poison the worker group.  The done
+			// report carries the diagnosis structurally (failRank) so the
+			// master can rebuild the RankFailure even when the relay wins
+			// the race against its own detection.
+			d := doneMsg{origin: w.rank, err: err.Error(), failRank: -1}
+			var rf *mpi.RankFailure
+			if errors.As(err, &rf) {
+				if !errors.Is(err, mpi.ErrAborted) {
+					w.rt.world.Fail(rf.Rank, rf.Reason)
+				}
+				d.failRank, d.failReason = rf.Rank, rf.Reason
+			}
 			w.rt.workerGroup.Poison()
-			w.comm.Send(0, tagDone, doneMsg{origin: w.rank, err: err.Error()})
+			w.comm.Send(0, tagDone, d)
 		}
 	}()
 	if err := w.initPresets(); err != nil {
@@ -193,8 +211,7 @@ func (w *worker) run() (err error) {
 			if w.traceOn {
 				w.trace(in)
 			}
-			w.shutdown()
-			return nil
+			return w.shutdown()
 		default:
 			if err := w.exec(in); err != nil {
 				return fmt.Errorf("sip: worker %d: pc %d line %d (%s): %w",
@@ -207,9 +224,13 @@ func (w *worker) run() (err error) {
 // shutdown runs the end-of-program protocol.  Service loops stay alive
 // until the master has heard from every worker, so late get/put requests
 // from stragglers are still answered; the master shuts them down.
-func (w *worker) shutdown() {
-	w.drainPutAcks()
-	w.drainPrepAcks()
+func (w *worker) shutdown() error {
+	if err := w.drainPutAcks(); err != nil {
+		return err
+	}
+	if err := w.drainPrepAcks(); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	if w.rt.cfg.GatherArrays {
 		arrays := map[int][]ArrayBlock{}
@@ -218,13 +239,14 @@ func (w *worker) shutdown() {
 		})
 		w.comm.Send(0, tagGather, gatherMsg{origin: w.rank, arrays: arrays})
 	}
-	done := doneMsg{origin: w.rank}
+	done := doneMsg{origin: w.rank, failRank: -1}
 	if w.rank == 1 {
 		// Collectives make scalars identical across workers; rank 1
 		// reports them so the master never shares memory with a worker.
 		done.scalars = append([]float64(nil), w.scalars...)
 	}
 	w.comm.Send(0, tagDone, done)
+	return nil
 }
 
 // exec dispatches one instruction.  On return the pc has been advanced.
@@ -343,7 +365,10 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		gen := w.pardoGen[in.A]
 		w.pardoGen[in.A]++
 		f := frame{kind: framePardo, pid: in.A, cur: gen, startPC: w.pc, exitPC: in.C, started: time.Now()}
-		chunk := w.fetchChunk(in.A, gen)
+		chunk, err := w.fetchChunk(in.A, gen)
+		if err != nil {
+			return err
+		}
 		if len(chunk) == 0 {
 			w.prof.pardoDone(in.A, time.Since(f.started), 0)
 			next = in.C
@@ -358,7 +383,11 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		f.pos++
 		f.iters++
 		if f.pos >= len(f.chunk) {
-			f.chunk = w.fetchChunk(f.pid, f.cur)
+			chunk, err := w.fetchChunk(f.pid, f.cur)
+			if err != nil {
+				return err
+			}
+			f.chunk = chunk
 			f.pos = 0
 		}
 		if len(f.chunk) > 0 {
@@ -413,7 +442,7 @@ func (w *worker) exec(in *bytecode.Instr) error {
 			return err
 		}
 		var val *block.Block
-		if in.A == bytecode.CopyPermute && !identityPerm(in.Aux) {
+		if in.A == bytecode.CopyPermute && !block.IdentityPerm(in.Aux) {
 			val = src.Permute(in.Aux)
 		} else {
 			val = src.Clone()
@@ -509,13 +538,19 @@ func (w *worker) exec(in *bytecode.Instr) error {
 			return err
 		}
 	case bytecode.OpBarrier:
+		var err error
 		if in.A == 1 {
-			w.serverBarrier()
+			err = w.serverBarrier()
 		} else {
-			w.sipBarrier()
+			err = w.sipBarrier()
+		}
+		if err != nil {
+			return err
 		}
 	case bytecode.OpCollective:
-		w.drainPutAcks()
+		if err := w.drainPutAcks(); err != nil {
+			return err
+		}
 		w.scalars[in.A] = w.rt.workerGroup.AllreduceSum(w.scalars[in.A])
 	case bytecode.OpPrint:
 		if w.rank == 1 {
@@ -572,15 +607,6 @@ func (w *worker) trace(in *bytecode.Instr) {
 	w.rt.outMu.Unlock()
 }
 
-func identityPerm(p []int) bool {
-	for i, v := range p {
-		if v != i {
-			return false
-		}
-	}
-	return true
-}
-
 func (w *worker) push(v float64) { w.stack = append(w.stack, v) }
 
 func (w *worker) pop() float64 {
@@ -613,19 +639,72 @@ func (w *worker) clearTemps() {
 	clear(w.temps)
 }
 
+// recvTimed is Recv with the configured deadline: with RecvTimeout off
+// it blocks like Recv; with it on, a receive whose every retry expires
+// is diagnosed as a failure of the rank owing the message (src >= 0) —
+// an *mpi.RankFailure the run() defer uses to fail the world — or as a
+// generic timeout for wildcard receives.
+func (w *worker) recvTimed(src, tag int, what string) (mpi.Message, error) {
+	d := w.rt.cfg.RecvTimeout
+	if d <= 0 {
+		return w.comm.Recv(src, tag), nil
+	}
+	attempts := 1 + w.rt.cfg.RecvRetries
+	for i := 0; i < attempts; i++ {
+		if m, ok := w.comm.RecvTimeout(src, tag, d); ok {
+			return m, nil
+		}
+	}
+	total := time.Duration(attempts) * d
+	if src >= 0 {
+		return mpi.Message{}, &mpi.RankFailure{
+			Rank:   src,
+			Reason: fmt.Sprintf("worker %d heard no %s within %v", w.rank, what, total),
+		}
+	}
+	return mpi.Message{}, fmt.Errorf("sip: worker %d: no %s within %v", w.rank, what, total)
+}
+
+// awaitRequest completes a posted Irecv under the configured deadline,
+// with the same diagnosis semantics as recvTimed.
+func (w *worker) awaitRequest(req *mpi.Request, what string) (mpi.Message, error) {
+	d := w.rt.cfg.RecvTimeout
+	if d <= 0 {
+		return req.Wait(), nil
+	}
+	attempts := 1 + w.rt.cfg.RecvRetries
+	for i := 0; i < attempts; i++ {
+		if m, ok := req.WaitTimeout(d); ok {
+			return m, nil
+		}
+	}
+	total := time.Duration(attempts) * d
+	if src := req.Source(); src >= 0 {
+		return mpi.Message{}, &mpi.RankFailure{
+			Rank:   src,
+			Reason: fmt.Sprintf("worker %d heard no %s within %v", w.rank, what, total),
+		}
+	}
+	return mpi.Message{}, fmt.Errorf("sip: worker %d: no %s within %v", w.rank, what, total)
+}
+
 // fetchChunk asks the master for the next iterations of a pardo
 // execution ("Initially, the set of iterations ... is divided into
 // 'chunks' and doled out to the workers.  When a worker completes its
 // chunk, it requests another chunk from the master", paper §V-B).
-func (w *worker) fetchChunk(pid, gen int) [][]int {
+func (w *worker) fetchChunk(pid, gen int) ([][]int, error) {
 	start := time.Now()
 	w.comm.Send(0, tagChunkReq, chunkMsg{pardo: pid, gen: gen, origin: w.rank})
-	rep := w.comm.Recv(0, tagChunkRep).Data.(chunkReply)
+	m, err := w.recvTimed(0, tagChunkRep, "chunk reply from the master")
+	if err != nil {
+		return nil, err
+	}
+	rep := m.Data.(chunkReply)
 	if w.trk != nil {
 		w.trk.End(start, obs.CatChunk, "fetch_chunk",
 			obs.AInt("pardo", pid), obs.AInt("iters", len(rep.iters)))
 	}
-	return rep.iters
+	return rep.iters, nil
 }
 
 // refLoc is the resolved location of a block reference: the block
@@ -757,7 +836,10 @@ func (w *worker) readBlock(ref bytecode.Ref) (*block.Block, error) {
 		if e == nil {
 			return nil, fmt.Errorf("block %s%v used without get/request", arr.Name, loc.coord)
 		}
-		b = w.waitBlock(e)
+		b, err = w.waitBlock(e)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if loc.region {
 		return b.Extract(loc.rlo, loc.rext), nil
@@ -767,20 +849,26 @@ func (w *worker) readBlock(ref bytecode.Ref) (*block.Block, error) {
 
 // waitBlock waits for an in-flight fetch, recording the wait time
 // against the innermost pardo (paper §VI-B: per-pardo wait times are the
-// primary tuning signal).
-func (w *worker) waitBlock(e *cacheEntry) *block.Block {
+// primary tuning signal).  Under Config.RecvTimeout the wait is bounded:
+// a reply that never comes is diagnosed as a failure of the home rank.
+func (w *worker) waitBlock(e *cacheEntry) (*block.Block, error) {
 	if !e.pending() {
-		return e.b
+		return e.b, nil
 	}
 	start := time.Now()
-	b := e.wait()
+	m, err := w.awaitRequest(e.req, fmt.Sprintf("reply for block %s", e.key))
+	if err != nil {
+		return nil, err
+	}
+	e.b = m.Data.(*block.Block)
+	e.req = nil
 	d := time.Since(start)
 	w.prof.addWait(w.currentPardo(), d)
 	w.waitHist.Observe(int64(d))
 	if w.trk != nil {
 		w.trk.Complete(start, d, obs.CatWait, "wait_block", obs.A("block", e.key.String()))
 	}
-	return b
+	return e.b, nil
 }
 
 // currentPardo returns the innermost active pardo id, or -1.
@@ -1035,34 +1123,47 @@ func (w *worker) doExecute(in *bytecode.Instr) error {
 
 // drainPutAcks consumes acknowledgements for all outstanding distributed
 // puts.
-func (w *worker) drainPutAcks() {
+func (w *worker) drainPutAcks() error {
 	for w.pendingPutAcks > 0 {
-		w.comm.Recv(mpi.AnySource, tagPutAck)
+		if _, err := w.recvTimed(mpi.AnySource, tagPutAck,
+			fmt.Sprintf("put ack (%d outstanding)", w.pendingPutAcks)); err != nil {
+			return err
+		}
 		w.pendingPutAcks--
 	}
+	return nil
 }
 
 // drainPrepAcks consumes acknowledgements for all outstanding prepares.
-func (w *worker) drainPrepAcks() {
+func (w *worker) drainPrepAcks() error {
 	for w.pendingPrepAcks > 0 {
-		w.comm.Recv(mpi.AnySource, tagPrepAck)
+		if _, err := w.recvTimed(mpi.AnySource, tagPrepAck,
+			fmt.Sprintf("prepare ack (%d outstanding)", w.pendingPrepAcks)); err != nil {
+			return err
+		}
 		w.pendingPrepAcks--
 	}
+	return nil
 }
 
 // sipBarrier separates conflicting accesses to distributed arrays: all
 // outstanding puts are applied, all workers rendezvous, and cached remote
 // blocks are invalidated so later gets see the new values.
-func (w *worker) sipBarrier() {
-	w.drainPutAcks()
+func (w *worker) sipBarrier() error {
+	if err := w.drainPutAcks(); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	w.cache.invalidateAll()
+	return nil
 }
 
 // serverBarrier separates conflicting accesses to served arrays: all
 // prepares applied, dirty server caches flushed, caches invalidated.
-func (w *worker) serverBarrier() {
-	w.drainPrepAcks()
+func (w *worker) serverBarrier() error {
+	if err := w.drainPrepAcks(); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	// One worker triggers the flush on every server; all wait for it.
 	if w.rank == 1 {
@@ -1071,11 +1172,15 @@ func (w *worker) serverBarrier() {
 			w.comm.Send(srv, tagServer, flushMsg{origin: w.rank})
 		}
 		for s := 0; s < w.rt.servers; s++ {
-			w.comm.Recv(mpi.AnySource, tagFlushAck)
+			if _, err := w.recvTimed(mpi.AnySource, tagFlushAck,
+				fmt.Sprintf("server flush ack (%d outstanding)", w.rt.servers-s)); err != nil {
+				return err
+			}
 		}
 	}
 	w.rt.workerGroup.Barrier()
 	w.cache.invalidateAll()
+	return nil
 }
 
 // serviceLoop answers get/put requests against this worker's partition
@@ -1131,7 +1236,9 @@ func (w *worker) serviceLoop() {
 // (paper §IV-C: used to pass data between SIAL programs and for
 // rudimentary checkpointing).
 func (w *worker) checkpointSave(arrID int) error {
-	w.drainPutAcks()
+	if err := w.drainPutAcks(); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	var blocks []ArrayBlock
 	w.dist.each(func(k blockKey, b *block.Block) {
@@ -1141,7 +1248,9 @@ func (w *worker) checkpointSave(arrID int) error {
 	})
 	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptSave, arr: arrID, blocks: blocks, origin: w.rank})
 	// Wait for the master's completion ack.
-	w.comm.Recv(0, tagCkpt)
+	if _, err := w.recvTimed(0, tagCkpt, "checkpoint ack from the master"); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	return nil
 }
@@ -1151,12 +1260,17 @@ func (w *worker) checkpointSave(arrID int) error {
 // with the blocks that worker homes; the worker installs them directly
 // into its own store.
 func (w *worker) checkpointLoad(arrID int) error {
-	w.drainPutAcks()
+	if err := w.drainPutAcks(); err != nil {
+		return err
+	}
 	w.rt.workerGroup.Barrier()
 	w.dist.deleteArray(arrID)
 	w.cache.invalidateAll()
 	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptLoad, arr: arrID, origin: w.rank})
-	m := w.comm.Recv(0, tagCkpt)
+	m, err := w.recvTimed(0, tagCkpt, "checkpoint data from the master")
+	if err != nil {
+		return err
+	}
 	switch data := m.Data.(type) {
 	case string:
 		return fmt.Errorf("list_to_blocks: %s", data)
