@@ -11,6 +11,7 @@
 //	              [-profile] [-metrics] [-trace] [-trace-json out.json] [-trace-ranks all|N,M]
 //	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
 //	              [-recv-timeout D] [-hb-interval D] [-hb-timeout D] [-fault-spec SPEC]
+//	              [-recover]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
 // container format).  -trace-json writes a Chrome trace-event file
@@ -26,6 +27,9 @@
 // -hb-timeout) and may bound every blocking protocol receive with
 // -recv-timeout; -fault-spec injects transport faults for chaos testing
 // (see docs/FAULTS.md for the failure semantics and the spec syntax).
+// With -recover a detected worker failure evicts the rank and the run
+// continues degraded on the survivors (master and I/O server deaths
+// stay fatal); without it any failure ends the run fail-fast.
 package main
 
 import (
@@ -99,7 +103,7 @@ func usage(w io.Writer) {
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
 run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
-run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC`)
+run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -182,6 +186,7 @@ type runFlags struct {
 	hbInterval time.Duration       // heartbeat interval under tcp (0 disables liveness)
 	hbTimeout  time.Duration       // silence bound before a rank is declared dead
 	faultSpec  transport.FaultSpec // injected transport faults (chaos testing)
+	recover    bool                // survive worker failures (Config.Recover)
 }
 
 func parseRunFlags(name string, args []string) (*runFlags, error) {
@@ -204,6 +209,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	var launch *bool
 	var recvTimeout, hbInterval, hbTimeout *time.Duration
 	var faultSpec *string
+	var recoverRun *bool
 	if name == "run" {
 		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
 		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
@@ -213,6 +219,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		hbInterval = fs.Duration("hb-interval", time.Second, "heartbeat interval for failure detection under tcp (0 disables)")
 		hbTimeout = fs.Duration("hb-timeout", 0, "silence bound before a rank is declared dead (default 8x interval)")
 		faultSpec = fs.String("fault-spec", "", "inject transport faults, e.g. 'seed=7;drop=0.1;kill=3@100' (see docs/FAULTS.md)")
+		recoverRun = fs.Bool("recover", false, "survive worker-rank failures: evict the dead rank, re-run its work on the survivors (see docs/FAULTS.md)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -227,6 +234,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 			}
 		}
 		rf.hbInterval, rf.hbTimeout = *hbInterval, *hbTimeout
+		rf.recover = *recoverRun
 		var err error
 		if rf.faultSpec, err = transport.ParseFaultSpec(*faultSpec); err != nil {
 			return nil, err
@@ -251,6 +259,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	if recvTimeout != nil {
 		rf.cfg.RecvTimeout = *recvTimeout
 	}
+	rf.cfg.Recover = rf.recover
 	ranks, err := parseRanks(*traceRanks)
 	if err != nil {
 		return nil, err
@@ -547,6 +556,14 @@ func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error 
 	}
 	for rank, err := range waitErrs {
 		if err == nil {
+			continue
+		}
+		if rf.recover && rank != 0 && waitErrs[0] == nil {
+			// Under -recover the master's exit status decides the run: a
+			// dead (or killed) worker is the failure mode the run just
+			// survived, so report it without failing the launch.
+			fmt.Fprintf(os.Stderr, "sial: launch: %s exited non-zero (%v); run completed degraded without it\n",
+				ranks.Role(rank), err)
 			continue
 		}
 		if ee, ok := err.(*exec.ExitError); ok {

@@ -49,6 +49,32 @@ func NewDistributedWorld(n int, local []int, tr transport.Transport) (*World, er
 // world (recording the failure diagnosis they carry, if any) and
 // heartbeat frames refresh liveness state; neither is enqueued.
 func (w *World) deliver(src, dst, tag int, data any) {
+	if w.IsEvicted(src) {
+		// Eviction is final: even if the rank was evicted falsely and is
+		// still limping along, none of its frames — heartbeats and
+		// poison included — may reach the survivors, or a zombie's
+		// error-path teardown would abort the run it was evicted from.
+		return
+	}
+	if n, ok := data.(evictNotice); ok {
+		for _, r := range w.local {
+			if r == n.Rank {
+				// The peers evicted one of *our* ranks: we are the zombie.
+				// Abort locally — without broadcasting poison, which could
+				// outrace the evict notice to a survivor — so this process
+				// terminates instead of wedging behind the firewall.
+				w.recordFailure(n.Rank, "evicted by peers: "+n.Reason)
+				w.Abort()
+				return
+			}
+		}
+		w.Evict(n.Rank, n.Reason)
+		return
+	}
+	if b, ok := data.(byeNotice); ok {
+		w.markDeparted(b.Ranks)
+		return
+	}
 	if l := w.live.Load(); l != nil {
 		l.note(src)
 		if hb, ok := data.(heartbeatMsg); ok {
@@ -83,7 +109,16 @@ func (w *World) peerDown(peer int, err error) {
 		return
 	}
 	if peer >= 0 {
-		w.Fail(peer, fmt.Sprintf("connection lost: %v", err))
+		if w.Departed(peer) {
+			// The peer said goodbye before the disconnect: clean shutdown.
+			return
+		}
+		reason := fmt.Sprintf("connection lost: %v", err)
+		if w.Evictable(peer) {
+			w.Evict(peer, reason)
+			return
+		}
+		w.Fail(peer, reason)
 	} else {
 		w.Abort()
 	}
@@ -202,22 +237,51 @@ func (w *World) monitor(l *liveness) {
 			return
 		}
 		for _, r := range remotes {
+			if w.Departed(r) {
+				continue
+			}
 			// Best-effort: failures surface through peerDown/silence.
 			w.tr.Send(src, r, heartbeatTag, hb)
 		}
 		now := time.Now()
 		for _, r := range remotes {
+			if w.IsEvicted(r) {
+				continue // already dead; keep watching the others
+			}
+			if w.Departed(r) {
+				continue // cleanly shut down; silence is expected
+			}
 			if silent := now.Sub(l.lastHeard(r, start)); silent > l.lv.Timeout {
 				reason := fmt.Sprintf("no traffic for %v (liveness timeout %v)",
 					silent.Round(time.Millisecond), l.lv.Timeout)
 				if l.lv.OnDown != nil {
 					l.lv.OnDown(r, reason)
 				}
+				if w.Evictable(r) {
+					w.Evict(r, reason)
+					continue // the run goes on degraded; keep monitoring
+				}
 				w.Fail(r, reason)
 				return
 			}
 		}
 	}
+}
+
+// evictNotice tells the receiving world that Rank has been evicted
+// (World.Evict), so every survivor converges on the same degraded
+// membership.  Like poison and heartbeat frames it is intercepted in
+// deliver and never reaches a mailbox.
+type evictNotice struct {
+	Rank   int
+	Reason string
+}
+
+// byeNotice announces a clean shutdown of the sending endpoint's local
+// ranks (World.Close), so the disconnect that follows is teardown, not
+// a failure.  Intercepted in deliver; never reaches a mailbox.
+type byeNotice struct {
+	Ranks []int
 }
 
 // Wire ids for the collective and liveness messages (block 16..31, see
@@ -227,6 +291,8 @@ const (
 	wireIDGroupResult  = 17
 	wireIDGroupPoison  = 18
 	wireIDHeartbeat    = 19
+	wireIDEvictNotice  = 20
+	wireIDByeNotice    = 21
 )
 
 func init() {
@@ -256,6 +322,28 @@ func init() {
 		},
 		func(d *wire.Decoder) groupPoison {
 			return groupPoison{Key: d.String(), Rank: d.Int(), Reason: d.String()}
+		})
+	wire.Register(wireIDEvictNotice,
+		func(e *wire.Encoder, m evictNotice) {
+			e.Int(m.Rank)
+			e.String(m.Reason)
+		},
+		func(d *wire.Decoder) evictNotice {
+			return evictNotice{Rank: d.Int(), Reason: d.String()}
+		})
+	wire.Register(wireIDByeNotice,
+		func(e *wire.Encoder, m byeNotice) {
+			e.Int(len(m.Ranks))
+			for _, r := range m.Ranks {
+				e.Int(r)
+			}
+		},
+		func(d *wire.Decoder) byeNotice {
+			rs := make([]int, d.Int())
+			for i := range rs {
+				rs[i] = d.Int()
+			}
+			return byeNotice{Ranks: rs}
 		})
 	wire.Register(wireIDHeartbeat,
 		func(e *wire.Encoder, m heartbeatMsg) {

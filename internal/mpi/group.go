@@ -142,6 +142,29 @@ func (g *sharedGroup) AllreduceSum(v float64) float64 {
 	return g.result
 }
 
+// evict removes a dead member (World.Evict): the group re-forms over
+// the survivors, and a round blocked only on the dead member's arrival
+// completes immediately.
+func (g *sharedGroup) evict(rank int) {
+	member := false
+	for _, r := range g.ranks {
+		member = member || r == rank
+	}
+	if !member {
+		return
+	}
+	g.mu.Lock()
+	g.n--
+	if g.n > 0 && g.count >= g.n {
+		g.result = g.acc
+		g.acc = 0
+		g.count = 0
+		g.gen++
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
 // Poison aborts the group.  Member-aware groups also abort the members'
 // mailboxes, so a member blocked in Recv or Request.Wait wakes with
 // ErrAborted instead of deadlocking on a message that will never come.
@@ -217,6 +240,9 @@ func (g *commGroup) AllreduceSum(v float64) float64 {
 	key := groupKey(g.comm, g.ranks)
 	gen := g.gen
 	g.gen++
+	if g.comm.world.Recovering() {
+		return g.degradedRound(key, gen, v)
+	}
 	if g.comm.rank != g.root() {
 		g.comm.Send(g.root(), collectiveTag, groupContrib{Key: key, Gen: gen, V: v})
 		m := g.comm.Recv(g.root(), collectiveTag) // panics ErrAborted on abort
@@ -242,6 +268,95 @@ func (g *commGroup) AllreduceSum(v float64) float64 {
 		g.comm.Send(r, collectiveTag, groupResult{Key: key, Gen: gen, V: sum})
 	}
 	return sum
+}
+
+// liveRanks returns the group members not yet evicted, in group order.
+func (g *commGroup) liveRanks() []int {
+	live := make([]int, 0, len(g.ranks))
+	for _, r := range g.ranks {
+		if !g.comm.world.IsEvicted(r) {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// degradedRound is one reduction round on a recovering world: the
+// collective completes over the live members only.  The root is the
+// first live member in group order; if the root is evicted mid-round the
+// survivors re-elect and resend (the new root deduplicates by source).
+// Two windows are deliberately fail-fast instead of recoverable: a
+// reply or contribution with the wrong round number (a root died after
+// releasing some members — the stragglers cannot rejoin a half-advanced
+// round), and a member receiving traffic it cannot parse.  A split
+// membership view (two members each believing the other dead) cannot
+// converge here; higher layers bound such waits with receive deadlines.
+func (g *commGroup) degradedRound(key string, gen int, v float64) float64 {
+	w := g.comm.world
+	self := g.comm.rank
+	for {
+		live := g.liveRanks()
+		if len(live) == 1 && live[0] == self {
+			return v // last one standing
+		}
+		root := live[0]
+		if self != root {
+			g.comm.Send(root, collectiveTag, groupContrib{Key: key, Gen: gen, V: v})
+			m, ok := g.comm.RecvUntil(root, collectiveTag, 0,
+				func() bool { return w.IsEvicted(root) })
+			if !ok {
+				continue // root died; re-elect and resend
+			}
+			res, isRes := m.Data.(groupResult)
+			if !isRes || res.Gen != gen {
+				w.Fail(root, fmt.Sprintf("mpi: group %v rank %d: unexpected collective reply %#v in round %d",
+					g.ranks, self, m.Data, gen))
+				panic(ErrAborted)
+			}
+			return res.V
+		}
+		// Root: collect one contribution from every other live member,
+		// deduplicating resends by source, then fan the sum out.
+		got := map[int]float64{}
+		for {
+			live = g.liveRanks()
+			need := 0
+			for _, r := range live {
+				if r != self {
+					if _, have := got[r]; !have {
+						need++
+					}
+				}
+			}
+			if need == 0 {
+				break
+			}
+			stamp := w.EvictStamp()
+			m, ok := g.comm.RecvUntil(AnySource, collectiveTag, 0,
+				func() bool { return w.EvictStamp() != stamp })
+			if !ok {
+				continue // membership changed; recount the pending set
+			}
+			c, isContrib := m.Data.(groupContrib)
+			if !isContrib || c.Gen != gen {
+				w.Fail(m.Source, fmt.Sprintf("mpi: group %v root %d: unexpected contribution %#v in round %d",
+					g.ranks, self, m.Data, gen))
+				panic(ErrAborted)
+			}
+			if w.IsEvicted(m.Source) {
+				continue // arrived just before the firewall closed
+			}
+			got[m.Source] = c.V
+		}
+		sum := v
+		for _, x := range got {
+			sum += x
+		}
+		for r := range got {
+			g.comm.Send(r, collectiveTag, groupResult{Key: key, Gen: gen, V: sum})
+		}
+		return sum
+	}
 }
 
 // Poison aborts the whole group: remote members get a groupPoison frame

@@ -69,6 +69,21 @@ type World struct {
 	failMu  sync.Mutex
 	failure *RankFailure
 	live    atomic.Pointer[liveness]
+
+	// Recovery state (SetRecover).  evicted maps a dead rank to the
+	// reason it was evicted; evictGen counts evictions so waiters can
+	// detect membership changes without holding evictMu.
+	recovering atomic.Bool
+	evictMu    sync.Mutex
+	critical   map[int]bool
+	evicted    map[int]string
+	evictGen   atomic.Uint64
+
+	// departed tracks remote ranks that announced a clean shutdown
+	// (byeNotice from World.Close), so their subsequent disconnect is
+	// teardown, not failure.  Independent of recovery mode.
+	departMu sync.Mutex
+	departed map[int]bool
 }
 
 // SetObserver installs a message observer.  It must be called before
@@ -127,14 +142,23 @@ func (c *Comm) Send(dst, tag int, data any) {
 		panic(fmt.Sprintf("mpi: send to rank %d out of range [0,%d)", dst, c.world.n))
 	}
 	w := c.world
+	if w.IsEvicted(dst) || w.Departed(dst) {
+		// The rank is gone (evicted, or cleanly shut down after finishing
+		// its part of the protocol); nothing is listening.  Dropping the
+		// send here keeps every protocol layer free of per-send liveness
+		// checks (the matching receive side uses RecvUntil).
+		return
+	}
 	depth := -1 // remote sends have no mailbox-depth view
 	if box := w.boxes[dst]; box != nil {
 		depth = box.put(Message{Source: c.rank, Tag: tag, Data: data})
 	} else if err := w.tr.Send(c.rank, dst, tag, data); err != nil {
 		// The connection is gone: abort locally instead of hanging on
-		// replies that can never arrive.  (During clean teardown the
-		// closed flag suppresses the abort.)
+		// replies that can never arrive, recording the unreachable rank
+		// so the abort is attributed.  (During clean teardown the closed
+		// flag suppresses the abort.)
 		if !w.closed.Load() {
+			w.recordFailure(dst, fmt.Sprintf("send failed: %v", err))
 			w.Abort()
 		}
 	}
@@ -168,7 +192,18 @@ func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
 	if d <= 0 {
 		return c.Recv(src, tag), true
 	}
-	m := c.box().getWithin(src, tag, d)
+	m := c.box().getCancel(src, tag, d, nil)
+	return m, m.valid
+}
+
+// RecvUntil blocks for a message matching (src, tag), bounded by an
+// optional deadline d (<= 0 means none) and a cancel predicate.  It
+// returns ok == false when the deadline passes or cancel reports true;
+// cancel is re-evaluated on every mailbox wakeup (Evict wakes all local
+// mailboxes), must be cheap, and must not block — it is called with the
+// mailbox lock held.  Abort semantics match Recv.
+func (c *Comm) RecvUntil(src, tag int, d time.Duration, cancel func() bool) (Message, bool) {
+	m := c.box().getCancel(src, tag, d, cancel)
 	return m, m.valid
 }
 
@@ -295,20 +330,26 @@ func (mb *mailbox) get(src, tag int, blocking bool) Message {
 	}
 }
 
-// getWithin is get with a deadline: it returns the zero Message (valid
-// == false) if no match arrives within d.  Abort still panics with
-// ErrAborted, after draining delivered matches.
-func (mb *mailbox) getWithin(src, tag int, d time.Duration) Message {
-	deadline := time.Now().Add(d)
-	// sync.Cond has no timed wait; a timer that takes the lock before
-	// broadcasting cannot fire between the waiter's deadline check and
-	// its cond.Wait, so the wakeup is never lost.
-	timer := time.AfterFunc(d, func() {
-		mb.mu.Lock()
-		mb.mu.Unlock() //nolint:staticcheck // empty critical section is the point
-		mb.cond.Broadcast()
-	})
-	defer timer.Stop()
+// getCancel is get with an optional deadline (d <= 0 means none) and an
+// optional cancel predicate: it returns the zero Message (valid ==
+// false) if no match arrives before the deadline passes or cancel
+// reports true.  cancel runs under mb.mu and is rechecked on every
+// wakeup.  Abort still panics with ErrAborted, after draining delivered
+// matches.
+func (mb *mailbox) getCancel(src, tag int, d time.Duration, cancel func() bool) Message {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		// sync.Cond has no timed wait; a timer that takes the lock before
+		// broadcasting cannot fire between the waiter's deadline check and
+		// its cond.Wait, so the wakeup is never lost.
+		timer := time.AfterFunc(d, func() {
+			mb.mu.Lock()
+			mb.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+			mb.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -321,7 +362,10 @@ func (mb *mailbox) getWithin(src, tag int, d time.Duration) Message {
 		if mb.aborted {
 			panic(ErrAborted)
 		}
-		if !time.Now().Before(deadline) {
+		if cancel != nil && cancel() {
+			return Message{}
+		}
+		if d > 0 && !time.Now().Before(deadline) {
 			return Message{}
 		}
 		mb.cond.Wait()
@@ -334,6 +378,16 @@ func (mb *mailbox) abort() {
 	mb.mu.Lock()
 	mb.aborted = true
 	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// wake rouses blocked receivers without changing mailbox state, so
+// getCancel waiters re-evaluate their cancel predicate.  Taking the
+// lock first means a waiter between its cancel check and cond.Wait
+// cannot miss the broadcast.
+func (mb *mailbox) wake() {
+	mb.mu.Lock()
+	mb.mu.Unlock() //nolint:staticcheck // empty critical section is the point
 	mb.cond.Broadcast()
 }
 
@@ -431,9 +485,152 @@ func (w *World) Failure() *RankFailure {
 	return w.failure
 }
 
+// SetRecover switches the world to degraded-membership recovery:
+// detected failures of non-critical ranks feed Evict instead of Fail,
+// so the survivors keep running over the live members.  critical lists
+// ranks whose death remains fatal (for the SIP: the master and the I/O
+// servers).  Call it before ranks start communicating.
+func (w *World) SetRecover(critical ...int) {
+	w.evictMu.Lock()
+	if w.critical == nil {
+		w.critical = map[int]bool{}
+	}
+	if w.evicted == nil {
+		w.evicted = map[int]string{}
+	}
+	for _, r := range critical {
+		w.critical[r] = true
+	}
+	w.evictMu.Unlock()
+	w.recovering.Store(true)
+}
+
+// Recovering reports whether SetRecover switched this world to
+// degraded-membership recovery.
+func (w *World) Recovering() bool { return w.recovering.Load() }
+
+// Evictable reports whether rank's death can be survived: recovery is
+// on and the rank is not critical.
+func (w *World) Evictable(rank int) bool {
+	if !w.recovering.Load() {
+		return false
+	}
+	w.evictMu.Lock()
+	defer w.evictMu.Unlock()
+	return !w.critical[rank]
+}
+
+// Evict marks rank as permanently dead without poisoning the
+// survivors: sends to it become no-ops, inbound frames from it are
+// dropped, groups re-form over the live members, and every blocked
+// receiver wakes so eviction-aware waits (RecvUntil) can recheck their
+// cancel condition.  Eviction is final — a falsely evicted rank that
+// later wakes up is firewalled, never re-admitted.  The first eviction
+// of a rank wins; evicting a critical rank (or a rank of a
+// non-recovering world) falls back to Fail.  Safe from any goroutine.
+func (w *World) Evict(rank int, reason string) {
+	if !w.Evictable(rank) {
+		w.Fail(rank, reason)
+		return
+	}
+	w.evictMu.Lock()
+	if _, dup := w.evicted[rank]; dup {
+		w.evictMu.Unlock()
+		return
+	}
+	w.evicted[rank] = reason
+	w.evictMu.Unlock()
+	w.evictGen.Add(1)
+	// Tell the remote worlds (best-effort: the dead rank's connection
+	// may be the casualty) so every survivor converges on one view.
+	// The evicted rank gets the notice too: if it is actually alive it
+	// fails itself fast instead of wedging behind the firewall.
+	if w.tr != nil && !w.closed.Load() {
+		src := 0
+		if len(w.local) > 0 {
+			src = w.local[0]
+		}
+		for r, box := range w.boxes {
+			if box == nil {
+				w.tr.Send(src, r, collectiveTag, evictNotice{Rank: rank, Reason: reason})
+			}
+		}
+	}
+	// Re-form groups over the survivors.
+	w.groups.Range(func(_, v any) bool {
+		if g, ok := v.(interface{ evict(rank int) }); ok {
+			g.evict(rank)
+		}
+		return true
+	})
+	// Wake blocked receivers: messages from the dead rank will never
+	// arrive, and RecvUntil waiters must observe the new membership.
+	for _, box := range w.boxes {
+		if box != nil {
+			box.wake()
+		}
+	}
+}
+
+// IsEvicted reports whether rank has been evicted.
+func (w *World) IsEvicted(rank int) bool {
+	if !w.recovering.Load() {
+		return false
+	}
+	w.evictMu.Lock()
+	defer w.evictMu.Unlock()
+	_, ok := w.evicted[rank]
+	return ok
+}
+
+// Evicted returns a copy of the evicted ranks and their reasons.
+func (w *World) Evicted() map[int]string {
+	w.evictMu.Lock()
+	defer w.evictMu.Unlock()
+	if len(w.evicted) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(w.evicted))
+	for r, reason := range w.evicted {
+		out[r] = reason
+	}
+	return out
+}
+
+// EvictStamp returns a counter that increases on every eviction.
+// Waiters snapshot it before blocking and cancel when it changes.
+func (w *World) EvictStamp() uint64 { return w.evictGen.Load() }
+
+// markDeparted records remote ranks that announced a clean shutdown,
+// so the transport-level disconnect that follows is recognized as
+// teardown rather than a rank failure.
+func (w *World) markDeparted(ranks []int) {
+	w.departMu.Lock()
+	if w.departed == nil {
+		w.departed = map[int]bool{}
+	}
+	for _, r := range ranks {
+		w.departed[r] = true
+	}
+	w.departMu.Unlock()
+}
+
+// Departed reports whether rank announced a clean shutdown.
+func (w *World) Departed(rank int) bool {
+	w.departMu.Lock()
+	defer w.departMu.Unlock()
+	return w.departed[rank]
+}
+
 // Close tears the world down, closing its transport (if any).  Peer
 // disconnects observed after Close are part of normal teardown and do
 // not abort the world.
+//
+// A cleanly closing world first announces its departure to the remote
+// endpoints (best-effort), so a rank that finishes its part of the
+// protocol early does not read as a crashed peer to ranks still
+// running.  An aborted world sends no farewell: its disconnect should
+// surface as the failure it is.
 func (w *World) Close() error {
 	if !w.closed.CompareAndSwap(false, true) {
 		return nil
@@ -442,6 +639,18 @@ func (w *World) Close() error {
 		l.stopOnce.Do(func() { close(l.stop) })
 	}
 	if w.tr != nil {
+		if !w.aborted.Load() {
+			src := 0
+			if len(w.local) > 0 {
+				src = w.local[0]
+			}
+			bye := byeNotice{Ranks: w.local}
+			for r, box := range w.boxes {
+				if box == nil {
+					w.tr.Send(src, r, collectiveTag, bye)
+				}
+			}
+		}
 		return w.tr.Close()
 	}
 	return nil

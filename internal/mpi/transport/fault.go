@@ -41,6 +41,11 @@ type FaultSpec struct {
 	// every frame between a rank in PartA and a rank in PartB is
 	// dropped, in both directions.
 	PartA, PartB []int
+	// Heal, when > 0, heals the partition after the endpoint has moved
+	// Heal frames (in + out): the partition only severs frames while
+	// the frame count is at most Heal.  Models a transient fabric
+	// outage that recovery must ride out.
+	Heal int
 }
 
 // Active reports whether the spec injects any fault at all.
@@ -70,6 +75,9 @@ func (s FaultSpec) String() string {
 	if len(s.PartA) > 0 && len(s.PartB) > 0 {
 		parts = append(parts, fmt.Sprintf("partition=%s|%s", rankList(s.PartA), rankList(s.PartB)))
 	}
+	if s.Heal > 0 {
+		parts = append(parts, fmt.Sprintf("heal=%d", s.Heal))
+	}
 	return strings.Join(parts, ";")
 }
 
@@ -90,6 +98,7 @@ func rankList(rs []int) string {
 //	delay=D         delay each outbound frame by uniform [0,D) (e.g. 5ms)
 //	kill=R@N        rank R's endpoint goes silent after N frames
 //	partition=A|B   drop frames between rank lists A and B (e.g. 0,1|2,3)
+//	heal=N          the partition heals after N frames
 //
 // An empty string parses to the inactive zero spec.
 func ParseFaultSpec(str string) (FaultSpec, error) {
@@ -137,6 +146,11 @@ func ParseFaultSpec(str string) (FaultSpec, error) {
 			}
 			if spec.PartA, err = parseRanks(aStr); err == nil {
 				spec.PartB, err = parseRanks(bStr)
+			}
+		case "heal":
+			spec.Heal, err = strconv.Atoi(val)
+			if err == nil && spec.Heal < 0 {
+				err = fmt.Errorf("negative heal")
 			}
 		default:
 			return spec, fmt.Errorf("transport: unknown fault spec key %q", key)
@@ -243,6 +257,7 @@ func (f *Fault) event(kind string, peer int) {
 func (f *Fault) cut(localRank, peer int) bool {
 	f.mu.Lock()
 	f.frames++
+	frames := f.frames
 	justKilled := false
 	if !f.killed && f.spec.KillRank >= 0 && f.local[f.spec.KillRank] && f.frames > f.spec.KillAfter {
 		f.killed = true
@@ -255,6 +270,9 @@ func (f *Fault) cut(localRank, peer int) bool {
 	}
 	if killed {
 		return true
+	}
+	if f.spec.Heal > 0 && frames > f.spec.Heal {
+		return false // the partition has healed
 	}
 	return f.spec.partitioned(localRank, peer)
 }

@@ -8,14 +8,14 @@ import (
 )
 
 func TestParseFaultSpec(t *testing.T) {
-	spec, err := ParseFaultSpec(" seed=7; drop=0.25 ;dup=0.1;delay=5ms;kill=3@40;partition=0,1|2,3 ")
+	spec, err := ParseFaultSpec(" seed=7; drop=0.25 ;dup=0.1;delay=5ms;kill=3@40;partition=0,1|2,3;heal=60 ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := FaultSpec{
 		Seed: 7, Drop: 0.25, Dup: 0.1, Delay: 5 * time.Millisecond,
 		KillRank: 3, KillAfter: 40,
-		PartA: []int{0, 1}, PartB: []int{2, 3},
+		PartA: []int{0, 1}, PartB: []int{2, 3}, Heal: 60,
 	}
 	if !reflect.DeepEqual(spec, want) {
 		t.Errorf("parsed %+v, want %+v", spec, want)
@@ -40,7 +40,7 @@ func TestParseFaultSpec(t *testing.T) {
 		t.Errorf("empty spec should be inactive: %+v", empty)
 	}
 
-	for _, bad := range []string{"drop", "drop=2", "dup=-1", "delay=x", "kill=-2", "partition=0,1", "frob=1"} {
+	for _, bad := range []string{"drop", "drop=2", "dup=-1", "delay=x", "kill=-2", "partition=0,1", "heal=-3", "frob=1"} {
 		if _, err := ParseFaultSpec(bad); err == nil {
 			t.Errorf("ParseFaultSpec(%q) accepted", bad)
 		}
@@ -224,5 +224,22 @@ func TestFaultPartition(t *testing.T) {
 	}
 	if len(at2.tags()) != 0 {
 		t.Errorf("cross-partition frame delivered: %v", at2.tags())
+	}
+}
+
+// TestFaultPartitionHeals: with heal=N the partition severs only the
+// first N frames; later frames cross the former cut.
+func TestFaultPartitionHeals(t *testing.T) {
+	spec := FaultSpec{KillRank: -1, PartA: []int{0}, PartB: []int{1}, Heal: 3}
+	f, got := faultPair(t, spec, nil)
+	for i := 0; i < 6; i++ {
+		if err := f.Send(0, 1, i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Frames 1..3 are cut (counter is 1-based); 4..6 pass, carrying
+	// tags 3, 4, 5.
+	if want := []int{3, 4, 5}; !reflect.DeepEqual(got.tags(), want) {
+		t.Errorf("healed partition delivered %v, want %v", got.tags(), want)
 	}
 }

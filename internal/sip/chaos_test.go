@@ -143,6 +143,103 @@ func TestChaosKilledWorkerRank(t *testing.T) {
 	}
 }
 
+// recoverDrill stages all mutable state through served arrays and
+// scalars, the shape recovery makes exact: prepares are deduplicated on
+// replay and the scalar is collected at the phase-ending collective.
+// (Distributed arrays homed on a dead worker are lost by design, so the
+// drill uses none.)
+const recoverDrill = `
+sial recover_drill
+param n = 24
+aoindex I = 1, n
+aoindex J = 1, n
+served S(I,J)
+temp v(I,J)
+temp t(I,J)
+scalar e
+pardo I, J
+  compute_integrals v(I,J)
+  t(I,J) = 2.0 * v(I,J)
+  prepare S(I,J) += t(I,J)
+endpardo
+server_barrier
+pardo I, J
+  request S(I,J)
+  t(I,J) = S(I,J)
+  e += dot(t(I,J), t(I,J))
+endpardo
+collective e
+print "e =", e
+endsial
+`
+
+// TestChaosRecoverWorkerDeath: with Config.Recover on, worker rank 2 is
+// killed mid-pardo.  The run must complete on the survivors with the
+// serial-reference answer: the master re-dispatches the dead worker's
+// unacknowledged iterations, the server deduplicates replayed prepares,
+// and the collective folds in only live contributions.
+func TestChaosRecoverWorkerDeath(t *testing.T) {
+	// Serial reference: the same program, no faults, no recovery.
+	var refOut bytes.Buffer
+	refCfg := distConfig(&refOut)
+	refCfg.Preset = nil // recoverDrill uses no distributed arrays
+	ref, err := RunSource(recoverDrill, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Scalars["e"]
+	if want == 0 {
+		t.Fatal("serial reference computed e = 0; drill is vacuous")
+	}
+
+	var outs [4]bytes.Buffer
+	reg := obs.NewRegistry()
+	spec := func(rank int) transport.FaultSpec {
+		s := noFault
+		s.KillRank = 2
+		s.KillAfter = 40 // deep enough that rank 2 has live prepares to deduplicate
+		return s
+	}
+	mkWorld := faultWorldMaker(t, 4, spec, nil)
+	start := time.Now()
+	results, errs := runRanksOver(t, recoverDrill, mkWorld, func(rank int) Config {
+		cfg := chaosConfig(&outs[rank])
+		cfg.Preset = nil
+		cfg.Recover = true
+		if rank == 0 {
+			cfg.Metrics = reg
+		}
+		return cfg
+	})
+	if d := time.Since(start); d > chaosBound {
+		t.Errorf("recovery run took %v, want < %v", d, chaosBound)
+	}
+	// The survivors and the master finish cleanly; only the killed rank
+	// errors out (it is partitioned from the whole world).
+	for _, rank := range []int{0, 1, 3} {
+		if errs[rank] != nil {
+			t.Errorf("rank %d failed, want degraded completion: %v", rank, errs[rank])
+		}
+	}
+	if errs[2] == nil {
+		t.Error("killed rank 2 reported no error")
+	}
+	if results[0] == nil {
+		t.Fatal("master returned no result")
+	}
+	got := results[0].Scalars["e"]
+	if diff := got - want; diff < -1e-10 || diff > 1e-10 {
+		t.Errorf("recovered e = %.15g, want serial reference %.15g (diff %g)", got, want, diff)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[metricMasterRedispatched] < 1 {
+		t.Errorf("%s = %d, want >= 1", metricMasterRedispatched, snap.Counters[metricMasterRedispatched])
+	}
+	if snap.Counters[metricFaultRankEvicted] < 1 {
+		t.Errorf("%s = %d, want >= 1", metricFaultRankEvicted, snap.Counters[metricFaultRankEvicted])
+	}
+}
+
 // TestChaosDroppedFrames: worker 1 silently loses 40% of its outbound
 // frames.  The run cannot complete, but it must fail fast with an
 // attributed RankFailure on the master rather than hang, and the fault

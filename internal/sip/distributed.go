@@ -62,12 +62,23 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 	if cfg.Metrics != nil {
 		world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
 	}
+	if cfg.Recover {
+		// Worker ranks become evictable; the master and the I/O servers
+		// stay critical (their death still fails the run).
+		world.SetRecover(rt.criticalRanks()...)
+	}
 
 	// A dead peer aborts the world; surface that as an error rather
 	// than a panic so the process exits cleanly with a diagnosis.
 	// When the abort was attributed (liveness timeout, receive deadline,
 	// lost connection), name the failed rank and its SIP role.
 	defer func() {
+		if rank != 0 {
+			// The master's own loop records evictions as it folds them
+			// into the ledger; other ranks record them here so every
+			// process's -metrics snapshot shows the degraded membership.
+			observeEvictions(cfg.Metrics, cfg.Tracer, world)
+		}
 		if r := recover(); r != nil {
 			if r == mpi.ErrAborted {
 				err = rankAbortError(cfg, world, rank)
@@ -156,6 +167,22 @@ func observeFailure(reg *obs.Registry, tracer *obs.Tracer, world *mpi.World) {
 	if trk := tracer.Track(f.Rank, 2, fmt.Sprintf("rank %d", f.Rank), "fault"); trk != nil {
 		trk.Instant(obs.CatFault, "rank_failure",
 			obs.AInt("rank", f.Rank), obs.A("reason", f.Reason))
+	}
+}
+
+// observeEvictions feeds the world's evicted-rank set into the metrics
+// registry and tracer (fault.rank_evicted counters plus an instant span
+// per rank), mirroring observeFailure for degraded-but-successful runs.
+func observeEvictions(reg *obs.Registry, tracer *obs.Tracer, world *mpi.World) {
+	for rank, reason := range world.Evicted() {
+		if reg != nil {
+			reg.Counter(metricFaultRankEvicted).Inc()
+			reg.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankEvicted, rank)).Inc()
+		}
+		if trk := tracer.Track(rank, 2, fmt.Sprintf("rank %d", rank), "fault"); trk != nil {
+			trk.Instant(obs.CatFault, "rank_evicted",
+				obs.AInt("rank", rank), obs.A("reason", reason))
+		}
 	}
 }
 

@@ -109,18 +109,20 @@ func tcpWorldMaker(t *testing.T, n int) func(rank int) *mpi.World {
 
 func routerWorldMaker(t *testing.T, n int) func(rank int) *mpi.World {
 	t.Helper()
+	// Build every world eagerly, before any rank runs (like
+	// faultWorldMaker): the Local transport has no dial retry, so a fast
+	// rank sending to a lazily-built peer world would hit "endpoint not
+	// receiving" and abort at startup.
 	r := transport.NewRouter()
-	eps := make([]*transport.Local, n)
-	for i := range eps {
-		eps[i] = r.Endpoint(i)
-	}
-	return func(rank int) *mpi.World {
-		w, err := mpi.NewDistributedWorld(n, []int{rank}, eps[rank])
+	worlds := make([]*mpi.World, n)
+	for rank := 0; rank < n; rank++ {
+		w, err := mpi.NewDistributedWorld(n, []int{rank}, r.Endpoint(rank))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return w
+		worlds[rank] = w
 	}
+	return func(rank int) *mpi.World { return worlds[rank] }
 }
 
 // TestRunRankMatchesRun runs the same program in-process and across
@@ -154,8 +156,11 @@ func TestRunRankMatchesRun(t *testing.T) {
 			})
 			for rank, err := range errs {
 				if err != nil {
-					t.Fatalf("rank %d: %v", rank, err)
+					t.Errorf("rank %d: %v", rank, err)
 				}
+			}
+			if t.Failed() {
+				t.FailNow()
 			}
 			got, ok := results[0].Scalars["e"]
 			if !ok {

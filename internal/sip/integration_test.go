@@ -1,8 +1,12 @@
 package sip
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -63,6 +67,75 @@ endsial
 	// 36 elements of 4.0 squared = 576.
 	if res.Scalars["probe"] != 576 {
 		t.Fatalf("probe = %g, want 576", res.Scalars["probe"])
+	}
+}
+
+// TestTornCheckpointFailsAttributed: a checkpoint truncated mid-file
+// (disk corruption, or a crash predating the atomic temp-and-rename
+// writes) must fail list_to_blocks with a clean attributed error on
+// every worker — not a hang and not a partial restore.
+func TestTornCheckpointFailsAttributed(t *testing.T) {
+	scratch := t.TempDir()
+	producer := `
+sial torn_producer
+param n = 6
+aoindex I = 1, n
+aoindex J = 1, n
+distributed D(I,J)
+temp t(I,J)
+pardo I, J
+  t(I,J) = 3.0
+  put D(I,J) = t(I,J)
+endpardo
+sip_barrier
+blocks_to_list D
+endsial
+`
+	consumer := `
+sial torn_consumer
+param n = 6
+aoindex I = 1, n
+aoindex J = 1, n
+distributed D(I,J)
+list_to_blocks D
+endsial
+`
+	mkCfg := func(out *bytes.Buffer) Config {
+		return Config{Workers: 2, Seg: bytecode.DefaultSegConfig(2), ScratchDir: scratch, Output: out}
+	}
+	var prodOut bytes.Buffer
+	if _, err := RunSource(producer, mkCfg(&prodOut)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the checkpoint: truncate it mid-file.  The payload is one gob
+	// value, so any truncation point leaves an undecodable file.
+	path := filepath.Join(scratch, "ckpt_D.gob")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 2 {
+		t.Fatalf("checkpoint suspiciously small: %d bytes", fi.Size())
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// Restore across a distributed world so each worker's error is
+	// observable separately.
+	outs := make([]bytes.Buffer, 3)
+	mkWorld := routerWorldMaker(t, 3) // 1 master + 2 workers
+	_, errs := runRanksOver(t, consumer, mkWorld, func(rank int) Config {
+		return mkCfg(&outs[rank])
+	})
+	for rank := 1; rank <= 2; rank++ {
+		if errs[rank] == nil {
+			t.Errorf("worker %d: no error restoring a torn checkpoint", rank)
+		} else if !strings.Contains(errs[rank].Error(), "list_to_blocks") {
+			t.Errorf("worker %d: error not attributed to list_to_blocks: %v", rank, errs[rank])
+		}
+	}
+	if errs[0] == nil {
+		t.Error("master: no error after workers failed to restore")
 	}
 }
 

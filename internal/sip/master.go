@@ -23,11 +23,27 @@ type master struct {
 	runs      map[[2]int]*pardoRun // (pardo id, generation) -> scheduler state
 	ckptSaves map[int]*ckptCollect
 	ckptLoads map[int][]int // array id -> requesting worker ranks
+
+	// Recovery state (Config.Recover).
+	syncs     map[int]*syncState // sync round -> progress
+	evictSeen map[int]bool       // evictions already folded into the ledger
+	doneRanks map[int]bool       // workers that reported done
 }
 
 type ckptCollect struct {
 	blocks  []ArrayBlock
 	origins []int
+}
+
+// syncState tracks one master-mediated sync round: which live workers
+// have reported (and are parked awaiting release) and their collective
+// contributions.  A report implies every put/prepare the worker issued
+// this phase is acknowledged, so it doubles as the completion ack for
+// all chunks the ledger holds against that worker.
+type syncState struct {
+	kind     int
+	reported map[int]bool
+	vals     map[int][]float64
 }
 
 func newMaster(rt *runtime) *master {
@@ -37,6 +53,9 @@ func newMaster(rt *runtime) *master {
 		runs:      map[[2]int]*pardoRun{},
 		ckptSaves: map[int]*ckptCollect{},
 		ckptLoads: map[int][]int{},
+		syncs:     map[int]*syncState{},
+		evictSeen: map[int]bool{},
+		doneRanks: map[int]bool{},
 	}
 }
 
@@ -54,6 +73,12 @@ type pardoRun struct {
 	totalEst   int64 // product of ranges (upper bound; where clauses shrink it)
 	issued     int64
 	emptyPolls int // workers that have received a final empty chunk
+
+	// Recovery ledger (Config.Recover): iterations handed to each worker
+	// and not yet acknowledged by that worker's next sync report, plus
+	// iterations reclaimed from dead workers awaiting re-dispatch.
+	assigned map[int][][]int
+	requeue  [][]int
 }
 
 func newPardoRun(rt *runtime, pid int) *pardoRun {
@@ -133,6 +158,32 @@ func (r *pardoRun) next(n int) [][]int {
 	return out
 }
 
+// take returns up to n iterations for worker wr, serving iterations
+// reclaimed from dead workers before fresh ones.  Under recovery every
+// handout is recorded in the ledger until wr acknowledges it at its
+// next sync point; without recovery it is exactly next().
+func (r *pardoRun) take(n, wr int, rec bool, redispatched *obs.Counter) [][]int {
+	var out [][]int
+	if len(r.requeue) > 0 {
+		if len(r.requeue) <= n {
+			out, r.requeue = r.requeue, nil
+		} else {
+			out = r.requeue[:n:n]
+			r.requeue = r.requeue[n:]
+		}
+		redispatched.Inc()
+	} else {
+		out = r.next(n)
+	}
+	if rec && len(out) > 0 {
+		if r.assigned == nil {
+			r.assigned = map[int][][]int{}
+		}
+		r.assigned[wr] = append(r.assigned[wr], out...)
+	}
+	return out
+}
+
 // chunkSize implements guided self-scheduling: chunks shrink as the
 // remaining work shrinks ("The chunk size decreases as the computation
 // proceeds.  This is similar to ... guided scheduling in OpenMP",
@@ -156,29 +207,59 @@ func (r *pardoRun) chunkSize(workers int) int {
 // set it bounds the wait: when every retry expires without traffic the
 // master diagnoses the stall (blaming a rank from suspects, the ranks
 // it is still waiting on), fails the world, and returns the failure
-// instead of hanging forever on a crashed rank.
-func (m *master) recvAny(tag int, what string, suspects func() []int) (mpi.Message, error) {
+// instead of hanging forever on a crashed rank.  Under Config.Recover
+// it instead returns ok == false whenever the membership changed (so
+// the caller can fold evictions into the ledger and re-check what it
+// is waiting for), and a stall blamed on an evictable rank evicts that
+// rank rather than failing the world.
+func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.Message, ok bool, err error) {
 	d := m.rt.cfg.RecvTimeout
+	w := m.rt.world
+	if m.rt.cfg.Recover {
+		stamp := w.EvictStamp()
+		cancel := func() bool { return w.EvictStamp() != stamp }
+		attempts := 1 + m.rt.cfg.RecvRetries
+		for i := 0; i < attempts; i++ {
+			if msg, ok = m.comm.RecvUntil(mpi.AnySource, tag, d, cancel); ok {
+				return msg, true, nil
+			}
+			if cancel() || d <= 0 {
+				return mpi.Message{}, false, nil
+			}
+		}
+		total := time.Duration(attempts) * d
+		for _, r := range suspects() {
+			if w.Evictable(r) {
+				w.Evict(r, fmt.Sprintf("master heard no %s from it within %v", what, total))
+				return mpi.Message{}, false, nil
+			}
+		}
+		// Fall through to the fail-fast diagnosis below: the stall is on
+		// a critical rank (or nobody), so degraded completion is off the
+		// table.
+	}
 	if d <= 0 {
-		return m.comm.Recv(mpi.AnySource, tag), nil
+		return m.comm.Recv(mpi.AnySource, tag), true, nil
 	}
 	attempts := 1 + m.rt.cfg.RecvRetries
-	for i := 0; i < attempts; i++ {
-		if msg, ok := m.comm.RecvTimeout(mpi.AnySource, tag, d); ok {
-			return msg, nil
+	if !m.rt.cfg.Recover { // recover already spent its attempts above
+		for i := 0; i < attempts; i++ {
+			if msg, ok := m.comm.RecvTimeout(mpi.AnySource, tag, d); ok {
+				return msg, true, nil
+			}
 		}
 	}
 	total := time.Duration(attempts) * d
 	waiting := suspects()
 	if len(waiting) == 0 {
-		return mpi.Message{}, fmt.Errorf("sip: master: no %s within %v", what, total)
+		return mpi.Message{}, false, fmt.Errorf("sip: master: no %s within %v", what, total)
 	}
 	rf := &mpi.RankFailure{
 		Rank:   waiting[0],
 		Reason: fmt.Sprintf("master heard no %s within %v (still waiting on ranks %v)", what, total, waiting),
 	}
 	m.rt.world.Fail(rf.Rank, rf.Reason)
-	return mpi.Message{}, rf
+	return mpi.Message{}, false, rf
 }
 
 // relayErr rebuilds a failure reported over the done path.  When the
@@ -237,16 +318,25 @@ func (m *master) run() (res *Result, err error) {
 	trk := rt.tracer.Track(0, 0, "master", "dispatch")
 	chunkCtr := rt.metrics.Counter(metricMasterChunks)
 	iterCtr := rt.metrics.Counter(metricMasterIters)
+	redispCtr := rt.metrics.Counter(metricMasterRedispatched)
 	res = &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
 	var scalarVals []float64
+	scalarOrigin := -1
 	var workerErr error
-	doneRanks := map[int]bool{}
-	doneCount := 0
-	for doneCount < rt.workers {
-		msg, err := m.recvAny(mpi.AnyTag, "worker traffic", func() []int {
+	for m.pendingWorkers() > 0 {
+		if rt.cfg.Recover {
+			m.noteEvictions(trk)
+			if err := m.completeSyncRounds(redispCtr); err != nil {
+				return res, err
+			}
+			if m.pendingWorkers() == 0 {
+				break
+			}
+		}
+		msg, ok, err := m.recvAny(mpi.AnyTag, "worker traffic", func() []int {
 			var waiting []int
 			for wr := 1; wr <= rt.workers; wr++ {
-				if !doneRanks[wr] {
+				if !m.doneRanks[wr] && !rt.world.IsEvicted(wr) {
 					waiting = append(waiting, wr)
 				}
 			}
@@ -254,6 +344,9 @@ func (m *master) run() (res *Result, err error) {
 		})
 		if err != nil {
 			return res, err
+		}
+		if !ok {
+			continue // membership changed; re-check the ledger
 		}
 		switch msg.Tag {
 		case tagChunkReq:
@@ -268,10 +361,13 @@ func (m *master) run() (res *Result, err error) {
 				r = newPardoRun(rt, req.pardo)
 				m.runs[key] = r
 			}
-			iters := r.next(r.chunkSize(rt.workers))
+			iters := r.take(r.chunkSize(rt.workers), req.origin, rt.cfg.Recover, redispCtr)
 			if len(iters) == 0 {
 				r.emptyPolls++
-				if r.emptyPolls == rt.workers {
+				// Under recovery the run must survive until the next sync
+				// round seals the phase: a worker may still die holding
+				// iterations that need re-queuing here.
+				if r.emptyPolls >= rt.workers && !rt.cfg.Recover {
 					delete(m.runs, key) // every worker has drained this run
 				}
 			}
@@ -287,6 +383,8 @@ func (m *master) run() (res *Result, err error) {
 			if err := m.handleCkpt(req); err != nil {
 				return res, err
 			}
+		case tagSync:
+			m.handleSync(msg.Data.(syncMsg))
 		case tagGather:
 			g := msg.Data.(gatherMsg)
 			m.recordGather(res.Arrays, g)
@@ -303,10 +401,10 @@ func (m *master) run() (res *Result, err error) {
 				}
 				break
 			}
-			doneRanks[done.origin] = true
-			doneCount++
-			if done.scalars != nil {
+			m.doneRanks[done.origin] = true
+			if done.scalars != nil && (scalarOrigin < 0 || done.origin < scalarOrigin) {
 				scalarVals = done.scalars
+				scalarOrigin = done.origin
 			}
 			workerErr = m.recordRelay(workerErr, done)
 			if trk != nil {
@@ -323,8 +421,8 @@ func (m *master) run() (res *Result, err error) {
 	}
 	if rt.cfg.GatherArrays {
 		gathered := map[int]bool{}
-		for s := 0; s < rt.servers; s++ {
-			msg, err := m.recvAny(tagGather, "server gather", func() []int {
+		for len(gathered) < rt.servers {
+			msg, ok, err := m.recvAny(tagGather, "server gather", func() []int {
 				var waiting []int
 				for i := 0; i < rt.servers; i++ {
 					if sr := 1 + rt.workers + i; !gathered[sr] {
@@ -335,6 +433,9 @@ func (m *master) run() (res *Result, err error) {
 			})
 			if err != nil {
 				return res, err
+			}
+			if !ok {
+				continue // a late worker eviction; servers are unaffected
 			}
 			g := msg.Data.(gatherMsg)
 			gathered[g.origin] = true
@@ -357,14 +458,228 @@ func (m *master) recordGather(dst map[string][]ArrayBlock, g gatherMsg) {
 	}
 }
 
+// pendingWorkers counts workers the master still owes a completion:
+// alive and not yet done.  Without recovery no rank is ever evicted, so
+// this is exactly the old "all workers reported done" condition.
+func (m *master) pendingWorkers() int {
+	n := 0
+	for wr := 1; wr <= m.rt.workers; wr++ {
+		if !m.doneRanks[wr] && !m.rt.world.IsEvicted(wr) {
+			n++
+		}
+	}
+	return n
+}
+
+// liveWorkers counts workers not evicted from the world.
+func (m *master) liveWorkers() int {
+	n := 0
+	for wr := 1; wr <= m.rt.workers; wr++ {
+		if !m.rt.world.IsEvicted(wr) {
+			n++
+		}
+	}
+	return n
+}
+
+// noteEvictions folds newly evicted workers into the scheduler state:
+// their unacknowledged iterations go back on the re-dispatch queue,
+// sync rounds stop waiting for them, and checkpoint collections that
+// were only missing their contribution are completed against the
+// reduced worker count.
+func (m *master) noteEvictions(trk *obs.Track) {
+	evicted := m.rt.world.Evicted()
+	for rank := 1; rank <= m.rt.workers; rank++ {
+		if _, dead := evicted[rank]; !dead || m.evictSeen[rank] {
+			continue
+		}
+		m.evictSeen[rank] = true
+		m.rt.metrics.Counter(metricFaultRankEvicted).Inc()
+		m.rt.metrics.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankEvicted, rank)).Inc()
+		if trk != nil {
+			trk.Instant(obs.CatChunk, "worker_evicted", obs.AInt("rank", rank))
+		}
+		if m.doneRanks[rank] {
+			continue // finished before dying: nothing in flight
+		}
+		// Reclaim every iteration the worker had not acknowledged.
+		for _, r := range m.runs {
+			if iters := r.assigned[rank]; len(iters) > 0 {
+				r.requeue = append(r.requeue, iters...)
+				delete(r.assigned, rank)
+			}
+		}
+		// Checkpoint collections no longer wait for the dead worker.
+		for arr := range m.ckptSaves {
+			m.maybeFinishCkptSave(arr)
+		}
+		for arr := range m.ckptLoads {
+			m.maybeFinishCkptLoad(arr)
+		}
+	}
+}
+
+// handleSync records a worker's arrival at a sync point.  The report
+// doubles as the completion ack for everything the ledger holds against
+// that worker: by protocol it is sent only after all of the worker's
+// put/prepare traffic has been acknowledged.
+func (m *master) handleSync(req syncMsg) {
+	if m.rt.world.IsEvicted(req.origin) {
+		return
+	}
+	s := m.syncs[req.round]
+	if s == nil {
+		s = &syncState{reported: map[int]bool{}, vals: map[int][]float64{}}
+		m.syncs[req.round] = s
+	}
+	s.kind = req.kind
+	s.reported[req.origin] = true
+	s.vals[req.origin] = req.vals
+	for _, r := range m.runs {
+		delete(r.assigned, req.origin)
+	}
+}
+
+// completeSyncRounds closes any sync round every live worker has
+// reached.  If dead workers left re-queued iterations behind, parked
+// survivors are first ordered to replay them (and re-report); once the
+// queues are dry the master performs the round's coordination — server
+// flush for server_barrier, element-wise sum for collectives — releases
+// everyone, and seals the phase's pardo runs.
+func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
+	rt := m.rt
+	for round, s := range m.syncs {
+		var parked []int
+		complete := true
+		for wr := 1; wr <= rt.workers; wr++ {
+			if rt.world.IsEvicted(wr) || m.doneRanks[wr] {
+				continue
+			}
+			if !s.reported[wr] {
+				complete = false
+				break
+			}
+			parked = append(parked, wr)
+		}
+		if !complete || len(parked) == 0 {
+			continue
+		}
+		if m.resumeRequeued(round, s, parked, redispCtr) {
+			continue // survivors are replaying; they will re-report
+		}
+		var vals []float64
+		if s.kind == syncCollective {
+			// Sum over every report, including workers that reported and
+			// then died: their report covered work that is not replayed.
+			for _, v := range s.vals {
+				for len(vals) < len(v) {
+					vals = append(vals, 0)
+				}
+				for i := range v {
+					vals[i] += v[i]
+				}
+			}
+		}
+		if s.kind == syncServerBarrier {
+			if err := m.flushServers(); err != nil {
+				return err
+			}
+		}
+		for _, wr := range parked {
+			m.comm.Send(wr, tagSyncRep, syncReply{round: round, vals: vals})
+		}
+		delete(m.syncs, round)
+		// Seal the phase: every run's iterations are executed and acked.
+		for key := range m.runs {
+			delete(m.runs, key)
+		}
+	}
+	return nil
+}
+
+// resumeRequeued hands re-queued iterations of one pardo run to the
+// parked survivors and reports whether any were dispatched.  Each
+// ordered worker replays its share and re-reports the round, so the
+// round stays open until every queue is dry.
+func (m *master) resumeRequeued(round int, s *syncState, parked []int, redispCtr *obs.Counter) bool {
+	for key, r := range m.runs {
+		if len(r.requeue) == 0 {
+			continue
+		}
+		n := len(r.requeue)
+		per := (n + len(parked) - 1) / len(parked)
+		i := 0
+		for _, wr := range parked {
+			if i >= n {
+				break
+			}
+			hi := i + per
+			if hi > n {
+				hi = n
+			}
+			iters := r.requeue[i:hi:hi]
+			i = hi
+			if r.assigned == nil {
+				r.assigned = map[int][][]int{}
+			}
+			r.assigned[wr] = append(r.assigned[wr], iters...)
+			s.reported[wr] = false
+			delete(s.vals, wr)
+			m.comm.Send(wr, tagSyncRep, syncReply{
+				round: round, resume: true, pardo: key[0], gen: key[1], iters: iters,
+			})
+			redispCtr.Inc()
+		}
+		r.requeue = nil
+		return true // one run at a time; the re-reports trigger the next
+	}
+	return false
+}
+
+// flushServers performs the server_barrier flush on the workers'
+// behalf: with every live worker parked at the sync round there is no
+// competing traffic, so the master simply asks each server to flush and
+// waits for the acks.  Servers are critical ranks — a missing ack is a
+// fatal failure, never an eviction.
+func (m *master) flushServers() error {
+	rt := m.rt
+	for si := 0; si < rt.servers; si++ {
+		m.comm.Send(1+rt.workers+si, tagServer, flushMsg{origin: 0})
+	}
+	for si := 0; si < rt.servers; si++ {
+		sr := 1 + rt.workers + si
+		d := rt.cfg.RecvTimeout
+		if d <= 0 {
+			m.comm.Recv(sr, tagFlushAck)
+			continue
+		}
+		attempts := 1 + rt.cfg.RecvRetries
+		got := false
+		for i := 0; i < attempts && !got; i++ {
+			_, got = m.comm.RecvTimeout(sr, tagFlushAck, d)
+		}
+		if !got {
+			rf := &mpi.RankFailure{
+				Rank:   sr,
+				Reason: fmt.Sprintf("no flush ack within %v", time.Duration(attempts)*d),
+			}
+			rt.world.Fail(rf.Rank, rf.Reason)
+			return rf
+		}
+	}
+	return nil
+}
+
 // ckptPath returns the checkpoint file for an array.
 func (m *master) ckptPath(arr int) string {
 	return filepath.Join(m.rt.scratch, fmt.Sprintf("ckpt_%s.gob", m.rt.prog.Arrays[arr].Name))
 }
 
 // handleCkpt advances the blocks_to_list / list_to_blocks protocols.
+// Collections complete once every live worker has contributed; under
+// recovery noteEvictions re-checks pending collections when the live
+// count drops.
 func (m *master) handleCkpt(req ckptMsg) error {
-	rt := m.rt
 	switch req.op {
 	case ckptSave:
 		col := m.ckptSaves[req.arr]
@@ -374,54 +689,83 @@ func (m *master) handleCkpt(req ckptMsg) error {
 		}
 		col.blocks = append(col.blocks, req.blocks...)
 		col.origins = append(col.origins, req.origin)
-		if len(col.origins) < rt.workers {
-			return nil
-		}
-		delete(m.ckptSaves, req.arr)
-		f, err := os.Create(m.ckptPath(req.arr))
-		if err == nil {
-			err = gob.NewEncoder(f).Encode(col.blocks)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		ack := ""
-		if err != nil {
-			ack = err.Error()
-		}
-		for _, origin := range col.origins {
-			m.comm.Send(origin, tagCkpt, ack)
-		}
+		m.maybeFinishCkptSave(req.arr)
 		return nil
 	case ckptLoad:
 		m.ckptLoads[req.arr] = append(m.ckptLoads[req.arr], req.origin)
-		if len(m.ckptLoads[req.arr]) < rt.workers {
-			return nil
-		}
-		origins := m.ckptLoads[req.arr]
-		delete(m.ckptLoads, req.arr)
-		var blocks []ArrayBlock
-		f, err := os.Open(m.ckptPath(req.arr))
-		if err == nil {
-			err = gob.NewDecoder(f).Decode(&blocks)
-			f.Close()
-		}
-		if err != nil {
-			for _, origin := range origins {
-				m.comm.Send(origin, tagCkpt, err.Error())
-			}
-			return nil
-		}
-		// Partition blocks by home worker.
-		perWorker := map[int][]ArrayBlock{}
-		for _, ab := range blocks {
-			home := rt.homeWorker(req.arr, ab.Ord)
-			perWorker[home] = append(perWorker[home], ab)
-		}
-		for _, origin := range origins {
-			m.comm.Send(origin, tagCkpt, ckptData{arr: req.arr, blocks: perWorker[origin]})
-		}
+		m.maybeFinishCkptLoad(req.arr)
 		return nil
 	}
 	return fmt.Errorf("sip: master: unknown checkpoint op %d", req.op)
+}
+
+// writeCkptFile writes a checkpoint atomically: encode into a temp file
+// in the same directory, fsync, then rename over the final name, so a
+// crash mid-write leaves either the old checkpoint or the new one but
+// never a torn file.
+func writeCkptFile(path string, blocks []ArrayBlock) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = gob.NewEncoder(f).Encode(blocks)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+func (m *master) maybeFinishCkptSave(arr int) {
+	col := m.ckptSaves[arr]
+	if col == nil || len(col.origins) < m.liveWorkers() {
+		return
+	}
+	delete(m.ckptSaves, arr)
+	ack := ""
+	if err := writeCkptFile(m.ckptPath(arr), col.blocks); err != nil {
+		ack = err.Error()
+	}
+	for _, origin := range col.origins {
+		m.comm.Send(origin, tagCkpt, ack)
+	}
+}
+
+func (m *master) maybeFinishCkptLoad(arr int) {
+	rt := m.rt
+	origins := m.ckptLoads[arr]
+	if len(origins) < m.liveWorkers() {
+		return
+	}
+	delete(m.ckptLoads, arr)
+	var blocks []ArrayBlock
+	f, err := os.Open(m.ckptPath(arr))
+	if err == nil {
+		err = gob.NewDecoder(f).Decode(&blocks)
+		f.Close()
+	}
+	if err != nil {
+		for _, origin := range origins {
+			m.comm.Send(origin, tagCkpt, err.Error())
+		}
+		return
+	}
+	// Partition blocks by home worker.
+	perWorker := map[int][]ArrayBlock{}
+	for _, ab := range blocks {
+		home := rt.homeWorker(arr, ab.Ord)
+		perWorker[home] = append(perWorker[home], ab)
+	}
+	for _, origin := range origins {
+		m.comm.Send(origin, tagCkpt, ckptData{arr: arr, blocks: perWorker[origin]})
+	}
 }

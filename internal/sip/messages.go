@@ -13,13 +13,20 @@ type getMsg struct {
 // putMsg delivers a block to its home (distributed arrays) or its server
 // (served arrays).  acc selects atomic accumulate.  needAck requests a
 // tagPutAck / tagPrepAck so the origin can drain outstanding writes at
-// barriers.
+// barriers.  seq, when non-zero, is a deterministic effect id (hash of
+// pardo, generation, iteration, and per-iteration effect ordinal) the
+// destination uses to deduplicate replayed iterations under recovery:
+// a second put with a seen seq is acknowledged but not applied, so
+// accumulates land at-most-once.  The id is origin-independent — a
+// survivor replaying a dead worker's iteration regenerates the same
+// seq the dead worker may already have delivered.
 type putMsg struct {
 	key     blockKey
 	b       *block.Block
 	acc     bool
 	origin  int
 	needAck bool
+	seq     uint64
 }
 
 // flushMsg asks an I/O server to write all dirty cached blocks to disk
@@ -95,4 +102,41 @@ type ckptData struct {
 type gatherMsg struct {
 	origin int
 	arrays map[int][]ArrayBlock // array id -> blocks
+}
+
+// Sync-point kinds carried by syncMsg under recovery.  Each kind maps
+// to one program construct whose global coordination the master
+// mediates when Config.Recover is on.
+const (
+	syncBarrier       = iota // sip_barrier / initial startup barrier
+	syncServerBarrier        // server_barrier (master flushes the servers)
+	syncCollective           // collective: vals[0] is the scalar contribution
+	syncCkpt                 // blocks_to_list / list_to_blocks rendezvous
+)
+
+// syncMsg reports that a worker reached sync point round (a worker's
+// rounds are numbered consecutively; all workers pass the same sync
+// points in the same order, so equal round numbers are the same program
+// point).  Sending it implies every put/prepare the worker issued
+// before the sync point has been acknowledged — the report is the
+// completion ack for all chunks the worker executed this phase.
+type syncMsg struct {
+	origin int
+	round  int
+	kind   int
+	vals   []float64 // collective contributions (nil otherwise)
+}
+
+// syncReply releases a worker from a sync point (resume == false; for
+// collectives vals carries the reduced results) or orders it to replay
+// re-dispatched iterations of a dead worker first (resume == true:
+// iters lists the iterations of pardo/gen to execute, after which the
+// worker re-reports the same round).
+type syncReply struct {
+	round  int
+	resume bool
+	pardo  int
+	gen    int
+	iters  [][]int
+	vals   []float64
 }

@@ -32,6 +32,13 @@ const (
 	// fault.<kind>.peer<N> (see FaultEvents) and liveness detections as
 	// fault.rank_down.rank<N> (wired by cmd/sial).
 	metricFaultRankFailure = "fault.rank_failure"
+	// Recovery (Config.Recover): ranks evicted from the world (plus a
+	// .rank<N> breakdown), pardo iterations the master re-dispatched
+	// from a dead worker to survivors, and replayed put/prepare effects
+	// the destinations dropped as already applied.
+	metricFaultRankEvicted    = "fault.rank_evicted"
+	metricMasterRedispatched  = "sip.master.chunks_redispatched"
+	metricDedupDroppedEffects = "sip.dedup.dropped"
 )
 
 // tagNames labels the fixed message tags for per-tag metrics; block
@@ -47,6 +54,8 @@ var tagNames = [...]string{
 	tagDone:     "done",
 	tagCkpt:     "ckpt",
 	tagGather:   "gather",
+	tagSync:     "sync",
+	tagSyncRep:  "sync_rep",
 }
 
 const replyTagSlot = len(tagNames) // index for the shared block-reply label
@@ -107,7 +116,7 @@ func msgBytes(data any) int64 {
 	case *block.Block:
 		return envelope + 8*int64(v.Size())
 	case putMsg:
-		n := int64(envelope + 32)
+		n := int64(envelope + 40) // key, flags, origin, seq
 		if v.b != nil {
 			n += 8 * int64(v.b.Size())
 		}
@@ -144,6 +153,14 @@ func msgBytes(data any) int64 {
 		return n
 	case doneMsg:
 		return envelope + 16 + 8*int64(len(v.scalars)) + int64(len(v.err))
+	case syncMsg:
+		return envelope + 24 + 8*int64(len(v.vals))
+	case syncReply:
+		n := int64(envelope+32) + 8*int64(len(v.vals))
+		for _, it := range v.iters {
+			n += 8 * int64(len(it))
+		}
+		return n
 	default:
 		return envelope
 	}

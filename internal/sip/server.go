@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/block"
@@ -35,6 +36,12 @@ type ioServer struct {
 
 	hits, misses, diskReads, diskWrites int64
 
+	// seen deduplicates replayed prepare effects (Config.Recover): a put
+	// whose seq was already applied is acknowledged but not re-applied,
+	// so accumulates land at-most-once across chunk re-execution.
+	seen    map[uint64]bool
+	dropCtr *obs.Counter
+
 	trk *obs.Track // cache/disk span track; nil when tracing is off
 }
 
@@ -55,6 +62,8 @@ func newIOServer(rt *runtime, rank int) *ioServer {
 		lru:      list.New(),
 		onDisk:   map[blockKey]bool{},
 		dir:      filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
+		seen:     map[uint64]bool{},
+		dropCtr:  rt.metrics.Counter(metricDedupDroppedEffects),
 		trk:      rt.tracer.Track(rank, 0, fmt.Sprintf("server %d", rank), "cache"),
 	}
 }
@@ -94,6 +103,9 @@ func (s *ioServer) run() (err error) {
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return fmt.Errorf("sip: server %d: scratch dir: %w", s.rank, err)
 	}
+	if err := s.scanDisk(); err != nil {
+		return err
+	}
 	if err := s.installPresets(); err != nil {
 		return err
 	}
@@ -119,8 +131,15 @@ func (s *ioServer) run() (err error) {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			if err := s.apply(msg.key, msg.b, msg.acc); err != nil {
-				return err
+			if msg.seq != 0 && s.seen[msg.seq] {
+				s.dropCtr.Inc() // replayed effect: already applied
+			} else {
+				if err := s.apply(msg.key, msg.b, msg.acc); err != nil {
+					return err
+				}
+				if msg.seq != 0 {
+					s.seen[msg.seq] = true
+				}
 			}
 			if msg.needAck {
 				s.comm.Send(msg.origin, tagPrepAck, ackMsg{})
@@ -299,7 +318,38 @@ func (s *ioServer) gather() (map[int][]ArrayBlock, error) {
 	return out, nil
 }
 
-// writeDisk persists one block as raw little-endian float64s.
+// scanDisk rebuilds the on-disk index from block files left by a
+// previous incarnation of this server in the same scratch dir, so a
+// restarted run can serve durable blocks it did not write itself.
+// Leftover temp files from interrupted atomic writes are removed.
+func (s *ioServer) scanDisk() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("sip: server %d: scan scratch dir: %w", s.rank, err)
+	}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		var arr, ord int
+		if n, _ := fmt.Sscanf(name, "a%d_b%d.blk", &arr, &ord); n == 2 && filepath.Ext(name) == ".blk" {
+			if arr >= 0 && arr < len(s.rt.prog.Arrays) {
+				s.onDisk[blockKey{arr: arr, ord: ord}] = true
+			}
+			continue
+		}
+		if strings.Contains(name, ".blk.tmp") {
+			os.Remove(filepath.Join(s.dir, name)) // torn atomic write
+		}
+	}
+	return nil
+}
+
+// writeDisk persists one block as raw little-endian float64s.  The
+// write is atomic — temp file in the same dir, fsync, rename — so a
+// server killed mid-write leaves either the old block or the new one,
+// never a torn file.
 func (s *ioServer) writeDisk(k blockKey, b *block.Block) error {
 	var start time.Time
 	if s.trk != nil {
@@ -310,7 +360,25 @@ func (s *ioServer) writeDisk(k blockKey, b *block.Block) error {
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
-	if err := os.WriteFile(s.blockPath(k), buf, 0o644); err != nil {
+	path := s.blockPath(k)
+	f, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp*")
+	if err == nil {
+		tmp := f.Name()
+		_, err = f.Write(buf)
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}
+	if err != nil {
 		return fmt.Errorf("sip: server %d: write block %v: %w", s.rank, k, err)
 	}
 	s.onDisk[k] = true

@@ -51,6 +51,8 @@ const (
 	tagDone      = 8  // worker -> master: reached halt
 	tagCkpt      = 9  // worker <-> master: checkpoint traffic
 	tagGather    = 10 // worker/server -> master: final array gather
+	tagSync      = 11 // worker -> master: recovery sync-point report
+	tagSyncRep   = 12 // master -> worker: sync-point release / replay order
 	tagReplyBase = 1 << 16
 )
 
@@ -149,6 +151,18 @@ type Config struct {
 	// first before a receive is declared failed (default 2, so a receive
 	// waits 3*RecvTimeout in total).  Negative means no retries.
 	RecvRetries int
+	// Recover turns a diagnosed worker-rank death into a degraded
+	// completion instead of an abort: the dead worker is evicted from
+	// the world, the master re-dispatches its unacknowledged pardo
+	// iterations to the survivors, replayed side effects are
+	// deduplicated at their destinations, and sync points (barriers,
+	// collectives, checkpoints) are mediated by the master over the
+	// live workers.  Master or I/O-server death remains fatal, and
+	// blocks of *distributed* (worker-homed) arrays on the dead worker
+	// are lost — recovery is exact for programs that stage mutable
+	// state through served arrays and scalars (see docs/FAULTS.md,
+	// "Recovery").  Off by default: PR 3's fail-fast diagnosis.
+	Recover bool
 }
 
 func (c *Config) fill() error {
@@ -304,6 +318,17 @@ func (rt *runtime) workerRanks() []int {
 	return ranks
 }
 
+// criticalRanks returns the ranks whose death recovery cannot survive:
+// the master (sole scheduler) and the I/O servers (sole holders of
+// served-array state).
+func (rt *runtime) criticalRanks() []int {
+	ranks := []int{0}
+	for s := 0; s < rt.servers; s++ {
+		ranks = append(ranks, 1+rt.workers+s)
+	}
+	return ranks
+}
+
 // homeWorker returns the world rank of the worker that owns block ord of
 // array arr.
 func (rt *runtime) homeWorker(arr, ord int) int {
@@ -359,6 +384,9 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 		scratch: scratch,
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
+	}
+	if cfg.Recover {
+		rt.world.SetRecover(rt.criticalRanks()...)
 	}
 	rt.workerGroup = rt.world.Comm(1).GroupOf(rt.workerRanks()...)
 	if cfg.Metrics != nil {

@@ -21,6 +21,8 @@ const (
 	wireIDCkptData
 	wireIDGatherMsg
 	wireIDAckMsg
+	wireIDSyncMsg
+	wireIDSyncReply
 )
 
 func encodeKey(e *wire.Encoder, k blockKey) {
@@ -72,13 +74,14 @@ func init() {
 			e.Bool(m.acc)
 			e.Int(m.origin)
 			e.Bool(m.needAck)
+			e.Uvarint(m.seq)
 			e.Bool(m.b != nil)
 			if m.b != nil {
 				m.b.EncodeWire(e)
 			}
 		},
 		func(d *wire.Decoder) putMsg {
-			m := putMsg{key: decodeKey(d), acc: d.Bool(), origin: d.Int(), needAck: d.Bool()}
+			m := putMsg{key: decodeKey(d), acc: d.Bool(), origin: d.Int(), needAck: d.Bool(), seq: d.Uvarint()}
 			if d.Bool() {
 				m.b = block.DecodeWire(d)
 			}
@@ -163,4 +166,27 @@ func init() {
 	wire.Register(wireIDAckMsg,
 		func(e *wire.Encoder, m ackMsg) {},
 		func(d *wire.Decoder) ackMsg { return ackMsg{} })
+	wire.Register(wireIDSyncMsg,
+		func(e *wire.Encoder, m syncMsg) {
+			e.Int(m.origin)
+			e.Int(m.round)
+			e.Int(m.kind)
+			e.Float64s(m.vals)
+		},
+		func(d *wire.Decoder) syncMsg {
+			return syncMsg{origin: d.Int(), round: d.Int(), kind: d.Int(), vals: d.Float64s()}
+		})
+	wire.Register(wireIDSyncReply,
+		func(e *wire.Encoder, m syncReply) {
+			e.Int(m.round)
+			e.Bool(m.resume)
+			e.Int(m.pardo)
+			e.Int(m.gen)
+			e.IntSlices(m.iters)
+			e.Float64s(m.vals)
+		},
+		func(d *wire.Decoder) syncReply {
+			return syncReply{round: d.Int(), resume: d.Bool(), pardo: d.Int(),
+				gen: d.Int(), iters: d.IntSlices(), vals: d.Float64s()}
+		})
 }

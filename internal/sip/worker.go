@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -29,10 +30,12 @@ type frame struct {
 	startPC int // pc of the loop-start instruction
 
 	// pardo state
-	pid    int
-	chunk  [][]int
-	pos    int
-	exitPC int
+	pid     int
+	chunk   [][]int
+	pos     int
+	exitPC  int
+	replay  bool // re-executing a dead worker's iterations (Config.Recover)
+	effectN int  // per-iteration put/prepare ordinal for dedup seqs
 
 	// call state
 	retPC  int
@@ -68,6 +71,20 @@ type worker struct {
 	pendingPrepAcks int
 	nextReply       int
 
+	// Recovery state (Config.Recover).  syncRound numbers this worker's
+	// master-mediated sync points (all workers pass the same ones in the
+	// same order).  pardoPCs records each pardo's start pc so replayed
+	// iterations can re-enter the body.  owedPutAcks tracks outstanding
+	// put acks per destination so acks owed by a dead home can be
+	// forgotten.  seenPuts deduplicates replayed put effects against this
+	// worker's partition; it is shared with the service loop (seenMu).
+	syncRound   int
+	pardoPCs    []int
+	owedPutAcks map[int]int
+	seenMu      sync.Mutex
+	seenPuts    map[uint64]bool
+	dropCtr     *obs.Counter
+
 	// pardoGen counts executions of each pardo so the master can keep
 	// scheduling state per execution (a pardo inside a do loop runs many
 	// times; all workers execute the surrounding control flow
@@ -100,8 +117,14 @@ func newWorker(rt *runtime, rank int) *worker {
 		cache:    newBlockCache(rt.cfg.CacheBlocks),
 		pool:     newBlockPool(),
 		pardoGen: make([]int, len(rt.prog.Pardos)),
+		pardoPCs: make([]int, len(rt.prog.Pardos)),
 		prof:     newProfile(rt.prog),
 	}
+	if rt.cfg.Recover {
+		w.owedPutAcks = map[int]int{}
+		w.seenPuts = map[uint64]bool{}
+	}
+	w.dropCtr = rt.metrics.Counter(metricDedupDroppedEffects)
 	for i, s := range rt.prog.Scalars {
 		w.scalars[i] = s.Init
 	}
@@ -201,7 +224,13 @@ func (w *worker) run() (err error) {
 		return err
 	}
 	// All homes are initialized before anyone can fetch.
-	w.rt.workerGroup.Barrier()
+	if w.rt.cfg.Recover {
+		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+			return err
+		}
+	} else {
+		w.rt.workerGroup.Barrier()
+	}
 
 	code := w.rt.prog.Code
 	for {
@@ -225,13 +254,21 @@ func (w *worker) run() (err error) {
 // until the master has heard from every worker, so late get/put requests
 // from stragglers are still answered; the master shuts them down.
 func (w *worker) shutdown() error {
-	if err := w.drainPutAcks(); err != nil {
-		return err
+	if w.rt.cfg.Recover {
+		// The final sync round: any iterations a freshly dead worker
+		// still held are replayed here before anyone reports done.
+		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+			return err
+		}
+	} else {
+		if err := w.drainPutAcks(); err != nil {
+			return err
+		}
+		if err := w.drainPrepAcks(); err != nil {
+			return err
+		}
+		w.rt.workerGroup.Barrier()
 	}
-	if err := w.drainPrepAcks(); err != nil {
-		return err
-	}
-	w.rt.workerGroup.Barrier()
 	if w.rt.cfg.GatherArrays {
 		arrays := map[int][]ArrayBlock{}
 		w.dist.each(func(k blockKey, b *block.Block) {
@@ -240,9 +277,11 @@ func (w *worker) shutdown() error {
 		w.comm.Send(0, tagGather, gatherMsg{origin: w.rank, arrays: arrays})
 	}
 	done := doneMsg{origin: w.rank, failRank: -1}
-	if w.rank == 1 {
+	if w.rank == 1 || w.rt.cfg.Recover {
 		// Collectives make scalars identical across workers; rank 1
 		// reports them so the master never shares memory with a worker.
+		// Under recovery every worker reports (rank 1 may be the dead
+		// one) and the master keeps the lowest-ranked survivor's values.
 		done.scalars = append([]float64(nil), w.scalars...)
 	}
 	w.comm.Send(0, tagDone, done)
@@ -362,6 +401,7 @@ func (w *worker) exec(in *bytecode.Instr) error {
 			w.frames = w.frames[:len(w.frames)-1]
 		}
 	case bytecode.OpPardoStart:
+		w.pardoPCs[in.A] = w.pc // all workers pass here; replay re-enters at pc+1
 		gen := w.pardoGen[in.A]
 		w.pardoGen[in.A]++
 		f := frame{kind: framePardo, pid: in.A, cur: gen, startPC: w.pc, exitPC: in.C, started: time.Now()}
@@ -382,12 +422,17 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		w.clearTemps()
 		f.pos++
 		f.iters++
+		f.effectN = 0
 		if f.pos >= len(f.chunk) {
-			chunk, err := w.fetchChunk(f.pid, f.cur)
-			if err != nil {
-				return err
+			if f.replay {
+				f.chunk = nil // replay runs exactly the ordered iterations
+			} else {
+				chunk, err := w.fetchChunk(f.pid, f.cur)
+				if err != nil {
+					return err
+				}
+				f.chunk = chunk
 			}
-			f.chunk = chunk
 			f.pos = 0
 		}
 		if len(f.chunk) > 0 {
@@ -548,6 +593,18 @@ func (w *worker) exec(in *bytecode.Instr) error {
 			return err
 		}
 	case bytecode.OpCollective:
+		if w.rt.cfg.Recover {
+			vals, err := w.masterSync(syncCollective, func() []float64 {
+				return []float64{w.scalars[in.A]}
+			})
+			if err != nil {
+				return err
+			}
+			if len(vals) > 0 {
+				w.scalars[in.A] = vals[0]
+			}
+			break
+		}
 		if err := w.drainPutAcks(); err != nil {
 			return err
 		}
@@ -1043,17 +1100,26 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 		w.trk.Instant(obs.CatPut, "put_issued",
 			obs.A("block", loc.key.String()), obs.AInt("bytes", 8*payload.Size()))
 	}
+	seq := w.effectSeq()
 	if arr.Kind == bytecode.ArrayServed {
 		home := w.rt.homeServer(dst.Arr, loc.key.ord)
-		w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true})
+		w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
 		w.pendingPrepAcks++
 	} else {
 		home := w.rt.homeWorker(dst.Arr, loc.key.ord)
-		if home == w.rank {
-			w.dist.put(loc.key, payload, acc)
-		} else {
-			w.comm.Send(home, tagService, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true})
+		switch {
+		case home == w.rank:
+			w.applyLocalPut(loc.key, payload, acc, seq)
+		case w.rt.world.IsEvicted(home):
+			// The home rank is gone and its partition with it; the block
+			// is unrecoverable (distributed arrays are not durable under
+			// recovery) — drop the put rather than wait on a dead rank.
+		default:
+			w.comm.Send(home, tagService, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
 			w.pendingPutAcks++
+			if w.owedPutAcks != nil {
+				w.owedPutAcks[home]++
+			}
 		}
 	}
 	// Drop any stale cached copy of the block we just overwrote.
@@ -1122,16 +1188,83 @@ func (w *worker) doExecute(in *bytecode.Instr) error {
 }
 
 // drainPutAcks consumes acknowledgements for all outstanding distributed
-// puts.
+// puts.  Under recovery it additionally writes off acks owed by evicted
+// homes (they will never arrive; the blocks died with the rank) and
+// wakes on membership changes to re-check the ledger.
 func (w *worker) drainPutAcks() error {
-	for w.pendingPutAcks > 0 {
-		if _, err := w.recvTimed(mpi.AnySource, tagPutAck,
-			fmt.Sprintf("put ack (%d outstanding)", w.pendingPutAcks)); err != nil {
-			return err
+	if !w.rt.cfg.Recover {
+		for w.pendingPutAcks > 0 {
+			if _, err := w.recvTimed(mpi.AnySource, tagPutAck,
+				fmt.Sprintf("put ack (%d outstanding)", w.pendingPutAcks)); err != nil {
+				return err
+			}
+			w.pendingPutAcks--
 		}
-		w.pendingPutAcks--
+		return nil
 	}
+	world := w.rt.world
+	for w.pendingPutAcks > 0 {
+		for home, n := range w.owedPutAcks {
+			if world.IsEvicted(home) {
+				w.pendingPutAcks -= n
+				delete(w.owedPutAcks, home)
+			}
+		}
+		if w.pendingPutAcks <= 0 {
+			break
+		}
+		stamp := world.EvictStamp()
+		cancel := func() bool { return world.EvictStamp() != stamp }
+		d := w.rt.cfg.RecvTimeout
+		if d <= 0 {
+			if m, ok := w.comm.RecvUntil(mpi.AnySource, tagPutAck, 0, cancel); ok {
+				w.notePutAck(m.Source)
+			}
+			continue
+		}
+		attempts := 1 + w.rt.cfg.RecvRetries
+		timedOut := true
+		for i := 0; i < attempts; i++ {
+			m, ok := w.comm.RecvUntil(mpi.AnySource, tagPutAck, d, cancel)
+			if ok {
+				w.notePutAck(m.Source)
+				timedOut = false
+				break
+			}
+			if cancel() {
+				timedOut = false // membership changed: re-check owed acks
+				break
+			}
+		}
+		if timedOut {
+			total := time.Duration(attempts) * d
+			for home, n := range w.owedPutAcks {
+				if n > 0 {
+					return &mpi.RankFailure{
+						Rank:   home,
+						Reason: fmt.Sprintf("worker %d heard no put ack within %v", w.rank, total),
+					}
+				}
+			}
+			return fmt.Errorf("sip: worker %d: no put ack within %v", w.rank, total)
+		}
+	}
+	w.pendingPutAcks = 0
 	return nil
+}
+
+// notePutAck folds one received put ack into the per-destination ledger,
+// ignoring stale acks from homes whose debt was already written off on
+// eviction (the ack was delivered before the firewall went up).
+func (w *worker) notePutAck(src int) {
+	if w.owedPutAcks[src] <= 0 {
+		return
+	}
+	w.owedPutAcks[src]--
+	if w.owedPutAcks[src] == 0 {
+		delete(w.owedPutAcks, src)
+	}
+	w.pendingPutAcks--
 }
 
 // drainPrepAcks consumes acknowledgements for all outstanding prepares.
@@ -1150,6 +1283,13 @@ func (w *worker) drainPrepAcks() error {
 // outstanding puts are applied, all workers rendezvous, and cached remote
 // blocks are invalidated so later gets see the new values.
 func (w *worker) sipBarrier() error {
+	if w.rt.cfg.Recover {
+		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+			return err
+		}
+		w.cache.invalidateAll()
+		return nil
+	}
 	if err := w.drainPutAcks(); err != nil {
 		return err
 	}
@@ -1161,6 +1301,15 @@ func (w *worker) sipBarrier() error {
 // serverBarrier separates conflicting accesses to served arrays: all
 // prepares applied, dirty server caches flushed, caches invalidated.
 func (w *worker) serverBarrier() error {
+	if w.rt.cfg.Recover {
+		// The master performs the flush itself once every live worker
+		// has reached (and, if needed, replayed past) this round.
+		if _, err := w.masterSync(syncServerBarrier, nil); err != nil {
+			return err
+		}
+		w.cache.invalidateAll()
+		return nil
+	}
 	if err := w.drainPrepAcks(); err != nil {
 		return err
 	}
@@ -1217,7 +1366,7 @@ func (w *worker) serviceLoop() {
 			if trk != nil {
 				start = time.Now()
 			}
-			w.dist.put(msg.key, msg.b, msg.acc)
+			w.applyLocalPut(msg.key, msg.b, msg.acc, msg.seq)
 			if msg.needAck {
 				w.comm.Send(msg.origin, tagPutAck, ackMsg{})
 			}
@@ -1239,7 +1388,9 @@ func (w *worker) checkpointSave(arrID int) error {
 	if err := w.drainPutAcks(); err != nil {
 		return err
 	}
-	w.rt.workerGroup.Barrier()
+	if err := w.ckptBarrier(); err != nil {
+		return err
+	}
 	var blocks []ArrayBlock
 	w.dist.each(func(k blockKey, b *block.Block) {
 		if k.arr == arrID {
@@ -1249,6 +1400,17 @@ func (w *worker) checkpointSave(arrID int) error {
 	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptSave, arr: arrID, blocks: blocks, origin: w.rank})
 	// Wait for the master's completion ack.
 	if _, err := w.recvTimed(0, tagCkpt, "checkpoint ack from the master"); err != nil {
+		return err
+	}
+	return w.ckptBarrier()
+}
+
+// ckptBarrier is the rendezvous around checkpoint operations: a plain
+// worker-group barrier, or a master-mediated sync round under recovery
+// (so a worker death during the checkpoint still resolves).
+func (w *worker) ckptBarrier() error {
+	if w.rt.cfg.Recover {
+		_, err := w.masterSync(syncCkpt, nil)
 		return err
 	}
 	w.rt.workerGroup.Barrier()
@@ -1263,7 +1425,9 @@ func (w *worker) checkpointLoad(arrID int) error {
 	if err := w.drainPutAcks(); err != nil {
 		return err
 	}
-	w.rt.workerGroup.Barrier()
+	if err := w.ckptBarrier(); err != nil {
+		return err
+	}
 	w.dist.deleteArray(arrID)
 	w.cache.invalidateAll()
 	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptLoad, arr: arrID, origin: w.rank})
@@ -1281,6 +1445,138 @@ func (w *worker) checkpointLoad(arrID int) error {
 			w.dist.put(blockKey{arrID, ab.Ord}, block.FromData(ab.Data, dims...), false)
 		}
 	}
-	w.rt.workerGroup.Barrier()
+	return w.ckptBarrier()
+}
+
+// masterSync reports this worker's arrival at a sync point and blocks
+// until the master releases it.  The report is sent only after every
+// outstanding put/prepare is acknowledged, so it doubles as the
+// completion ack for all chunks this worker executed this phase.  When
+// the master instead orders a replay of a dead worker's iterations, the
+// worker executes them and re-reports the same round (recomputing vals,
+// which may have grown during the replay).  Returns the reduced vals
+// from the release.
+func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) {
+	round := w.syncRound
+	w.syncRound++
+	for {
+		if err := w.drainPutAcks(); err != nil {
+			return nil, err
+		}
+		if err := w.drainPrepAcks(); err != nil {
+			return nil, err
+		}
+		var v []float64
+		if vals != nil {
+			v = vals()
+		}
+		w.comm.Send(0, tagSync, syncMsg{origin: w.rank, round: round, kind: kind, vals: v})
+		// Block without a deadline: the master may legitimately stay
+		// silent for as long as the slowest worker computes.  The master
+		// is a critical rank — its death fails the world and aborts this
+		// receive via the liveness monitor.
+		m := w.comm.Recv(0, tagSyncRep)
+		rep := m.Data.(syncReply)
+		if rep.round != round {
+			return nil, fmt.Errorf("sip: worker %d: sync reply for round %d at round %d", w.rank, rep.round, round)
+		}
+		if !rep.resume {
+			return rep.vals, nil
+		}
+		if err := w.replayChunk(rep.pardo, rep.gen, rep.iters); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// replayChunk re-executes iterations a dead worker held when it was
+// evicted.  The pardo body runs exactly as in the original dispatch;
+// put/prepare effects carry the same deterministic seqs, so any the
+// dead worker already delivered are dropped at the destination.
+func (w *worker) replayChunk(pid, gen int, iters [][]int) error {
+	if len(iters) == 0 {
+		return nil
+	}
+	code := w.rt.prog.Code
+	startPC := w.pardoPCs[pid]
+	base := len(w.frames)
+	f := frame{kind: framePardo, pid: pid, cur: gen, startPC: startPC,
+		exitPC: code[startPC].C, replay: true, chunk: iters, started: time.Now()}
+	w.frames = append(w.frames, f)
+	w.setIteration(pid, iters[0])
+	savedPC := w.pc
+	w.pc = startPC + 1
+	for len(w.frames) > base {
+		in := &code[w.pc]
+		if err := w.exec(in); err != nil {
+			w.pc = savedPC
+			return fmt.Errorf("sip: worker %d: replay pc %d line %d (%s): %w",
+				w.rank, w.pc, in.Line, in.Op, err)
+		}
+	}
+	w.pc = savedPC
 	return nil
+}
+
+// effectSeq returns the deterministic id of the next put/prepare effect
+// of the current pardo iteration, or 0 outside recovery or outside a
+// pardo.  The id hashes (pardo, generation, iteration values, effect
+// ordinal) — and deliberately not the origin rank, so a survivor
+// replaying a dead worker's iteration regenerates the same id.
+func (w *worker) effectSeq() uint64 {
+	if !w.rt.cfg.Recover {
+		return 0
+	}
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		f := &w.frames[i]
+		if f.kind != framePardo {
+			continue
+		}
+		const prime = 1099511628211
+		h := uint64(14695981039346656037) // FNV-1a 64
+		mix := func(v uint64) {
+			for s := 0; s < 64; s += 8 {
+				h = (h ^ (v>>s)&0xff) * prime
+			}
+		}
+		mix(uint64(f.pid))
+		mix(uint64(f.cur))
+		for _, x := range f.chunk[f.pos] {
+			mix(uint64(x))
+		}
+		mix(uint64(f.effectN))
+		f.effectN++
+		if h == 0 {
+			h = 1 // 0 means "no dedup"
+		}
+		return h
+	}
+	return 0
+}
+
+// applyLocalPut applies a put to this worker's partition, dropping
+// replayed effects whose seq was already seen (so accumulates land
+// at-most-once).  Called from both the interpreter (local home) and the
+// service loop, hence the lock.
+func (w *worker) applyLocalPut(k blockKey, b *block.Block, acc bool, seq uint64) {
+	if seq != 0 && !w.markSeen(seq) {
+		w.dropCtr.Inc()
+		return
+	}
+	w.dist.put(k, b, acc)
+}
+
+// markSeen records an effect id, reporting false if it was already
+// present.  The ledger is kept for the whole run: clearing it at a sync
+// release would race with a faster survivor's next-phase effects
+// arriving via the service loop before this worker processes its own
+// release.  The cost is one uint64 per remote put over the run.
+func (w *worker) markSeen(seq uint64) bool {
+	w.seenMu.Lock()
+	defer w.seenMu.Unlock()
+	if w.seenPuts[seq] {
+		return false
+	}
+	w.seenPuts[seq] = true
+	return true
 }
