@@ -11,7 +11,7 @@
 //	              [-profile] [-metrics] [-trace] [-trace-json out.json] [-trace-ranks all|N,M]
 //	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
 //	              [-recv-timeout D] [-hb-interval D] [-hb-timeout D] [-fault-spec SPEC]
-//	              [-recover]
+//	              [-recover] [-replicas K]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
 // container format).  -trace-json writes a Chrome trace-event file
@@ -28,8 +28,12 @@
 // -recv-timeout; -fault-spec injects transport faults for chaos testing
 // (see docs/FAULTS.md for the failure semantics and the spec syntax).
 // With -recover a detected worker failure evicts the rank and the run
-// continues degraded on the survivors (master and I/O server deaths
-// stay fatal); without it any failure ends the run fail-fast.
+// continues degraded on the survivors; without it any failure ends the
+// run fail-fast.  Master death is always fatal, and so is I/O-server
+// death unless -replicas K (K >= 2) keeps every served-array block on
+// K servers: then a dead server is evicted too, reads fail over to the
+// surviving replicas, and the next server barrier re-replicates
+// under-replicated blocks.
 package main
 
 import (
@@ -103,7 +107,7 @@ func usage(w io.Writer) {
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
 run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
-run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover`)
+run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover -replicas K`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -210,6 +214,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	var recvTimeout, hbInterval, hbTimeout *time.Duration
 	var faultSpec *string
 	var recoverRun *bool
+	var replicas *int
 	if name == "run" {
 		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
 		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
@@ -220,6 +225,7 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		hbTimeout = fs.Duration("hb-timeout", 0, "silence bound before a rank is declared dead (default 8x interval)")
 		faultSpec = fs.String("fault-spec", "", "inject transport faults, e.g. 'seed=7;drop=0.1;kill=3@100' (see docs/FAULTS.md)")
 		recoverRun = fs.Bool("recover", false, "survive worker-rank failures: evict the dead rank, re-run its work on the survivors (see docs/FAULTS.md)")
+		replicas = fs.Int("replicas", 1, "I/O servers holding each served-array block; with -recover and >= 2, server deaths are survivable too (see docs/FAULTS.md)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -260,6 +266,9 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		rf.cfg.RecvTimeout = *recvTimeout
 	}
 	rf.cfg.Recover = rf.recover
+	if replicas != nil {
+		rf.cfg.Replicas = *replicas
+	}
 	ranks, err := parseRanks(*traceRanks)
 	if err != nil {
 		return nil, err

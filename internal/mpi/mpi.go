@@ -273,6 +273,24 @@ func (r *Request) WaitTimeout(d time.Duration) (Message, bool) {
 	return r.msg, r.done
 }
 
+// WaitUntil blocks for the receive to complete, bounded by an optional
+// deadline d (<= 0 means none) and a cancel predicate with RecvUntil
+// semantics (re-evaluated on every mailbox wakeup; Evict wakes all
+// local mailboxes).  It returns ok == false when the deadline passes or
+// cancel reports true; the request stays pending and may be waited on
+// again — against the same source or re-posted against another.
+func (r *Request) WaitUntil(d time.Duration, cancel func() bool) (Message, bool) {
+	if r.done {
+		return r.msg, true
+	}
+	m, ok := r.comm.RecvUntil(r.src, r.tag, d, cancel)
+	if ok {
+		r.msg = m
+		r.done = true
+	}
+	return r.msg, r.done
+}
+
 // Source returns the source rank this request matches (possibly
 // AnySource).
 func (r *Request) Source() int { return r.src }

@@ -147,6 +147,17 @@ func ParseFaultSpec(str string) (FaultSpec, error) {
 			if spec.PartA, err = parseRanks(aStr); err == nil {
 				spec.PartB, err = parseRanks(bStr)
 			}
+			// A rank on both sides would partition it from itself —
+			// always a typo, so reject it with the offending rank named
+			// instead of silently dropping all of its traffic.
+			if err == nil {
+				for _, r := range spec.PartA {
+					if containsRank(spec.PartB, r) {
+						err = fmt.Errorf("rank %d on both sides of the partition", r)
+						break
+					}
+				}
+			}
 		case "heal":
 			spec.Heal, err = strconv.Atoi(val)
 			if err == nil && spec.Heal < 0 {
@@ -183,6 +194,9 @@ func parseRanks(s string) ([]int, error) {
 		r, err := strconv.Atoi(f)
 		if err != nil {
 			return nil, err
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("negative rank %d", r)
 		}
 		rs = append(rs, r)
 	}

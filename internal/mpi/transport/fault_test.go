@@ -2,6 +2,7 @@ package transport
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -44,6 +45,42 @@ func TestParseFaultSpec(t *testing.T) {
 		if _, err := ParseFaultSpec(bad); err == nil {
 			t.Errorf("ParseFaultSpec(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseFaultSpecRejectsBadPartitions: malformed partition clauses
+// must be rejected with the offending clause (and rank, for overlaps)
+// named in the error, not silently accepted as a spec that drops all of
+// a rank's traffic.
+func TestParseFaultSpecRejectsBadPartitions(t *testing.T) {
+	for _, tc := range []struct {
+		spec, want string
+	}{
+		{"partition=0,1|1,2", "rank 1 on both sides"},
+		{"partition=2|2", "rank 2 on both sides"},
+		{"partition=0,-3|1", "negative rank -3"},
+		{"partition=0| ", "empty rank list"},
+		{"partition=0,x|1", ""},
+	} {
+		_, err := ParseFaultSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "fault spec clause") {
+			t.Errorf("ParseFaultSpec(%q) error %q does not name the clause", tc.spec, err)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseFaultSpec(%q) error %q, want it to contain %q", tc.spec, err, tc.want)
+		}
+	}
+	// Disjoint sides still parse.
+	spec, err := ParseFaultSpec("partition=0,1|2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Active() {
+		t.Error("valid partition spec should be active")
 	}
 }
 

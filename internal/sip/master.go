@@ -28,6 +28,10 @@ type master struct {
 	syncs     map[int]*syncState // sync round -> progress
 	evictSeen map[int]bool       // evictions already folded into the ledger
 	doneRanks map[int]bool       // workers that reported done
+
+	// Replication state (Config.Replicas > 1).
+	replRound  int // anti-entropy pass number (stale-ack filter)
+	replHealed int // evicted-server count as of the last completed pass
 }
 
 type ckptCollect struct {
@@ -391,14 +395,19 @@ func (m *master) run() (res *Result, err error) {
 		case tagDone:
 			done := msg.Data.(doneMsg)
 			if done.origin > rt.workers {
-				// A server reporting failure over the done path: record
-				// the diagnosis but do not count it toward worker
-				// completion (the world abort it triggers unblocks the
-				// loop if workers can no longer finish).
-				workerErr = m.recordRelay(workerErr, done)
 				if trk != nil {
 					trk.Instant(obs.CatChunk, "server_failed", obs.AInt("rank", done.origin))
 				}
+				// A server reporting failure over the done path.  When its
+				// blocks are replicated elsewhere the master evicts it and
+				// the run continues degraded; otherwise record the fatal
+				// diagnosis (the world abort it triggers unblocks the loop
+				// if workers can no longer finish).
+				if rt.world.Evictable(done.origin) {
+					rt.world.Evict(done.origin, done.err)
+					break
+				}
+				workerErr = m.recordRelay(workerErr, done)
 				break
 			}
 			m.doneRanks[done.origin] = true
@@ -417,29 +426,35 @@ func (m *master) run() (res *Result, err error) {
 		m.comm.Send(wr, tagService, shutdownMsg{})
 	}
 	for s := 0; s < rt.servers; s++ {
-		m.comm.Send(1+rt.workers+s, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays})
+		if sr := 1 + rt.workers + s; !rt.world.IsEvicted(sr) {
+			m.comm.Send(sr, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays})
+		}
 	}
 	if rt.cfg.GatherArrays {
 		gathered := map[int]bool{}
-		for len(gathered) < rt.servers {
-			msg, ok, err := m.recvAny(tagGather, "server gather", func() []int {
-				var waiting []int
-				for i := 0; i < rt.servers; i++ {
-					if sr := 1 + rt.workers + i; !gathered[sr] {
-						waiting = append(waiting, sr)
-					}
+		// Wait for live servers only, re-evaluated each iteration: a
+		// server evicted mid-gather stops being owed (its blocks arrive
+		// from the surviving replicas).
+		awaiting := func() []int {
+			var waiting []int
+			for i := 0; i < rt.servers; i++ {
+				if sr := 1 + rt.workers + i; !gathered[sr] && !rt.world.IsEvicted(sr) {
+					waiting = append(waiting, sr)
 				}
-				return waiting
-			})
+			}
+			return waiting
+		}
+		for len(awaiting()) > 0 {
+			msg, ok, err := m.recvAny(tagGather, "server gather", awaiting)
 			if err != nil {
 				return res, err
 			}
 			if !ok {
-				continue // a late worker eviction; servers are unaffected
+				continue // membership changed; re-check who is owed
 			}
 			g := msg.Data.(gatherMsg)
 			gathered[g.origin] = true
-			m.recordGather(res.Served, g)
+			m.recordServedGather(res.Served, g)
 		}
 	}
 	res.Scalars = map[string]float64{}
@@ -456,6 +471,37 @@ func (m *master) recordGather(dst map[string][]ArrayBlock, g gatherMsg) {
 		name := m.rt.prog.Arrays[arr].Name
 		dst[name] = append(dst[name], blocks...)
 	}
+}
+
+// recordServedGather folds one I/O server's shutdown gather.  With
+// Replicas > 1 every live replica reports a copy of each block, so only
+// the current primary's copy is kept: after an eviction the promoted
+// backups may not have been healed yet, but the primary is always a
+// prior holder with the authoritative copy.
+func (m *master) recordServedGather(dst map[string][]ArrayBlock, g gatherMsg) {
+	if m.rt.cfg.Replicas <= 1 {
+		m.recordGather(dst, g)
+		return
+	}
+	for arr, blocks := range g.arrays {
+		name := m.rt.prog.Arrays[arr].Name
+		for _, ab := range blocks {
+			if reps := m.rt.replicaServers(arr, ab.Ord); len(reps) > 0 && reps[0] == g.origin {
+				dst[name] = append(dst[name], ab)
+			}
+		}
+	}
+}
+
+// evictedServers counts I/O-server ranks evicted from the world.
+func (m *master) evictedServers() int {
+	n := 0
+	for si := 0; si < m.rt.servers; si++ {
+		if m.rt.world.IsEvicted(1 + m.rt.workers + si) {
+			n++
+		}
+	}
+	return n
 }
 
 // pendingWorkers counts workers the master still owes a completion:
@@ -482,20 +528,29 @@ func (m *master) liveWorkers() int {
 	return n
 }
 
-// noteEvictions folds newly evicted workers into the scheduler state:
-// their unacknowledged iterations go back on the re-dispatch queue,
-// sync rounds stop waiting for them, and checkpoint collections that
-// were only missing their contribution are completed against the
-// reduced worker count.
+// noteEvictions folds newly evicted ranks into the scheduler state.
+// For workers: their unacknowledged iterations go back on the
+// re-dispatch queue, sync rounds stop waiting for them, and checkpoint
+// collections that were only missing their contribution are completed
+// against the reduced worker count.  Evicted I/O servers (Replicas > 1)
+// only need recording — their blocks heal at the next server barrier's
+// anti-entropy pass, and reads fail over to the surviving replicas in
+// the meantime.
 func (m *master) noteEvictions(trk *obs.Track) {
 	evicted := m.rt.world.Evicted()
-	for rank := 1; rank <= m.rt.workers; rank++ {
+	for rank := 1; rank <= m.rt.workers+m.rt.servers; rank++ {
 		if _, dead := evicted[rank]; !dead || m.evictSeen[rank] {
 			continue
 		}
 		m.evictSeen[rank] = true
 		m.rt.metrics.Counter(metricFaultRankEvicted).Inc()
 		m.rt.metrics.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankEvicted, rank)).Inc()
+		if rank > m.rt.workers {
+			if trk != nil {
+				trk.Instant(obs.CatChunk, "server_evicted", obs.AInt("rank", rank))
+			}
+			continue
+		}
 		if trk != nil {
 			trk.Instant(obs.CatChunk, "worker_evicted", obs.AInt("rank", rank))
 		}
@@ -584,6 +639,12 @@ func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 			if err := m.flushServers(); err != nil {
 				return err
 			}
+			// Heal replication before releasing anyone: once workers
+			// resume, further traffic would race the re-replication
+			// pushes.
+			if err := m.rereplicateServers(); err != nil {
+				return err
+			}
 		}
 		for _, wr := range parked {
 			m.comm.Send(wr, tagSyncRep, syncReply{round: round, vals: vals})
@@ -638,36 +699,147 @@ func (m *master) resumeRequeued(round int, s *syncState, parked []int, redispCtr
 
 // flushServers performs the server_barrier flush on the workers'
 // behalf: with every live worker parked at the sync round there is no
-// competing traffic, so the master simply asks each server to flush and
-// waits for the acks.  Servers are critical ranks — a missing ack is a
-// fatal failure, never an eviction.
+// competing traffic, so the master simply asks each live server to
+// flush and waits for the acks.  Under Replicas == 1 servers are
+// critical ranks — a missing ack is a fatal failure, never an eviction.
+// With replication a silent evictable server is evicted instead and its
+// ack written off: the surviving replicas hold its blocks.
 func (m *master) flushServers() error {
 	rt := m.rt
-	for si := 0; si < rt.servers; si++ {
-		m.comm.Send(1+rt.workers+si, tagServer, flushMsg{origin: 0})
-	}
+	var pending []int
 	for si := 0; si < rt.servers; si++ {
 		sr := 1 + rt.workers + si
-		d := rt.cfg.RecvTimeout
-		if d <= 0 {
-			m.comm.Recv(sr, tagFlushAck)
+		if rt.world.IsEvicted(sr) {
 			continue
 		}
-		attempts := 1 + rt.cfg.RecvRetries
-		got := false
-		for i := 0; i < attempts && !got; i++ {
-			_, got = m.comm.RecvTimeout(sr, tagFlushAck, d)
-		}
-		if !got {
+		m.comm.Send(sr, tagServer, flushMsg{origin: 0})
+		pending = append(pending, sr)
+	}
+	d := rt.cfg.RecvTimeout
+	attempts := 1 + rt.cfg.RecvRetries
+	for _, sr := range pending {
+		for got := false; !got && !rt.world.IsEvicted(sr); {
+			if d <= 0 && !m.rt.serversEvictable() {
+				m.comm.Recv(sr, tagFlushAck)
+				break
+			}
+			stamp := rt.world.EvictStamp()
+			cancel := func() bool { return rt.world.EvictStamp() != stamp }
+			if d <= 0 {
+				_, got = m.comm.RecvUntil(sr, tagFlushAck, 0, cancel)
+				continue
+			}
+			for i := 0; i < attempts && !got; i++ {
+				_, got = m.comm.RecvUntil(sr, tagFlushAck, d, cancel)
+				if !got && cancel() {
+					break
+				}
+			}
+			if got || cancel() {
+				continue
+			}
+			// True silence from a live server.
+			total := time.Duration(attempts) * d
+			if rt.world.Evictable(sr) {
+				rt.world.Evict(sr, fmt.Sprintf("master heard no flush ack from it within %v", total))
+				break
+			}
 			rf := &mpi.RankFailure{
 				Rank:   sr,
-				Reason: fmt.Sprintf("no flush ack within %v", time.Duration(attempts)*d),
+				Reason: fmt.Sprintf("no flush ack within %v", total),
 			}
 			rt.world.Fail(rf.Rank, rf.Reason)
 			return rf
 		}
 	}
 	return nil
+}
+
+// rereplicateServers runs the anti-entropy pass (Config.Replicas > 1)
+// at a server barrier after a server eviction, while every live worker
+// is parked: each live server scans the blocks it holds, and pushes the
+// ones it is primary for to replicas promoted into the set by the
+// eviction.  The master coordinates the pass so it completes before the
+// barrier releases — it waits for every server's scan ack plus one ack
+// per pushed block, all on tagRepl.  A further eviction mid-pass
+// restarts it with a higher round number; stragglers from the
+// abandoned round are discarded by their round stamp.
+func (m *master) rereplicateServers() error {
+	rt := m.rt
+	if rt.cfg.Replicas <= 1 || m.evictedServers() == m.replHealed {
+		return nil
+	}
+	roundCtr := rt.metrics.Counter(metricReplRounds)
+	pushCtr := rt.metrics.Counter(metricReplPushed)
+restart:
+	for {
+		healedTo := m.evictedServers()
+		m.replRound++
+		round := m.replRound
+		var live []int
+		for si := 0; si < rt.servers; si++ {
+			if sr := 1 + rt.workers + si; !rt.world.IsEvicted(sr) {
+				live = append(live, sr)
+			}
+		}
+		if len(live) == 0 {
+			// Every server is gone; reads will fail with a cause instead.
+			m.replHealed = healedTo
+			return nil
+		}
+		for _, sr := range live {
+			m.comm.Send(sr, tagServer, rereplicateMsg{round: round})
+		}
+		roundCtr.Inc()
+		scanned := map[int]bool{}
+		pushes, acks := 0, 0
+		for len(scanned) < len(live) || acks < pushes {
+			if m.evictedServers() != healedTo {
+				continue restart // a pass participant died: rescan
+			}
+			msg, ok, err := m.recvAny(tagRepl, "re-replication ack", func() []int {
+				var waiting []int
+				for _, sr := range live {
+					if !scanned[sr] && !rt.world.IsEvicted(sr) {
+						waiting = append(waiting, sr)
+					}
+				}
+				if len(waiting) == 0 {
+					// Scans are in; a push destination owes the ack.
+					for _, sr := range live {
+						if !rt.world.IsEvicted(sr) {
+							waiting = append(waiting, sr)
+						}
+					}
+				}
+				return waiting
+			})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue restart // membership changed: rescan the new set
+			}
+			switch a := msg.Data.(type) {
+			case rereplicateAck:
+				if a.round != round {
+					break // straggler from an abandoned pass
+				}
+				scanned[a.origin] = true
+				pushes += a.pushed
+			case replAckMsg:
+				if a.round == round {
+					acks++
+				}
+			}
+		}
+		pushCtr.Add(int64(pushes))
+		m.replHealed = healedTo
+		if m.evictedServers() == healedTo {
+			return nil
+		}
+		// A server died while the pass ran: heal again against the new set.
+	}
 }
 
 // ckptPath returns the checkpoint file for an array.

@@ -127,6 +127,44 @@ type syncMsg struct {
 	vals   []float64 // collective contributions (nil otherwise)
 }
 
+// rereplicateMsg starts one anti-entropy pass on a server
+// (Config.Replicas > 1; master -> server on tagServer, sent at a server
+// barrier after a server eviction).  The server pushes every block it
+// holds and is the current primary for to the block's other live
+// replicas, then acks the master with rereplicateAck.  round numbers
+// the pass so the master can discard stragglers from a pass it
+// restarted after a further eviction.
+type rereplicateMsg struct {
+	round int
+}
+
+// rereplicateAck reports one server's anti-entropy scan complete:
+// pushed is the number of replPutMsg pushes it issued, which the master
+// adds to the replAckMsg count it waits for.
+type rereplicateAck struct {
+	origin int
+	round  int
+	pushed int
+}
+
+// replPutMsg carries one re-replicated block from a primary to a backup
+// (server -> server on tagServer).  The destination overwrites its copy
+// and acks the master — not the pushing server, whose main loop may
+// itself be mid-scan pushing the other way.
+type replPutMsg struct {
+	key    blockKey
+	b      *block.Block
+	round  int
+	origin int
+}
+
+// replAckMsg acknowledges one applied replPutMsg to the master
+// (server -> master on tagRepl).
+type replAckMsg struct {
+	origin int
+	round  int
+}
+
 // syncReply releases a worker from a sync point (resume == false; for
 // collectives vals carries the reduced results) or orders it to replay
 // re-dispatched iterations of a dead worker first (resume == true:

@@ -39,6 +39,16 @@ const (
 	metricFaultRankEvicted    = "fault.rank_evicted"
 	metricMasterRedispatched  = "sip.master.chunks_redispatched"
 	metricDedupDroppedEffects = "sip.dedup.dropped"
+	// Dedup-ledger GC: effect-seq entries retired once the sync rounds
+	// that could replay them have sealed (two ledger rotations old).
+	metricDedupRetired = "sip.dedup.retired"
+	// Replication (Config.Replicas > 1): served-block reads re-routed
+	// from a dead primary to a backup, anti-entropy passes the master
+	// ran after server evictions, and blocks those passes pushed onto
+	// under-replicated servers.
+	metricReplFailovers = "sip.repl.read_failovers"
+	metricReplRounds    = "sip.repl.rounds"
+	metricReplPushed    = "sip.repl.blocks_pushed"
 )
 
 // tagNames labels the fixed message tags for per-tag metrics; block
@@ -56,6 +66,7 @@ var tagNames = [...]string{
 	tagGather:   "gather",
 	tagSync:     "sync",
 	tagSyncRep:  "sync_rep",
+	tagRepl:     "repl",
 }
 
 const replyTagSlot = len(tagNames) // index for the shared block-reply label
@@ -155,6 +166,14 @@ func msgBytes(data any) int64 {
 		return envelope + 16 + 8*int64(len(v.scalars)) + int64(len(v.err))
 	case syncMsg:
 		return envelope + 24 + 8*int64(len(v.vals))
+	case replPutMsg:
+		n := int64(envelope + 32) // key, round, origin
+		if v.b != nil {
+			n += 8 * int64(v.b.Size())
+		}
+		return n
+	case rereplicateMsg, rereplicateAck, replAckMsg:
+		return envelope + 24
 	case syncReply:
 		n := int64(envelope+32) + 8*int64(len(v.vals))
 		for _, it := range v.iters {

@@ -1,0 +1,97 @@
+package sip
+
+// Replica placement for served arrays (Config.Replicas > 1).
+//
+// Every served block gets a deterministic preference order over the
+// server ranks via rendezvous (highest-random-weight) hashing: each
+// (block, server) pair is scored independently, and the block's replica
+// set is the k live servers with the highest scores.  Rendezvous gives
+// the two properties recovery needs with no shared state:
+//
+//   - Every rank computes the same placement from the same membership
+//     view (the score is a pure function of array id, block ordinal,
+//     and server rank).
+//   - Eviction rebalances minimally: removing a server only changes
+//     the replica sets of blocks that had it — for each such block the
+//     next-preferred live server joins the set, and since the old set
+//     was the top k of the same order, the new primary after <= k-1
+//     deaths is always a rank that already holds the block.
+//
+// With Replicas == 1 none of this runs: placement stays the legacy
+// modulo hash of homeServer, byte-identical to a build without
+// replication.
+
+// rendezvousScore ranks server for block (arr, ord): FNV-1a over the
+// three coordinates.
+func rendezvousScore(arr, ord, server int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (v>>s)&0xff) * prime
+		}
+	}
+	mix(uint64(arr))
+	mix(uint64(ord))
+	mix(uint64(server))
+	return h
+}
+
+// rendezvousReplicas returns up to k ranks from servers ordered by
+// descending rendezvous score for block (arr, ord), skipping ranks for
+// which dead reports true.  Ties break toward the lower rank so the
+// order is total.
+func rendezvousReplicas(arr, ord, k int, servers []int, dead func(rank int) bool) []int {
+	type scored struct {
+		rank  int
+		score uint64
+	}
+	order := make([]scored, 0, len(servers))
+	for _, sr := range servers {
+		order = append(order, scored{rank: sr, score: rendezvousScore(arr, ord, sr)})
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if a.score > b.score || (a.score == b.score && a.rank < b.rank) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	out := make([]int, 0, k)
+	for _, s := range order {
+		if len(out) == k {
+			break
+		}
+		if dead != nil && dead(s.rank) {
+			continue
+		}
+		out = append(out, s.rank)
+	}
+	return out
+}
+
+// serverRanks returns the world ranks of all I/O servers.
+func (rt *runtime) serverRanks() []int {
+	ranks := make([]int, rt.servers)
+	for i := range ranks {
+		ranks[i] = 1 + rt.workers + i
+	}
+	return ranks
+}
+
+// replicaServers returns the live server ranks holding block (arr, ord)
+// of a served array, primary first.  With Replicas == 1 it is exactly
+// the legacy single home (evicted or not — without backups there is
+// nowhere else to go).  The result can be shorter than Replicas when
+// fewer servers remain live; empty means every replica died.
+func (rt *runtime) replicaServers(arr, ord int) []int {
+	if rt.cfg.Replicas <= 1 {
+		return []int{rt.homeServer(arr, ord)}
+	}
+	if rt.servers == 0 {
+		rt.homeServer(arr, ord) // panics with the served-but-no-servers message
+	}
+	return rendezvousReplicas(arr, ord, rt.cfg.Replicas, rt.serverRanks(), rt.world.IsEvicted)
+}

@@ -36,11 +36,17 @@ type ioServer struct {
 
 	hits, misses, diskReads, diskWrites int64
 
-	// seen deduplicates replayed prepare effects (Config.Recover): a put
-	// whose seq was already applied is acknowledged but not re-applied,
-	// so accumulates land at-most-once across chunk re-execution.
-	seen    map[uint64]bool
-	dropCtr *obs.Counter
+	// seen/seenPrev are the two live epochs of the prepare-dedup ledger
+	// (Config.Recover): a put whose seq was already applied is
+	// acknowledged but not re-applied, so accumulates land at-most-once
+	// across chunk re-execution.  The ledger rotates at each flush
+	// (server_barrier) — by then every phase older than the previous
+	// flush is sealed and can no longer be replayed — so it holds two
+	// barrier phases of effects instead of growing for the whole run.
+	seen      map[uint64]bool
+	seenPrev  map[uint64]bool
+	dropCtr   *obs.Counter
+	retireCtr *obs.Counter
 
 	trk *obs.Track // cache/disk span track; nil when tracing is off
 }
@@ -54,17 +60,19 @@ type srvEntry struct {
 
 func newIOServer(rt *runtime, rank int) *ioServer {
 	return &ioServer{
-		rt:       rt,
-		comm:     rt.world.Comm(rank),
-		rank:     rank,
-		capacity: rt.cfg.ServerCacheBlocks,
-		entries:  map[blockKey]*srvEntry{},
-		lru:      list.New(),
-		onDisk:   map[blockKey]bool{},
-		dir:      filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
-		seen:     map[uint64]bool{},
-		dropCtr:  rt.metrics.Counter(metricDedupDroppedEffects),
-		trk:      rt.tracer.Track(rank, 0, fmt.Sprintf("server %d", rank), "cache"),
+		rt:        rt,
+		comm:      rt.world.Comm(rank),
+		rank:      rank,
+		capacity:  rt.cfg.ServerCacheBlocks,
+		entries:   map[blockKey]*srvEntry{},
+		lru:       list.New(),
+		onDisk:    map[blockKey]bool{},
+		dir:       filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
+		seen:      map[uint64]bool{},
+		seenPrev:  map[uint64]bool{},
+		dropCtr:   rt.metrics.Counter(metricDedupDroppedEffects),
+		retireCtr: rt.metrics.Counter(metricDedupRetired),
+		trk:       rt.tracer.Track(rank, 0, fmt.Sprintf("server %d", rank), "cache"),
 	}
 }
 
@@ -97,7 +105,13 @@ func (s *ioServer) run() (err error) {
 		if err != nil && !errors.Is(err, mpi.ErrAborted) {
 			// Best-effort: the master may already be gone.
 			s.comm.Send(0, tagDone, doneMsg{origin: s.rank, err: err.Error(), failRank: -1})
-			s.rt.world.Fail(s.rank, err.Error())
+			if s.rt.world.Evictable(s.rank) {
+				// Replicated served arrays survive this server's death:
+				// leave the world degraded instead of aborting it.
+				s.rt.world.Evict(s.rank, err.Error())
+			} else {
+				s.rt.world.Fail(s.rank, err.Error())
+			}
 		}
 	}()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -131,15 +145,8 @@ func (s *ioServer) run() (err error) {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			if msg.seq != 0 && s.seen[msg.seq] {
-				s.dropCtr.Inc() // replayed effect: already applied
-			} else {
-				if err := s.apply(msg.key, msg.b, msg.acc); err != nil {
-					return err
-				}
-				if msg.seq != 0 {
-					s.seen[msg.seq] = true
-				}
+			if err := s.applyPut(msg); err != nil {
+				return err
 			}
 			if msg.needAck {
 				s.comm.Send(msg.origin, tagPrepAck, ackMsg{})
@@ -156,10 +163,32 @@ func (s *ioServer) run() (err error) {
 			if err := s.flushAll(); err != nil {
 				return err
 			}
+			s.retireSeen()
 			s.comm.Send(msg.origin, tagFlushAck, ackMsg{})
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "flush")
 			}
+		case rereplicateMsg:
+			var start time.Time
+			if s.trk != nil {
+				start = time.Now()
+			}
+			pushed, err := s.rereplicate(msg.round)
+			if err != nil {
+				return err
+			}
+			s.comm.Send(0, tagRepl, rereplicateAck{origin: s.rank, round: msg.round, pushed: pushed})
+			if s.trk != nil {
+				s.trk.End(start, obs.CatServerCache, "rereplicate", obs.AInt("pushed", pushed))
+			}
+		case replPutMsg:
+			// Re-replicated copy from the block's primary: overwrite ours
+			// and ack the coordinating master (never the pusher, whose
+			// main loop may itself be mid-scan pushing the other way).
+			if err := s.apply(msg.key, msg.b, false); err != nil {
+				return err
+			}
+			s.comm.Send(0, tagRepl, replAckMsg{origin: s.rank, round: msg.round})
 		case shutdownMsg:
 			var start time.Time
 			if s.trk != nil {
@@ -184,7 +213,8 @@ func (s *ioServer) run() (err error) {
 }
 
 // installPresets loads Config.Preset blocks for served arrays this
-// server homes.
+// server holds: the home under Replicas == 1, every replica otherwise,
+// so backups start with the same contents as the primary.
 func (s *ioServer) installPresets() error {
 	for name, fn := range s.rt.cfg.Preset {
 		arr := s.rt.prog.ArrayID(name)
@@ -195,7 +225,7 @@ func (s *ioServer) installPresets() error {
 		var err error
 		shape.EachCoord(func(c segment.Coord) {
 			ord := shape.Ordinal(c)
-			if err != nil || s.rt.homeServer(arr, ord) != s.rank {
+			if err != nil || !s.holdsBlock(arr, ord) {
 				return
 			}
 			lo, hi := shape.BlockBounds(c)
@@ -210,6 +240,17 @@ func (s *ioServer) installPresets() error {
 		}
 	}
 	return nil
+}
+
+// holdsBlock reports whether this server is in block (arr, ord)'s
+// replica set.
+func (s *ioServer) holdsBlock(arr, ord int) bool {
+	for _, sr := range s.rt.replicaServers(arr, ord) {
+		if sr == s.rank {
+			return true
+		}
+	}
+	return false
 }
 
 // fetch returns the cached block, reading from disk on a miss; absent
@@ -282,18 +323,91 @@ func (s *ioServer) insert(k blockKey, b *block.Block, dirty bool) error {
 	return nil
 }
 
+// applyPut applies one incoming put/prepare, deduplicating replayed
+// effects against both live ledger epochs.
+func (s *ioServer) applyPut(msg putMsg) error {
+	if msg.seq != 0 && (s.seen[msg.seq] || s.seenPrev[msg.seq]) {
+		s.dropCtr.Inc() // replayed effect: already applied
+		return nil
+	}
+	if err := s.apply(msg.key, msg.b, msg.acc); err != nil {
+		return err
+	}
+	if msg.seq != 0 {
+		s.seen[msg.seq] = true
+	}
+	return nil
+}
+
+// retireSeen rotates the prepare-dedup ledger at a flush: the previous
+// epoch's effects predate the last server barrier, whose sync round has
+// sealed, so no replay can resend them.  Keeping one prior epoch covers
+// effects that raced into the current epoch just before the barrier
+// released.
+func (s *ioServer) retireSeen() {
+	s.retireCtr.Add(int64(len(s.seenPrev)))
+	s.seenPrev = s.seen
+	s.seen = map[uint64]bool{}
+}
+
+// rereplicate runs one anti-entropy scan (Config.Replicas > 1): every
+// block this server holds — cached or on disk — whose current primary
+// is this rank is pushed to the block's other live replicas.  After an
+// eviction the new primary of a lost block is always a surviving holder
+// (rendezvous preference order), so exactly one live server pushes each
+// block and the pushes repopulate servers promoted into the replica
+// set.  Returns the number of pushes issued; the master waits for that
+// many replAckMsg acks.
+func (s *ioServer) rereplicate(round int) (int, error) {
+	keys := make([]blockKey, 0, len(s.entries)+len(s.onDisk))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	for k := range s.onDisk {
+		if _, ok := s.entries[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	pushed := 0
+	for _, k := range keys {
+		replicas := s.rt.replicaServers(k.arr, k.ord)
+		if len(replicas) == 0 || replicas[0] != s.rank {
+			continue
+		}
+		var b *block.Block
+		if e, ok := s.entries[k]; ok {
+			b = e.b
+		} else {
+			var err error
+			b, err = s.readDisk(k)
+			if err != nil {
+				return pushed, err
+			}
+		}
+		for _, dst := range replicas[1:] {
+			s.comm.Send(dst, tagServer, replPutMsg{key: k, b: b.Clone(), round: round, origin: s.rank})
+			pushed++
+		}
+	}
+	return pushed, nil
+}
+
 // flushAll writes every dirty cached block to disk (server_barrier and
-// shutdown).
+// shutdown).  It keeps flushing past individual failures and returns
+// the joined errors, each attributed to its block key, so one bad block
+// does not hide the fate of the rest.
 func (s *ioServer) flushAll() error {
+	var errs []error
 	for _, e := range s.entries {
 		if e.dirty {
 			if err := s.writeDisk(e.key, e.b); err != nil {
-				return err
+				errs = append(errs, err)
+				continue
 			}
 			e.dirty = false
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // gather returns all blocks this server holds (cache plus disk) for the

@@ -53,6 +53,7 @@ const (
 	tagGather    = 10 // worker/server -> master: final array gather
 	tagSync      = 11 // worker -> master: recovery sync-point report
 	tagSyncRep   = 12 // master -> worker: sync-point release / replay order
+	tagRepl      = 13 // server -> master: re-replication control traffic
 	tagReplyBase = 1 << 16
 )
 
@@ -157,12 +158,24 @@ type Config struct {
 	// iterations to the survivors, replayed side effects are
 	// deduplicated at their destinations, and sync points (barriers,
 	// collectives, checkpoints) are mediated by the master over the
-	// live workers.  Master or I/O-server death remains fatal, and
-	// blocks of *distributed* (worker-homed) arrays on the dead worker
-	// are lost — recovery is exact for programs that stage mutable
-	// state through served arrays and scalars (see docs/FAULTS.md,
-	// "Recovery").  Off by default: PR 3's fail-fast diagnosis.
+	// live workers.  Blocks of *distributed* (worker-homed) arrays on
+	// the dead worker are lost — recovery is exact for programs that
+	// stage mutable state through served arrays and scalars (see
+	// docs/FAULTS.md, "Recovery").  Master death remains fatal, and so
+	// does I/O-server death unless Replicas > 1.  Off by default: PR 3's
+	// fail-fast diagnosis.
 	Recover bool
+	// Replicas is the number of I/O servers holding each served-array
+	// block (default 1: today's single-home placement, byte-identical
+	// protocol).  With Replicas > 1 every served block gets a
+	// deterministic replica set chosen by rendezvous hashing over the
+	// live servers: put/prepare fans out to all replicas (the effect-seq
+	// dedup keeps retries idempotent), request reads from the primary
+	// with failover to backups, and — combined with Recover — a dead
+	// server rank is evicted instead of fatal, with an anti-entropy pass
+	// at the next server barrier re-replicating under-replicated blocks.
+	// Must not exceed Servers.
+	Replicas int
 }
 
 func (c *Config) fill() error {
@@ -185,6 +198,15 @@ func (c *Config) fill() error {
 		// A server must be able to pin at least the block it is working
 		// on; smaller values would make insert evict its own entry.
 		c.ServerCacheBlocks = 1
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("sip: Replicas = %d, need >= 1", c.Replicas)
+	}
+	if c.Replicas > 1 && c.Replicas > c.Servers {
+		return fmt.Errorf("sip: Replicas = %d exceeds Servers = %d", c.Replicas, c.Servers)
 	}
 	if c.RecvRetries == 0 {
 		c.RecvRetries = 2
@@ -319,14 +341,24 @@ func (rt *runtime) workerRanks() []int {
 }
 
 // criticalRanks returns the ranks whose death recovery cannot survive:
-// the master (sole scheduler) and the I/O servers (sole holders of
-// served-array state).
+// the master (sole scheduler) and — with Replicas == 1 — the I/O
+// servers (then the sole holders of served-array state).  With
+// Replicas > 1 every served block lives on several servers, so server
+// ranks become evictable like workers.
 func (rt *runtime) criticalRanks() []int {
 	ranks := []int{0}
-	for s := 0; s < rt.servers; s++ {
-		ranks = append(ranks, 1+rt.workers+s)
+	if rt.cfg.Replicas <= 1 {
+		for s := 0; s < rt.servers; s++ {
+			ranks = append(ranks, 1+rt.workers+s)
+		}
 	}
 	return ranks
+}
+
+// serversEvictable reports whether I/O-server deaths are survivable in
+// this run: recovery is on and every served block has backup replicas.
+func (rt *runtime) serversEvictable() bool {
+	return rt.cfg.Recover && rt.cfg.Replicas > 1
 }
 
 // homeWorker returns the world rank of the worker that owns block ord of
@@ -429,15 +461,30 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 
 	// Prefer a rank's own failure over the secondary "aborted after
 	// peer failure" errors the poison fans out to the other ranks.
+	// Errors from evicted ranks are not failures of the run: the world
+	// deliberately completed degraded without them, and the eviction is
+	// already part of the master's diagnosis.
 	var abortErr error
-	for _, err := range append(append([]error(nil), errs...), srvErrs...) {
+	scan := func(rank int, err error) error {
 		switch {
 		case err == nil:
+		case rt.world.IsEvicted(rank):
 		case errors.Is(err, mpi.ErrAborted):
 			if abortErr == nil {
 				abortErr = err
 			}
 		default:
+			return err
+		}
+		return nil
+	}
+	for i, err := range errs {
+		if err := scan(1+i, err); err != nil {
+			return nil, err
+		}
+	}
+	for i, err := range srvErrs {
+		if err := scan(1+cfg.Workers+i, err); err != nil {
 			return nil, err
 		}
 	}

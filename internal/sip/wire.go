@@ -23,6 +23,10 @@ const (
 	wireIDAckMsg
 	wireIDSyncMsg
 	wireIDSyncReply
+	wireIDRereplicateMsg
+	wireIDRereplicateAck
+	wireIDReplPutMsg
+	wireIDReplAckMsg
 )
 
 func encodeKey(e *wire.Encoder, k blockKey) {
@@ -188,5 +192,42 @@ func init() {
 		func(d *wire.Decoder) syncReply {
 			return syncReply{round: d.Int(), resume: d.Bool(), pardo: d.Int(),
 				gen: d.Int(), iters: d.IntSlices(), vals: d.Float64s()}
+		})
+	wire.Register(wireIDRereplicateMsg,
+		func(e *wire.Encoder, m rereplicateMsg) { e.Int(m.round) },
+		func(d *wire.Decoder) rereplicateMsg { return rereplicateMsg{round: d.Int()} })
+	wire.Register(wireIDRereplicateAck,
+		func(e *wire.Encoder, m rereplicateAck) {
+			e.Int(m.origin)
+			e.Int(m.round)
+			e.Int(m.pushed)
+		},
+		func(d *wire.Decoder) rereplicateAck {
+			return rereplicateAck{origin: d.Int(), round: d.Int(), pushed: d.Int()}
+		})
+	wire.Register(wireIDReplPutMsg,
+		func(e *wire.Encoder, m replPutMsg) {
+			encodeKey(e, m.key)
+			e.Int(m.round)
+			e.Int(m.origin)
+			e.Bool(m.b != nil)
+			if m.b != nil {
+				m.b.EncodeWire(e)
+			}
+		},
+		func(d *wire.Decoder) replPutMsg {
+			m := replPutMsg{key: decodeKey(d), round: d.Int(), origin: d.Int()}
+			if d.Bool() {
+				m.b = block.DecodeWire(d)
+			}
+			return m
+		})
+	wire.Register(wireIDReplAckMsg,
+		func(e *wire.Encoder, m replAckMsg) {
+			e.Int(m.origin)
+			e.Int(m.round)
+		},
+		func(d *wire.Decoder) replAckMsg {
+			return replAckMsg{origin: d.Int(), round: d.Int()}
 		})
 }

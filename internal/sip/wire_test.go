@@ -40,6 +40,9 @@ func TestMessageWireRoundTrips(t *testing.T) {
 			blocks: []ArrayBlock{{Ord: 0, Data: []float64{1, 2}}, {Ord: 9, Data: []float64{3}}}},
 		ckptData{arr: 7, blocks: []ArrayBlock{{Ord: 1, Data: []float64{4}}}},
 		ackMsg{},
+		rereplicateMsg{round: 3},
+		rereplicateAck{origin: 4, round: 3, pushed: 17},
+		replAckMsg{origin: 5, round: 3},
 	}
 	for _, want := range msgs {
 		got := sipRoundTrip(t, want)
@@ -64,6 +67,23 @@ func TestPutMsgWireRoundTrip(t *testing.T) {
 	nilPut := sipRoundTrip(t, putMsg{key: blockKey{arr: 1, ord: 3}}).(putMsg)
 	if nilPut.b != nil {
 		t.Fatalf("nil block decoded as %v", nilPut.b)
+	}
+}
+
+func TestReplPutMsgWireRoundTrip(t *testing.T) {
+	b := block.New(2, 2)
+	copy(b.Data(), []float64{1, 2, 3, 4})
+	want := replPutMsg{key: blockKey{arr: 2, ord: 7}, b: b, round: 4, origin: 5}
+	got := sipRoundTrip(t, want).(replPutMsg)
+	if got.key != want.key || got.round != want.round || got.origin != want.origin {
+		t.Fatalf("header mismatch: %#v", got)
+	}
+	if !reflect.DeepEqual(got.b.Dims(), b.Dims()) || !reflect.DeepEqual(got.b.Data(), b.Data()) {
+		t.Fatalf("block mismatch: %v %v", got.b.Dims(), got.b.Data())
+	}
+	nilPush := sipRoundTrip(t, replPutMsg{key: blockKey{arr: 2, ord: 8}, round: 1}).(replPutMsg)
+	if nilPush.b != nil {
+		t.Fatalf("nil block decoded as %v", nilPush.b)
 	}
 }
 

@@ -76,14 +76,20 @@ type worker struct {
 	// same order).  pardoPCs records each pardo's start pc so replayed
 	// iterations can re-enter the body.  owedPutAcks tracks outstanding
 	// put acks per destination so acks owed by a dead home can be
-	// forgotten.  seenPuts deduplicates replayed put effects against this
-	// worker's partition; it is shared with the service loop (seenMu).
-	syncRound   int
-	pardoPCs    []int
-	owedPutAcks map[int]int
-	seenMu      sync.Mutex
-	seenPuts    map[uint64]bool
-	dropCtr     *obs.Counter
+	// forgotten; owedPrepAcks does the same for prepare acks when the
+	// servers are evictable (Replicas > 1).  seenPuts/seenPrevPuts are
+	// the two live epochs of the put-dedup ledger, shared with the
+	// service loop (seenMu) and rotated at each sync release.
+	syncRound    int
+	pardoPCs     []int
+	owedPutAcks  map[int]int
+	owedPrepAcks map[int]int
+	seenMu       sync.Mutex
+	seenPuts     map[uint64]bool
+	seenPrevPuts map[uint64]bool
+	dropCtr      *obs.Counter
+	retireCtr    *obs.Counter
+	failoverCtr  *obs.Counter
 
 	// pardoGen counts executions of each pardo so the master can keep
 	// scheduling state per execution (a pardo inside a do loop runs many
@@ -123,8 +129,14 @@ func newWorker(rt *runtime, rank int) *worker {
 	if rt.cfg.Recover {
 		w.owedPutAcks = map[int]int{}
 		w.seenPuts = map[uint64]bool{}
+		w.seenPrevPuts = map[uint64]bool{}
+	}
+	if rt.serversEvictable() {
+		w.owedPrepAcks = map[int]int{}
 	}
 	w.dropCtr = rt.metrics.Counter(metricDedupDroppedEffects)
+	w.retireCtr = rt.metrics.Counter(metricDedupRetired)
+	w.failoverCtr = rt.metrics.Counter(metricReplFailovers)
 	for i, s := range rt.prog.Scalars {
 		w.scalars[i] = s.Init
 	}
@@ -913,12 +925,18 @@ func (w *worker) waitBlock(e *cacheEntry) (*block.Block, error) {
 		return e.b, nil
 	}
 	start := time.Now()
-	m, err := w.awaitRequest(e.req, fmt.Sprintf("reply for block %s", e.key))
-	if err != nil {
-		return nil, err
+	if w.rt.serversEvictable() && w.rt.prog.Arrays[e.key.arr].Kind == bytecode.ArrayServed {
+		if err := w.waitServedBlock(e); err != nil {
+			return nil, err
+		}
+	} else {
+		m, err := w.awaitRequest(e.req, fmt.Sprintf("reply for block %s", e.key))
+		if err != nil {
+			return nil, err
+		}
+		e.b = m.Data.(*block.Block)
+		e.req = nil
 	}
-	e.b = m.Data.(*block.Block)
-	e.req = nil
 	d := time.Since(start)
 	w.prof.addWait(w.currentPardo(), d)
 	w.waitHist.Observe(int64(d))
@@ -926,6 +944,67 @@ func (w *worker) waitBlock(e *cacheEntry) (*block.Block, error) {
 		w.trk.Complete(start, d, obs.CatWait, "wait_block", obs.A("block", e.key.String()))
 	}
 	return e.b, nil
+}
+
+// waitServedBlock completes a served-block fetch when the servers are
+// evictable (Recover with Replicas > 1): it waits on the pending
+// request, waking on membership changes, and when the server it was
+// reading from is dead — evicted by another detector, or evicted here
+// after a silent receive deadline — re-issues the fetch to the block's
+// next live replica.  The retry is bounded by the replica count: each
+// failover moves down the (finite, shrinking) live-replica order, and
+// when none remain the block is unrecoverable.
+func (w *worker) waitServedBlock(e *cacheEntry) error {
+	world := w.rt.world
+	d := w.rt.cfg.RecvTimeout
+	for {
+		src := e.req.Source()
+		if !world.IsEvicted(src) {
+			stamp := world.EvictStamp()
+			cancel := func() bool { return world.EvictStamp() != stamp }
+			if d <= 0 {
+				if m, ok := e.req.WaitUntil(0, cancel); ok {
+					e.b = m.Data.(*block.Block)
+					e.req = nil
+					return nil
+				}
+			} else {
+				attempts := 1 + w.rt.cfg.RecvRetries
+				silent := true
+				for i := 0; i < attempts; i++ {
+					if m, ok := e.req.WaitUntil(d, cancel); ok {
+						e.b = m.Data.(*block.Block)
+						e.req = nil
+						return nil
+					}
+					if cancel() {
+						silent = false // membership changed: re-check src
+						break
+					}
+				}
+				if silent {
+					world.Evict(src, fmt.Sprintf("worker %d heard no reply for block %s within %v",
+						w.rank, e.key, time.Duration(attempts)*d))
+				}
+			}
+		}
+		if !world.IsEvicted(src) {
+			continue // an unrelated rank was evicted; keep waiting on src
+		}
+		replicas := w.rt.replicaServers(e.key.arr, e.key.ord)
+		if len(replicas) == 0 {
+			return fmt.Errorf("sip: worker %d: block %s: every replica server is dead", w.rank, e.key)
+		}
+		w.failoverCtr.Inc()
+		if w.trk != nil {
+			w.trk.Instant(obs.CatGet, "read_failover",
+				obs.A("block", e.key.String()), obs.AInt("from", src), obs.AInt("to", replicas[0]))
+		}
+		replyTag := tagReplyBase + w.nextReply
+		w.nextReply++
+		e.req = w.comm.Irecv(replicas[0], replyTag)
+		w.comm.Send(replicas[0], tagServer, getMsg{key: e.key, replyTag: replyTag, origin: w.rank})
+	}
 }
 
 // currentPardo returns the innermost active pardo id, or -1.
@@ -1002,8 +1081,8 @@ func (w *worker) doGet(ref bytecode.Ref, prefetch bool) error {
 	}
 	if e := w.cache.lookup(loc.key); e != nil {
 		e.poll()
-	} else {
-		w.startFetch(ref.Arr, loc)
+	} else if _, err := w.startFetch(ref.Arr, loc); err != nil {
+		return err
 	}
 	if prefetch && w.rt.cfg.PrefetchWindow > 0 {
 		w.prefetchAhead(ref)
@@ -1012,18 +1091,28 @@ func (w *worker) doGet(ref bytecode.Ref, prefetch bool) error {
 }
 
 // startFetch begins an asynchronous fetch of one block into the cache.
-func (w *worker) startFetch(arrID int, loc refLoc) *cacheEntry {
+// Served blocks are requested from their primary replica; the error is
+// non-nil only when every replica of the block has been evicted.
+func (w *worker) startFetch(arrID int, loc refLoc) (*cacheEntry, error) {
 	arr := w.rt.prog.Arrays[arrID]
 	var home int
 	if arr.Kind == bytecode.ArrayServed {
-		home = w.rt.homeServer(arrID, loc.key.ord)
+		if w.rt.cfg.Replicas > 1 {
+			replicas := w.rt.replicaServers(arrID, loc.key.ord)
+			if len(replicas) == 0 {
+				return nil, fmt.Errorf("request %s%v: every replica server is dead", arr.Name, loc.coord)
+			}
+			home = replicas[0]
+		} else {
+			home = w.rt.homeServer(arrID, loc.key.ord)
+		}
 	} else {
 		home = w.rt.homeWorker(arrID, loc.key.ord)
 	}
 	if home == w.rank {
 		// Locally homed: copy out of the store under its lock.
 		b := w.dist.getCopy(loc.key, loc.dims)
-		return w.cache.insertReady(loc.key, b)
+		return w.cache.insertReady(loc.key, b), nil
 	}
 	replyTag := tagReplyBase + w.nextReply
 	w.nextReply++
@@ -1038,7 +1127,7 @@ func (w *worker) startFetch(arrID int, loc refLoc) *cacheEntry {
 		w.trk.Instant(obs.CatGet, "fetch_issued",
 			obs.A("block", loc.key.String()), obs.AInt("home", home))
 	}
-	return w.cache.insertPending(loc.key, req)
+	return w.cache.insertPending(loc.key, req), nil
 }
 
 // prefetchAhead requests the blocks this get will need in the next
@@ -1074,7 +1163,9 @@ func (w *worker) prefetchAhead(ref bytecode.Ref) {
 			return
 		}
 		if w.cache.lookup(loc.key) == nil {
-			w.startFetch(ref.Arr, loc)
+			if _, err := w.startFetch(ref.Arr, loc); err != nil {
+				return // prefetch is best-effort; the demand fetch reports
+			}
 			w.prof.prefetches++
 		}
 	}
@@ -1102,9 +1193,30 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 	}
 	seq := w.effectSeq()
 	if arr.Kind == bytecode.ArrayServed {
-		home := w.rt.homeServer(dst.Arr, loc.key.ord)
-		w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
-		w.pendingPrepAcks++
+		if w.rt.cfg.Replicas > 1 {
+			// Fan out to every live replica; the quorum is all of them
+			// (dead replicas' acks are written off on eviction, and the
+			// anti-entropy pass restores the factor later).
+			replicas := w.rt.replicaServers(dst.Arr, loc.key.ord)
+			if len(replicas) == 0 {
+				return fmt.Errorf("prepare %s%v: every replica server is dead", arr.Name, loc.coord)
+			}
+			for i, srv := range replicas {
+				b := payload
+				if i > 0 {
+					b = payload.Clone() // in-process sends hand off ownership
+				}
+				w.comm.Send(srv, tagServer, putMsg{key: loc.key, b: b, acc: acc, origin: w.rank, needAck: true, seq: seq})
+				w.pendingPrepAcks++
+				if w.owedPrepAcks != nil {
+					w.owedPrepAcks[srv]++
+				}
+			}
+		} else {
+			home := w.rt.homeServer(dst.Arr, loc.key.ord)
+			w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
+			w.pendingPrepAcks++
+		}
 	} else {
 		home := w.rt.homeWorker(dst.Arr, loc.key.ord)
 		switch {
@@ -1268,15 +1380,88 @@ func (w *worker) notePutAck(src int) {
 }
 
 // drainPrepAcks consumes acknowledgements for all outstanding prepares.
+// With evictable servers (Replicas > 1 under recovery) the quorum is
+// every live replica: acks owed by evicted servers are written off (the
+// surviving replicas hold the data), membership changes wake the wait,
+// and a live server that stays silent past the receive deadline is
+// evicted rather than fatal.
 func (w *worker) drainPrepAcks() error {
-	for w.pendingPrepAcks > 0 {
-		if _, err := w.recvTimed(mpi.AnySource, tagPrepAck,
-			fmt.Sprintf("prepare ack (%d outstanding)", w.pendingPrepAcks)); err != nil {
-			return err
+	if w.owedPrepAcks == nil {
+		for w.pendingPrepAcks > 0 {
+			if _, err := w.recvTimed(mpi.AnySource, tagPrepAck,
+				fmt.Sprintf("prepare ack (%d outstanding)", w.pendingPrepAcks)); err != nil {
+				return err
+			}
+			w.pendingPrepAcks--
 		}
-		w.pendingPrepAcks--
+		return nil
 	}
+	world := w.rt.world
+	for w.pendingPrepAcks > 0 {
+		for srv, n := range w.owedPrepAcks {
+			if world.IsEvicted(srv) {
+				w.pendingPrepAcks -= n
+				delete(w.owedPrepAcks, srv)
+			}
+		}
+		if w.pendingPrepAcks <= 0 {
+			break
+		}
+		stamp := world.EvictStamp()
+		cancel := func() bool { return world.EvictStamp() != stamp }
+		d := w.rt.cfg.RecvTimeout
+		if d <= 0 {
+			if m, ok := w.comm.RecvUntil(mpi.AnySource, tagPrepAck, 0, cancel); ok {
+				w.notePrepAck(m.Source)
+			}
+			continue
+		}
+		attempts := 1 + w.rt.cfg.RecvRetries
+		timedOut := true
+		for i := 0; i < attempts; i++ {
+			m, ok := w.comm.RecvUntil(mpi.AnySource, tagPrepAck, d, cancel)
+			if ok {
+				w.notePrepAck(m.Source)
+				timedOut = false
+				break
+			}
+			if cancel() {
+				timedOut = false // membership changed: re-check owed acks
+				break
+			}
+		}
+		if timedOut {
+			total := time.Duration(attempts) * d
+			evicted := false
+			for srv, n := range w.owedPrepAcks {
+				if n > 0 && !world.IsEvicted(srv) {
+					world.Evict(srv, fmt.Sprintf("worker %d heard no prepare ack within %v", w.rank, total))
+					evicted = true
+					break
+				}
+			}
+			if !evicted {
+				return fmt.Errorf("sip: worker %d: no prepare ack within %v", w.rank, total)
+			}
+		}
+	}
+	w.pendingPrepAcks = 0
+	clear(w.owedPrepAcks)
 	return nil
+}
+
+// notePrepAck folds one received prepare ack into the per-server
+// ledger, ignoring stale acks from servers whose debt was already
+// written off on eviction.
+func (w *worker) notePrepAck(src int) {
+	if w.owedPrepAcks[src] <= 0 {
+		return
+	}
+	w.owedPrepAcks[src]--
+	if w.owedPrepAcks[src] == 0 {
+		delete(w.owedPrepAcks, src)
+	}
+	w.pendingPrepAcks--
 }
 
 // sipBarrier separates conflicting accesses to distributed arrays: all
@@ -1481,6 +1666,9 @@ func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) 
 			return nil, fmt.Errorf("sip: worker %d: sync reply for round %d at round %d", w.rank, rep.round, round)
 		}
 		if !rep.resume {
+			// The release seals the phase; effects older than the previous
+			// phase can no longer be replayed, so retire their dedup entries.
+			w.retireSeenPuts()
 			return rep.vals, nil
 		}
 		if err := w.replayChunk(rep.pardo, rep.gen, rep.iters); err != nil {
@@ -1567,16 +1755,38 @@ func (w *worker) applyLocalPut(k blockKey, b *block.Block, acc bool, seq uint64)
 }
 
 // markSeen records an effect id, reporting false if it was already
-// present.  The ledger is kept for the whole run: clearing it at a sync
-// release would race with a faster survivor's next-phase effects
-// arriving via the service loop before this worker processes its own
-// release.  The cost is one uint64 per remote put over the run.
+// present in either live epoch of the ledger.  Clearing the whole
+// ledger at a sync release would race with a faster survivor's
+// next-phase effects arriving via the service loop before this worker
+// processes its own release — those land in the pre-rotation epoch, so
+// retireSeenPuts keeps the previous epoch alive for one more phase and
+// only drops entries two releases old, whose phase the master's sealed
+// ledger can no longer order replays for.
 func (w *worker) markSeen(seq uint64) bool {
 	w.seenMu.Lock()
 	defer w.seenMu.Unlock()
-	if w.seenPuts[seq] {
+	if w.seenPuts[seq] || w.seenPrevPuts[seq] {
 		return false
 	}
 	w.seenPuts[seq] = true
 	return true
+}
+
+// retireSeenPuts rotates the put-dedup ledger at a sync release: the
+// previous epoch's entries are retired (counted by sip.dedup.retired)
+// and the current epoch becomes the previous one, so the ledger holds
+// at most the last two phases' effects instead of growing for the
+// lifetime of the run.
+func (w *worker) retireSeenPuts() {
+	if w.seenPuts == nil {
+		return
+	}
+	w.seenMu.Lock()
+	retired := len(w.seenPrevPuts)
+	w.seenPrevPuts = w.seenPuts
+	w.seenPuts = map[uint64]bool{}
+	w.seenMu.Unlock()
+	if retired > 0 {
+		w.retireCtr.Add(int64(retired))
+	}
 }
