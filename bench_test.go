@@ -246,6 +246,24 @@ func BenchmarkSIPPaperExample(b *testing.B) {
 	}
 }
 
+// BenchmarkMP2EndToEnd runs the complete MP2 example on the in-process
+// SIP — compile, master dispatch, contractions, the mp2_denom user
+// super instruction, and the collective — at growing orbital counts.
+// scripts/bench.sh records this series in BENCH_mp2.json.
+func BenchmarkMP2EndToEnd(b *testing.B) {
+	for _, sz := range []struct{ no, nv, seg int }{
+		{2, 4, 2}, {4, 8, 4}, {6, 12, 4},
+	} {
+		b.Run(fmt.Sprintf("no=%d/nv=%d", sz.no, sz.nv), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chem.MP2SIP(sz.no, sz.nv, 4, sz.seg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkContraction measures the block contraction super instruction
 // at the paper's representative segment sizes (§III: "2 x 100^3 to
 // 2 x 2,500^3 floating point operations" per 4-index block pair).

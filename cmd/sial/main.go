@@ -12,10 +12,18 @@
 //	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
 //	              [-recv-timeout D] [-hb-interval D] [-hb-timeout D] [-fault-spec SPEC]
 //	              [-recover] [-replicas K]
+//	              [-obs-addr host:port] [-trace-local] [-flight-dir DIR]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
 // container format).  -trace-json writes a Chrome trace-event file
-// loadable in Perfetto (see docs/OBSERVABILITY.md).
+// loadable in Perfetto (see docs/OBSERVABILITY.md).  Under -launch the
+// file is the merged cluster trace: every rank ships its spans to the
+// master, which aligns the per-rank clocks and correlates send/receive
+// pairs with flow arrows (-trace-local restores one file per rank).
+// -obs-addr serves the live cluster view over HTTP (/metrics in
+// Prometheus text format, /healthz membership, /trace merged trace) and
+// -flight-dir dumps a post-mortem flight-recorder bundle when a rank
+// dies or is evicted.
 //
 // By default `run` executes every SIP rank inside this process.  With
 // `-transport tcp` each rank is a separate OS process: either start one
@@ -107,7 +115,8 @@ func usage(w io.Writer) {
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
 run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
-run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover -replicas K`)
+run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover -replicas K
+run obs plane:    -obs-addr host:port -trace-local -flight-dir DIR (see docs/OBSERVABILITY.md)`)
 }
 
 // load reads a program from SIAL source or compiled byte code.
@@ -180,6 +189,13 @@ type runFlags struct {
 	tracer    *obs.Tracer
 	traceJSON string
 
+	// run-only observability plane (see docs/OBSERVABILITY.md).
+	obsShip    bool            // ship telemetry to the master's aggregator
+	obsAddr    string          // rank-0 live HTTP endpoint (/metrics /healthz /trace)
+	traceLocal bool            // with -launch: per-rank trace files, no streaming
+	flightDir  string          // flight-recorder bundle directory
+	agg        *obs.Aggregator // rank-0 (or single-process) merge sink
+
 	// run-only transport selection (see docs/TRANSPORT.md).
 	transport string   // "inproc" or "tcp"
 	rank      int      // this process's world rank under tcp, -1 unset
@@ -215,6 +231,8 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	var faultSpec *string
 	var recoverRun *bool
 	var replicas *int
+	var obsShip, traceLocal *bool
+	var obsAddr, flightDir *string
 	if name == "run" {
 		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
 		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
@@ -226,6 +244,10 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		faultSpec = fs.String("fault-spec", "", "inject transport faults, e.g. 'seed=7;drop=0.1;kill=3@100' (see docs/FAULTS.md)")
 		recoverRun = fs.Bool("recover", false, "survive worker-rank failures: evict the dead rank, re-run its work on the survivors (see docs/FAULTS.md)")
 		replicas = fs.Int("replicas", 1, "I/O servers holding each served-array block; with -recover and >= 2, server deaths are survivable too (see docs/FAULTS.md)")
+		obsShip = fs.Bool("obs-ship", false, "ship telemetry to the master's aggregator over the obs plane (tcp ranks; -launch sets this itself)")
+		obsAddr = fs.String("obs-addr", "", "serve live observability HTTP on this address: /metrics /healthz /trace (rank 0)")
+		traceLocal = fs.Bool("trace-local", false, "with -launch -trace-json: one trace file per rank instead of one merged trace")
+		flightDir = fs.String("flight-dir", "", "write flight-recorder bundles (post-mortem metrics and spans) to this directory when a rank dies")
 	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -241,6 +263,8 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		}
 		rf.hbInterval, rf.hbTimeout = *hbInterval, *hbTimeout
 		rf.recover = *recoverRun
+		rf.obsShip, rf.obsAddr = *obsShip, *obsAddr
+		rf.traceLocal, rf.flightDir = *traceLocal, *flightDir
 		var err error
 		if rf.faultSpec, err = transport.ParseFaultSpec(*faultSpec); err != nil {
 			return nil, err
@@ -285,6 +309,20 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		rf.reg = obs.NewRegistry()
 		rf.cfg.Metrics = rf.reg
 	}
+	// The observability plane needs both telemetry sources regardless of
+	// -trace-json/-metrics: shipped reports and the live endpoint carry
+	// spans and metrics from every rank.
+	if rf.obsShip || rf.obsAddr != "" || rf.flightDir != "" {
+		if rf.tracer == nil {
+			rf.tracer = obs.NewTracer(obs.TracerConfig{Ranks: ranks})
+			rf.cfg.Tracer = rf.tracer
+		}
+		if rf.reg == nil {
+			rf.reg = obs.NewRegistry()
+			rf.cfg.Metrics = rf.reg
+		}
+	}
+	rf.cfg.ObsShip = rf.obsShip
 	return rf, nil
 }
 
@@ -302,10 +340,16 @@ func (rf *runFlags) validateTransport() error {
 		if rf.rank >= 0 || len(rf.peers) > 0 {
 			return fmt.Errorf("-launch assigns ranks and ports itself; drop -rank/-peers")
 		}
-		if rf.traceJSON != "" {
-			return fmt.Errorf("-trace-json under -launch: every child would clobber the same file; run ranks by hand with -rank and per-rank file names")
+		if rf.obsShip {
+			return fmt.Errorf("-launch manages -obs-ship itself; drop it")
+		}
+		if rf.traceLocal && rf.traceJSON == "" {
+			return fmt.Errorf("-trace-local needs -trace-json to name the per-rank files")
 		}
 		return nil
+	}
+	if rf.traceLocal {
+		return fmt.Errorf("-trace-local selects per-rank trace files under -launch; it needs -launch and -trace-json")
 	}
 	if rf.transport == "inproc" {
 		if rf.rank >= 0 || len(rf.peers) > 0 {
@@ -313,6 +357,9 @@ func (rf *runFlags) validateTransport() error {
 		}
 		if rf.faultSpec.Active() {
 			return fmt.Errorf("-fault-spec injects transport faults; it requires -transport tcp or -launch")
+		}
+		if rf.obsShip {
+			return fmt.Errorf("-obs-ship ships telemetry between processes; it requires -transport tcp or -launch")
 		}
 		return nil
 	}
@@ -395,6 +442,22 @@ func doRun(file string, args []string, stdout io.Writer) error {
 		return err
 	}
 	rf.cfg.Output = stdout
+	// Single-process observability: every rank shares this process's
+	// tracer and registry, so an aggregator over the local sources IS the
+	// whole-cluster view — no shipping needed.
+	if rf.obsAddr != "" || rf.flightDir != "" {
+		rf.agg = obs.NewAggregator(0, "master", rf.tracer, rf.reg)
+		rf.cfg.ObsAgg = rf.agg
+		rf.cfg.FlightDir = rf.flightDir
+		if rf.obsAddr != "" {
+			srv, err := startObsServer(rf.obsAddr, rf.agg, 1+rf.cfg.Workers+rf.cfg.Servers, nil)
+			if err != nil {
+				return fmt.Errorf("-obs-addr: %v", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(stdout, "observability endpoint on http://%s (/metrics /healthz /trace)\n", srv.Addr())
+		}
+	}
 	res, err := core.Run(prog, rf.cfg)
 	if err != nil {
 		return err
@@ -430,14 +493,28 @@ func printResult(rf *runFlags, res *core.Result, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := rf.tracer.WriteChrome(f); err != nil {
+		// With an aggregator the file is the merged cluster trace (every
+		// reported rank on one clock-aligned timeline); otherwise it
+		// carries this process's spans only.
+		werr := error(nil)
+		if rf.agg != nil {
+			werr = rf.agg.WriteMergedChrome(f)
+		} else {
+			werr = rf.tracer.WriteChrome(f)
+		}
+		if werr != nil {
 			f.Close()
-			return err
+			return werr
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace written to %s (open in https://ui.perfetto.dev)\n", rf.traceJSON)
+	}
+	if rf.metrics && rf.agg != nil {
+		if rep := rf.agg.WaitReport(); rep != "" {
+			fmt.Fprint(stdout, rep)
+		}
 	}
 	return nil
 }
@@ -491,6 +568,19 @@ func runDistributed(file string, rf *runFlags, stdout io.Writer) error {
 			return err
 		}
 	}
+	if rf.rank == 0 && (rf.obsShip || rf.obsAddr != "" || rf.flightDir != "") {
+		rf.agg = obs.NewAggregator(0, "master", rf.tracer, rf.reg)
+		rf.cfg.ObsAgg = rf.agg
+		rf.cfg.FlightDir = rf.flightDir
+		if rf.obsAddr != "" {
+			srv, err := startObsServer(rf.obsAddr, rf.agg, ranks.N, world.Evicted)
+			if err != nil {
+				return fmt.Errorf("-obs-addr: %v", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(stdout, "observability endpoint on http://%s (/metrics /healthz /trace)\n", srv.Addr())
+		}
+	}
 	rf.cfg.Output = stdout
 	res, err := sip.RunRank(prog, rf.cfg, world, rf.rank)
 	if err != nil {
@@ -522,8 +612,20 @@ func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error 
 		}
 	}
 	// Children re-parse the original flags, minus the launch/transport
-	// selection, plus their own rank assignment.
+	// selection and the observability flags doLaunch reassigns itself,
+	// plus their own rank assignment.
 	base := stripFlag(stripFlag(args, "launch", false), "transport", true)
+	for _, f := range []struct {
+		name     string
+		hasValue bool
+	}{{"trace-json", true}, {"trace-local", false}, {"obs-addr", true}, {"flight-dir", true}, {"obs-ship", false}} {
+		base = stripFlag(base, f.name, f.hasValue)
+	}
+	// Streaming mode (the default with -trace-json): every rank ships
+	// telemetry to rank 0, which writes the single merged trace.  The
+	// plane also runs for -obs-addr and -flight-dir alone.
+	stream := rf.traceJSON != "" && !rf.traceLocal
+	obsPlane := stream || rf.obsAddr != "" || rf.flightDir != ""
 	peers := strings.Join(addrs, ",")
 
 	var mu sync.Mutex // serializes merged output lines
@@ -532,6 +634,23 @@ func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error 
 	for rank := 0; rank < ranks.N; rank++ {
 		childArgs := append([]string{"run", file}, base...)
 		childArgs = append(childArgs, "-transport", "tcp", "-rank", strconv.Itoa(rank), "-peers", peers)
+		if obsPlane {
+			childArgs = append(childArgs, "-obs-ship")
+		}
+		if rank == 0 {
+			if stream {
+				childArgs = append(childArgs, "-trace-json", rf.traceJSON)
+			}
+			if rf.obsAddr != "" {
+				childArgs = append(childArgs, "-obs-addr", rf.obsAddr)
+			}
+			if rf.flightDir != "" {
+				childArgs = append(childArgs, "-flight-dir", rf.flightDir)
+			}
+		}
+		if rf.traceLocal {
+			childArgs = append(childArgs, "-trace-json", rankTraceFile(rf.traceJSON, rank))
+		}
 		cmd := exec.Command(exe, childArgs...)
 		// SIAL_CHILD_MAIN lets a test binary standing in for the real
 		// CLI (via SIAL_LAUNCH_EXE or os.Executable) reroute into
@@ -581,6 +700,16 @@ func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error 
 		return fmt.Errorf("launch: %s: %v", ranks.Role(rank), err)
 	}
 	return nil
+}
+
+// rankTraceFile derives the per-rank trace file name used by
+// -trace-local: "out.json" becomes "out.rank3.json" (a name without an
+// extension just gets the ".rank3" suffix).
+func rankTraceFile(file string, rank int) string {
+	if i := strings.LastIndex(file, "."); i > 0 {
+		return fmt.Sprintf("%s.rank%d%s", file[:i], rank, file[i:])
+	}
+	return fmt.Sprintf("%s.rank%d", file, rank)
 }
 
 // reservePorts picks n free loopback ports by binding and immediately

@@ -258,7 +258,10 @@ func TestCLITransportFlagValidation(t *testing.T) {
 		{"rank without tcp", []string{"-rank", "1"}, "require -transport tcp"},
 		{"peers without tcp", []string{"-peers", "localhost:1"}, "require -transport tcp"},
 		{"launch with rank", []string{"-launch", "-rank", "0"}, "drop -rank"},
-		{"launch with trace-json", []string{"-launch", "-trace-json", "t.json"}, "-trace-json under -launch"},
+		{"launch with obs-ship", []string{"-launch", "-obs-ship"}, "manages -obs-ship itself"},
+		{"trace-local without launch", []string{"-trace-local"}, "needs -launch"},
+		{"trace-local without trace-json", []string{"-launch", "-trace-local"}, "needs -trace-json"},
+		{"obs-ship without tcp", []string{"-obs-ship"}, "requires -transport tcp"},
 		{"peers count mismatch", []string{"-workers", "1", "-servers", "1",
 			"-transport", "tcp", "-rank", "0", "-peers", "a:1,b:2"}, "lists 2 addresses"},
 		{"rank out of range", []string{"-workers", "1", "-servers", "1",
@@ -369,6 +372,78 @@ func TestCLILaunchLoopbackSmoke(t *testing.T) {
 	for _, wantLine := range []string{"[master] ", "[worker1] ", "net."} {
 		if !strings.Contains(out, wantLine) {
 			t.Errorf("merged output lacks %q:\n%s", wantLine, out)
+		}
+	}
+}
+
+// TestCLILaunchMergedTrace: a -launch run with -trace-json streams
+// every child's telemetry to the master and writes ONE merged Chrome
+// trace with all ranks on a shared timeline, plus flow events pairing
+// send and recv spans across processes.
+func TestCLILaunchMergedTrace(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sial", "mp2_energy.sial")
+	if _, err := os.Stat(example); err != nil {
+		t.Fatalf("example missing: %v", err)
+	}
+	traceFile := filepath.Join(t.TempDir(), "merged.json")
+	code, out, errOut := runCLI(t, "run", example,
+		"-workers", "2", "-servers", "1", "-seg", "2",
+		"-param", "no=2", "-param", "nv=2",
+		"-launch", "-metrics", "-trace-json", traceFile)
+	if code != 0 {
+		t.Fatalf("launch exit %d: %s\n%s", code, errOut, out)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("merged trace missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	flows := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+		if ev.Ph == "s" || ev.Ph == "f" {
+			flows[ev.Ph]++
+		}
+	}
+	for rank := 0; rank < 4; rank++ {
+		if !pids[rank] {
+			t.Errorf("merged trace has no events for rank %d (pids %v)", rank, pids)
+		}
+	}
+	if flows["s"] == 0 || flows["f"] == 0 {
+		t.Errorf("merged trace has no flow pair: %v", flows)
+	}
+	// -metrics on an aggregated run also prints the cluster wait report.
+	if !strings.Contains(out, "% wait") {
+		t.Errorf("output lacks the wait report:\n%s", out)
+	}
+}
+
+// TestCLILaunchTraceLocal: the -trace-local escape hatch makes each
+// child write its own per-rank trace file instead of streaming.
+func TestCLILaunchTraceLocal(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sial", "mp2_energy.sial")
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	code, _, errOut := runCLI(t, "run", example,
+		"-workers", "1", "-servers", "1", "-seg", "2",
+		"-param", "no=2", "-param", "nv=2",
+		"-launch", "-trace-json", traceFile, "-trace-local")
+	if code != 0 {
+		t.Fatalf("launch exit %d: %s", code, errOut)
+	}
+	for rank := 0; rank < 3; rank++ {
+		f := rankTraceFile(traceFile, rank)
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("rank %d local trace missing: %v", rank, err)
 		}
 	}
 }

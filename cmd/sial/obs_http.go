@@ -1,0 +1,90 @@
+package main
+
+// Live observability HTTP endpoint (-obs-addr, rank 0 only): serves the
+// aggregator's merged cluster view while the run is in flight.
+//
+//	/metrics  Prometheus text exposition: aggregated series (no rank
+//	          label) plus per-rank series labeled {rank=...,role=...}
+//	/healthz  JSON membership/liveness summary (reported ranks, final
+//	          reports, evicted ranks with eviction reasons)
+//	/trace    point-in-time merged Chrome trace of everything reported
+//	          so far (loadable in Perfetto)
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// obsServer serves the live observability endpoints for one run.
+type obsServer struct {
+	agg    *obs.Aggregator
+	ranks  int                   // expected world size (0 = unknown)
+	health func() map[int]string // evicted ranks and reasons; nil when unavailable
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// startObsServer binds addr and serves until Close.  health may be nil
+// (single-process runs have no membership view beyond the aggregator).
+func startObsServer(addr string, agg *obs.Aggregator, ranks int, health func() map[int]string) (*obsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &obsServer{agg: agg, ranks: ranks, health: health, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/trace", s.serveTrace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *obsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately; in-flight requests are dropped
+// (the run is over, the data served was point-in-time anyway).
+func (s *obsServer) Close() { s.srv.Close() }
+
+func (s *obsServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.agg.WritePrometheus(w)
+}
+
+// healthReport is the /healthz JSON document.
+type healthReport struct {
+	Status   string         `json:"status"` // "ok" or "degraded"
+	Ranks    int            `json:"ranks,omitempty"`
+	Reported []int          `json:"reported,omitempty"`
+	Finals   int            `json:"finals"`
+	Evicted  map[int]string `json:"evicted,omitempty"`
+}
+
+func (s *obsServer) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := healthReport{
+		Status:   "ok",
+		Ranks:    s.ranks,
+		Reported: s.agg.ReportedRanks(),
+		Finals:   s.agg.FinalCount(),
+	}
+	if s.health != nil {
+		if ev := s.health(); len(ev) > 0 {
+			rep.Status = "degraded"
+			rep.Evicted = ev
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(rep)
+}
+
+func (s *obsServer) serveTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.agg.WriteMergedChrome(w)
+}

@@ -84,6 +84,9 @@ func (w *World) deliver(src, dst, tag int, data any) {
 	if _, ok := data.(heartbeatMsg); ok {
 		return
 	}
+	if w.handleClock(src, dst, data) {
+		return
+	}
 	if p, ok := data.(groupPoison); ok {
 		if !w.closed.Load() {
 			if p.Rank >= 0 {

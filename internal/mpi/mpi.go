@@ -69,6 +69,7 @@ type World struct {
 	failMu  sync.Mutex
 	failure *RankFailure
 	live    atomic.Pointer[liveness]
+	clock   clockState
 
 	// Recovery state (SetRecover).  evicted maps a dead rank to the
 	// reason it was evicted; evictGen counts evictions so waiters can
@@ -294,6 +295,9 @@ func (r *Request) WaitUntil(d time.Duration, cancel func() bool) (Message, bool)
 // Source returns the source rank this request matches (possibly
 // AnySource).
 func (r *Request) Source() int { return r.src }
+
+// Tag returns the tag the request is listening on.
+func (r *Request) Tag() int { return r.tag }
 
 // mailbox is one rank's unbounded, order-preserving message queue with
 // (source, tag) matching.

@@ -353,3 +353,7 @@ func (f *Fault) Send(src, dst, tag int, data any) error {
 
 // Close closes the inner transport.
 func (f *Fault) Close() error { return f.inner.Close() }
+
+// ClockOffsets forwards the inner transport's handshake clock samples
+// (ClockSampler), so fault injection does not hide clock alignment.
+func (f *Fault) ClockOffsets() map[int]int64 { return SampleClockOffsets(f.inner) }

@@ -15,13 +15,15 @@ import (
 
 // Wire protocol constants.  Every frame on a connection is a 4-byte
 // big-endian payload length followed by the payload.  The first frame
-// after connect is a handshake: the 4 magic bytes, a version byte, and
-// the dialer's rank as a zigzag varint.  Every later frame is a
-// message: src, dst, and tag as zigzag varints followed by the
-// wire-encoded payload (type id + body).
+// after connect is a handshake: the 4 magic bytes, a version byte, the
+// dialer's rank as a zigzag varint, and (since version 2) the dialer's
+// wall clock in unix µs as a zigzag varint — a coarse clock sample the
+// observability plane uses to place ranks on one merged timeline.
+// Every later frame is a message: src, dst, and tag as zigzag varints
+// followed by the wire-encoded payload (type id + body).
 const (
 	tcpMagic   = "SIPW"
-	tcpVersion = 1
+	tcpVersion = 2
 )
 
 // TCPConfig parameterizes a TCP transport endpoint.
@@ -101,6 +103,9 @@ type TCP struct {
 	closeCh  chan struct{} // closed by Close; interrupts dial backoffs
 	writerWG sync.WaitGroup
 	readerWG sync.WaitGroup
+
+	clockMu  sync.Mutex
+	clockOff map[int]int64 // peer clock − local clock, µs, from handshakes
 }
 
 var _ Transport = (*TCP)(nil)
@@ -230,7 +235,43 @@ func (t *TCP) readHandshake(conn net.Conn) (int, error) {
 	if d.Err() != nil {
 		return -1, fmt.Errorf("transport: handshake rank: %w", d.Err())
 	}
+	if d.Remaining() > 0 {
+		sentUs := int64(d.Int())
+		if d.Err() == nil {
+			// One-way sample: the dialer stamped sentUs just before the
+			// frame left, so (sentUs − now) underestimates the peer's
+			// clock offset by the network delay.  Good enough to anchor
+			// merged traces; the mpi layer refines it with ping-pong.
+			t.noteClock(rank, sentUs-time.Now().UnixMicro())
+		}
+	}
 	return rank, nil
+}
+
+// noteClock records a handshake clock-offset sample for a peer.  Only
+// the first sample per peer is kept: reconnects do not overwrite an
+// estimate the run may already be using.
+func (t *TCP) noteClock(rank int, offsetUs int64) {
+	t.clockMu.Lock()
+	defer t.clockMu.Unlock()
+	if t.clockOff == nil {
+		t.clockOff = map[int]int64{}
+	}
+	if _, ok := t.clockOff[rank]; !ok {
+		t.clockOff[rank] = offsetUs
+	}
+}
+
+// ClockOffsets implements ClockSampler: it returns the handshake-derived
+// estimate of each connected peer's clock offset (peer − local, µs).
+func (t *TCP) ClockOffsets() map[int]int64 {
+	t.clockMu.Lock()
+	defer t.clockMu.Unlock()
+	out := make(map[int]int64, len(t.clockOff))
+	for r, off := range t.clockOff {
+		out[r] = off
+	}
+	return out
 }
 
 // dispatch decodes one message frame and hands it to the world layer.
@@ -394,6 +435,7 @@ func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
 			e.Byte(tcpMagic[3])
 			e.Byte(tcpVersion)
 			e.Int(t.cfg.Rank)
+			e.Int(int(time.Now().UnixMicro()))
 			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 			if err := writeFrame(conn, e.Bytes()); err != nil {
 				conn.Close()

@@ -63,6 +63,26 @@ type Observer interface {
 	OnPeerDown(peer int, err error)
 }
 
+// ClockSampler is an optional Transport capability: transports whose
+// endpoints live on different machines (or at least different
+// processes) report their estimate of each peer's wall-clock offset
+// (peer clock − local clock, in µs), sampled during the connection
+// handshake.  In-process transports share one clock and simply do not
+// implement the interface.  Wrapping transports (e.g. Fault) forward
+// it when the inner transport implements it.
+type ClockSampler interface {
+	ClockOffsets() map[int]int64
+}
+
+// SampleClockOffsets returns tr's handshake clock-offset estimates, or
+// nil when the transport does not sample clocks.
+func SampleClockOffsets(tr Transport) map[int]int64 {
+	if cs, ok := tr.(ClockSampler); ok {
+		return cs.ClockOffsets()
+	}
+	return nil
+}
+
 // NopObserver is an Observer that ignores every callback.
 type NopObserver struct{}
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -19,7 +20,17 @@ type chromeEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Dur  *int64         `json:"dur,omitempty"`
 	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeSegment is one track's events plus the µs offset that places
+// them on the merged cluster timeline (the master's clock-alignment
+// output).  TSOffset is added to every event timestamp.
+type ChromeSegment struct {
+	TrackSegment
+	TSOffset int64
 }
 
 // WriteChrome exports all recorded events as Chrome trace-event JSON.
@@ -27,6 +38,98 @@ type chromeEvent struct {
 // process_name / thread_name metadata so Perfetto labels the timeline
 // by SIP role.  Safe to call once the traced goroutines have stopped.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	segs := t.Segments(false)
+	cs := make([]ChromeSegment, len(segs))
+	for i, s := range segs {
+		cs[i] = ChromeSegment{TrackSegment: s}
+	}
+	return WriteChromeSegments(w, cs)
+}
+
+// WriteChromeSegments writes a merged Chrome trace from track segments
+// that may come from many ranks (and many incremental drains of the
+// same track).  Segments sharing (rank, tid) are folded into one
+// thread.  Events are shifted by their segment's TSOffset, rebased so
+// the earliest event lands at 0, and written in timestamp order.
+// Events carrying flow ids additionally emit Chrome flow-event pairs
+// (ph "s" / ph "f" with bp "e") so cross-rank send→recv arrows render
+// in Perfetto.
+func WriteChromeSegments(w io.Writer, segs []ChromeSegment) error {
+	type threadKey struct{ pid, tid int }
+	procName := map[int]string{}
+	threadName := map[threadKey]string{}
+	threadDrop := map[threadKey]int{}
+
+	var evs []chromeEvent
+	var minTS int64
+	haveMin := false
+	note := func(ts int64) {
+		if !haveMin || ts < minTS {
+			minTS = ts
+			haveMin = true
+		}
+	}
+	for _, seg := range segs {
+		k := threadKey{seg.Rank, seg.Tid}
+		if procName[seg.Rank] == "" {
+			procName[seg.Rank] = seg.Proc
+		}
+		if threadName[k] == "" {
+			threadName[k] = seg.Name
+		}
+		if seg.Dropped > threadDrop[k] {
+			threadDrop[k] = seg.Dropped
+		}
+		for _, ev := range seg.Events {
+			ts := ev.TS + seg.TSOffset
+			note(ts)
+			ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Pid: seg.Rank, Tid: seg.Tid, TS: ts}
+			if ev.Dur >= 0 {
+				ce.Ph = "X"
+				dur := ev.Dur
+				ce.Dur = &dur
+			} else {
+				ce.Ph = "i"
+				ce.S = "t" // thread-scoped instant
+			}
+			if ev.NArg > 0 {
+				args := make(map[string]any, ev.NArg)
+				for i := 0; i < ev.NArg; i++ {
+					args[ev.Args[i].Key] = ev.Args[i].Val
+				}
+				ce.Args = args
+			}
+			evs = append(evs, ce)
+			if ev.FlowDir != FlowNone && ev.Dur >= 0 {
+				// Bind the flow endpoint strictly inside the span so
+				// Perfetto attaches it to the enclosing slice: the out
+				// end at span end (message handed off), the in end at
+				// span end too (message arrived, wait over).
+				fts := ts
+				if ev.Dur > 0 {
+					fts = ts + ev.Dur - 1
+				}
+				fe := chromeEvent{Name: "msg", Cat: "flow", Pid: seg.Rank, Tid: seg.Tid,
+					TS: fts, ID: fmt.Sprintf("0x%x", ev.Flow)}
+				if ev.FlowDir == FlowOut {
+					fe.Ph = "s"
+				} else {
+					fe.Ph = "f"
+					fe.BP = "e"
+				}
+				evs = append(evs, fe)
+			}
+		}
+	}
+	// Rebase so the merged timeline starts at 0 even when clock
+	// alignment produced negative timestamps for early remote events.
+	if haveMin && minTS < 0 {
+		for i := range evs {
+			evs[i].TS -= minTS
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
 		return err
@@ -50,56 +153,40 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		return err
 	}
 
-	var tracks []*Track
-	if t != nil {
-		t.mu.Lock()
-		tracks = append(tracks, t.tracks...)
-		t.mu.Unlock()
+	pids := make([]int, 0, len(procName))
+	for pid := range procName {
+		pids = append(pids, pid)
 	}
-	sort.SliceStable(tracks, func(i, j int) bool {
-		if tracks[i].pid != tracks[j].pid {
-			return tracks[i].pid < tracks[j].pid
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": procName[pid]}}); err != nil {
+			return err
 		}
-		return tracks[i].tid < tracks[j].tid
+	}
+	keys := make([]threadKey, 0, len(threadName))
+	for k := range threadName {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
 	})
-
-	namedPid := map[int]bool{}
-	for _, trk := range tracks {
-		if !namedPid[trk.pid] {
-			namedPid[trk.pid] = true
-			if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: trk.pid,
-				Args: map[string]any{"name": trk.proc}}); err != nil {
-				return err
-			}
-		}
-		meta := map[string]any{"name": trk.name}
-		if d := trk.Dropped(); d > 0 {
+	for _, k := range keys {
+		meta := map[string]any{"name": threadName[k]}
+		if d := threadDrop[k]; d > 0 {
 			meta["dropped_events"] = d
 		}
-		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: trk.pid, Tid: trk.tid,
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: k.pid, Tid: k.tid,
 			Args: meta}); err != nil {
 			return err
 		}
-		for _, ev := range trk.Events() {
-			ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Pid: trk.pid, Tid: trk.tid, TS: ev.TS}
-			if ev.Dur >= 0 {
-				ce.Ph = "X"
-				dur := ev.Dur
-				ce.Dur = &dur
-			} else {
-				ce.Ph = "i"
-				ce.S = "t" // thread-scoped instant
-			}
-			if ev.NArg > 0 {
-				args := make(map[string]any, ev.NArg)
-				for i := 0; i < ev.NArg; i++ {
-					args[ev.Args[i].Key] = ev.Args[i].Val
-				}
-				ce.Args = args
-			}
-			if err := emit(ce); err != nil {
-				return err
-			}
+	}
+	for _, e := range evs {
+		if err := emit(e); err != nil {
+			return err
 		}
 	}
 	if _, err := bw.WriteString("]}\n"); err != nil {

@@ -232,10 +232,14 @@ type GaugeValue struct {
 	Max   int64
 }
 
-// HistValue is a histogram's state in a snapshot.
+// HistValue is a histogram's state in a snapshot.  Buckets carries the
+// raw power-of-two bucket counts (trailing zero buckets trimmed) so
+// snapshots from different ranks merge exactly: bucket counts add, and
+// quantiles are recomputed from the merged buckets.
 type HistValue struct {
 	Count, Sum    int64
 	P50, P90, P99 int64
+	Buckets       []int64
 }
 
 // Snapshot is a point-in-time copy of a registry's metrics.
@@ -265,12 +269,116 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = GaugeValue{Value: g.Value(), Max: g.Max()}
 	}
 	for name, h := range r.hists {
-		s.Hists[name] = HistValue{
+		hv := HistValue{
 			Count: h.Count(), Sum: h.Sum(),
 			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 		}
+		top := -1
+		for i := range h.buckets {
+			if h.buckets[i].Load() != 0 {
+				top = i
+			}
+		}
+		if top >= 0 {
+			hv.Buckets = make([]int64, top+1)
+			for i := range hv.Buckets {
+				hv.Buckets[i] = h.buckets[i].Load()
+			}
+		}
+		s.Hists[name] = hv
 	}
 	return s
+}
+
+// bucketQuantile returns an upper bound on the q-quantile of a merged
+// power-of-two bucket vector (same boundaries as Histogram.Quantile);
+// sum is used as the bound for the topmost populated bucket.
+func bucketQuantile(buckets []int64, count, sum int64, q float64) int64 {
+	if count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > count {
+		target = count
+	}
+	var cum int64
+	for i, b := range buckets {
+		cum += b
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (int64(1) << i) - 1
+		}
+	}
+	return sum
+}
+
+// Merge folds other into s: counters sum, gauges keep the maximum level
+// and high-water mark, and histograms add bucket-by-bucket with
+// quantiles recomputed from the merged buckets.  The operation is
+// associative and commutative, so per-rank snapshots can be combined in
+// any arrival order.  A nil other is a no-op.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		g := s.Gauges[name]
+		if v.Value > g.Value {
+			g.Value = v.Value
+		}
+		if v.Max > g.Max {
+			g.Max = v.Max
+		}
+		s.Gauges[name] = g
+	}
+	for name, v := range other.Hists {
+		h := s.Hists[name]
+		h.Count += v.Count
+		h.Sum += v.Sum
+		if len(v.Buckets) > len(h.Buckets) {
+			b := make([]int64, len(v.Buckets))
+			copy(b, h.Buckets)
+			h.Buckets = b
+		}
+		for i, b := range v.Buckets {
+			h.Buckets[i] += b
+		}
+		h.P50 = bucketQuantile(h.Buckets, h.Count, h.Sum, 0.50)
+		h.P90 = bucketQuantile(h.Buckets, h.Count, h.Sum, 0.90)
+		h.P99 = bucketQuantile(h.Buckets, h.Count, h.Sum, 0.99)
+		s.Hists[name] = h
+	}
+}
+
+// Clone deep-copies a snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	c := &Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]GaugeValue, len(s.Gauges)),
+		Hists:    make(map[string]HistValue, len(s.Hists)),
+	}
+	for k, v := range s.Counters {
+		c.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		c.Gauges[k] = v
+	}
+	for k, v := range s.Hists {
+		v.Buckets = append([]int64(nil), v.Buckets...)
+		c.Hists[k] = v
+	}
+	return c
 }
 
 // fmtVal renders a metric value, using durations for *_ns names.

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LabeledSnapshot pairs a snapshot with the label set identifying its
+// origin (e.g. {rank="2", role="worker 2"}) for Prometheus exposition.
+type LabeledSnapshot struct {
+	Labels map[string]string
+	Snap   *Snapshot
+}
+
+// promName sanitizes a dotted metric name ("sip.worker.wait_ns") into
+// the Prometheus charset ("sip_worker_wait_ns").
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted, escaped label block: {a="1",b="2"}.
+// Empty label sets render as nothing.
+func promLabels(labels map[string]string, extra ...string) string {
+	keys := make([]string, 0, len(labels)+len(extra)/2)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, promName(k), promEscape(labels[k])))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extra[i], promEscape(extra[i+1])))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshots in the Prometheus text
+// exposition format (version 0.0.4).  Each metric name gets one # TYPE
+// header followed by one series per labeled snapshot: counters as-is,
+// gauges as <name> plus a companion <name>_max gauge for the high-water
+// mark, histograms as cumulative <name>_bucket{le=...} series with
+// power-of-two bounds plus <name>_sum and <name>_count.
+func WritePrometheus(w io.Writer, snaps []LabeledSnapshot) error {
+	names := map[string]string{} // prom name -> kind
+	for _, ls := range snaps {
+		if ls.Snap == nil {
+			continue
+		}
+		for n := range ls.Snap.Counters {
+			names[promName(n)] = "counter"
+		}
+		for n := range ls.Snap.Gauges {
+			names[promName(n)] = "gauge"
+		}
+		for n := range ls.Snap.Hists {
+			names[promName(n)] = "histogram"
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var b strings.Builder
+	for _, pn := range sorted {
+		kind := names[pn]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", pn, kind)
+		if kind == "gauge" {
+			fmt.Fprintf(&b, "# TYPE %s_max gauge\n", pn)
+		}
+		for _, ls := range snaps {
+			if ls.Snap == nil {
+				continue
+			}
+			switch kind {
+			case "counter":
+				for n, v := range ls.Snap.Counters {
+					if promName(n) != pn {
+						continue
+					}
+					fmt.Fprintf(&b, "%s%s %d\n", pn, promLabels(ls.Labels), v)
+				}
+			case "gauge":
+				for n, v := range ls.Snap.Gauges {
+					if promName(n) != pn {
+						continue
+					}
+					fmt.Fprintf(&b, "%s%s %d\n", pn, promLabels(ls.Labels), v.Value)
+					fmt.Fprintf(&b, "%s_max%s %d\n", pn, promLabels(ls.Labels), v.Max)
+				}
+			case "histogram":
+				for n, v := range ls.Snap.Hists {
+					if promName(n) != pn {
+						continue
+					}
+					var cum int64
+					for i, c := range v.Buckets {
+						cum += c
+						if c == 0 {
+							continue
+						}
+						le := "0"
+						if i > 0 {
+							le = fmt.Sprintf("%d", (int64(1)<<i)-1)
+						}
+						fmt.Fprintf(&b, "%s_bucket%s %d\n", pn, promLabels(ls.Labels, "le", le), cum)
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", pn, promLabels(ls.Labels, "le", "+Inf"), v.Count)
+					fmt.Fprintf(&b, "%s_sum%s %d\n", pn, promLabels(ls.Labels), v.Sum)
+					fmt.Fprintf(&b, "%s_count%s %d\n", pn, promLabels(ls.Labels), v.Count)
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -45,6 +45,16 @@ func A(k, v string) Arg { return Arg{k, v} }
 // AInt builds an integer-valued attribute.
 func AInt(k string, v int) Arg { return Arg{k, strconv.Itoa(v)} }
 
+// Flow direction markers on an Event.  A span tagged FlowOut starts (or
+// continues) a Chrome flow arrow identified by Event.Flow; a span tagged
+// FlowIn terminates it.  The merged trace writer pairs them into
+// cross-rank message arrows.
+const (
+	FlowNone = uint8(iota)
+	FlowOut
+	FlowIn
+)
+
 // Event is one recorded trace event.  Durations and timestamps are in
 // microseconds since the tracer was created (the Chrome trace-event
 // time base).
@@ -55,6 +65,11 @@ type Event struct {
 	Dur  int64 // µs; < 0 marks an instant event
 	Args [2]Arg
 	NArg int
+	// Flow correlates send→recv span pairs across ranks: both ends
+	// record the same id, the producer with FlowDir=FlowOut and the
+	// consumer with FlowDir=FlowIn.
+	Flow    uint64
+	FlowDir uint8
 }
 
 // TracerConfig parameterizes a Tracer.
@@ -121,6 +136,15 @@ func (t *Tracer) since(at time.Time) int64 {
 	return at.Sub(t.start).Microseconds()
 }
 
+// WallStart returns the wall-clock instant that trace microsecond 0
+// corresponds to.  The zero time is returned for a nil tracer.
+func (t *Tracer) WallStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
 // Track is one rank-goroutine's event stream.  All methods are nil-safe
 // so call sites need no enabled checks beyond avoiding attribute
 // construction.
@@ -128,13 +152,20 @@ type Track struct {
 	tr         *Tracer
 	pid, tid   int
 	proc, name string
-	ring       []Event
-	n          int // total events recorded; ring index is n % len(ring)
+
+	// mu guards ring/n/drained: recording stays single-goroutine, but
+	// the observability shipper drains segments concurrently.
+	mu      sync.Mutex
+	ring    []Event
+	n       int // total events recorded; ring index is n % len(ring)
+	drained int // events [0, drained) already exported via Drain
 }
 
 func (t *Track) record(ev Event) {
+	t.mu.Lock()
 	t.ring[t.n%len(t.ring)] = ev
 	t.n++
+	t.mu.Unlock()
 	if t.tr.text != nil {
 		t.tr.writeText(t, ev)
 	}
@@ -169,11 +200,40 @@ func (t *Track) Instant(cat, name string, args ...Arg) {
 	t.record(ev)
 }
 
+// FlowOut records a span that began at start and ends now, starting a
+// flow arrow with the given id (the matching FlowIn on the peer rank
+// terminates it).
+func (t *Track) FlowOut(start time.Time, flow uint64, cat, name string, args ...Arg) {
+	t.flowEnd(start, flow, FlowOut, cat, name, args...)
+}
+
+// FlowIn records a span that began at start and ends now, terminating
+// the flow arrow with the given id.
+func (t *Track) FlowIn(start time.Time, flow uint64, cat, name string, args ...Arg) {
+	t.flowEnd(start, flow, FlowIn, cat, name, args...)
+}
+
+func (t *Track) flowEnd(start time.Time, flow uint64, dir uint8, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ev := Event{Name: name, Cat: cat, TS: t.tr.since(start),
+		Dur: time.Since(start).Microseconds(), Flow: flow, FlowDir: dir}
+	ev.NArg = copy(ev.Args[:], args)
+	t.record(ev)
+}
+
 // Dropped returns how many events were overwritten in the ring.
 func (t *Track) Dropped() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedLocked()
+}
+
+func (t *Track) droppedLocked() int {
 	if t.n <= len(t.ring) {
 		return 0
 	}
@@ -186,14 +246,90 @@ func (t *Track) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	if t.n <= len(t.ring) {
-		return t.ring[:t.n]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsLocked(0)
+}
+
+// eventsLocked copies retained events with total index >= from,
+// oldest first.
+func (t *Track) eventsLocked(from int) []Event {
+	lo := t.n - len(t.ring)
+	if lo < 0 {
+		lo = 0
 	}
-	out := make([]Event, len(t.ring))
-	head := t.n % len(t.ring)
-	copy(out, t.ring[head:])
-	copy(out[len(t.ring)-head:], t.ring[:head])
+	if from > lo {
+		lo = from
+	}
+	if lo >= t.n {
+		return nil
+	}
+	out := make([]Event, t.n-lo)
+	for i := range out {
+		out[i] = t.ring[(lo+i)%len(t.ring)]
+	}
 	return out
+}
+
+// TrackSegment is an exportable slice of one track's ring buffer: the
+// unit shipped from a rank to the master's trace aggregator.
+type TrackSegment struct {
+	Rank    int
+	Tid     int
+	Proc    string
+	Name    string
+	Dropped int // cumulative overwritten events on this track
+	Events  []Event
+}
+
+// Segments snapshots every track as a TrackSegment.  With drain set,
+// each track remembers what was exported and the next call returns only
+// newer events (events that fell out of the ring in between count as
+// dropped, not re-sent).  Tracks with no new events and no drops are
+// skipped when draining.
+func (t *Tracer) Segments(drain bool) []TrackSegment {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	var segs []TrackSegment
+	for _, trk := range tracks {
+		trk.mu.Lock()
+		from := 0
+		if drain {
+			from = trk.drained
+		}
+		evs := trk.eventsLocked(from)
+		dropped := trk.droppedLocked()
+		if drain {
+			if len(evs) == 0 && trk.drained == trk.n {
+				trk.mu.Unlock()
+				continue
+			}
+			trk.drained = trk.n
+		}
+		trk.mu.Unlock()
+		segs = append(segs, TrackSegment{Rank: trk.pid, Tid: trk.tid,
+			Proc: trk.proc, Name: trk.name, Dropped: dropped, Events: evs})
+	}
+	return segs
+}
+
+// DroppedTotal sums ring-buffer overwrites across all tracks.
+func (t *Tracer) DroppedTotal() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	total := 0
+	for _, trk := range tracks {
+		total += trk.Dropped()
+	}
+	return total
 }
 
 // writeText renders one event as a text line: the plain-text trace mode.

@@ -83,17 +83,33 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 			if r == mpi.ErrAborted {
 				err = rankAbortError(cfg, world, rank)
 				observeFailure(cfg.Metrics, cfg.Tracer, world)
+				if rank == 0 {
+					if f := world.Failure(); f != nil {
+						rt.flightRecord("failed", f.Rank, f.Reason)
+					}
+				}
 				return
 			}
 			panic(r)
 		}
 		if err != nil {
 			observeFailure(cfg.Metrics, cfg.Tracer, world)
+			if rank == 0 {
+				if f := world.Failure(); f != nil {
+					rt.flightRecord("failed", f.Rank, f.Reason)
+				}
+			}
 		}
 	}()
 
 	switch {
 	case rank == 0:
+		if cfg.ObsShip {
+			// Refine the handshake clock-offset estimates with a few
+			// ping-pong rounds while the run warms up; the aggregator
+			// reads the final estimates as reports arrive.
+			go world.SyncClocks(4, 25*time.Millisecond)
+		}
 		m := newMaster(rt)
 		res, err = m.run()
 		if res != nil {
@@ -104,6 +120,9 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 		}
 		return res, err
 	case rank <= cfg.Workers:
+		// The shipper's deferred finish runs after this branch folded the
+		// end-of-run metrics, so the final report carries them.
+		defer startObsShipper(rt, rank).finish()
 		rt.workerGroup = world.Comm(rank).GroupOf(rt.workerRanks()...)
 		w := newWorker(rt, rank)
 		var wg sync.WaitGroup
@@ -125,6 +144,7 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 		}
 		return res, err
 	default:
+		defer startObsShipper(rt, rank).finish()
 		s := newIOServer(rt, rank)
 		err = s.run()
 		res = &Result{Elapsed: time.Since(started)}

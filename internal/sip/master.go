@@ -379,7 +379,11 @@ func (m *master) run() (res *Result, err error) {
 			chunkCtr.Inc()
 			iterCtr.Add(int64(len(iters)))
 			if trk != nil {
-				trk.End(start, obs.CatChunk, "dispatch_chunk",
+				// Flow-out endpoint: the worker's matching wait_block span
+				// records the flow-in half under the same (0, origin,
+				// tagChunkRep) id, so the merged trace draws the arrow.
+				trk.FlowOut(start, msgFlowID(0, req.origin, tagChunkRep),
+					obs.CatChunk, "dispatch_chunk",
 					obs.AInt("pardo", req.pardo), obs.AInt("iters", len(iters)))
 			}
 		case tagCkpt:
@@ -387,6 +391,8 @@ func (m *master) run() (res *Result, err error) {
 			if err := m.handleCkpt(req); err != nil {
 				return res, err
 			}
+		case tagObs:
+			m.handleObsReport(msg.Data.(obsReportMsg))
 		case tagSync:
 			m.handleSync(msg.Data.(syncMsg))
 		case tagGather:
@@ -463,6 +469,10 @@ func (m *master) run() (res *Result, err error) {
 			res.Scalars[s.Name] = scalarVals[i]
 		}
 	}
+	// Drain the final telemetry reports each live rank ships after its
+	// run (and end-of-run metric fold) completed, so the merged trace and
+	// metrics cover the whole run.
+	m.collectFinalObs()
 	return res, workerErr
 }
 
@@ -545,6 +555,7 @@ func (m *master) noteEvictions(trk *obs.Track) {
 		m.evictSeen[rank] = true
 		m.rt.metrics.Counter(metricFaultRankEvicted).Inc()
 		m.rt.metrics.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankEvicted, rank)).Inc()
+		m.rt.flightRecord("evicted", rank, m.rt.world.Evicted()[rank])
 		if rank > m.rt.workers {
 			if trk != nil {
 				trk.Instant(obs.CatChunk, "server_evicted", obs.AInt("rank", rank))

@@ -1,6 +1,9 @@
 package sip
 
-import "repro/internal/block"
+import (
+	"repro/internal/block"
+	"repro/internal/obs"
+)
 
 // getMsg asks a block's home for a copy of it.  The reply carries a
 // *block.Block on the requester's unique replyTag.
@@ -163,6 +166,22 @@ type replPutMsg struct {
 type replAckMsg struct {
 	origin int
 	round  int
+}
+
+// obsReportMsg ships one rank's telemetry to the master on tagObs
+// (Config.ObsShip): the rank's cumulative metric snapshot plus the
+// trace ring segments recorded since its previous report.  seq numbers
+// a rank's reports so the aggregator can drop duplicates; final marks
+// the post-run report carrying the folded end-of-run metrics.  wallUs
+// is the rank tracer's wall-clock start in unix µs (0 when tracing is
+// off), the anchor for cross-rank clock alignment.
+type obsReportMsg struct {
+	origin int
+	seq    int
+	final  bool
+	wallUs int64
+	snap   *obs.Snapshot
+	tracks []obs.TrackSegment
 }
 
 // syncReply releases a worker from a sync point (resume == false; for

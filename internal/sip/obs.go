@@ -67,6 +67,7 @@ var tagNames = [...]string{
 	tagSync:     "sync",
 	tagSyncRep:  "sync_rep",
 	tagRepl:     "repl",
+	tagObs:      "obs",
 }
 
 const replyTagSlot = len(tagNames) // index for the shared block-reply label
@@ -174,6 +175,15 @@ func msgBytes(data any) int64 {
 		return n
 	case rereplicateMsg, rereplicateAck, replAckMsg:
 		return envelope + 24
+	case obsReportMsg:
+		n := int64(envelope + 32)
+		if v.snap != nil {
+			n += 32 * int64(len(v.snap.Counters)+len(v.snap.Gauges)+len(v.snap.Hists))
+		}
+		for _, seg := range v.tracks {
+			n += 32 + 48*int64(len(seg.Events))
+		}
+		return n
 	case syncReply:
 		n := int64(envelope+32) + 8*int64(len(v.vals))
 		for _, it := range v.iters {

@@ -137,7 +137,10 @@ func (s *ioServer) run() (err error) {
 			}
 			s.comm.Send(msg.origin, msg.replyTag, b.Clone())
 			if s.trk != nil {
-				s.trk.End(start, obs.CatServerCache, "serve_get",
+				// Flow-out endpoint matched by the requester's wait_block
+				// flow-in (same responder/origin/replyTag triple).
+				s.trk.FlowOut(start, msgFlowID(s.rank, msg.origin, msg.replyTag),
+					obs.CatServerCache, "serve_get",
 					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
 			}
 		case putMsg:

@@ -54,6 +54,7 @@ const (
 	tagSync      = 11 // worker -> master: recovery sync-point report
 	tagSyncRep   = 12 // master -> worker: sync-point release / replay order
 	tagRepl      = 13 // server -> master: re-replication control traffic
+	tagObs       = 14 // worker/server -> master: telemetry reports
 	tagReplyBase = 1 << 16
 )
 
@@ -176,6 +177,25 @@ type Config struct {
 	// at the next server barrier re-replicating under-replicated blocks.
 	// Must not exceed Servers.
 	Replicas int
+	// ObsShip enables the observability plane for distributed runs
+	// (RunRank): every non-master rank periodically — and once more
+	// after its run ends, folding in the final metrics — ships its
+	// metric snapshot and new trace ring segments to the master on
+	// tagObs, where ObsAgg merges them into one cluster view.  No-op
+	// for the in-process Run, whose ranks already share one registry
+	// and tracer.
+	ObsShip bool
+	// ObsInterval is the period between telemetry shipments (default
+	// 500ms).
+	ObsInterval time.Duration
+	// ObsAgg is the master-side sink of shipped telemetry (rank 0
+	// only).  Required when ObsShip is set on the master.
+	ObsAgg *obs.Aggregator
+	// FlightDir, when non-empty, enables the flight recorder on the
+	// master: whenever a rank is evicted or diagnosed failed, a
+	// post-mortem JSON bundle (every reachable rank's last metrics and
+	// trace spans, plus the diagnosis) is written there.
+	FlightDir string
 }
 
 func (c *Config) fill() error {
@@ -207,6 +227,9 @@ func (c *Config) fill() error {
 	}
 	if c.Replicas > 1 && c.Replicas > c.Servers {
 		return fmt.Errorf("sip: Replicas = %d exceeds Servers = %d", c.Replicas, c.Servers)
+	}
+	if c.ObsInterval <= 0 {
+		c.ObsInterval = 500 * time.Millisecond
 	}
 	if c.RecvRetries == 0 {
 		c.RecvRetries = 2

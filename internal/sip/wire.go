@@ -2,6 +2,7 @@ package sip
 
 import (
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -27,6 +28,7 @@ const (
 	wireIDRereplicateAck
 	wireIDReplPutMsg
 	wireIDReplAckMsg
+	wireIDObsReport
 )
 
 func encodeKey(e *wire.Encoder, k blockKey) {
@@ -62,7 +64,174 @@ func decodeArrayBlocks(d *wire.Decoder) []ArrayBlock {
 	return blocks
 }
 
+func encodeSnapshot(e *wire.Encoder, s *obs.Snapshot) {
+	e.Bool(s != nil)
+	if s == nil {
+		return
+	}
+	e.Uvarint(uint64(len(s.Counters)))
+	for name, v := range s.Counters {
+		e.String(name)
+		e.Int(int(v))
+	}
+	e.Uvarint(uint64(len(s.Gauges)))
+	for name, g := range s.Gauges {
+		e.String(name)
+		e.Int(int(g.Value))
+		e.Int(int(g.Max))
+	}
+	e.Uvarint(uint64(len(s.Hists)))
+	for name, h := range s.Hists {
+		e.String(name)
+		e.Int(int(h.Count))
+		e.Int(int(h.Sum))
+		e.Int(int(h.P50))
+		e.Int(int(h.P90))
+		e.Int(int(h.P99))
+		e.Uvarint(uint64(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			e.Int(int(b))
+		}
+	}
+}
+
+// checkCount guards a decoded element count against the remaining
+// bytes, so a corrupt frame fails instead of allocating wildly.
+func checkCount(d *wire.Decoder, n uint64, what string) bool {
+	if d.Err() != nil {
+		return false
+	}
+	if n > uint64(d.Remaining()) {
+		d.Fail("sip: %d %s exceed remaining %d bytes", n, what, d.Remaining())
+		return false
+	}
+	return true
+}
+
+func decodeSnapshot(d *wire.Decoder) *obs.Snapshot {
+	if !d.Bool() {
+		return nil
+	}
+	s := &obs.Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]obs.GaugeValue{},
+		Hists:    map[string]obs.HistValue{},
+	}
+	n := d.Uvarint()
+	if !checkCount(d, n, "counters") {
+		return s
+	}
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		s.Counters[name] = int64(d.Int())
+	}
+	n = d.Uvarint()
+	if !checkCount(d, n, "gauges") {
+		return s
+	}
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		s.Gauges[name] = obs.GaugeValue{Value: int64(d.Int()), Max: int64(d.Int())}
+	}
+	n = d.Uvarint()
+	if !checkCount(d, n, "histograms") {
+		return s
+	}
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		h := obs.HistValue{Count: int64(d.Int()), Sum: int64(d.Int()),
+			P50: int64(d.Int()), P90: int64(d.Int()), P99: int64(d.Int())}
+		nb := d.Uvarint()
+		if !checkCount(d, nb, "histogram buckets") {
+			return s
+		}
+		if nb > 0 {
+			h.Buckets = make([]int64, nb)
+			for j := range h.Buckets {
+				h.Buckets[j] = int64(d.Int())
+			}
+		}
+		s.Hists[name] = h
+	}
+	return s
+}
+
+func encodeSegments(e *wire.Encoder, segs []obs.TrackSegment) {
+	e.Uvarint(uint64(len(segs)))
+	for _, t := range segs {
+		e.Int(t.Rank)
+		e.Int(t.Tid)
+		e.String(t.Proc)
+		e.String(t.Name)
+		e.Int(t.Dropped)
+		e.Uvarint(uint64(len(t.Events)))
+		for _, ev := range t.Events {
+			e.String(ev.Name)
+			e.String(ev.Cat)
+			e.Int(int(ev.TS))
+			e.Int(int(ev.Dur))
+			e.Uvarint(ev.Flow)
+			e.Byte(ev.FlowDir)
+			e.Byte(byte(ev.NArg))
+			for i := 0; i < ev.NArg; i++ {
+				e.String(ev.Args[i].Key)
+				e.String(ev.Args[i].Val)
+			}
+		}
+	}
+}
+
+func decodeSegments(d *wire.Decoder) []obs.TrackSegment {
+	n := d.Uvarint()
+	if n == 0 || !checkCount(d, n, "track segments") {
+		return nil
+	}
+	segs := make([]obs.TrackSegment, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t := obs.TrackSegment{Rank: d.Int(), Tid: d.Int(),
+			Proc: d.String(), Name: d.String(), Dropped: d.Int()}
+		ne := d.Uvarint()
+		if !checkCount(d, ne, "trace events") {
+			return segs
+		}
+		t.Events = make([]obs.Event, 0, ne)
+		for j := uint64(0); j < ne; j++ {
+			ev := obs.Event{Name: d.String(), Cat: d.String(),
+				TS: int64(d.Int()), Dur: int64(d.Int()),
+				Flow: d.Uvarint(), FlowDir: d.Byte()}
+			na := int(d.Byte())
+			if na > len(ev.Args) {
+				d.Fail("sip: trace event with %d args", na)
+				return segs
+			}
+			ev.NArg = na
+			for k := 0; k < na; k++ {
+				ev.Args[k] = obs.Arg{Key: d.String(), Val: d.String()}
+			}
+			if d.Err() != nil {
+				return segs
+			}
+			t.Events = append(t.Events, ev)
+		}
+		segs = append(segs, t)
+	}
+	return segs
+}
+
 func init() {
+	wire.Register(wireIDObsReport,
+		func(e *wire.Encoder, m obsReportMsg) {
+			e.Int(m.origin)
+			e.Int(m.seq)
+			e.Bool(m.final)
+			e.Int(int(m.wallUs))
+			encodeSnapshot(e, m.snap)
+			encodeSegments(e, m.tracks)
+		},
+		func(d *wire.Decoder) obsReportMsg {
+			return obsReportMsg{origin: d.Int(), seq: d.Int(), final: d.Bool(),
+				wallUs: int64(d.Int()), snap: decodeSnapshot(d), tracks: decodeSegments(d)}
+		})
 	wire.Register(wireIDGetMsg,
 		func(e *wire.Encoder, m getMsg) {
 			encodeKey(e, m.key)

@@ -770,7 +770,9 @@ func (w *worker) fetchChunk(pid, gen int) ([][]int, error) {
 	}
 	rep := m.Data.(chunkReply)
 	if w.trk != nil {
-		w.trk.End(start, obs.CatChunk, "fetch_chunk",
+		// Flow-in half of the master's dispatch_chunk flow-out.
+		w.trk.FlowIn(start, msgFlowID(0, w.rank, tagChunkRep),
+			obs.CatChunk, "fetch_chunk",
 			obs.AInt("pardo", pid), obs.AInt("iters", len(rep.iters)))
 	}
 	return rep.iters, nil
@@ -925,6 +927,13 @@ func (w *worker) waitBlock(e *cacheEntry) (*block.Block, error) {
 		return e.b, nil
 	}
 	start := time.Now()
+	// Capture the responder and reply tag before the wait consumes the
+	// request: they key the flow event pairing this wait with the remote
+	// serve_get span in the merged trace.
+	flowSrc, flowTag := -1, 0
+	if e.req != nil {
+		flowSrc, flowTag = e.req.Source(), e.req.Tag()
+	}
 	if w.rt.serversEvictable() && w.rt.prog.Arrays[e.key.arr].Kind == bytecode.ArrayServed {
 		if err := w.waitServedBlock(e); err != nil {
 			return nil, err
@@ -941,7 +950,12 @@ func (w *worker) waitBlock(e *cacheEntry) (*block.Block, error) {
 	w.prof.addWait(w.currentPardo(), d)
 	w.waitHist.Observe(int64(d))
 	if w.trk != nil {
-		w.trk.Complete(start, d, obs.CatWait, "wait_block", obs.A("block", e.key.String()))
+		if flowSrc >= 0 {
+			w.trk.FlowIn(start, msgFlowID(flowSrc, w.rank, flowTag),
+				obs.CatWait, "wait_block", obs.A("block", e.key.String()))
+		} else {
+			w.trk.Complete(start, d, obs.CatWait, "wait_block", obs.A("block", e.key.String()))
+		}
 	}
 	return e.b, nil
 }
@@ -1543,7 +1557,10 @@ func (w *worker) serviceLoop() {
 			b := w.dist.getCopy(msg.key, dims)
 			w.comm.Send(msg.origin, msg.replyTag, b)
 			if trk != nil {
-				trk.End(start, obs.CatGet, "serve_get",
+				// Flow-out endpoint matched by the requester's wait_block
+				// flow-in (same responder/origin/replyTag triple).
+				trk.FlowOut(start, msgFlowID(w.rank, msg.origin, msg.replyTag),
+					obs.CatGet, "serve_get",
 					obs.A("block", msg.key.String()), obs.AInt("origin", msg.origin))
 			}
 		case putMsg:

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the repo's benchmark series and record the
+# results as JSON at the repo root:
+#
+#   BENCH_mp2.json   end-to-end MP2 on the SIP + the block contraction
+#                    kernel (compute path)
+#   BENCH_wire.json  transport loopback echo + in-process MPI round
+#                    trip (message path)
+#
+# The JSON files are checked in as a coarse performance baseline and
+# uploaded as a CI artifact, so regressions show up in review diffs.
+#
+#   BENCH_TIME=2s BENCH_COUNT=3 scripts/bench.sh   # longer, repeated runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TIME="${BENCH_TIME:-1s}"
+BENCH_COUNT="${BENCH_COUNT:-1}"
+
+# to_json converts `go test -bench` output on stdin into a JSON
+# document: one object per benchmark line, units mangled into JSON keys
+# (ns/op -> ns_per_op, MB/s -> MB_per_s).
+to_json() {
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^(goos|goarch|pkg|cpu):/ {
+    key = $1; sub(/:$/, "", key)
+    val = $0; sub(/^[a-z]+: */, "", val)
+    meta[key] = val
+    next
+  }
+  /^Benchmark/ && NF >= 4 {
+    line = "{\"name\":\"" $1 "\",\"runs\":" $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/\//, "_per_", unit)
+      gsub(/[^A-Za-z0-9_]/, "_", unit)
+      line = line ",\"" unit "\":" $i
+    }
+    out[n++] = line "}"
+    next
+  }
+  END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", meta["goos"]
+    printf "  \"goarch\": \"%s\",\n", meta["goarch"]
+    printf "  \"cpu\": \"%s\",\n", meta["cpu"]
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "    %s%s\n", out[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+  }'
+}
+
+bench() { # bench <regexp> <outfile>
+  local re="$1" out="$2" tmp
+  tmp="$(mktemp)"
+  go test -run '^$' -bench "$re" -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$tmp"
+  to_json <"$tmp" >"$out"
+  rm -f "$tmp"
+  echo "wrote $out"
+}
+
+echo "== compute path: MP2 end-to-end + contraction kernel =="
+bench '^(BenchmarkMP2EndToEnd|BenchmarkContraction)$' BENCH_mp2.json
+
+echo "== message path: transport loopback + MPI round trip =="
+bench '^(BenchmarkTransportLoopback|BenchmarkMPIRoundTrip)$' BENCH_wire.json
