@@ -28,6 +28,8 @@ import (
 	"repro/internal/mpi/transport"
 	"repro/internal/perfmodel"
 	"repro/internal/segment"
+	"repro/internal/serve"
+	"repro/internal/sip"
 )
 
 // benchSweep runs one modelled configuration per sub-benchmark and
@@ -513,4 +515,44 @@ func BenchmarkTransportLoopback(b *testing.B) {
 		defer worlds[1].Close()
 		drive(b, worlds)
 	})
+}
+
+// BenchmarkServeThroughput measures the multi-tenant job service: a
+// persistent pool absorbing overlapping MP2 submissions through the
+// serve queue (admission, fairness gate, per-job tag windows), reported
+// as jobs/sec.  scripts/bench.sh records this in BENCH_serve.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	svc, err := serve.New(serve.Config{
+		Pool:          sip.PoolConfig{Workers: 4, Servers: 1, Output: io.Discard},
+		MaxConcurrent: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	svc.RegisterPack("mp2", serve.Pack{
+		Source: chem.MP2EnergyProgram(),
+		Env: func(params map[string]int) serve.Env {
+			return serve.Env{Super: chem.MP2Super(), Integrals: chem.MOIntegrals(2)}
+		},
+	})
+	const overlap = 8 // jobs in flight per round
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]int, 0, overlap)
+		for j := 0; j < overlap; j++ {
+			st, err := svc.Submit(serve.SubmitRequest{Pack: "mp2"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, st.ID)
+		}
+		for _, id := range ids {
+			if st, _ := svc.Wait(id); st.State != serve.StateDone {
+				b.Fatalf("job %d: %s (%s)", id, st.State, st.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*overlap)/b.Elapsed().Seconds(), "jobs_per_s")
 }

@@ -52,10 +52,12 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/bytecode"
@@ -75,22 +77,38 @@ func main() {
 // realMain is the testable entry point: it dispatches the subcommand and
 // returns the process exit code.
 func realMain(argv []string, stdout, stderr io.Writer) int {
-	if len(argv) < 2 {
+	if len(argv) < 1 {
 		usage(stderr)
 		return 2
 	}
-	cmd, file := argv[0], argv[1]
-	args := argv[2:]
+	cmd := argv[0]
 	var err error
 	switch cmd {
-	case "compile":
-		err = doCompile(file, args, stdout)
-	case "disasm":
-		err = doDisasm(file, stdout)
-	case "dryrun":
-		err = doDryRun(file, args, stdout)
-	case "run":
-		err = doRun(file, args, stdout)
+	case "serve":
+		// serve and submit take no program file: serve is a daemon,
+		// submit may name a pack instead of a file.
+		err = doServe(argv[1:], stdout)
+	case "submit":
+		err = doSubmit(argv[1:], stdout)
+	case "compile", "disasm", "dryrun", "check", "run":
+		if len(argv) < 2 {
+			usage(stderr)
+			return 2
+		}
+		file := argv[1]
+		args := argv[2:]
+		switch cmd {
+		case "compile":
+			err = doCompile(file, args, stdout)
+		case "disasm":
+			err = doDisasm(file, stdout)
+		case "dryrun":
+			err = doDryRun(file, args, stdout)
+		case "check":
+			err = doCheck(file, args, stdout)
+		case "run":
+			err = doRun(file, args, stdout)
+		}
 	default:
 		usage(stderr)
 		return 2
@@ -111,7 +129,11 @@ func usage(w io.Writer) {
   sial compile prog.sial [-o out.siox]
   sial disasm  prog.sial|prog.siox
   sial dryrun  prog.sial [flags]
+  sial check   prog.sial [-json] [-workers N -servers N -seg S -mem BYTES -param k=v]
   sial run     prog.sial [flags]
+  sial serve   [-addr host:port] [-workers N -servers N -spares N] [-recover -replicas K]
+               [-max-concurrent N -mem BYTES -queue-cap N -burst N] (see docs/SERVE.md)
+  sial submit  [prog.sial] [-addr host:port] [-pack name] [-param k=v] [-name s] [-wait]
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
 run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
@@ -676,11 +698,63 @@ func doLaunch(file string, args []string, rf *runFlags, stdout io.Writer) error 
 		cmds = append(cmds, cmd)
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM is forwarded to every
+	// rank so they can die on their own terms while we keep draining
+	// their output; a second signal kills them outright.  Installed only
+	// now, with all children started, so the slice is stable.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	var sigMu sync.Mutex
+	var gotSig os.Signal
+	go func() {
+		forwarded := false
+		for s := range sigc {
+			if !forwarded {
+				forwarded = true
+				sigMu.Lock()
+				gotSig = s
+				sigMu.Unlock()
+				fmt.Fprintf(os.Stderr, "sial: launch: %v: forwarding to %d ranks and draining\n", s, len(cmds))
+				for _, cmd := range cmds {
+					cmd.Process.Signal(s)
+				}
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "sial: launch: second signal: killing ranks")
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+		}
+	}()
+
 	// All reads must finish before Wait (it closes the pipes).
 	relays.Wait()
 	waitErrs := make([]error, len(cmds))
 	for rank, cmd := range cmds {
 		waitErrs[rank] = cmd.Wait()
+	}
+	sigMu.Lock()
+	sig := gotSig
+	sigMu.Unlock()
+	if sig != nil {
+		// The run was interrupted: attribute the exit to the signal, not
+		// to whichever rank's death happened to surface first.
+		failed := 0
+		for _, err := range waitErrs {
+			if err != nil {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("launch: run terminated by %v; %d of %d ranks exited non-zero after drain",
+				sig, failed, len(waitErrs))
+		}
+		fmt.Fprintf(os.Stderr, "sial: launch: all ranks drained cleanly after %v\n", sig)
+		return nil
 	}
 	for rank, err := range waitErrs {
 		if err == nil {

@@ -29,7 +29,9 @@ type obsServer struct {
 
 // startObsServer binds addr and serves until Close.  health may be nil
 // (single-process runs have no membership view beyond the aggregator).
-func startObsServer(addr string, agg *obs.Aggregator, ranks int, health func() map[int]string) (*obsServer, error) {
+// extra registrars mount additional endpoints on the same mux — `sial
+// serve` reuses this server as its job-submission front door.
+func startObsServer(addr string, agg *obs.Aggregator, ranks int, health func() map[int]string, extra ...func(*http.ServeMux)) (*obsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -39,6 +41,9 @@ func startObsServer(addr string, agg *obs.Aggregator, ranks int, health func() m
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/trace", s.serveTrace)
+	for _, reg := range extra {
+		reg(mux)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/chem"
+	"repro/internal/sip"
+)
+
+// submitProgram is the workload CLI serve tests submit: pure synthetic
+// integrals, no super instructions, so it runs without a pack.
+const submitProgram = `
+sial submit_drill
+param n = 6
+aoindex I = 1, n
+aoindex J = 1, n
+temp v(I,J)
+scalar e
+pardo I, J
+  compute_integrals v(I,J)
+  e += dot(v(I,J), v(I,J))
+endpardo
+collective e
+endsial
+`
+
+func TestCLICheckJSON(t *testing.T) {
+	path := writeProgram(t, testProgram)
+	code, out, errOut := runCLI(t, "check", path, "-json", "-workers", "2", "-seg", "2")
+	if code != 0 {
+		t.Fatalf("check exit %d: %s", code, errOut)
+	}
+	var report sip.DryRunReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("check -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if report.Workers != 2 || report.PerWorkerBytes <= 0 || !report.Feasible {
+		t.Fatalf("implausible report: %+v", report)
+	}
+	// The raw JSON uses the stable snake_case keys clients script against.
+	for _, key := range []string{`"per_worker_bytes"`, `"feasible"`, `"min_workers"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("JSON missing %s:\n%s", key, out)
+		}
+	}
+
+	// An infeasible budget still emits the JSON report, then exits 1.
+	code, out, _ = runCLI(t, "check", path, "-json", "-workers", "2", "-seg", "2", "-mem", "1")
+	if code != 1 {
+		t.Fatalf("infeasible check exit %d, want 1", code)
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil || report.Feasible {
+		t.Fatalf("infeasible report bad (err=%v): %+v", err, report)
+	}
+
+	// Without -json the human report is unchanged.
+	code, out, _ = runCLI(t, "check", path, "-workers", "2", "-seg", "2")
+	if code != 0 || !strings.Contains(out, "dry run") {
+		t.Fatalf("plain check (%d):\n%s", code, out)
+	}
+}
+
+// startServeChild spawns `sial serve` as a child process (the test
+// binary rerouted through realMain) and returns its base address.
+func startServeChild(t *testing.T, args ...string) (*exec.Cmd, string, *bufio.Scanner) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append([]string{"serve", "-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), "SIAL_CHILD_MAIN=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	re := regexp.MustCompile(`serving on http://(\S+)`)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			return cmd, m[1], sc
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("serve child never announced its address")
+	return nil, "", nil
+}
+
+// TestCLIServeSubmit drives the full service loop from the CLI: start
+// `sial serve`, submit source and pack jobs with `sial submit`, verify
+// the MP2 energy against the serial reference, then shut the server
+// down gracefully with SIGTERM.
+func TestCLIServeSubmit(t *testing.T) {
+	cmd, addr, sc := startServeChild(t, "-workers", "2", "-servers", "1")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	// Keep draining the child's stdout so it never blocks on the pipe.
+	drained := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		for sc.Scan() {
+			all.WriteString(sc.Text())
+			all.WriteString("\n")
+		}
+		drained <- all.String()
+	}()
+
+	// A source submission.
+	path := writeProgram(t, submitProgram)
+	code, out, errOut := runCLI(t, "submit", path, "-addr", addr, "-param", "n=6")
+	if code != 0 {
+		t.Fatalf("submit exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "done") || !strings.Contains(out, "e = ") {
+		t.Fatalf("submit output:\n%s", out)
+	}
+
+	// A pack submission: MP2 with the program's stock size, checked
+	// against the serial reference energy.
+	code, out, errOut = runCLI(t, "submit", "-addr", addr, "-pack", "mp2", "-name", "mp2-ref")
+	if code != 0 {
+		t.Fatalf("pack submit exit %d: %s", code, errOut)
+	}
+	m := regexp.MustCompile(`emp2 = (\S+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no emp2 scalar in submit output:\n%s", out)
+	}
+	emp2, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chem.MP2Reference(2, 4); math.Abs(emp2-want) > 1e-9 {
+		t.Fatalf("emp2 = %v, want %v", emp2, want)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if tail := <-drained; !strings.Contains(tail, "shutting down") {
+		t.Errorf("no shutdown announcement in serve output:\n%s", tail)
+	}
+}
+
+// TestCLISubmitErrors: client-side validation fails fast, without a
+// server.
+func TestCLISubmitErrors(t *testing.T) {
+	if code, _, errOut := runCLI(t, "submit", "-addr", "127.0.0.1:1"); code != 1 ||
+		!strings.Contains(errOut, "prog.sial argument or -pack") {
+		t.Fatalf("no-source submit: %d %s", code, errOut)
+	}
+	siox := writeProgram(t, testProgram)
+	siox = strings.TrimSuffix(siox, ".sial") + ".siox"
+	if err := os.WriteFile(siox, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCLI(t, "submit", siox, "-addr", "127.0.0.1:1"); code != 1 ||
+		!strings.Contains(errOut, "SIAL source") {
+		t.Fatalf(".siox submit: %d %s", code, errOut)
+	}
+}
+
+// TestCLILaunchSignal: SIGINT to a -launch supervisor is forwarded to
+// the child ranks, their output is drained, and the exit is attributed
+// to the signal rather than to a child's death.
+func TestCLILaunchSignal(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy enough (seconds of chunk work) that the run is still in
+	// flight when the signal lands.
+	path := writeProgram(t, `
+sial slow_drill
+param n = 256
+aoindex I = 1, n
+aoindex J = 1, n
+aoindex K = 1, n
+temp v(I,K)
+scalar e
+pardo I, J
+  do K
+    compute_integrals v(I,K)
+    e += dot(v(I,K), v(I,K))
+  enddo K
+endpardo
+collective e
+endsial
+`)
+	cmd := exec.Command(exe, "run", path, "-launch", "-workers", "2", "-seg", "2")
+	cmd.Env = append(os.Environ(), "SIAL_CHILD_MAIN=1")
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case <-waitc:
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("launcher did not exit after SIGINT; output:\n%s", out.String())
+	}
+	// Either the signal interrupted the run (attributed non-zero exit)
+	// or the run won the race and drained cleanly — both must say so.
+	text := out.String()
+	if !strings.Contains(text, "terminated by interrupt") && !strings.Contains(text, "drained cleanly") {
+		t.Fatalf("exit not attributed to the signal:\n%s", text)
+	}
+	if strings.Contains(text, "second signal") {
+		t.Fatalf("graceful path escalated to kill:\n%s", text)
+	}
+}
+
+var _ = fmt.Sprintf
+var _ = io.Discard

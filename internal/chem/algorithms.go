@@ -307,3 +307,21 @@ func presetFromElem(f func(idx []int) float64) sip.PresetFunc {
 		return fillBlock(lo, hi, f)
 	}
 }
+
+// PresetFromElem is the exported form of presetFromElem, for callers
+// outside the package (the serve packs) that preset arrays from an
+// element function.
+func PresetFromElem(f func(idx []int) float64) sip.PresetFunc {
+	return presetFromElem(f)
+}
+
+// ModelDensity is a symmetric, diagonally dominant model density
+// D(m,n) = 1/(1+|m-n|), the deterministic stand-in the serve scf pack
+// uses for FockBuildProgram's Dn input.
+func ModelDensity(idx []int) float64 {
+	d := idx[0] - idx[1]
+	if d < 0 {
+		d = -d
+	}
+	return 1.0 / (1.0 + float64(d))
+}

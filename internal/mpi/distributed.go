@@ -71,6 +71,12 @@ func (w *World) deliver(src, dst, tag int, data any) {
 		w.Evict(n.Rank, n.Reason)
 		return
 	}
+	if n, ok := data.(joinNotice); ok {
+		// A peer activated a latent rank (World.Join): converge on the
+		// grown membership.
+		w.applyJoin(n.Rank)
+		return
+	}
 	if b, ok := data.(byeNotice); ok {
 		w.markDeparted(b.Ranks)
 		return
@@ -240,7 +246,7 @@ func (w *World) monitor(l *liveness) {
 			return
 		}
 		for _, r := range remotes {
-			if w.Departed(r) {
+			if w.Departed(r) || w.IsLatent(r) {
 				continue
 			}
 			// Best-effort: failures surface through peerDown/silence.
@@ -253,6 +259,9 @@ func (w *World) monitor(l *liveness) {
 			}
 			if w.Departed(r) {
 				continue // cleanly shut down; silence is expected
+			}
+			if w.IsLatent(r) {
+				continue // not yet joined; silence is expected
 			}
 			if silent := now.Sub(l.lastHeard(r, start)); silent > l.lv.Timeout {
 				reason := fmt.Sprintf("no traffic for %v (liveness timeout %v)",
@@ -287,6 +296,14 @@ type byeNotice struct {
 	Ranks []int
 }
 
+// joinNotice tells the receiving world that Rank has been activated
+// (World.Join), the inverse of evictNotice: every endpoint converges on
+// the grown membership.  Intercepted in deliver; never reaches a
+// mailbox.
+type joinNotice struct {
+	Rank int
+}
+
 // Wire ids for the collective and liveness messages (block 16..31, see
 // internal/wire).
 const (
@@ -296,6 +313,8 @@ const (
 	wireIDHeartbeat    = 19
 	wireIDEvictNotice  = 20
 	wireIDByeNotice    = 21
+	// 22, 23 carry the clock-sync ping/pong (clock.go).
+	wireIDJoinNotice = 24
 )
 
 func init() {
@@ -347,6 +366,13 @@ func init() {
 				rs[i] = d.Int()
 			}
 			return byeNotice{Ranks: rs}
+		})
+	wire.Register(wireIDJoinNotice,
+		func(e *wire.Encoder, m joinNotice) {
+			e.Int(m.Rank)
+		},
+		func(d *wire.Decoder) joinNotice {
+			return joinNotice{Rank: d.Int()}
 		})
 	wire.Register(wireIDHeartbeat,
 		func(e *wire.Encoder, m heartbeatMsg) {

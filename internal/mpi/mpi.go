@@ -85,6 +85,14 @@ type World struct {
 	// teardown, not failure.  Independent of recovery mode.
 	departMu sync.Mutex
 	departed map[int]bool
+
+	// latent tracks provisioned-but-inactive ranks (SetLatent): spare
+	// slots a long-running pool can activate later with Join — the
+	// inverse of Evict, sharing its convergence machinery (membership
+	// stamp bump, joinNotice fan-out, mailbox wakeups).  Sends to a
+	// latent rank are dropped and liveness ignores it until it joins.
+	latentMu sync.Mutex
+	latent   map[int]bool
 }
 
 // SetObserver installs a message observer.  It must be called before
@@ -143,11 +151,12 @@ func (c *Comm) Send(dst, tag int, data any) {
 		panic(fmt.Sprintf("mpi: send to rank %d out of range [0,%d)", dst, c.world.n))
 	}
 	w := c.world
-	if w.IsEvicted(dst) || w.Departed(dst) {
+	if w.IsEvicted(dst) || w.Departed(dst) || w.IsLatent(dst) {
 		// The rank is gone (evicted, or cleanly shut down after finishing
-		// its part of the protocol); nothing is listening.  Dropping the
-		// send here keeps every protocol layer free of per-send liveness
-		// checks (the matching receive side uses RecvUntil).
+		// its part of the protocol) or not yet active (latent); nothing is
+		// listening.  Dropping the send here keeps every protocol layer
+		// free of per-send liveness checks (the matching receive side
+		// uses RecvUntil).
 		return
 	}
 	depth := -1 // remote sends have no mailbox-depth view
@@ -205,6 +214,24 @@ func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
 // mailbox lock held.  Abort semantics match Recv.
 func (c *Comm) RecvUntil(src, tag int, d time.Duration, cancel func() bool) (Message, bool) {
 	m := c.box().getCancel(src, tag, d, cancel)
+	return m, m.valid
+}
+
+// RecvRange blocks until a message from src whose tag lies in
+// [tagLo, tagHi] arrives and returns it.  Use AnySource as a source
+// wildcard.  Tag-range matching lets several protocol engines share one
+// rank's mailbox — each listening on its own disjoint tag window — the
+// way a wildcard AnyTag receive cannot (it would steal the others'
+// messages).  Abort semantics match Recv.
+func (c *Comm) RecvRange(src, tagLo, tagHi int) Message {
+	return c.box().getRange(src, tagLo, tagHi, 0, nil)
+}
+
+// RecvRangeUntil is RecvRange bounded by an optional deadline d (<= 0
+// means none) and a cancel predicate with RecvUntil semantics.  It
+// returns ok == false when the deadline passes or cancel reports true.
+func (c *Comm) RecvRangeUntil(src, tagLo, tagHi int, d time.Duration, cancel func() bool) (Message, bool) {
+	m := c.box().getRange(src, tagLo, tagHi, d, cancel)
 	return m, m.valid
 }
 
@@ -326,6 +353,45 @@ func (mb *mailbox) put(m Message) int {
 
 func matches(m Message, src, tag int) bool {
 	return (src == AnySource || m.Source == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+func matchesRange(m Message, src, tagLo, tagHi int) bool {
+	return (src == AnySource || m.Source == src) && m.Tag >= tagLo && m.Tag <= tagHi
+}
+
+// getRange is getCancel with inclusive tag-range matching.  d <= 0 and
+// a nil cancel make it a plain blocking receive.
+func (mb *mailbox) getRange(src, tagLo, tagHi int, d time.Duration, cancel func() bool) Message {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		timer := time.AfterFunc(d, func() {
+			mb.mu.Lock()
+			mb.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+			mb.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if matchesRange(m, src, tagLo, tagHi) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		if mb.aborted {
+			panic(ErrAborted)
+		}
+		if cancel != nil && cancel() {
+			return Message{}
+		}
+		if d > 0 && !time.Now().Before(deadline) {
+			return Message{}
+		}
+		mb.cond.Wait()
+	}
 }
 
 func (mb *mailbox) get(src, tag int, blocking bool) Message {
@@ -587,8 +653,18 @@ func (w *World) Evict(rank int, reason string) {
 	})
 	// Wake blocked receivers: messages from the dead rank will never
 	// arrive, and RecvUntil waiters must observe the new membership.
-	for _, box := range w.boxes {
-		if box != nil {
+	// The evicted rank's own mailbox — when it lives in this world, as in
+	// an in-process pool — is aborted instead, so its goroutines panic
+	// with ErrAborted and unwind rather than wait forever behind the
+	// firewall (the in-process analogue of the zombie self-abort in
+	// deliver).
+	for r, box := range w.boxes {
+		if box == nil {
+			continue
+		}
+		if r == rank {
+			box.abort()
+		} else {
 			box.wake()
 		}
 	}
@@ -619,9 +695,96 @@ func (w *World) Evicted() map[int]string {
 	return out
 }
 
-// EvictStamp returns a counter that increases on every eviction.
-// Waiters snapshot it before blocking and cancel when it changes.
+// EvictStamp returns a counter that increases on every membership
+// change (eviction or join).  Waiters snapshot it before blocking and
+// cancel when it changes.
 func (w *World) EvictStamp() uint64 { return w.evictGen.Load() }
+
+// SetLatent marks ranks as provisioned but not yet active: spare slots
+// of a long-running world that Join activates later.  Sends to a latent
+// rank are dropped, liveness does not monitor it, and it is expected to
+// stay silent.  Call before ranks start communicating.
+func (w *World) SetLatent(ranks ...int) {
+	w.latentMu.Lock()
+	if w.latent == nil {
+		w.latent = map[int]bool{}
+	}
+	for _, r := range ranks {
+		w.latent[r] = true
+	}
+	w.latentMu.Unlock()
+}
+
+// IsLatent reports whether rank is provisioned but not yet joined.
+func (w *World) IsLatent(rank int) bool {
+	w.latentMu.Lock()
+	defer w.latentMu.Unlock()
+	return w.latent[rank]
+}
+
+// Latent returns the latent ranks in ascending order.
+func (w *World) Latent() []int {
+	w.latentMu.Lock()
+	defer w.latentMu.Unlock()
+	out := make([]int, 0, len(w.latent))
+	for r := 0; r < w.n; r++ {
+		if w.latent[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Join activates a latent rank — the inverse of Evict, reusing its
+// membership-convergence machinery: the membership stamp bumps, remote
+// worlds get a joinNotice so every endpoint converges on the new
+// membership, and blocked RecvUntil waiters wake to observe it.  It
+// reports whether the rank was latent (the first join wins; joining an
+// active or unknown rank is a no-op).  Safe from any goroutine.
+func (w *World) Join(rank int) bool {
+	if !w.applyJoin(rank) {
+		return false
+	}
+	// Tell the remote worlds (best-effort, mirroring Evict's fan-out)
+	// so every endpoint admits the newcomer's traffic and sends reach
+	// it instead of being dropped as latent.
+	if w.tr != nil && !w.closed.Load() {
+		src := 0
+		if len(w.local) > 0 {
+			src = w.local[0]
+		}
+		for r, box := range w.boxes {
+			if box == nil {
+				w.tr.Send(src, r, collectiveTag, joinNotice{Rank: rank})
+			}
+		}
+	}
+	return true
+}
+
+// applyJoin performs the local half of a join: clear the latent mark,
+// reset the rank's liveness clock (it was legitimately silent until
+// now), bump the membership stamp, and wake blocked receivers so
+// membership-aware waits recheck their cancel condition.
+func (w *World) applyJoin(rank int) bool {
+	w.latentMu.Lock()
+	if !w.latent[rank] {
+		w.latentMu.Unlock()
+		return false
+	}
+	delete(w.latent, rank)
+	w.latentMu.Unlock()
+	if l := w.live.Load(); l != nil {
+		l.note(rank)
+	}
+	w.evictGen.Add(1)
+	for _, box := range w.boxes {
+		if box != nil {
+			box.wake()
+		}
+	}
+	return true
+}
 
 // markDeparted records remote ranks that announced a clean shutdown,
 // so the transport-level disconnect that follows is recognized as

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Register mounts the service's HTTP/JSON API on mux.  It is designed
+// to share the -obs-addr observability mux, so one port serves
+// /metrics, /trace, and the job API.
+//
+//	POST /submit        SubmitRequest JSON -> JobStatus (202), or 4xx
+//	GET  /jobs          all jobs, oldest first
+//	GET  /jobs/{id}     one job's status (scalars and metrics when done)
+//	GET  /packs         registered pack names
+//	POST /admin/kill    ?rank=N: evict a worker rank (chaos/ops)
+//	POST /admin/join    promote a spare rank into the worker set
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /packs", s.handlePacks)
+	mux.HandleFunc("POST /admin/kill", s.handleKill)
+	mux.HandleFunc("POST /admin/join", s.handleJoin)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if st.State == StateRejected {
+			// Sized or queue-capped out: the request was well-formed but
+			// inadmissible.
+			code = http.StatusTooManyRequests
+			writeJSON(w, code, st)
+			return
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	st, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handlePacks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Packs())
+}
+
+func (s *Service) handleKill(w http.ResponseWriter, r *http.Request) {
+	rank, err := strconv.Atoi(r.URL.Query().Get("rank"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad or missing rank: %v", err)
+		return
+	}
+	if err := s.pool.Kill(rank, "admin kill"); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": rank, "workers": s.pool.Workers()})
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	rank, err := s.pool.Join()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"joined": rank, "workers": s.pool.Workers()})
+}

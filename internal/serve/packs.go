@@ -1,0 +1,56 @@
+package serve
+
+import "repro/internal/sip"
+
+// Env is the runtime environment a pack supplies for one job: block
+// presets, super instructions, and the integral source, all possibly
+// shaped by the job's parameters.
+type Env struct {
+	Preset    map[string]sip.PresetFunc
+	Super     map[string]sip.SuperFunc
+	Integrals sip.IntegralFunc
+}
+
+// Pack bundles a canonical SIAL program with the environment it needs,
+// so a client can submit `{"pack": "mp2", "params": {...}}` without
+// shipping source or knowing which super instructions the program
+// binds.  The serve package defines no packs itself — cmd/sial
+// registers the chemistry ones (mp2, scf) and tests register their own
+// — keeping serve free of chem dependencies.
+type Pack struct {
+	// Source is the canonical SIAL program run when a submission names
+	// the pack without its own source.
+	Source string
+	// Env builds the runtime environment for one job's parameters.  Nil
+	// means the program needs none (pure synthetic-integral programs).
+	Env func(params map[string]int) Env
+	// Description is a one-line summary shown in /packs.
+	Description string
+}
+
+// RegisterPack makes a pack available to submissions on this service.
+// Re-registering a name replaces it.
+func (s *Service) RegisterPack(name string, p Pack) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.packs[name] = p
+}
+
+// pack looks up a registered pack.
+func (s *Service) pack(name string) (Pack, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.packs[name]
+	return p, ok
+}
+
+// Packs lists registered pack names and descriptions.
+func (s *Service) Packs() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.packs))
+	for name, p := range s.packs {
+		out[name] = p.Description
+	}
+	return out
+}

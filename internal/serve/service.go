@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/compiler"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sip"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateRejected = "rejected"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Pool is the shape of the underlying sip.Pool.  Pool.Gate is set by
+	// the service (FairGate); Pool.Output defaults to io.Discard-like
+	// buffering per job.
+	Pool sip.PoolConfig
+	// MaxConcurrent bounds simultaneously running jobs (default 4).
+	MaxConcurrent int
+	// MemBudget is the per-worker memory the whole pool may use, in
+	// bytes.  Each job is charged its dry-run PerWorkerBytes estimate:
+	// jobs whose estimate alone exceeds the budget are rejected at
+	// submission, and admission waits until the running jobs' combined
+	// charge leaves room.  0 means unlimited.
+	MemBudget int64
+	// QueueCap bounds the submission queue (default 256); submissions
+	// beyond it are rejected.
+	QueueCap int
+	// DefaultSeg is the segment size used when a submission does not
+	// name one (default 4).
+	DefaultSeg int
+	// Burst is the fairness gate's dispatch lead (see FairGate).
+	Burst int64
+	// JobMetrics, when true, gives every job a private obs.Registry
+	// whose counters are reported in the job's status.
+	JobMetrics bool
+	// MaxRetries re-runs a job whose failure was a membership casualty
+	// (a rank died mid-run and took the job's distributed blocks with
+	// it).  The retry snapshots the pool's reshaped live membership, so
+	// a job caught in an eviction re-executes cleanly on the survivors.
+	// Default 2; negative disables retries.
+	MaxRetries int
+}
+
+// SubmitRequest is one job submission.
+type SubmitRequest struct {
+	// Name labels the job in status output (default "job-<id>").
+	Name string `json:"name"`
+	// Source is SIAL source text, compiled at submission.  Empty selects
+	// the named Pack's canonical source.
+	Source string `json:"source"`
+	// Pack names a registered environment pack (presets, integrals,
+	// super instructions) — see RegisterPack.  Empty runs with the
+	// default synthetic environment.
+	Pack string `json:"pack"`
+	// Params supplies program parameter overrides.
+	Params map[string]int `json:"params,omitempty"`
+	// Seg overrides the service's default segment size.
+	Seg int `json:"seg,omitempty"`
+	// Gather collects array contents into the job result.
+	Gather bool `json:"gather,omitempty"`
+}
+
+// JobStatus is the externally visible state of one job.
+type JobStatus struct {
+	ID             int       `json:"id"`
+	Name           string    `json:"name"`
+	Pack           string    `json:"pack,omitempty"`
+	State          string    `json:"state"`
+	PerWorkerBytes int64     `json:"per_worker_bytes"`
+	Submitted      time.Time `json:"submitted"`
+	Started        time.Time `json:"started,omitzero"`
+	Finished       time.Time `json:"finished,omitzero"`
+	Error          string    `json:"error,omitempty"`
+	// Retries counts re-executions after membership-casualty failures
+	// (a pool rank died mid-run; see Config.MaxRetries).
+	Retries int                `json:"retries,omitempty"`
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+	// Metrics holds the job's private counter snapshot (Config.JobMetrics).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (s JobStatus) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateRejected
+}
+
+// job is the service-internal record.
+type job struct {
+	status  JobStatus
+	prog    *bytecode.Program
+	spec    sip.JobSpec
+	result  *sip.Result
+	metrics *obs.Registry
+	done    chan struct{}
+}
+
+// Service queues, admits, and executes jobs on a shared pool.
+type Service struct {
+	cfg   Config
+	pool  *sip.Pool
+	gate  *FairGate
+	packs map[string]Pack
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[int]*job
+	queue   []int // FIFO of queued job ids
+	nextID  int
+	running int
+	memUse  int64
+	closed  bool
+
+	admitWG sync.WaitGroup
+	runWG   sync.WaitGroup
+}
+
+// New builds the pool and starts the admission loop.
+func New(cfg Config) (*Service, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.DefaultSeg <= 0 {
+		cfg.DefaultSeg = 4
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	gate := NewFairGate(cfg.Burst)
+	cfg.Pool.Gate = gate
+	pool, err := sip.NewPool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:    cfg,
+		pool:   pool,
+		gate:   gate,
+		packs:  map[string]Pack{},
+		jobs:   map[int]*job{},
+		nextID: 1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.admitWG.Add(1)
+	go s.admitLoop()
+	return s, nil
+}
+
+// Pool exposes the underlying pool (for admin kill/join).
+func (s *Service) Pool() *sip.Pool { return s.pool }
+
+// Gate exposes the fairness gate (for status and tests).
+func (s *Service) Gate() *FairGate { return s.gate }
+
+// Submit validates, sizes, and enqueues one job.  The returned status
+// is a snapshot: StateQueued on success, StateRejected (with the
+// returned error) when the job cannot ever be admitted.
+func (s *Service) Submit(req SubmitRequest) (JobStatus, error) {
+	src := req.Source
+	var pack Pack
+	if req.Pack != "" {
+		var ok bool
+		pack, ok = s.pack(req.Pack)
+		if !ok {
+			return JobStatus{}, fmt.Errorf("serve: unknown pack %q", req.Pack)
+		}
+		if src == "" {
+			src = pack.Source
+		}
+	}
+	if src == "" {
+		return JobStatus{}, fmt.Errorf("serve: submission has no source and no pack")
+	}
+	prog, err := compiler.CompileSource(src)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("serve: compile: %w", err)
+	}
+	seg := req.Seg
+	if seg <= 0 {
+		seg = s.cfg.DefaultSeg
+	}
+	spec := sip.JobSpec{
+		Prog:         prog,
+		Params:       req.Params,
+		Seg:          bytecode.DefaultSegConfig(seg),
+		GatherArrays: req.Gather,
+	}
+	if pack.Env != nil {
+		env := pack.Env(req.Params)
+		spec.Preset, spec.Super, spec.Integrals = env.Preset, env.Super, env.Integrals
+	}
+
+	// Dry-run sizing against the pool's current live worker count: the
+	// paper's pre-execution feasibility analysis, reused as the admission
+	// charge.
+	workers := len(s.pool.Workers())
+	if workers == 0 {
+		return JobStatus{}, fmt.Errorf("serve: pool has no live workers")
+	}
+	report, err := sip.DryRun(prog, sip.Config{
+		Workers: workers,
+		Servers: s.cfg.Pool.Servers,
+		Params:  req.Params,
+		Seg:     spec.Seg,
+	}, s.cfg.MemBudget)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("serve: dry run: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, fmt.Errorf("serve: service is closed")
+	}
+	id := s.nextID
+	s.nextID++
+	name := req.Name
+	if name == "" {
+		name = fmt.Sprintf("job-%d", id)
+	}
+	j := &job{
+		status: JobStatus{
+			ID:             id,
+			Name:           name,
+			Pack:           req.Pack,
+			State:          StateQueued,
+			PerWorkerBytes: report.PerWorkerBytes,
+			Submitted:      time.Now(),
+		},
+		prog: prog,
+		spec: spec,
+		done: make(chan struct{}),
+	}
+	s.jobs[id] = j
+	if s.cfg.MemBudget > 0 && report.PerWorkerBytes > s.cfg.MemBudget {
+		j.status.State = StateRejected
+		j.status.Error = fmt.Sprintf("per-worker memory %d B exceeds budget %d B (minimum workers: %d)",
+			report.PerWorkerBytes, s.cfg.MemBudget, report.MinWorkers)
+		j.status.Finished = time.Now()
+		close(j.done)
+		return j.status, fmt.Errorf("serve: rejected: %s", j.status.Error)
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		j.status.State = StateRejected
+		j.status.Error = fmt.Sprintf("queue full (%d jobs)", len(s.queue))
+		j.status.Finished = time.Now()
+		close(j.done)
+		return j.status, fmt.Errorf("serve: rejected: %s", j.status.Error)
+	}
+	s.queue = append(s.queue, id)
+	s.cond.Broadcast()
+	return j.status, nil
+}
+
+// admitLoop admits queued jobs strictly in FIFO order: the head of the
+// queue waits for a concurrency slot and for its memory charge to fit,
+// and nothing behind it may overtake (a large job is not starved by a
+// stream of small ones).
+func (s *Service) admitLoop() {
+	defer s.admitWG.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && (len(s.queue) == 0 || !s.fitsLocked(s.jobs[s.queue[0]])) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		j := s.jobs[id]
+		s.running++
+		s.memUse += j.status.PerWorkerBytes
+		j.status.State = StateRunning
+		j.status.Started = time.Now()
+		if s.cfg.JobMetrics {
+			j.metrics = obs.NewRegistry()
+			j.spec.Metrics = j.metrics
+		}
+		s.runWG.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// fitsLocked reports whether the head job can start now.
+func (s *Service) fitsLocked(j *job) bool {
+	if s.running >= s.cfg.MaxConcurrent {
+		return false
+	}
+	if s.cfg.MemBudget > 0 && s.memUse+j.status.PerWorkerBytes > s.cfg.MemBudget {
+		// Admissible eventually: the submit path rejected anything that
+		// exceeds the budget on its own.
+		return false
+	}
+	return true
+}
+
+// rankCasualty reports whether err traces to a rank death (an eviction
+// or diagnosed failure) rather than to the program itself.
+func rankCasualty(err error) bool {
+	var rf *mpi.RankFailure
+	return errors.As(err, &rf) || errors.Is(err, mpi.ErrAborted)
+}
+
+// runJob executes one admitted job and retires its charges.
+func (s *Service) runJob(j *job) {
+	defer s.runWG.Done()
+	res, err := s.pool.RunJob(j.spec)
+	// A rank death mid-run is a pool event, not a program error: the
+	// job's distributed blocks died with the rank.  Re-execute on the
+	// pool's reshaped live membership (Config.MaxRetries); deterministic
+	// program failures carry no rank diagnosis and never retry.
+	for attempt := 0; err != nil && rankCasualty(err) && attempt < s.cfg.MaxRetries; attempt++ {
+		s.mu.Lock()
+		j.status.Retries++
+		s.mu.Unlock()
+		res, err = s.pool.RunJob(j.spec)
+	}
+
+	s.mu.Lock()
+	j.status.Finished = time.Now()
+	if err != nil {
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+	} else {
+		j.status.State = StateDone
+		j.status.Scalars = res.Scalars
+		j.result = res
+	}
+	if j.metrics != nil {
+		j.status.Metrics = j.metrics.Snapshot().Counters
+	}
+	s.running--
+	s.memUse -= j.status.PerWorkerBytes
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	close(j.done)
+}
+
+// Job returns a job's status snapshot.
+func (s *Service) Job(id int) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status, true
+}
+
+// Result returns a finished job's full result (nil until done).
+func (s *Service) Result(id int) *sip.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.result
+	}
+	return nil
+}
+
+// Jobs returns every job's status, oldest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state and returns it.
+func (s *Service) Wait(id int) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	<-j.done
+	return s.Job(id)
+}
+
+// Close drains: no new submissions, running jobs finish, then the pool
+// shuts down.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Queued-but-never-admitted jobs fail terminally so waiters unblock.
+	for _, id := range s.queue {
+		j := s.jobs[id]
+		j.status.State = StateFailed
+		j.status.Error = "service closed before admission"
+		j.status.Finished = time.Now()
+		close(j.done)
+	}
+	s.queue = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.admitWG.Wait()
+	s.runWG.Wait()
+	return s.pool.Close()
+}

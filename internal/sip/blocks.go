@@ -9,13 +9,22 @@ import (
 	"repro/internal/mpi"
 )
 
-// blockKey identifies one block of one array.
+// blockKey identifies one block of one array.  job namespaces the key
+// inside a shared pool world (sial serve): two jobs' arrays with the
+// same ids never collide in worker stores, server caches, disk files,
+// or dedup ledgers.  The batch path runs with job 0.
 type blockKey struct {
+	job int
 	arr int
 	ord int
 }
 
-func (k blockKey) String() string { return fmt.Sprintf("a%d/b%d", k.arr, k.ord) }
+func (k blockKey) String() string {
+	if k.job != 0 {
+		return fmt.Sprintf("j%d/a%d/b%d", k.job, k.arr, k.ord)
+	}
+	return fmt.Sprintf("a%d/b%d", k.arr, k.ord)
+}
 
 // store is the thread-safe home storage for the blocks of distributed
 // arrays a worker owns (and for an I/O server's persistent state).

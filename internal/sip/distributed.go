@@ -32,12 +32,14 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 		return nil, err
 	}
 	nRanks := 1 + cfg.Workers + cfg.Servers
-	if world.Size() != nRanks {
+	if len(cfg.WorkerRanks) == 0 && world.Size() != nRanks {
+		// Pool worlds (explicit rank lists) may be larger than one job's
+		// slice of them; the classic batch layout must match exactly.
 		return nil, fmt.Errorf("sip: world has %d ranks, config needs %d (1 master + %d workers + %d servers)",
 			world.Size(), nRanks, cfg.Workers, cfg.Servers)
 	}
-	if rank < 0 || rank >= nRanks {
-		return nil, fmt.Errorf("sip: rank %d out of range [0,%d)", rank, nRanks)
+	if rank < 0 || rank >= world.Size() {
+		return nil, fmt.Errorf("sip: rank %d out of range [0,%d)", rank, world.Size())
 	}
 	scratch := cfg.ScratchDir
 	if scratch == "" {
@@ -59,6 +61,7 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
 	}
+	rt.initRanks()
 	if cfg.Metrics != nil {
 		world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
 	}
@@ -119,7 +122,7 @@ func RunRank(prog *bytecode.Program, cfg Config, world *mpi.World, rank int) (re
 			}
 		}
 		return res, err
-	case rank <= cfg.Workers:
+	case rt.workerIndexOf(rank) >= 0:
 		// The shipper's deferred finish runs after this branch folded the
 		// end-of-run metrics, so the final report carries them.
 		defer startObsShipper(rt, rank).finish()

@@ -13,33 +13,33 @@ import (
 // wasting valuable supercomputing resources on an infeasible
 // computation".
 type DryRunReport struct {
-	Workers int
-	Servers int
+	Workers int `json:"workers"`
+	Servers int `json:"servers"`
 
 	// PerWorkerBytes is the estimated peak bytes a worker needs:
 	// its partition of every distributed array, full copies of static
 	// arrays, local arrays, temp blocks for the deepest pardo, and the
 	// block cache.
-	PerWorkerBytes int64
+	PerWorkerBytes int64 `json:"per_worker_bytes"`
 	// PerServerBytes is the estimated cache memory per I/O server.
-	PerServerBytes int64
+	PerServerBytes int64 `json:"per_server_bytes"`
 	// DiskBytes is the total size of all served arrays.
-	DiskBytes int64
+	DiskBytes int64 `json:"disk_bytes"`
 
 	// ArrayBytes breaks the estimate down by array.
-	ArrayBytes map[string]int64
+	ArrayBytes map[string]int64 `json:"array_bytes"`
 
 	// PardoIterations estimates the iteration count of each pardo
 	// (upper bound; where clauses reduce it).
-	PardoIterations []int64
+	PardoIterations []int64 `json:"pardo_iterations"`
 
 	// Feasible reports whether PerWorkerBytes fits in the given memory
 	// budget; MinWorkers is the smallest worker count that would fit
 	// (paper: "this is reported to the user along with the number of
 	// processors that would be sufficient").
-	Feasible     bool
-	MemoryBudget int64
-	MinWorkers   int
+	Feasible     bool  `json:"feasible"`
+	MemoryBudget int64 `json:"memory_budget"`
+	MinWorkers   int   `json:"min_workers"`
 }
 
 // DryRun inspects a program "in dry-run mode": it sizes every array from

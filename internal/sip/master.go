@@ -219,12 +219,20 @@ func (r *pardoRun) chunkSize(workers int) int {
 func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.Message, ok bool, err error) {
 	d := m.rt.cfg.RecvTimeout
 	w := m.rt.world
+	// Callers pass base tags; receives listen on this job's strided tag
+	// space.  The wildcard covers the whole job window — several jobs'
+	// masters can share rank 0's mailbox because each window is disjoint
+	// (a plain AnyTag receive would steal the other jobs' traffic).
+	lo, hi := m.rt.tag(tag), m.rt.tag(tag)
+	if tag == mpi.AnyTag {
+		lo, hi = m.rt.tagBase, m.rt.tagBase+jobTagStride-1
+	}
 	if m.rt.cfg.Recover {
 		stamp := w.EvictStamp()
 		cancel := func() bool { return w.EvictStamp() != stamp }
 		attempts := 1 + m.rt.cfg.RecvRetries
 		for i := 0; i < attempts; i++ {
-			if msg, ok = m.comm.RecvUntil(mpi.AnySource, tag, d, cancel); ok {
+			if msg, ok = m.comm.RecvRangeUntil(mpi.AnySource, lo, hi, d, cancel); ok {
 				return msg, true, nil
 			}
 			if cancel() || d <= 0 {
@@ -232,6 +240,16 @@ func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.M
 			}
 		}
 		total := time.Duration(attempts) * d
+		if m.rt.pooled {
+			// Pool ranks never die silently: real deaths arrive as explicit
+			// evictions, which fire the cancel predicate above.  Silence here
+			// means a suspect is merely slow — wedged on a dead rank's block
+			// (bounded by its own receive deadline, after which it reports
+			// done), or parked by the fairness gate — and evicting it would
+			// amputate a live rank from every tenant in the pool.  Keep
+			// waiting.
+			return mpi.Message{}, false, nil
+		}
 		for _, r := range suspects() {
 			if w.Evictable(r) {
 				w.Evict(r, fmt.Sprintf("master heard no %s from it within %v", what, total))
@@ -243,12 +261,12 @@ func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.M
 		// table.
 	}
 	if d <= 0 {
-		return m.comm.Recv(mpi.AnySource, tag), true, nil
+		return m.comm.RecvRange(mpi.AnySource, lo, hi), true, nil
 	}
 	attempts := 1 + m.rt.cfg.RecvRetries
 	if !m.rt.cfg.Recover { // recover already spent its attempts above
 		for i := 0; i < attempts; i++ {
-			if msg, ok := m.comm.RecvTimeout(mpi.AnySource, tag, d); ok {
+			if msg, ok := m.comm.RecvRangeUntil(mpi.AnySource, lo, hi, d, nil); ok {
 				return msg, true, nil
 			}
 		}
@@ -339,7 +357,7 @@ func (m *master) run() (res *Result, err error) {
 		}
 		msg, ok, err := m.recvAny(mpi.AnyTag, "worker traffic", func() []int {
 			var waiting []int
-			for wr := 1; wr <= rt.workers; wr++ {
+			for _, wr := range rt.workerList {
 				if !m.doneRanks[wr] && !rt.world.IsEvicted(wr) {
 					waiting = append(waiting, wr)
 				}
@@ -352,13 +370,27 @@ func (m *master) run() (res *Result, err error) {
 		if !ok {
 			continue // membership changed; re-check the ledger
 		}
-		switch msg.Tag {
+		switch msg.Tag - rt.tagBase {
 		case tagChunkReq:
 			var start time.Time
 			if trk != nil {
 				start = time.Now()
 			}
 			req := msg.Data.(chunkMsg)
+			if rt.cfg.Recover && rt.world.IsEvicted(req.origin) {
+				// A zombie's request racing its own eviction (the frame was
+				// mailed before the rank died).  Serving it would assign
+				// fresh iterations to the dead rank AFTER noteEvictions
+				// swept its ledger entry — stranding them unexecuted and
+				// unreplayed, which silently corrupts the collective.
+				break
+			}
+			// Fairness between concurrent jobs (sial serve): the gate may
+			// park this job's dispatch while other active jobs are behind
+			// on their share of the pool.
+			if rt.cfg.Gate != nil {
+				rt.cfg.Gate.Acquire(rt.job)
+			}
 			key := [2]int{req.pardo, req.gen}
 			r, ok := m.runs[key]
 			if !ok {
@@ -375,14 +407,14 @@ func (m *master) run() (res *Result, err error) {
 					delete(m.runs, key) // every worker has drained this run
 				}
 			}
-			m.comm.Send(req.origin, tagChunkRep, chunkReply{iters: iters})
+			m.comm.Send(req.origin, rt.tag(tagChunkRep), chunkReply{iters: iters})
 			chunkCtr.Inc()
 			iterCtr.Add(int64(len(iters)))
 			if trk != nil {
 				// Flow-out endpoint: the worker's matching wait_block span
 				// records the flow-in half under the same (0, origin,
 				// tagChunkRep) id, so the merged trace draws the arrow.
-				trk.FlowOut(start, msgFlowID(0, req.origin, tagChunkRep),
+				trk.FlowOut(start, msgFlowID(0, req.origin, rt.tag(tagChunkRep)),
 					obs.CatChunk, "dispatch_chunk",
 					obs.AInt("pardo", req.pardo), obs.AInt("iters", len(iters)))
 			}
@@ -400,7 +432,7 @@ func (m *master) run() (res *Result, err error) {
 			m.recordGather(res.Arrays, g)
 		case tagDone:
 			done := msg.Data.(doneMsg)
-			if done.origin > rt.workers {
+			if rt.isServerRank(done.origin) {
 				if trk != nil {
 					trk.Instant(obs.CatChunk, "server_failed", obs.AInt("rank", done.origin))
 				}
@@ -416,6 +448,12 @@ func (m *master) run() (res *Result, err error) {
 				workerErr = m.recordRelay(workerErr, done)
 				break
 			}
+			if rt.world.IsEvicted(done.origin) {
+				// A zombie's teardown racing its own eviction: marking it
+				// done would cancel the re-queue of its in-flight
+				// iterations.
+				break
+			}
 			m.doneRanks[done.origin] = true
 			if done.scalars != nil && (scalarOrigin < 0 || done.origin < scalarOrigin) {
 				scalarVals = done.scalars
@@ -427,13 +465,15 @@ func (m *master) run() (res *Result, err error) {
 			}
 		}
 	}
-	// All workers finished: stop service loops, then servers.
-	for wr := 1; wr <= rt.workers; wr++ {
-		m.comm.Send(wr, tagService, shutdownMsg{})
+	// All workers finished: stop service loops, then servers.  A job
+	// inside a shared pool (job > 0) narrows the server shutdown to its
+	// own blocks — the servers keep running for the other jobs.
+	for _, wr := range rt.workerList {
+		m.comm.Send(wr, rt.tag(tagService), shutdownMsg{job: rt.job})
 	}
-	for s := 0; s < rt.servers; s++ {
-		if sr := 1 + rt.workers + s; !rt.world.IsEvicted(sr) {
-			m.comm.Send(sr, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays})
+	for _, sr := range rt.serverList {
+		if !rt.world.IsEvicted(sr) {
+			m.comm.Send(sr, tagServer, shutdownMsg{gather: rt.cfg.GatherArrays, job: rt.job})
 		}
 	}
 	if rt.cfg.GatherArrays {
@@ -443,8 +483,8 @@ func (m *master) run() (res *Result, err error) {
 		// from the surviving replicas).
 		awaiting := func() []int {
 			var waiting []int
-			for i := 0; i < rt.servers; i++ {
-				if sr := 1 + rt.workers + i; !gathered[sr] && !rt.world.IsEvicted(sr) {
+			for _, sr := range rt.serverList {
+				if !gathered[sr] && !rt.world.IsEvicted(sr) {
 					waiting = append(waiting, sr)
 				}
 			}
@@ -471,8 +511,12 @@ func (m *master) run() (res *Result, err error) {
 	}
 	// Drain the final telemetry reports each live rank ships after its
 	// run (and end-of-run metric fold) completed, so the merged trace and
-	// metrics cover the whole run.
-	m.collectFinalObs()
+	// metrics cover the whole run.  Pool jobs skip this: telemetry is
+	// shipped per rank for the pool's lifetime, not per job, and is
+	// drained by the pool's own obs loop on the global tagObs.
+	if rt.job == 0 {
+		m.collectFinalObs()
+	}
 	return res, workerErr
 }
 
@@ -506,8 +550,8 @@ func (m *master) recordServedGather(dst map[string][]ArrayBlock, g gatherMsg) {
 // evictedServers counts I/O-server ranks evicted from the world.
 func (m *master) evictedServers() int {
 	n := 0
-	for si := 0; si < m.rt.servers; si++ {
-		if m.rt.world.IsEvicted(1 + m.rt.workers + si) {
+	for _, sr := range m.rt.serverList {
+		if m.rt.world.IsEvicted(sr) {
 			n++
 		}
 	}
@@ -519,7 +563,7 @@ func (m *master) evictedServers() int {
 // this is exactly the old "all workers reported done" condition.
 func (m *master) pendingWorkers() int {
 	n := 0
-	for wr := 1; wr <= m.rt.workers; wr++ {
+	for _, wr := range m.rt.workerList {
 		if !m.doneRanks[wr] && !m.rt.world.IsEvicted(wr) {
 			n++
 		}
@@ -530,7 +574,7 @@ func (m *master) pendingWorkers() int {
 // liveWorkers counts workers not evicted from the world.
 func (m *master) liveWorkers() int {
 	n := 0
-	for wr := 1; wr <= m.rt.workers; wr++ {
+	for _, wr := range m.rt.workerList {
 		if !m.rt.world.IsEvicted(wr) {
 			n++
 		}
@@ -548,7 +592,8 @@ func (m *master) liveWorkers() int {
 // the meantime.
 func (m *master) noteEvictions(trk *obs.Track) {
 	evicted := m.rt.world.Evicted()
-	for rank := 1; rank <= m.rt.workers+m.rt.servers; rank++ {
+	ranks := append(append([]int(nil), m.rt.workerList...), m.rt.serverList...)
+	for _, rank := range ranks {
 		if _, dead := evicted[rank]; !dead || m.evictSeen[rank] {
 			continue
 		}
@@ -556,7 +601,7 @@ func (m *master) noteEvictions(trk *obs.Track) {
 		m.rt.metrics.Counter(metricFaultRankEvicted).Inc()
 		m.rt.metrics.Counter(fmt.Sprintf("%s.rank%d", metricFaultRankEvicted, rank)).Inc()
 		m.rt.flightRecord("evicted", rank, m.rt.world.Evicted()[rank])
-		if rank > m.rt.workers {
+		if m.rt.isServerRank(rank) {
 			if trk != nil {
 				trk.Instant(obs.CatChunk, "server_evicted", obs.AInt("rank", rank))
 			}
@@ -617,7 +662,7 @@ func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 	for round, s := range m.syncs {
 		var parked []int
 		complete := true
-		for wr := 1; wr <= rt.workers; wr++ {
+		for _, wr := range rt.workerList {
 			if rt.world.IsEvicted(wr) || m.doneRanks[wr] {
 				continue
 			}
@@ -658,7 +703,7 @@ func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 			}
 		}
 		for _, wr := range parked {
-			m.comm.Send(wr, tagSyncRep, syncReply{round: round, vals: vals})
+			m.comm.Send(wr, rt.tag(tagSyncRep), syncReply{round: round, vals: vals})
 		}
 		delete(m.syncs, round)
 		// Seal the phase: every run's iterations are executed and acked.
@@ -697,7 +742,7 @@ func (m *master) resumeRequeued(round int, s *syncState, parked []int, redispCtr
 			r.assigned[wr] = append(r.assigned[wr], iters...)
 			s.reported[wr] = false
 			delete(s.vals, wr)
-			m.comm.Send(wr, tagSyncRep, syncReply{
+			m.comm.Send(wr, m.rt.tag(tagSyncRep), syncReply{
 				round: round, resume: true, pardo: key[0], gen: key[1], iters: iters,
 			})
 			redispCtr.Inc()
@@ -718,12 +763,11 @@ func (m *master) resumeRequeued(round int, s *syncState, parked []int, redispCtr
 func (m *master) flushServers() error {
 	rt := m.rt
 	var pending []int
-	for si := 0; si < rt.servers; si++ {
-		sr := 1 + rt.workers + si
+	for _, sr := range rt.serverList {
 		if rt.world.IsEvicted(sr) {
 			continue
 		}
-		m.comm.Send(sr, tagServer, flushMsg{origin: 0})
+		m.comm.Send(sr, tagServer, flushMsg{origin: 0, job: rt.job})
 		pending = append(pending, sr)
 	}
 	d := rt.cfg.RecvTimeout
@@ -731,17 +775,17 @@ func (m *master) flushServers() error {
 	for _, sr := range pending {
 		for got := false; !got && !rt.world.IsEvicted(sr); {
 			if d <= 0 && !m.rt.serversEvictable() {
-				m.comm.Recv(sr, tagFlushAck)
+				m.comm.Recv(sr, rt.tag(tagFlushAck))
 				break
 			}
 			stamp := rt.world.EvictStamp()
 			cancel := func() bool { return rt.world.EvictStamp() != stamp }
 			if d <= 0 {
-				_, got = m.comm.RecvUntil(sr, tagFlushAck, 0, cancel)
+				_, got = m.comm.RecvUntil(sr, rt.tag(tagFlushAck), 0, cancel)
 				continue
 			}
 			for i := 0; i < attempts && !got; i++ {
-				_, got = m.comm.RecvUntil(sr, tagFlushAck, d, cancel)
+				_, got = m.comm.RecvUntil(sr, rt.tag(tagFlushAck), d, cancel)
 				if !got && cancel() {
 					break
 				}
@@ -750,6 +794,12 @@ func (m *master) flushServers() error {
 				continue
 			}
 			// True silence from a live server.
+			if rt.pooled {
+				// Pool servers never die silently (see recvAny); a slow
+				// flush under multi-tenant load is not a death.  Keep
+				// waiting — an explicit eviction still cancels the wait.
+				continue
+			}
 			total := time.Duration(attempts) * d
 			if rt.world.Evictable(sr) {
 				rt.world.Evict(sr, fmt.Sprintf("master heard no flush ack from it within %v", total))
@@ -788,8 +838,8 @@ restart:
 		m.replRound++
 		round := m.replRound
 		var live []int
-		for si := 0; si < rt.servers; si++ {
-			if sr := 1 + rt.workers + si; !rt.world.IsEvicted(sr) {
+		for _, sr := range rt.serverList {
+			if !rt.world.IsEvicted(sr) {
 				live = append(live, sr)
 			}
 		}
@@ -799,7 +849,7 @@ restart:
 			return nil
 		}
 		for _, sr := range live {
-			m.comm.Send(sr, tagServer, rereplicateMsg{round: round})
+			m.comm.Send(sr, tagServer, rereplicateMsg{round: round, job: rt.job})
 		}
 		roundCtr.Inc()
 		scanned := map[int]bool{}
@@ -853,9 +903,15 @@ restart:
 	}
 }
 
-// ckptPath returns the checkpoint file for an array.
+// ckptPath returns the checkpoint file for an array.  Pool jobs prefix
+// the file with their job id so two jobs checkpointing same-named
+// arrays into the shared scratch never collide.
 func (m *master) ckptPath(arr int) string {
-	return filepath.Join(m.rt.scratch, fmt.Sprintf("ckpt_%s.gob", m.rt.prog.Arrays[arr].Name))
+	name := fmt.Sprintf("ckpt_%s.gob", m.rt.prog.Arrays[arr].Name)
+	if m.rt.job != 0 {
+		name = fmt.Sprintf("ckpt_j%d_%s.gob", m.rt.job, m.rt.prog.Arrays[arr].Name)
+	}
+	return filepath.Join(m.rt.scratch, name)
 }
 
 // handleCkpt advances the blocks_to_list / list_to_blocks protocols.
@@ -863,6 +919,11 @@ func (m *master) ckptPath(arr int) string {
 // recovery noteEvictions re-checks pending collections when the live
 // count drops.
 func (m *master) handleCkpt(req ckptMsg) error {
+	if m.rt.cfg.Recover && m.rt.world.IsEvicted(req.origin) {
+		// A zombie's checkpoint traffic racing its own eviction: its
+		// contribution must not stand in for a live worker's.
+		return nil
+	}
 	switch req.op {
 	case ckptSave:
 		col := m.ckptSaves[req.arr]
@@ -919,7 +980,7 @@ func (m *master) maybeFinishCkptSave(arr int) {
 		ack = err.Error()
 	}
 	for _, origin := range col.origins {
-		m.comm.Send(origin, tagCkpt, ack)
+		m.comm.Send(origin, m.rt.tag(tagCkpt), ack)
 	}
 }
 
@@ -938,7 +999,7 @@ func (m *master) maybeFinishCkptLoad(arr int) {
 	}
 	if err != nil {
 		for _, origin := range origins {
-			m.comm.Send(origin, tagCkpt, err.Error())
+			m.comm.Send(origin, m.rt.tag(tagCkpt), err.Error())
 		}
 		return
 	}
@@ -949,6 +1010,6 @@ func (m *master) maybeFinishCkptLoad(arr int) {
 		perWorker[home] = append(perWorker[home], ab)
 	}
 	for _, origin := range origins {
-		m.comm.Send(origin, tagCkpt, ckptData{arr: arr, blocks: perWorker[origin]})
+		m.comm.Send(origin, m.rt.tag(tagCkpt), ckptData{arr: arr, blocks: perWorker[origin]})
 	}
 }

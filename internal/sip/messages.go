@@ -33,15 +33,22 @@ type putMsg struct {
 }
 
 // flushMsg asks an I/O server to write all dirty cached blocks to disk
-// (server_barrier).
+// (server_barrier).  job scopes the flush — and the ack tag — to one
+// job's blocks inside a shared pool server; 0 (the batch path) flushes
+// everything and acks on the un-strided tagFlushAck.
 type flushMsg struct {
 	origin int
+	job    int
 }
 
 // shutdownMsg terminates a service loop or I/O server.  gather asks the
-// recipient to send its array contents to the master first.
+// recipient to send its array contents to the master first.  For a
+// shared pool server, job > 0 narrows the shutdown to one job: flush
+// (and optionally gather) that job's blocks, drop its registration, and
+// keep serving the other jobs; job == 0 is the batch path's full stop.
 type shutdownMsg struct {
 	gather bool
+	job    int
 }
 
 // chunkMsg asks the master for the next chunk of pardo iterations.
@@ -139,6 +146,9 @@ type syncMsg struct {
 // restarted after a further eviction.
 type rereplicateMsg struct {
 	round int
+	// job scopes the scan to one job's blocks on a shared pool server
+	// (acks return on the job's strided tagRepl); 0 is the batch path.
+	job int
 }
 
 // rereplicateAck reports one server's anti-entropy scan complete:
@@ -182,6 +192,24 @@ type obsReportMsg struct {
 	wallUs int64
 	snap   *obs.Snapshot
 	tracks []obs.TrackSegment
+}
+
+// jobStartMsg launches one job on a pool rank (pool -> rank agents on
+// the global tagJob control plane, sial serve).  It carries everything
+// a remote rank needs to reconstruct the job's runtime over the shared
+// world: the compiled program bytes, parameter bindings, the segment
+// default, the job's membership snapshot, and the name of a registered
+// preset/integral/super pack (Go functions cannot travel the wire; see
+// serve.RegisterPack).
+type jobStartMsg struct {
+	job     int
+	prog    []byte // compiled .siox image
+	params  map[string]int
+	seg     int
+	workers []int // world ranks acting as the job's workers, index order
+	servers []int // world ranks acting as the job's I/O servers
+	pack    string
+	gather  bool
 }
 
 // syncReply releases a worker from a sync point (resume == false; for

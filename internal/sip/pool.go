@@ -1,0 +1,536 @@
+package sip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// Pool is the runtime substrate of `sial serve`: one persistent world of
+// master-plane, worker, and I/O-server ranks that executes many compiled
+// SIAL programs concurrently instead of being torn down after one run.
+//
+// Multiplexing works by namespace striding, not by partitioning ranks:
+// every admitted job gets a dense id j >= 1, its message tags are offset
+// by j*jobTagStride (so concurrent jobs share each rank's mailbox
+// without ever matching each other's messages — rank 0 in particular
+// runs one master goroutine per job, each receiving on its own tag
+// window), and its block keys carry the job id end to end (worker
+// partitions, server caches and disk files, effect-dedup ledgers,
+// replica placement).  The I/O servers are shared: one server loop per
+// server rank serves every job's served arrays, keyed by job, for the
+// pool's whole lifetime.
+//
+// Pool jobs always run with Config.Recover forced on.  Master-mediated
+// sync rounds are what make multi-tenancy safe: collective groups would
+// be cached per member-set in the world and shared between jobs with
+// identical membership, interleaving their barrier rounds.  Recovery
+// mode routes every sync through the job's own master on strided tags,
+// and also gives the pool its elasticity — worker kills are evictions
+// the job replays around, and rank joins only require that later jobs'
+// membership snapshots include the newcomer.
+type Pool struct {
+	cfg        PoolConfig
+	world      *mpi.World
+	scratch    string
+	ownScratch bool
+
+	serverList []int
+	spareList  []int
+
+	servers []*ioServer
+	srvErrs []error
+	srvWG   sync.WaitGroup
+
+	supWG sync.WaitGroup
+
+	mu      sync.Mutex
+	nextJob int
+	workers []int // live worker ranks; grows on Join, shrinks on Kill
+	closed  bool
+}
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig struct {
+	// Workers is the number of initially live worker ranks (>= 1).
+	Workers int
+	// Servers is the number of shared I/O-server ranks.
+	Servers int
+	// Spares is the number of latent worker ranks provisioned above the
+	// servers; Join activates them one at a time.
+	Spares int
+	// Replicas is the served-array replication factor applied to every
+	// job (see Config.Replicas).
+	Replicas int
+	// Recover makes worker ranks (and, with Replicas > 1, server ranks)
+	// evictable, so Kill degrades jobs instead of failing them.
+	Recover bool
+	// ScratchDir holds every job's served blocks and checkpoints
+	// (job-prefixed).  Empty means a temporary directory owned by the
+	// pool and removed on Close.
+	ScratchDir string
+	// Gate, when non-nil, arbitrates chunk dispatch between concurrent
+	// jobs (FIFO-with-fairness; see ChunkGate).
+	Gate ChunkGate
+	// Output receives job print statements and pool diagnostics
+	// (default os.Stdout).
+	Output io.Writer
+	// Metrics, when non-nil, collects pool-lifetime counters (shared
+	// server cache/disk statistics, MPI traffic).  Per-job registries are
+	// passed per job via JobSpec.Metrics.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records pool-lifetime spans.
+	Tracer *obs.Tracer
+	// RecvTimeout/RecvRetries bound job receives (see Config).
+	RecvTimeout time.Duration
+	RecvRetries int
+}
+
+// JobSpec is one program submitted to the pool.
+type JobSpec struct {
+	// Prog is the compiled program to run.
+	Prog *bytecode.Program
+	// Params supplies values for the program's symbolic constants.
+	Params map[string]int
+	// Seg selects segment sizes.
+	Seg bytecode.SegConfig
+	// Preset, Super, Integrals configure the program's environment
+	// exactly as in Config.
+	Preset    map[string]PresetFunc
+	Super     map[string]SuperFunc
+	Integrals IntegralFunc
+	// GatherArrays collects array contents into the job's Result.
+	GatherArrays bool
+	// Metrics, when non-nil, is the job's private registry: worker and
+	// master counters for this job land here, keeping tenants' telemetry
+	// separate.
+	Metrics *obs.Registry
+	// Output overrides the pool's Output for this job's prints.
+	Output io.Writer
+}
+
+// NewPool builds the world, starts the shared I/O servers and the
+// rank-0 supervisor, and returns a pool ready to accept jobs.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("sip: pool needs Workers >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Servers < 0 || cfg.Spares < 0 {
+		return nil, fmt.Errorf("sip: pool Servers/Spares must be >= 0")
+	}
+	if cfg.Replicas > 1 && cfg.Replicas > cfg.Servers {
+		return nil, fmt.Errorf("sip: pool Replicas = %d exceeds Servers = %d", cfg.Replicas, cfg.Servers)
+	}
+	if cfg.Output == nil {
+		cfg.Output = os.Stdout
+	}
+	scratch, own := cfg.ScratchDir, false
+	if scratch == "" {
+		dir, err := os.MkdirTemp("", "sip-pool-")
+		if err != nil {
+			return nil, fmt.Errorf("sip: pool scratch dir: %w", err)
+		}
+		scratch, own = dir, true
+	}
+
+	n := 1 + cfg.Workers + cfg.Servers + cfg.Spares
+	p := &Pool{
+		cfg:        cfg,
+		world:      mpi.NewWorld(n),
+		scratch:    scratch,
+		ownScratch: own,
+		nextJob:    1,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.workers = append(p.workers, 1+i)
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		p.serverList = append(p.serverList, 1+cfg.Workers+i)
+	}
+	for i := 0; i < cfg.Spares; i++ {
+		p.spareList = append(p.spareList, 1+cfg.Workers+cfg.Servers+i)
+	}
+	if len(p.spareList) > 0 {
+		p.world.SetLatent(p.spareList...)
+	}
+	if cfg.Recover {
+		critical := []int{0}
+		if cfg.Replicas <= 1 {
+			critical = append(critical, p.serverList...)
+		}
+		p.world.SetRecover(critical...)
+	}
+
+	// The shared servers run against a base runtime with no program of
+	// its own: every block they touch carries a tenant's job id, whose
+	// registration supplies the layout.
+	baseCfg := Config{
+		Workers:  cfg.Workers,
+		Servers:  cfg.Servers,
+		Replicas: max(cfg.Replicas, 1),
+		Recover:  cfg.Recover,
+	}
+	if err := baseCfg.fill(); err != nil {
+		return nil, err
+	}
+	baseRT := &runtime{
+		cfg:     baseCfg,
+		world:   p.world,
+		workers: cfg.Workers,
+		servers: cfg.Servers,
+		scratch: scratch,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
+	}
+	baseRT.initRanks()
+	for i, rank := range p.serverList {
+		s := newIOServer(baseRT, rank)
+		p.servers = append(p.servers, s)
+		p.srvErrs = append(p.srvErrs, nil)
+		p.srvWG.Add(1)
+		go func(i int, s *ioServer) {
+			defer p.srvWG.Done()
+			p.srvErrs[i] = s.run()
+		}(i, s)
+	}
+
+	p.supWG.Add(1)
+	go p.supervise()
+	return p, nil
+}
+
+// supervise owns rank 0's job-0 tag window for the pool's lifetime: the
+// un-strided tags no tenant master listens on.  Today that is tagDone
+// error reports from dying shared servers (and any stray job-0
+// telemetry); each is logged so a degraded pool is visible.
+func (p *Pool) supervise() {
+	defer p.supWG.Done()
+	defer func() {
+		if r := recover(); r != nil && r != mpi.ErrAborted {
+			panic(r)
+		}
+	}()
+	comm := p.world.Comm(0)
+	closed := func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.closed
+	}
+	for !closed() {
+		m, ok := comm.RecvRangeUntil(mpi.AnySource, 0, jobTagStride-1, 200*time.Millisecond, closed)
+		if !ok {
+			continue
+		}
+		switch msg := m.Data.(type) {
+		case doneMsg:
+			if msg.err != "" {
+				fmt.Fprintf(p.cfg.Output, "[pool] rank %d: %s\n", msg.origin, msg.err)
+			}
+		case obsReportMsg:
+			// In-process pools share registries; stray reports are folded
+			// nowhere but must not clog the window.
+		}
+	}
+}
+
+// Workers returns the live worker ranks (a copy).
+func (p *Pool) Workers() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := make([]int, 0, len(p.workers))
+	for _, r := range p.workers {
+		if !p.world.IsEvicted(r) {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Servers returns the I/O-server ranks (a copy).
+func (p *Pool) Servers() []int { return append([]int(nil), p.serverList...) }
+
+// Evicted returns evicted ranks with their eviction reasons (for
+// health endpoints).
+func (p *Pool) Evicted() map[int]string { return p.world.Evicted() }
+
+// Spares returns the still-latent spare ranks (a copy).
+func (p *Pool) Spares() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.spareList...)
+}
+
+// Kill evicts a live worker rank, as fault injection or administrative
+// drain.  Jobs running over the rank recover (replaying its chunks);
+// jobs admitted afterwards exclude it.
+func (p *Pool) Kill(rank int, reason string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("sip: pool is closed")
+	}
+	idx := -1
+	for i, r := range p.workers {
+		if r == rank {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("sip: rank %d is not a live pool worker", rank)
+	}
+	if !p.world.Evictable(rank) {
+		return fmt.Errorf("sip: rank %d is not evictable (pool not recovering?)", rank)
+	}
+	p.world.Evict(rank, reason)
+	p.workers = append(p.workers[:idx], p.workers[idx+1:]...)
+	return nil
+}
+
+// Join activates one latent spare rank as a new worker and returns its
+// rank.  Running jobs keep their membership snapshot; jobs admitted
+// after the join schedule onto the newcomer too.
+func (p *Pool) Join() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, fmt.Errorf("sip: pool is closed")
+	}
+	if len(p.spareList) == 0 {
+		return 0, fmt.Errorf("sip: no spare ranks left to join")
+	}
+	rank := p.spareList[0]
+	if !p.world.Join(rank) {
+		return 0, fmt.Errorf("sip: rank %d failed to join", rank)
+	}
+	p.spareList = p.spareList[1:]
+	p.workers = append(p.workers, rank)
+	return rank, nil
+}
+
+// RunJob admits and executes one job, blocking until it completes.  Safe
+// for concurrent use: each call claims a fresh job id and tag window and
+// runs its own master and worker goroutines over the shared world.
+func (p *Pool) RunJob(spec JobSpec) (res *Result, err error) {
+	// A poisoned world (a critical rank died and aborted it) unwinds
+	// communication on the caller's goroutine as an ErrAborted panic —
+	// e.g. out of registerJob's readiness wait.  Surface it as an error:
+	// one dead pool must not crash the process hosting it.
+	defer func() {
+		if r := recover(); r != nil {
+			if r != mpi.ErrAborted {
+				panic(r)
+			}
+			err = fmt.Errorf("sip: pool job aborted: %w", mpi.ErrAborted)
+			if f := p.world.Failure(); f != nil {
+				err = fmt.Errorf("sip: pool job aborted: %w: %w", f, mpi.ErrAborted)
+			}
+		}
+	}()
+	return p.runJob(spec)
+}
+
+func (p *Pool) runJob(spec JobSpec) (*Result, error) {
+	if spec.Prog == nil {
+		return nil, fmt.Errorf("sip: job has no program")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("sip: pool is closed")
+	}
+	job := p.nextJob
+	p.nextJob++
+	snapshot := make([]int, 0, len(p.workers))
+	for _, r := range p.workers {
+		if !p.world.IsEvicted(r) {
+			snapshot = append(snapshot, r)
+		}
+	}
+	p.mu.Unlock()
+	if len(snapshot) == 0 {
+		return nil, fmt.Errorf("sip: pool has no live workers")
+	}
+
+	cfg := Config{
+		Workers:      len(snapshot),
+		Servers:      p.cfg.Servers,
+		Params:       spec.Params,
+		Seg:          spec.Seg,
+		Preset:       spec.Preset,
+		Super:        spec.Super,
+		Integrals:    spec.Integrals,
+		GatherArrays: spec.GatherArrays,
+		ScratchDir:   p.scratch,
+		Output:       spec.Output,
+		Metrics:      spec.Metrics,
+		Tracer:       p.cfg.Tracer,
+		RecvTimeout:  p.cfg.RecvTimeout,
+		RecvRetries:  p.cfg.RecvRetries,
+		Replicas:     max(p.cfg.Replicas, 1),
+		Recover:      true, // pool jobs always sync through their master
+		Job:          job,
+		WorkerRanks:  snapshot,
+		ServerRanks:  append([]int(nil), p.serverList...),
+		Gate:         p.cfg.Gate,
+	}
+	if cfg.Output == nil {
+		cfg.Output = p.cfg.Output
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	layout, err := spec.Prog.Resolve(cfg.Params, cfg.Seg)
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		cfg:     cfg,
+		prog:    spec.Prog,
+		layout:  layout,
+		world:   p.world,
+		workers: cfg.Workers,
+		servers: cfg.Servers,
+		pooled:  true,
+		scratch: p.scratch,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
+	}
+	rt.initRanks()
+
+	if err := p.registerJob(rt, spec); err != nil {
+		return nil, err
+	}
+
+	// A gate that tracks job lifecycles (e.g. serve.FairGate) learns the
+	// pool-assigned job id here, bracketing the run.
+	if lc, ok := p.cfg.Gate.(interface {
+		Start(job int)
+		Finish(job int)
+	}); ok {
+		lc.Start(job)
+		defer lc.Finish(job)
+	}
+
+	m := newMaster(rt)
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = newWorker(rt, rt.workerList[i])
+	}
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(2)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = w.run()
+		}(i, w)
+		go func(w *worker) {
+			defer wg.Done()
+			w.serviceLoop()
+		}(w)
+	}
+	res, masterErr := m.run()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil && !p.world.IsEvicted(rt.workerList[i]) && !errors.Is(err, mpi.ErrAborted) {
+			return nil, err
+		}
+	}
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	res.Profile = mergeProfiles(workers, nil)
+	if cfg.Metrics != nil {
+		foldRunMetrics(cfg.Metrics, workers, nil)
+		res.Profile.Metrics = cfg.Metrics.Snapshot()
+	}
+	return res, nil
+}
+
+// registerJob announces the job's layout to every live shared server and
+// waits for their readiness acks, so the first prepare a worker sends
+// can be sized and placed.
+func (p *Pool) registerJob(rt *runtime, spec JobSpec) error {
+	comm := p.world.Comm(0)
+	want := 0
+	for _, srv := range rt.serverList {
+		if p.world.IsEvicted(srv) {
+			continue
+		}
+		reg := &srvJob{
+			job:      rt.job,
+			prog:     rt.prog,
+			layout:   rt.layout,
+			preset:   spec.Preset,
+			replicas: rt.cfg.Replicas,
+			servers:  append([]int(nil), rt.serverList...),
+		}
+		comm.Send(srv, tagServer, srvRegMsg{j: reg})
+		want++
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for got := 0; got < want; {
+		_, ok := comm.RecvRangeUntil(mpi.AnySource, rt.tag(tagJob), rt.tag(tagJob),
+			200*time.Millisecond, func() bool { return time.Now().After(deadline) })
+		if ok {
+			got++
+			continue
+		}
+		// A server evicted mid-registration never acks; recount the
+		// live set and keep waiting for the rest.
+		live := 0
+		for _, srv := range rt.serverList {
+			if !p.world.IsEvicted(srv) {
+				live++
+			}
+		}
+		if live < want {
+			want = live
+		}
+		if time.Now().After(deadline) && got < want {
+			return fmt.Errorf("sip: job %d: servers did not acknowledge registration", rt.job)
+		}
+	}
+	return nil
+}
+
+// Close shuts the shared servers down (flushing every tenant's dirty
+// blocks), stops the supervisor, and releases the scratch directory if
+// the pool owns it.  Jobs must have completed; Close does not wait for
+// them.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+
+	comm := p.world.Comm(0)
+	for _, srv := range p.serverList {
+		if !p.world.IsEvicted(srv) {
+			comm.Send(srv, tagServer, shutdownMsg{})
+		}
+	}
+	p.srvWG.Wait()
+	p.supWG.Wait()
+	var errs []error
+	for i, err := range p.srvErrs {
+		if err != nil && !p.world.IsEvicted(p.serverList[i]) && !errors.Is(err, mpi.ErrAborted) {
+			errs = append(errs, err)
+		}
+	}
+	if p.ownScratch {
+		os.RemoveAll(p.scratch)
+	}
+	return errors.Join(errs...)
+}

@@ -21,15 +21,20 @@ package sip
 // modulo hash of homeServer, byte-identical to a build without
 // replication.
 
-// rendezvousScore ranks server for block (arr, ord): FNV-1a over the
-// three coordinates.
-func rendezvousScore(arr, ord, server int) uint64 {
+// rendezvousScore ranks server for block (job, arr, ord): FNV-1a over
+// the coordinates.  The job id is mixed in only when non-zero, so the
+// batch path's scores — and therefore its placement — are byte-identical
+// to a build without job namespaces.
+func rendezvousScore(job, arr, ord, server int) uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		for s := 0; s < 64; s += 8 {
 			h = (h ^ (v>>s)&0xff) * prime
 		}
+	}
+	if job != 0 {
+		mix(uint64(job))
 	}
 	mix(uint64(arr))
 	mix(uint64(ord))
@@ -38,17 +43,17 @@ func rendezvousScore(arr, ord, server int) uint64 {
 }
 
 // rendezvousReplicas returns up to k ranks from servers ordered by
-// descending rendezvous score for block (arr, ord), skipping ranks for
-// which dead reports true.  Ties break toward the lower rank so the
+// descending rendezvous score for block (job, arr, ord), skipping ranks
+// for which dead reports true.  Ties break toward the lower rank so the
 // order is total.
-func rendezvousReplicas(arr, ord, k int, servers []int, dead func(rank int) bool) []int {
+func rendezvousReplicas(job, arr, ord, k int, servers []int, dead func(rank int) bool) []int {
 	type scored struct {
 		rank  int
 		score uint64
 	}
 	order := make([]scored, 0, len(servers))
 	for _, sr := range servers {
-		order = append(order, scored{rank: sr, score: rendezvousScore(arr, ord, sr)})
+		order = append(order, scored{rank: sr, score: rendezvousScore(job, arr, ord, sr)})
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {
@@ -74,11 +79,25 @@ func rendezvousReplicas(arr, ord, k int, servers []int, dead func(rank int) bool
 
 // serverRanks returns the world ranks of all I/O servers.
 func (rt *runtime) serverRanks() []int {
-	ranks := make([]int, rt.servers)
-	for i := range ranks {
-		ranks[i] = 1 + rt.workers + i
+	return append([]int(nil), rt.serverList...)
+}
+
+// replicaSetOf is the placement function shared by per-job runtimes and
+// the pool's shared servers (which compute other jobs' replica sets
+// from their registrations): the live ranks from servers holding block
+// (job, arr, ord), primary first, under replication factor k.  With
+// k <= 1 it is the legacy single home chosen by homeServerOf.
+func replicaSetOf(job, arr, ord, k int, servers []int, dead func(rank int) bool) []int {
+	if k <= 1 {
+		return []int{homeServerOf(job, arr, ord, servers)}
 	}
-	return ranks
+	return rendezvousReplicas(job, arr, ord, k, servers, dead)
+}
+
+// homeServerOf is the single-home placement hash over an explicit
+// server list; job 0 reproduces the historical batch placement exactly.
+func homeServerOf(job, arr, ord int, servers []int) int {
+	return servers[((job*31+arr)*2654435761+ord)%len(servers)]
 }
 
 // replicaServers returns the live server ranks holding block (arr, ord)
@@ -93,5 +112,5 @@ func (rt *runtime) replicaServers(arr, ord int) []int {
 	if rt.servers == 0 {
 		rt.homeServer(arr, ord) // panics with the served-but-no-servers message
 	}
-	return rendezvousReplicas(arr, ord, rt.cfg.Replicas, rt.serverRanks(), rt.world.IsEvicted)
+	return rendezvousReplicas(rt.job, arr, ord, rt.cfg.Replicas, rt.serverRanks(), rt.world.IsEvicted)
 }

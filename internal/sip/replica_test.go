@@ -21,6 +21,7 @@ func replicaRuntime(t *testing.T, workers, servers, replicas int, recover bool) 
 		workers: workers,
 		servers: servers,
 	}
+	rt.initRanks()
 	if recover {
 		rt.world.SetRecover(rt.criticalRanks()...)
 	}
@@ -34,8 +35,8 @@ func TestReplicaPlacementDeterministic(t *testing.T) {
 	servers := []int{3, 4, 5, 6}
 	for arr := 0; arr < 4; arr++ {
 		for ord := 0; ord < 64; ord++ {
-			a := rendezvousReplicas(arr, ord, 2, servers, nil)
-			b := rendezvousReplicas(arr, ord, 2, servers, nil)
+			a := rendezvousReplicas(0, arr, ord, 2, servers, nil)
+			b := rendezvousReplicas(0, arr, ord, 2, servers, nil)
 			if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
 				t.Fatalf("placement of (%d,%d) not deterministic: %v vs %v", arr, ord, a, b)
 			}
@@ -54,7 +55,7 @@ func TestReplicaPlacementNoDuplicates(t *testing.T) {
 		}
 		for arr := 0; arr < 3; arr++ {
 			for ord := 0; ord < 64; ord++ {
-				set := rendezvousReplicas(arr, ord, k, servers, nil)
+				set := rendezvousReplicas(0, arr, ord, k, servers, nil)
 				if len(set) != want {
 					t.Fatalf("replicas(%d,%d,k=%d) = %v, want %d ranks", arr, ord, k, set, want)
 				}
@@ -84,8 +85,8 @@ func TestReplicaPlacementMinimalRebalance(t *testing.T) {
 		rebalanced := 0
 		for arr := 0; arr < 3; arr++ {
 			for ord := 0; ord < 64; ord++ {
-				before := rendezvousReplicas(arr, ord, k, servers, nil)
-				after := rendezvousReplicas(arr, ord, k, servers, dead)
+				before := rendezvousReplicas(0, arr, ord, k, servers, nil)
+				after := rendezvousReplicas(0, arr, ord, k, servers, dead)
 				held := false
 				for _, r := range before {
 					if r == victim {

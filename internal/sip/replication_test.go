@@ -22,7 +22,7 @@ func TestServerFlushAllAggregatesErrors(t *testing.T) {
 	k0 := blockKey{arr: arr, ord: 0}
 	k1 := blockKey{arr: arr, ord: 1}
 	for _, k := range []blockKey{k0, k1} {
-		b := block.New(s.blockDims(k)...)
+		b := block.New(testDims(t, s, k)...)
 		b.Fill(1)
 		if err := s.apply(k, b, false); err != nil {
 			t.Fatal(err)
@@ -51,7 +51,7 @@ func TestServerDedupLedgerRotation(t *testing.T) {
 	s.retireCtr = reg.Counter(metricDedupRetired)
 	k := blockKey{arr: s.rt.prog.ArrayID("S"), ord: 0}
 	put := func() putMsg {
-		b := block.New(s.blockDims(k)...)
+		b := block.New(testDims(t, s, k)...)
 		b.Fill(1)
 		return putMsg{key: k, b: b, acc: true, seq: 42}
 	}
@@ -71,14 +71,14 @@ func TestServerDedupLedgerRotation(t *testing.T) {
 	if got := val(); got != 1 {
 		t.Fatalf("value after replay in same epoch = %g, want 1", got)
 	}
-	s.retireSeen() // seq 42 moves to the previous epoch
+	s.retireSeen(0) // seq 42 moves to the previous epoch
 	if err := s.applyPut(put()); err != nil {
 		t.Fatal(err)
 	}
 	if got := val(); got != 1 {
 		t.Fatalf("value after replay across one rotation = %g, want 1", got)
 	}
-	s.retireSeen() // seq 42 retired
+	s.retireSeen(0) // seq 42 retired
 	if got := reg.Snapshot().Counters[metricDedupRetired]; got != 1 {
 		t.Fatalf("%s = %d after retirement, want 1", metricDedupRetired, got)
 	}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -36,20 +37,51 @@ type ioServer struct {
 
 	hits, misses, diskReads, diskWrites int64
 
-	// seen/seenPrev are the two live epochs of the prepare-dedup ledger
+	// ledgers holds each job's two-epoch prepare-dedup ledger
 	// (Config.Recover): a put whose seq was already applied is
 	// acknowledged but not re-applied, so accumulates land at-most-once
-	// across chunk re-execution.  The ledger rotates at each flush
-	// (server_barrier) — by then every phase older than the previous
-	// flush is sealed and can no longer be replayed — so it holds two
-	// barrier phases of effects instead of growing for the whole run.
-	seen      map[uint64]bool
-	seenPrev  map[uint64]bool
+	// across chunk re-execution.  A job's ledger rotates at its own
+	// flushes (server_barrier) — by then every phase older than the
+	// previous flush is sealed and can no longer be replayed — so it
+	// holds two barrier phases of effects instead of growing for the
+	// whole run.  Ledgers are per job: one tenant's barrier cadence must
+	// never retire another tenant's still-replayable effects.
+	ledgers   map[int]*srvLedger
 	dropCtr   *obs.Counter
 	retireCtr *obs.Counter
 
+	// jobs holds the registrations of pool tenants (block keys with
+	// job != rt.job) multiplexed onto this shared server.  jobMu guards
+	// the map against the serve agent reading it while the loop mutates;
+	// all other server state stays single-goroutine.
+	jobMu sync.RWMutex
+	jobs  map[int]*srvJob
+
 	trk *obs.Track // cache/disk span track; nil when tracing is off
 }
+
+// srvJob is one pool tenant's registration on a shared I/O server: the
+// resolved program and layout that size its blocks, its presets, and
+// its replication config for placement.  Tenants register before their
+// master starts, so every request carrying the job's id can be served.
+type srvJob struct {
+	job      int
+	prog     *bytecode.Program
+	layout   *bytecode.Layout
+	preset   map[string]PresetFunc
+	replicas int
+	servers  []int
+}
+
+// srvLedger is one job's two-epoch prepare-dedup ledger.
+type srvLedger struct {
+	seen, seenPrev map[uint64]bool
+}
+
+// srvRegMsg registers a pool tenant with the shared server loop.  It is
+// sent by the serve agent on the server's own rank — same process, so
+// the pointer payload crosses no codec (serve pools are in-process).
+type srvRegMsg struct{ j *srvJob }
 
 type srvEntry struct {
 	key   blockKey
@@ -68,8 +100,8 @@ func newIOServer(rt *runtime, rank int) *ioServer {
 		lru:       list.New(),
 		onDisk:    map[blockKey]bool{},
 		dir:       filepath.Join(rt.scratch, fmt.Sprintf("srv%d", rank)),
-		seen:      map[uint64]bool{},
-		seenPrev:  map[uint64]bool{},
+		ledgers:   map[int]*srvLedger{},
+		jobs:      map[int]*srvJob{},
 		dropCtr:   rt.metrics.Counter(metricDedupDroppedEffects),
 		retireCtr: rt.metrics.Counter(metricDedupRetired),
 		trk:       rt.tracer.Track(rank, 0, fmt.Sprintf("server %d", rank), "cache"),
@@ -77,12 +109,52 @@ func newIOServer(rt *runtime, rank int) *ioServer {
 }
 
 func (s *ioServer) blockPath(k blockKey) string {
+	if k.job != 0 {
+		return filepath.Join(s.dir, fmt.Sprintf("j%d_a%d_b%d.blk", k.job, k.arr, k.ord))
+	}
 	return filepath.Join(s.dir, fmt.Sprintf("a%d_b%d.blk", k.arr, k.ord))
 }
 
-func (s *ioServer) blockDims(k blockKey) []int {
-	shape := s.rt.layout.Shapes[k.arr]
-	return shape.BlockDims(shape.CoordOf(k.ord))
+// jobOf returns the registration of a pool tenant, or nil for the
+// server's own base job (whose program and layout live on rt) and for
+// unknown jobs.
+func (s *ioServer) jobOf(job int) *srvJob {
+	if job == s.rt.job {
+		return nil
+	}
+	s.jobMu.RLock()
+	defer s.jobMu.RUnlock()
+	return s.jobs[job]
+}
+
+// ledger returns (allocating on first use) the dedup ledger of a job.
+func (s *ioServer) ledger(job int) *srvLedger {
+	l := s.ledgers[job]
+	if l == nil {
+		l = &srvLedger{seen: map[uint64]bool{}, seenPrev: map[uint64]bool{}}
+		s.ledgers[job] = l
+	}
+	return l
+}
+
+func (s *ioServer) blockDims(k blockKey) ([]int, error) {
+	layout := s.rt.layout
+	if j := s.jobOf(k.job); j != nil {
+		layout = j.layout
+	} else if k.job != s.rt.job {
+		return nil, fmt.Errorf("sip: server %d: block %v belongs to an unregistered job", s.rank, k)
+	}
+	shape := layout.Shapes[k.arr]
+	return shape.BlockDims(shape.CoordOf(k.ord)), nil
+}
+
+// replicasOf returns the live replica set of a block, using the owning
+// tenant's registration for pool jobs and rt for the base job.
+func (s *ioServer) replicasOf(k blockKey) []int {
+	if j := s.jobOf(k.job); j != nil {
+		return replicaSetOf(k.job, k.arr, k.ord, j.replicas, j.servers, s.rt.world.IsEvicted)
+	}
+	return s.rt.replicaServers(k.arr, k.ord)
 }
 
 // run is the server main loop.  All operations are handled from one
@@ -152,7 +224,7 @@ func (s *ioServer) run() (err error) {
 				return err
 			}
 			if msg.needAck {
-				s.comm.Send(msg.origin, tagPrepAck, ackMsg{})
+				s.comm.Send(msg.origin, jobTag(msg.key.job, tagPrepAck), ackMsg{})
 			}
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "serve_put",
@@ -163,24 +235,24 @@ func (s *ioServer) run() (err error) {
 			if s.trk != nil {
 				start = time.Now()
 			}
-			if err := s.flushAll(); err != nil {
+			if err := s.flushJob(msg.job); err != nil {
 				return err
 			}
-			s.retireSeen()
-			s.comm.Send(msg.origin, tagFlushAck, ackMsg{})
+			s.retireSeen(msg.job)
+			s.comm.Send(msg.origin, jobTag(msg.job, tagFlushAck), ackMsg{})
 			if s.trk != nil {
-				s.trk.End(start, obs.CatServerCache, "flush")
+				s.trk.End(start, obs.CatServerCache, "flush", obs.AInt("job", msg.job))
 			}
 		case rereplicateMsg:
 			var start time.Time
 			if s.trk != nil {
 				start = time.Now()
 			}
-			pushed, err := s.rereplicate(msg.round)
+			pushed, err := s.rereplicate(msg.round, msg.job)
 			if err != nil {
 				return err
 			}
-			s.comm.Send(0, tagRepl, rereplicateAck{origin: s.rank, round: msg.round, pushed: pushed})
+			s.comm.Send(0, jobTag(msg.job, tagRepl), rereplicateAck{origin: s.rank, round: msg.round, pushed: pushed})
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "rereplicate", obs.AInt("pushed", pushed))
 			}
@@ -191,28 +263,86 @@ func (s *ioServer) run() (err error) {
 			if err := s.apply(msg.key, msg.b, false); err != nil {
 				return err
 			}
-			s.comm.Send(0, tagRepl, replAckMsg{origin: s.rank, round: msg.round})
+			s.comm.Send(0, jobTag(msg.key.job, tagRepl), replAckMsg{origin: s.rank, round: msg.round})
 		case shutdownMsg:
 			var start time.Time
 			if s.trk != nil {
 				start = time.Now()
 			}
+			if msg.job != s.rt.job {
+				// One tenant leaving the shared pool server: flush and
+				// gather its namespace, drop its state, keep serving the
+				// other jobs.
+				if err := s.retireJob(msg); err != nil {
+					return err
+				}
+				if s.trk != nil {
+					s.trk.End(start, obs.CatServerCache, "job_retired", obs.AInt("job", msg.job))
+				}
+				continue
+			}
 			if err := s.flushAll(); err != nil {
 				return err
 			}
 			if msg.gather {
-				arrays, err := s.gather()
+				arrays, err := s.gatherJob(msg.job)
 				if err != nil {
 					return err
 				}
-				s.comm.Send(0, tagGather, gatherMsg{origin: s.rank, arrays: arrays})
+				s.comm.Send(0, jobTag(msg.job, tagGather), gatherMsg{origin: s.rank, arrays: arrays})
 			}
 			if s.trk != nil {
 				s.trk.End(start, obs.CatServerCache, "shutdown")
 			}
 			return nil
+		case srvRegMsg:
+			// A pool tenant registering (sent by this rank's serve
+			// agent).  Presets install before the readiness ack, so the
+			// job's workers can fetch them the moment the pool releases
+			// the job to its master.
+			s.jobMu.Lock()
+			s.jobs[msg.j.job] = msg.j
+			s.jobMu.Unlock()
+			if err := s.installJobPresets(msg.j); err != nil {
+				return err
+			}
+			s.comm.Send(0, jobTag(msg.j.job, tagJob), ackMsg{})
 		}
 	}
+}
+
+// retireJob is one tenant's end-of-job teardown on the shared server:
+// durable flush, optional gather of its namespace, then every trace of
+// the job — cache entries, disk blocks, dedup ledger, registration —
+// is dropped so the pool's footprint tracks its live tenants.
+func (s *ioServer) retireJob(msg shutdownMsg) error {
+	if err := s.flushJob(msg.job); err != nil {
+		return err
+	}
+	if msg.gather {
+		arrays, err := s.gatherJob(msg.job)
+		if err != nil {
+			return err
+		}
+		s.comm.Send(0, jobTag(msg.job, tagGather), gatherMsg{origin: s.rank, arrays: arrays})
+	}
+	for k, e := range s.entries {
+		if k.job == msg.job {
+			s.lru.Remove(e.elem)
+			delete(s.entries, k)
+		}
+	}
+	for k := range s.onDisk {
+		if k.job == msg.job {
+			os.Remove(s.blockPath(k))
+			delete(s.onDisk, k)
+		}
+	}
+	delete(s.ledgers, msg.job)
+	s.jobMu.Lock()
+	delete(s.jobs, msg.job)
+	s.jobMu.Unlock()
+	return nil
 }
 
 // installPresets loads Config.Preset blocks for served arrays this
@@ -236,7 +366,45 @@ func (s *ioServer) installPresets() error {
 			if b == nil {
 				return
 			}
-			err = s.apply(blockKey{arr, ord}, b, false)
+			err = s.apply(blockKey{job: s.rt.job, arr: arr, ord: ord}, b, false)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installJobPresets mirrors installPresets for a newly registered pool
+// tenant: its served presets land on every replica this rank backs.
+func (s *ioServer) installJobPresets(j *srvJob) error {
+	for name, fn := range j.preset {
+		arr := j.prog.ArrayID(name)
+		if arr < 0 || j.prog.Arrays[arr].Kind != bytecode.ArrayServed {
+			continue
+		}
+		shape := j.layout.Shapes[arr]
+		var err error
+		shape.EachCoord(func(c segment.Coord) {
+			if err != nil {
+				return
+			}
+			k := blockKey{job: j.job, arr: arr, ord: shape.Ordinal(c)}
+			holds := false
+			for _, sr := range s.replicasOf(k) {
+				if sr == s.rank {
+					holds = true
+				}
+			}
+			if !holds {
+				return
+			}
+			lo, hi := shape.BlockBounds(c)
+			b := fn(c.Clone(), lo, hi)
+			if b == nil {
+				return
+			}
+			err = s.apply(k, b, false)
 		})
 		if err != nil {
 			return err
@@ -274,7 +442,11 @@ func (s *ioServer) fetch(k blockKey) (*block.Block, error) {
 			return nil, err
 		}
 	} else {
-		b = block.New(s.blockDims(k)...)
+		dims, err := s.blockDims(k)
+		if err != nil {
+			return nil, err
+		}
+		b = block.New(dims...)
 	}
 	if err := s.insert(k, b, false); err != nil {
 		return nil, err
@@ -329,7 +501,8 @@ func (s *ioServer) insert(k blockKey, b *block.Block, dirty bool) error {
 // applyPut applies one incoming put/prepare, deduplicating replayed
 // effects against both live ledger epochs.
 func (s *ioServer) applyPut(msg putMsg) error {
-	if msg.seq != 0 && (s.seen[msg.seq] || s.seenPrev[msg.seq]) {
+	l := s.ledger(msg.key.job)
+	if msg.seq != 0 && (l.seen[msg.seq] || l.seenPrev[msg.seq]) {
 		s.dropCtr.Inc() // replayed effect: already applied
 		return nil
 	}
@@ -337,20 +510,21 @@ func (s *ioServer) applyPut(msg putMsg) error {
 		return err
 	}
 	if msg.seq != 0 {
-		s.seen[msg.seq] = true
+		l.seen[msg.seq] = true
 	}
 	return nil
 }
 
-// retireSeen rotates the prepare-dedup ledger at a flush: the previous
-// epoch's effects predate the last server barrier, whose sync round has
-// sealed, so no replay can resend them.  Keeping one prior epoch covers
-// effects that raced into the current epoch just before the barrier
-// released.
-func (s *ioServer) retireSeen() {
-	s.retireCtr.Add(int64(len(s.seenPrev)))
-	s.seenPrev = s.seen
-	s.seen = map[uint64]bool{}
+// retireSeen rotates one job's prepare-dedup ledger at its flush: the
+// previous epoch's effects predate the job's last server barrier, whose
+// sync round has sealed, so no replay can resend them.  Keeping one
+// prior epoch covers effects that raced into the current epoch just
+// before the barrier released.
+func (s *ioServer) retireSeen(job int) {
+	l := s.ledger(job)
+	s.retireCtr.Add(int64(len(l.seenPrev)))
+	l.seenPrev = l.seen
+	l.seen = map[uint64]bool{}
 }
 
 // rereplicate runs one anti-entropy scan (Config.Replicas > 1): every
@@ -359,9 +533,10 @@ func (s *ioServer) retireSeen() {
 // eviction the new primary of a lost block is always a surviving holder
 // (rendezvous preference order), so exactly one live server pushes each
 // block and the pushes repopulate servers promoted into the replica
-// set.  Returns the number of pushes issued; the master waits for that
-// many replAckMsg acks.
-func (s *ioServer) rereplicate(round int) (int, error) {
+// set.  The scan is per job — each tenant master drives its own
+// anti-entropy rounds.  Returns the number of pushes issued; the master
+// waits for that many replAckMsg acks.
+func (s *ioServer) rereplicate(round, job int) (int, error) {
 	keys := make([]blockKey, 0, len(s.entries)+len(s.onDisk))
 	for k := range s.entries {
 		keys = append(keys, k)
@@ -373,7 +548,10 @@ func (s *ioServer) rereplicate(round int) (int, error) {
 	}
 	pushed := 0
 	for _, k := range keys {
-		replicas := s.rt.replicaServers(k.arr, k.ord)
+		if k.job != job {
+			continue
+		}
+		replicas := s.replicasOf(k)
 		if len(replicas) == 0 || replicas[0] != s.rank {
 			continue
 		}
@@ -395,10 +573,26 @@ func (s *ioServer) rereplicate(round int) (int, error) {
 	return pushed, nil
 }
 
-// flushAll writes every dirty cached block to disk (server_barrier and
-// shutdown).  It keeps flushing past individual failures and returns
-// the joined errors, each attributed to its block key, so one bad block
-// does not hide the fate of the rest.
+// flushJob writes one job's dirty cached blocks to disk
+// (server_barrier and per-job shutdown).  It keeps flushing past
+// individual failures and returns the joined errors, each attributed to
+// its block key, so one bad block does not hide the fate of the rest.
+func (s *ioServer) flushJob(job int) error {
+	var errs []error
+	for _, e := range s.entries {
+		if e.dirty && e.key.job == job {
+			if err := s.writeDisk(e.key, e.b); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			e.dirty = false
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// flushAll writes every dirty cached block of every job to disk (final
+// shutdown of the server itself).
 func (s *ioServer) flushAll() error {
 	var errs []error
 	for _, e := range s.entries {
@@ -413,17 +607,20 @@ func (s *ioServer) flushAll() error {
 	return errors.Join(errs...)
 }
 
-// gather returns all blocks this server holds (cache plus disk) for the
-// final result.
-func (s *ioServer) gather() (map[int][]ArrayBlock, error) {
+// gatherJob returns all blocks this server holds for one job (cache
+// plus disk) for the final result.
+func (s *ioServer) gatherJob(job int) (map[int][]ArrayBlock, error) {
 	out := map[int][]ArrayBlock{}
 	seen := map[blockKey]bool{}
 	for k, e := range s.entries {
+		if k.job != job {
+			continue
+		}
 		out[k.arr] = append(out[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), e.b.Data()...)})
 		seen[k] = true
 	}
 	for k := range s.onDisk {
-		if seen[k] {
+		if seen[k] || k.job != job {
 			continue
 		}
 		b, err := s.readDisk(k)
@@ -449,9 +646,19 @@ func (s *ioServer) scanDisk() error {
 			continue
 		}
 		name := de.Name()
-		var arr, ord int
+		var job, arr, ord int
+		if n, _ := fmt.Sscanf(name, "j%d_a%d_b%d.blk", &job, &arr, &ord); n == 3 && filepath.Ext(name) == ".blk" {
+			// A pool tenant's block from a previous incarnation; its
+			// registration (if the job resubmits) restores the layout.
+			if job > 0 && arr >= 0 {
+				s.onDisk[blockKey{job: job, arr: arr, ord: ord}] = true
+			}
+			continue
+		}
 		if n, _ := fmt.Sscanf(name, "a%d_b%d.blk", &arr, &ord); n == 2 && filepath.Ext(name) == ".blk" {
-			if arr >= 0 && arr < len(s.rt.prog.Arrays) {
+			// A pool's base runtime has no program of its own; legacy
+			// un-prefixed blocks belong to the batch path only.
+			if s.rt.prog != nil && arr >= 0 && arr < len(s.rt.prog.Arrays) {
 				s.onDisk[blockKey{arr: arr, ord: ord}] = true
 			}
 			continue
@@ -517,7 +724,10 @@ func (s *ioServer) readDisk(k blockKey) (*block.Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sip: server %d: read block %v: %w", s.rank, k, err)
 	}
-	dims := s.blockDims(k)
+	dims, err := s.blockDims(k)
+	if err != nil {
+		return nil, err
+	}
 	b := block.New(dims...)
 	data := b.Data()
 	if len(buf) != 8*len(data) {

@@ -42,12 +42,23 @@ func testIOServer(t *testing.T, capacity int) *ioServer {
 		servers: 1,
 		scratch: t.TempDir(),
 	}
+	rt.initRanks()
 	s := newIOServer(rt, 2)
 	s.capacity = capacity
 	if err := os.MkdirAll(s.dir, 0o755); err != nil { // run() normally does this
 		t.Fatal(err)
 	}
 	return s
+}
+
+// testDims resolves a block's dims, failing the test on error.
+func testDims(t *testing.T, s *ioServer, k blockKey) []int {
+	t.Helper()
+	dims, err := s.blockDims(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dims
 }
 
 // TestServerInsertPinsNewEntry: with a degenerate capacity the eviction
@@ -57,7 +68,7 @@ func testIOServer(t *testing.T, capacity int) *ioServer {
 func TestServerInsertPinsNewEntry(t *testing.T) {
 	s := testIOServer(t, 0)
 	k := blockKey{arr: s.rt.prog.ArrayID("S"), ord: 0}
-	dims := s.blockDims(k)
+	dims := testDims(t, s, k)
 
 	one := block.New(dims...)
 	one.Fill(1)
@@ -85,7 +96,7 @@ func TestServerTinyCacheSpills(t *testing.T) {
 	k0 := blockKey{arr: arr, ord: 0}
 	k1 := blockKey{arr: arr, ord: 1}
 	mk := func(k blockKey, v float64) *block.Block {
-		b := block.New(s.blockDims(k)...)
+		b := block.New(testDims(t, s, k)...)
 		b.Fill(v)
 		return b
 	}

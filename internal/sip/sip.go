@@ -55,8 +55,34 @@ const (
 	tagSyncRep   = 12 // master -> worker: sync-point release / replay order
 	tagRepl      = 13 // server -> master: re-replication control traffic
 	tagObs       = 14 // worker/server -> master: telemetry reports
+	tagJob       = 15 // pool -> rank agents: job start/stop control plane
 	tagReplyBase = 1 << 16
 )
+
+// jobTagStride is the tag-space stride between concurrent jobs sharing
+// one world (sial serve).  Every tag a job's master and workers use is
+// offset by job*jobTagStride, so two jobs' chunk replies, acks, and
+// reply tags can never collide in a shared mailbox.  Job 0 (the batch
+// path) keeps the historical un-strided tags.  The stride leaves room
+// for tagReplyBase plus hundreds of thousands of outstanding replies
+// per job.
+const jobTagStride = 1 << 20
+
+// jobTag offsets a base tag into job's tag space.  I/O servers are
+// shared between jobs and listen on the *global* tagServer; their
+// replies go back strided so each job's ranks only ever see their own
+// traffic.
+func jobTag(job, t int) int { return job*jobTagStride + t }
+
+// ChunkGate arbitrates pardo chunk dispatch between concurrent jobs
+// (FIFO-with-fairness scheduling in sial serve).  The master calls
+// Acquire before answering each chunk request; a gate may block the
+// calling job's dispatch while other active jobs are behind on their
+// share.  Implementations must be safe for concurrent use by many
+// per-job master goroutines.
+type ChunkGate interface {
+	Acquire(job int)
+}
 
 // PresetFunc initializes one block of an array at startup.  coord is the
 // block coordinate; lo and hi are the inclusive element bounds per
@@ -196,6 +222,28 @@ type Config struct {
 	// post-mortem JSON bundle (every reachable rank's last metrics and
 	// trace spans, plus the diagnosis) is written there.
 	FlightDir string
+	// Job is this run's identifier inside a shared pool world
+	// (sial serve).  0 — the default — is the batch path with the
+	// historical un-strided message tags and un-prefixed block keys.
+	// A positive Job strides every tag the job's master and workers use
+	// by Job*jobTagStride and prefixes every block key (worker stores,
+	// served arrays, effect sequences, replica placement) with the job
+	// id, isolating concurrent jobs end to end.
+	Job int
+	// WorkerRanks lists the world ranks acting as this job's workers, in
+	// worker-index order.  Empty means the contiguous batch layout
+	// 1..Workers.  A pool snapshots its live membership here at
+	// admission, so jobs admitted after a rank join can include the
+	// newcomer while running jobs keep their original group.
+	WorkerRanks []int
+	// ServerRanks lists the world ranks acting as I/O servers for this
+	// job.  Empty means the contiguous batch layout
+	// Workers+1..Workers+Servers.
+	ServerRanks []int
+	// Gate, when non-nil, arbitrates chunk dispatch between concurrent
+	// jobs (see ChunkGate).  Nil means unconstrained guided
+	// self-scheduling, the batch behavior.
+	Gate ChunkGate
 }
 
 func (c *Config) fill() error {
@@ -243,6 +291,15 @@ func (c *Config) fill() error {
 	if c.Integrals == nil {
 		c.Integrals = DefaultIntegrals
 	}
+	if c.Job < 0 {
+		return fmt.Errorf("sip: Job = %d, need >= 0", c.Job)
+	}
+	if len(c.WorkerRanks) != 0 && len(c.WorkerRanks) != c.Workers {
+		return fmt.Errorf("sip: WorkerRanks lists %d ranks for %d workers", len(c.WorkerRanks), c.Workers)
+	}
+	if len(c.ServerRanks) != 0 && len(c.ServerRanks) != c.Servers {
+		return fmt.Errorf("sip: ServerRanks lists %d ranks for %d servers", len(c.ServerRanks), c.Servers)
+	}
 	return nil
 }
 
@@ -277,6 +334,27 @@ type runtime struct {
 	workers int
 	servers int
 
+	// job and tagBase stride this run's message tags inside a shared
+	// pool world; both are zero on the batch path (see jobTagStride).
+	job     int
+	tagBase int
+
+	// pooled marks a run multiplexed over a shared pool world.  Pool
+	// ranks are in-process goroutines that never die silently — real
+	// deaths arrive as explicit World.Evict calls (Pool.Kill, liveness)
+	// — so silence-based failure diagnosis is disabled: a rank that is
+	// merely slow (wedged on another job's lost block, parked by the
+	// fairness gate) must not be evicted from, or fail, the world every
+	// tenant shares.
+	pooled bool
+
+	// workerList and serverList map worker/server indexes to world
+	// ranks.  On the batch path they are the contiguous 1..W and
+	// W+1..W+S layouts; a pool snapshots its (possibly grown) live
+	// membership here per job.
+	workerList []int
+	serverList []int
+
 	workerGroup mpi.Group // workers only: barriers, collectives
 	scratch     string
 
@@ -284,6 +362,56 @@ type runtime struct {
 	metrics *obs.Registry // nil when metrics are disabled
 
 	outMu sync.Mutex
+}
+
+// tag offsets a base message tag into this run's job tag space.
+func (rt *runtime) tag(t int) int { return rt.tagBase + t }
+
+// initRanks fills job/tagBase/workerList/serverList from the config.
+func (rt *runtime) initRanks() {
+	rt.job = rt.cfg.Job
+	rt.tagBase = rt.job * jobTagStride
+	if len(rt.cfg.WorkerRanks) == rt.workers && rt.workers > 0 {
+		rt.workerList = append([]int(nil), rt.cfg.WorkerRanks...)
+	} else {
+		rt.workerList = make([]int, rt.workers)
+		for i := range rt.workerList {
+			rt.workerList[i] = 1 + i
+		}
+	}
+	if len(rt.cfg.ServerRanks) == rt.servers && rt.servers > 0 {
+		rt.serverList = append([]int(nil), rt.cfg.ServerRanks...)
+	} else {
+		rt.serverList = make([]int, rt.servers)
+		for i := range rt.serverList {
+			rt.serverList[i] = 1 + rt.workers + i
+		}
+	}
+}
+
+// firstWorker returns the lowest-indexed worker's world rank (the rank
+// that executes print statements and reports scalars).
+func (rt *runtime) firstWorker() int { return rt.workerList[0] }
+
+// workerIndexOf returns the 0-based worker index of a world rank, or -1.
+func (rt *runtime) workerIndexOf(rank int) int {
+	for i, r := range rt.workerList {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// isServerRank reports whether a world rank is one of this job's I/O
+// servers.
+func (rt *runtime) isServerRank(rank int) bool {
+	for _, r := range rt.serverList {
+		if r == rank {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultIntegrals is the built-in synthetic two-electron integral
@@ -353,14 +481,11 @@ func NewBlockedPlacement(blocksOf func(arr int) int) PlacementFunc {
 	}
 }
 
-// workerRanks returns the world ranks of all workers (1..W), the member
-// list of the worker collective group.
+// workerRanks returns the world ranks of all workers (the batch layout
+// 1..W, or the job's membership snapshot in a pool), the member list of
+// the worker collective group.
 func (rt *runtime) workerRanks() []int {
-	ranks := make([]int, rt.workers)
-	for i := range ranks {
-		ranks[i] = 1 + i
-	}
-	return ranks
+	return append([]int(nil), rt.workerList...)
 }
 
 // criticalRanks returns the ranks whose death recovery cannot survive:
@@ -371,9 +496,7 @@ func (rt *runtime) workerRanks() []int {
 func (rt *runtime) criticalRanks() []int {
 	ranks := []int{0}
 	if rt.cfg.Replicas <= 1 {
-		for s := 0; s < rt.servers; s++ {
-			ranks = append(ranks, 1+rt.workers+s)
-		}
+		ranks = append(ranks, rt.serverList...)
 	}
 	return ranks
 }
@@ -395,16 +518,18 @@ func (rt *runtime) homeWorker(arr, ord int) int {
 	if w < 0 || w >= rt.workers {
 		panic(fmt.Sprintf("sip: placement returned worker %d out of range [0,%d)", w, rt.workers))
 	}
-	return 1 + w
+	return rt.workerList[w]
 }
 
 // homeServer returns the world rank of the I/O server that owns block
-// ord of served array arr.
+// ord of served array arr.  The job id is folded into the hash so
+// concurrent jobs spread their load differently; job 0 reproduces the
+// historical placement exactly.
 func (rt *runtime) homeServer(arr, ord int) int {
 	if rt.servers == 0 {
 		panic(fmt.Sprintf("sip: array %s is served but no I/O servers configured", rt.prog.Arrays[arr].Name))
 	}
-	return 1 + rt.workers + (arr*2654435761+ord)%rt.servers
+	return homeServerOf(rt.job, arr, ord, rt.serverList)
 }
 
 // Run compiles nothing: it executes an already compiled program under the
@@ -440,10 +565,11 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
 	}
+	rt.initRanks()
 	if cfg.Recover {
 		rt.world.SetRecover(rt.criticalRanks()...)
 	}
-	rt.workerGroup = rt.world.Comm(1).GroupOf(rt.workerRanks()...)
+	rt.workerGroup = rt.world.Comm(rt.firstWorker()).GroupOf(rt.workerRanks()...)
 	if cfg.Metrics != nil {
 		rt.world.SetObserver(newMPIStats(cfg.Metrics, nRanks))
 	}
@@ -451,11 +577,11 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 	m := newMaster(rt)
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
-		workers[i] = newWorker(rt, 1+i)
+		workers[i] = newWorker(rt, rt.workerList[i])
 	}
 	servers := make([]*ioServer, cfg.Servers)
 	for i := range servers {
-		servers[i] = newIOServer(rt, 1+cfg.Workers+i)
+		servers[i] = newIOServer(rt, rt.serverList[i])
 	}
 
 	errs := make([]error, cfg.Workers)
@@ -502,12 +628,12 @@ func Run(prog *bytecode.Program, cfg Config) (*Result, error) {
 		return nil
 	}
 	for i, err := range errs {
-		if err := scan(1+i, err); err != nil {
+		if err := scan(rt.workerList[i], err); err != nil {
 			return nil, err
 		}
 	}
 	for i, err := range srvErrs {
-		if err := scan(1+cfg.Workers+i, err); err != nil {
+		if err := scan(rt.serverList[i], err); err != nil {
 			return nil, err
 		}
 	}

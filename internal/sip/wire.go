@@ -29,15 +29,17 @@ const (
 	wireIDReplPutMsg
 	wireIDReplAckMsg
 	wireIDObsReport
+	wireIDJobStartMsg
 )
 
 func encodeKey(e *wire.Encoder, k blockKey) {
+	e.Int(k.job)
 	e.Int(k.arr)
 	e.Int(k.ord)
 }
 
 func decodeKey(d *wire.Decoder) blockKey {
-	return blockKey{arr: d.Int(), ord: d.Int()}
+	return blockKey{job: d.Int(), arr: d.Int(), ord: d.Int()}
 }
 
 func encodeArrayBlocks(e *wire.Encoder, blocks []ArrayBlock) {
@@ -261,11 +263,17 @@ func init() {
 			return m
 		})
 	wire.Register(wireIDFlushMsg,
-		func(e *wire.Encoder, m flushMsg) { e.Int(m.origin) },
-		func(d *wire.Decoder) flushMsg { return flushMsg{origin: d.Int()} })
+		func(e *wire.Encoder, m flushMsg) {
+			e.Int(m.origin)
+			e.Int(m.job)
+		},
+		func(d *wire.Decoder) flushMsg { return flushMsg{origin: d.Int(), job: d.Int()} })
 	wire.Register(wireIDShutdownMsg,
-		func(e *wire.Encoder, m shutdownMsg) { e.Bool(m.gather) },
-		func(d *wire.Decoder) shutdownMsg { return shutdownMsg{gather: d.Bool()} })
+		func(e *wire.Encoder, m shutdownMsg) {
+			e.Bool(m.gather)
+			e.Int(m.job)
+		},
+		func(d *wire.Decoder) shutdownMsg { return shutdownMsg{gather: d.Bool(), job: d.Int()} })
 	wire.Register(wireIDChunkMsg,
 		func(e *wire.Encoder, m chunkMsg) {
 			e.Int(m.pardo)
@@ -363,8 +371,11 @@ func init() {
 				gen: d.Int(), iters: d.IntSlices(), vals: d.Float64s()}
 		})
 	wire.Register(wireIDRereplicateMsg,
-		func(e *wire.Encoder, m rereplicateMsg) { e.Int(m.round) },
-		func(d *wire.Decoder) rereplicateMsg { return rereplicateMsg{round: d.Int()} })
+		func(e *wire.Encoder, m rereplicateMsg) {
+			e.Int(m.round)
+			e.Int(m.job)
+		},
+		func(d *wire.Decoder) rereplicateMsg { return rereplicateMsg{round: d.Int(), job: d.Int()} })
 	wire.Register(wireIDRereplicateAck,
 		func(e *wire.Encoder, m rereplicateAck) {
 			e.Int(m.origin)
@@ -398,5 +409,40 @@ func init() {
 		},
 		func(d *wire.Decoder) replAckMsg {
 			return replAckMsg{origin: d.Int(), round: d.Int()}
+		})
+	wire.Register(wireIDJobStartMsg,
+		func(e *wire.Encoder, m jobStartMsg) {
+			e.Int(m.job)
+			e.String(string(m.prog)) // arbitrary bytes; String is length-prefixed
+			e.Uvarint(uint64(len(m.params)))
+			for k, v := range m.params {
+				e.String(k)
+				e.Int(v)
+			}
+			e.Int(m.seg)
+			e.Ints(m.workers)
+			e.Ints(m.servers)
+			e.String(m.pack)
+			e.Bool(m.gather)
+		},
+		func(d *wire.Decoder) jobStartMsg {
+			m := jobStartMsg{job: d.Int(), prog: []byte(d.String())}
+			n := d.Uvarint()
+			if !checkCount(d, n, "job params") {
+				return m
+			}
+			if n > 0 {
+				m.params = make(map[string]int, n)
+				for i := uint64(0); i < n; i++ {
+					k := d.String()
+					m.params[k] = d.Int()
+				}
+			}
+			m.seg = d.Int()
+			m.workers = d.Ints()
+			m.servers = d.Ints()
+			m.pack = d.String()
+			m.gather = d.Bool()
+			return m
 		})
 }

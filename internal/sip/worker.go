@@ -147,7 +147,7 @@ func newWorker(rt *runtime, rank int) *worker {
 }
 
 // workerIndex is this worker's 0-based index among workers.
-func (w *worker) workerIndex() int { return w.rank - 1 }
+func (w *worker) workerIndex() int { return w.rt.workerIndexOf(w.rank) }
 
 // initPresets populates this worker's partition of distributed arrays
 // from Config.Preset.
@@ -176,7 +176,7 @@ func (w *worker) initPresets() error {
 				err = fmt.Errorf("sip: preset %s%v returned dims %v, want %v", name, c, b.Dims(), shape.BlockDims(c))
 				return
 			}
-			w.dist.put(blockKey{arr, ord}, b, false)
+			w.dist.put(blockKey{job: w.rt.job, arr: arr, ord: ord}, b, false)
 		})
 		if err != nil {
 			return err
@@ -213,6 +213,14 @@ func (w *worker) run() (err error) {
 				err = fmt.Errorf("sip: worker %d: panic: %v", w.rank, r)
 			}
 		}
+		if err != nil && w.rt.world.IsEvicted(w.rank) {
+			// This rank was deliberately evicted (pool Kill, liveness
+			// diagnosis); its unwinding is part of the recovery, not a
+			// failure to report.  The master already tracks the eviction,
+			// and a done report would wrongly mark the rank finished —
+			// suppressing the re-queue of its in-flight iterations.
+			return
+		}
 		if err != nil {
 			// A diagnosed rank failure (receive deadline naming a silent
 			// peer) fails the whole world so every rank learns the cause;
@@ -223,13 +231,24 @@ func (w *worker) run() (err error) {
 			d := doneMsg{origin: w.rank, err: err.Error(), failRank: -1}
 			var rf *mpi.RankFailure
 			if errors.As(err, &rf) {
-				if !errors.Is(err, mpi.ErrAborted) {
+				// In a pool the diagnosis stays in the done report: failing
+				// the shared world would abort every tenant, and the blamed
+				// rank — typically one already evicted by Pool.Kill, whose
+				// distributed blocks died with it — is the pool's business,
+				// not this job's.
+				if !errors.Is(err, mpi.ErrAborted) && !w.rt.pooled {
 					w.rt.world.Fail(rf.Rank, rf.Reason)
 				}
 				d.failRank, d.failReason = rf.Rank, rf.Reason
 			}
-			w.rt.workerGroup.Poison()
-			w.comm.Send(0, tagDone, d)
+			// Pool jobs (job > 0) share the world with other tenants: a
+			// failed job must not poison the pool's worker group.  Its
+			// own syncs are master-mediated (pool jobs always run with
+			// Recover), so the done report is enough to unwind it.
+			if w.rt.job == 0 {
+				w.rt.workerGroup.Poison()
+			}
+			w.comm.Send(0, w.rt.tag(tagDone), d)
 		}
 	}()
 	if err := w.initPresets(); err != nil {
@@ -286,17 +305,17 @@ func (w *worker) shutdown() error {
 		w.dist.each(func(k blockKey, b *block.Block) {
 			arrays[k.arr] = append(arrays[k.arr], ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
 		})
-		w.comm.Send(0, tagGather, gatherMsg{origin: w.rank, arrays: arrays})
+		w.comm.Send(0, w.rt.tag(tagGather), gatherMsg{origin: w.rank, arrays: arrays})
 	}
 	done := doneMsg{origin: w.rank, failRank: -1}
-	if w.rank == 1 || w.rt.cfg.Recover {
+	if w.rank == w.rt.firstWorker() || w.rt.cfg.Recover {
 		// Collectives make scalars identical across workers; rank 1
 		// reports them so the master never shares memory with a worker.
 		// Under recovery every worker reports (rank 1 may be the dead
 		// one) and the master keeps the lowest-ranked survivor's values.
 		done.scalars = append([]float64(nil), w.scalars...)
 	}
-	w.comm.Send(0, tagDone, done)
+	w.comm.Send(0, w.rt.tag(tagDone), done)
 	return nil
 }
 
@@ -622,7 +641,7 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		}
 		w.scalars[in.A] = w.rt.workerGroup.AllreduceSum(w.scalars[in.A])
 	case bytecode.OpPrint:
-		if w.rank == 1 {
+		if w.rank == w.rt.firstWorker() {
 			w.rt.outMu.Lock()
 			if in.A >= 0 {
 				fmt.Fprint(w.rt.cfg.Output, w.rt.prog.Strings[in.A])
@@ -763,15 +782,15 @@ func (w *worker) awaitRequest(req *mpi.Request, what string) (mpi.Message, error
 // chunk, it requests another chunk from the master", paper §V-B).
 func (w *worker) fetchChunk(pid, gen int) ([][]int, error) {
 	start := time.Now()
-	w.comm.Send(0, tagChunkReq, chunkMsg{pardo: pid, gen: gen, origin: w.rank})
-	m, err := w.recvTimed(0, tagChunkRep, "chunk reply from the master")
+	w.comm.Send(0, w.rt.tag(tagChunkReq), chunkMsg{pardo: pid, gen: gen, origin: w.rank})
+	m, err := w.recvTimed(0, w.rt.tag(tagChunkRep), "chunk reply from the master")
 	if err != nil {
 		return nil, err
 	}
 	rep := m.Data.(chunkReply)
 	if w.trk != nil {
 		// Flow-in half of the master's dispatch_chunk flow-out.
-		w.trk.FlowIn(start, msgFlowID(0, w.rank, tagChunkRep),
+		w.trk.FlowIn(start, msgFlowID(0, w.rank, w.rt.tag(tagChunkRep)),
 			obs.CatChunk, "fetch_chunk",
 			obs.AInt("pardo", pid), obs.AInt("iters", len(rep.iters)))
 	}
@@ -845,7 +864,7 @@ func (w *worker) locateWith(ref bytecode.Ref, overrides map[int]int) (refLoc, er
 	if err := shape.CheckCoord(loc.coord); err != nil {
 		return loc, err
 	}
-	loc.key = blockKey{arr: ref.Arr, ord: shape.Ordinal(loc.coord)}
+	loc.key = blockKey{job: w.rt.job, arr: ref.Arr, ord: shape.Ordinal(loc.coord)}
 	loc.dims = shape.BlockDims(loc.coord)
 	if loc.region {
 		// Fill region defaults for non-sub dimensions: whole extent.
@@ -996,7 +1015,13 @@ func (w *worker) waitServedBlock(e *cacheEntry) error {
 						break
 					}
 				}
-				if silent {
+				if silent && !w.rt.pooled {
+					// Outside a pool, silence is the only death signal, so
+					// the reader evicts and fails over.  Pool servers die by
+					// explicit eviction only (see master.recvAny): a slow
+					// reply under multi-tenant load must not amputate a live
+					// server, so keep waiting — a real eviction cancels the
+					// wait and the failover below takes over.
 					world.Evict(src, fmt.Sprintf("worker %d heard no reply for block %s within %v",
 						w.rank, e.key, time.Duration(attempts)*d))
 				}
@@ -1014,7 +1039,7 @@ func (w *worker) waitServedBlock(e *cacheEntry) error {
 			w.trk.Instant(obs.CatGet, "read_failover",
 				obs.A("block", e.key.String()), obs.AInt("from", src), obs.AInt("to", replicas[0]))
 		}
-		replyTag := tagReplyBase + w.nextReply
+		replyTag := w.rt.tag(tagReplyBase) + w.nextReply
 		w.nextReply++
 		e.req = w.comm.Irecv(replicas[0], replyTag)
 		w.comm.Send(replicas[0], tagServer, getMsg{key: e.key, replyTag: replyTag, origin: w.rank})
@@ -1128,10 +1153,13 @@ func (w *worker) startFetch(arrID int, loc refLoc) (*cacheEntry, error) {
 		b := w.dist.getCopy(loc.key, loc.dims)
 		return w.cache.insertReady(loc.key, b), nil
 	}
-	replyTag := tagReplyBase + w.nextReply
+	replyTag := w.rt.tag(tagReplyBase) + w.nextReply
 	w.nextReply++
 	req := w.comm.Irecv(home, replyTag)
-	msgTag := tagService
+	// Worker homes listen on this job's strided service tag; I/O servers
+	// are shared across jobs and listen on the global tagServer (the
+	// job travels in the block key).
+	msgTag := w.rt.tag(tagService)
 	if arr.Kind == bytecode.ArrayServed {
 		msgTag = tagServer
 	}
@@ -1241,7 +1269,7 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 			// is unrecoverable (distributed arrays are not durable under
 			// recovery) — drop the put rather than wait on a dead rank.
 		default:
-			w.comm.Send(home, tagService, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
+			w.comm.Send(home, w.rt.tag(tagService), putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
 			w.pendingPutAcks++
 			if w.owedPutAcks != nil {
 				w.owedPutAcks[home]++
@@ -1320,7 +1348,7 @@ func (w *worker) doExecute(in *bytecode.Instr) error {
 func (w *worker) drainPutAcks() error {
 	if !w.rt.cfg.Recover {
 		for w.pendingPutAcks > 0 {
-			if _, err := w.recvTimed(mpi.AnySource, tagPutAck,
+			if _, err := w.recvTimed(mpi.AnySource, w.rt.tag(tagPutAck),
 				fmt.Sprintf("put ack (%d outstanding)", w.pendingPutAcks)); err != nil {
 				return err
 			}
@@ -1343,7 +1371,7 @@ func (w *worker) drainPutAcks() error {
 		cancel := func() bool { return world.EvictStamp() != stamp }
 		d := w.rt.cfg.RecvTimeout
 		if d <= 0 {
-			if m, ok := w.comm.RecvUntil(mpi.AnySource, tagPutAck, 0, cancel); ok {
+			if m, ok := w.comm.RecvUntil(mpi.AnySource, w.rt.tag(tagPutAck), 0, cancel); ok {
 				w.notePutAck(m.Source)
 			}
 			continue
@@ -1351,7 +1379,7 @@ func (w *worker) drainPutAcks() error {
 		attempts := 1 + w.rt.cfg.RecvRetries
 		timedOut := true
 		for i := 0; i < attempts; i++ {
-			m, ok := w.comm.RecvUntil(mpi.AnySource, tagPutAck, d, cancel)
+			m, ok := w.comm.RecvUntil(mpi.AnySource, w.rt.tag(tagPutAck), d, cancel)
 			if ok {
 				w.notePutAck(m.Source)
 				timedOut = false
@@ -1402,7 +1430,7 @@ func (w *worker) notePutAck(src int) {
 func (w *worker) drainPrepAcks() error {
 	if w.owedPrepAcks == nil {
 		for w.pendingPrepAcks > 0 {
-			if _, err := w.recvTimed(mpi.AnySource, tagPrepAck,
+			if _, err := w.recvTimed(mpi.AnySource, w.rt.tag(tagPrepAck),
 				fmt.Sprintf("prepare ack (%d outstanding)", w.pendingPrepAcks)); err != nil {
 				return err
 			}
@@ -1425,7 +1453,7 @@ func (w *worker) drainPrepAcks() error {
 		cancel := func() bool { return world.EvictStamp() != stamp }
 		d := w.rt.cfg.RecvTimeout
 		if d <= 0 {
-			if m, ok := w.comm.RecvUntil(mpi.AnySource, tagPrepAck, 0, cancel); ok {
+			if m, ok := w.comm.RecvUntil(mpi.AnySource, w.rt.tag(tagPrepAck), 0, cancel); ok {
 				w.notePrepAck(m.Source)
 			}
 			continue
@@ -1433,7 +1461,7 @@ func (w *worker) drainPrepAcks() error {
 		attempts := 1 + w.rt.cfg.RecvRetries
 		timedOut := true
 		for i := 0; i < attempts; i++ {
-			m, ok := w.comm.RecvUntil(mpi.AnySource, tagPrepAck, d, cancel)
+			m, ok := w.comm.RecvUntil(mpi.AnySource, w.rt.tag(tagPrepAck), d, cancel)
 			if ok {
 				w.notePrepAck(m.Source)
 				timedOut = false
@@ -1514,13 +1542,12 @@ func (w *worker) serverBarrier() error {
 	}
 	w.rt.workerGroup.Barrier()
 	// One worker triggers the flush on every server; all wait for it.
-	if w.rank == 1 {
-		for s := 0; s < w.rt.servers; s++ {
-			srv := 1 + w.rt.workers + s
-			w.comm.Send(srv, tagServer, flushMsg{origin: w.rank})
+	if w.rank == w.rt.firstWorker() {
+		for _, srv := range w.rt.serverList {
+			w.comm.Send(srv, tagServer, flushMsg{origin: w.rank, job: w.rt.job})
 		}
 		for s := 0; s < w.rt.servers; s++ {
-			if _, err := w.recvTimed(mpi.AnySource, tagFlushAck,
+			if _, err := w.recvTimed(mpi.AnySource, w.rt.tag(tagFlushAck),
 				fmt.Sprintf("server flush ack (%d outstanding)", w.rt.servers-s)); err != nil {
 				return err
 			}
@@ -1546,7 +1573,7 @@ func (w *worker) serviceLoop() {
 	}()
 	trk := w.rt.tracer.Track(w.rank, 1, fmt.Sprintf("worker %d", w.rank), "service")
 	for {
-		m := w.comm.Recv(mpi.AnySource, tagService)
+		m := w.comm.Recv(mpi.AnySource, w.rt.tag(tagService))
 		switch msg := m.Data.(type) {
 		case getMsg:
 			var start time.Time
@@ -1570,7 +1597,7 @@ func (w *worker) serviceLoop() {
 			}
 			w.applyLocalPut(msg.key, msg.b, msg.acc, msg.seq)
 			if msg.needAck {
-				w.comm.Send(msg.origin, tagPutAck, ackMsg{})
+				w.comm.Send(msg.origin, w.rt.tag(tagPutAck), ackMsg{})
 			}
 			if trk != nil {
 				trk.End(start, obs.CatPut, "serve_put",
@@ -1599,9 +1626,9 @@ func (w *worker) checkpointSave(arrID int) error {
 			blocks = append(blocks, ArrayBlock{Ord: k.ord, Data: append([]float64(nil), b.Data()...)})
 		}
 	})
-	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptSave, arr: arrID, blocks: blocks, origin: w.rank})
+	w.comm.Send(0, w.rt.tag(tagCkpt), ckptMsg{op: ckptSave, arr: arrID, blocks: blocks, origin: w.rank})
 	// Wait for the master's completion ack.
-	if _, err := w.recvTimed(0, tagCkpt, "checkpoint ack from the master"); err != nil {
+	if _, err := w.recvTimed(0, w.rt.tag(tagCkpt), "checkpoint ack from the master"); err != nil {
 		return err
 	}
 	return w.ckptBarrier()
@@ -1632,8 +1659,8 @@ func (w *worker) checkpointLoad(arrID int) error {
 	}
 	w.dist.deleteArray(arrID)
 	w.cache.invalidateAll()
-	w.comm.Send(0, tagCkpt, ckptMsg{op: ckptLoad, arr: arrID, origin: w.rank})
-	m, err := w.recvTimed(0, tagCkpt, "checkpoint data from the master")
+	w.comm.Send(0, w.rt.tag(tagCkpt), ckptMsg{op: ckptLoad, arr: arrID, origin: w.rank})
+	m, err := w.recvTimed(0, w.rt.tag(tagCkpt), "checkpoint data from the master")
 	if err != nil {
 		return err
 	}
@@ -1644,7 +1671,7 @@ func (w *worker) checkpointLoad(arrID int) error {
 		shape := w.rt.layout.Shapes[arrID]
 		for _, ab := range data.blocks {
 			dims := shape.BlockDims(shape.CoordOf(ab.Ord))
-			w.dist.put(blockKey{arrID, ab.Ord}, block.FromData(ab.Data, dims...), false)
+			w.dist.put(blockKey{job: w.rt.job, arr: arrID, ord: ab.Ord}, block.FromData(ab.Data, dims...), false)
 		}
 	}
 	return w.ckptBarrier()
@@ -1672,12 +1699,12 @@ func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) 
 		if vals != nil {
 			v = vals()
 		}
-		w.comm.Send(0, tagSync, syncMsg{origin: w.rank, round: round, kind: kind, vals: v})
+		w.comm.Send(0, w.rt.tag(tagSync), syncMsg{origin: w.rank, round: round, kind: kind, vals: v})
 		// Block without a deadline: the master may legitimately stay
 		// silent for as long as the slowest worker computes.  The master
 		// is a critical rank — its death fails the world and aborts this
 		// receive via the liveness monitor.
-		m := w.comm.Recv(0, tagSyncRep)
+		m := w.comm.Recv(0, w.rt.tag(tagSyncRep))
 		rep := m.Data.(syncReply)
 		if rep.round != round {
 			return nil, fmt.Errorf("sip: worker %d: sync reply for round %d at round %d", w.rank, rep.round, round)
@@ -1743,6 +1770,12 @@ func (w *worker) effectSeq() uint64 {
 			for s := 0; s < 64; s += 8 {
 				h = (h ^ (v>>s)&0xff) * prime
 			}
+		}
+		if w.rt.job != 0 {
+			// Separate jobs' effect ids: a server deduping across tenants
+			// must never drop one job's put for another's.  Job 0 mixes
+			// nothing, keeping batch seqs byte-identical.
+			mix(uint64(w.rt.job))
 		}
 		mix(uint64(f.pid))
 		mix(uint64(f.cur))

@@ -6,6 +6,8 @@
 #                    kernel (compute path)
 #   BENCH_wire.json  transport loopback echo + in-process MPI round
 #                    trip (message path)
+#   BENCH_serve.json overlapping MP2 submissions through the job
+#                    service (jobs/sec; docs/SERVE.md)
 #
 # The JSON files are checked in as a coarse performance baseline and
 # uploaded as a CI artifact, so regressions show up in review diffs.
@@ -66,3 +68,6 @@ bench '^(BenchmarkMP2EndToEnd|BenchmarkContraction)$' BENCH_mp2.json
 
 echo "== message path: transport loopback + MPI round trip =="
 bench '^(BenchmarkTransportLoopback|BenchmarkMPIRoundTrip)$' BENCH_wire.json
+
+echo "== job service: overlapping MP2 submissions =="
+bench '^BenchmarkServeThroughput$' BENCH_serve.json
