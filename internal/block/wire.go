@@ -1,6 +1,10 @@
 package block
 
-import "repro/internal/wire"
+import (
+	"math"
+
+	"repro/internal/wire"
+)
 
 // WireID is the wire type id of *Block (see the id blocks in
 // internal/wire).
@@ -14,6 +18,12 @@ func (b *Block) EncodeWire(e *wire.Encoder) {
 	e.Float64s(b.data)
 }
 
+// WireSizeHint implements wire.SizeHinter: the fixed 8-byte floats
+// dominate, plus varint dims and a little framing slack.
+func (b *Block) WireSizeHint() int {
+	return 16 + 10*len(b.dims) + 8*len(b.data)
+}
+
 // DecodeWire reads a block previously written by EncodeWire.  It
 // returns nil (latching an error on d) when the payload is malformed.
 func DecodeWire(d *wire.Decoder) *Block {
@@ -24,8 +34,11 @@ func DecodeWire(d *wire.Decoder) *Block {
 	}
 	n := 1
 	for _, v := range dims {
-		if v <= 0 {
-			d.Fail("block: non-positive dimension in %v", dims)
+		// Reject non-positive and product-overflowing dims: a wrapped
+		// product could collide with len(data) and admit a block whose
+		// Size() lies about its storage.
+		if v <= 0 || n > math.MaxInt/v {
+			d.Fail("block: bad dimensions %v", dims)
 			return nil
 		}
 		n *= v
@@ -39,4 +52,5 @@ func DecodeWire(d *wire.Decoder) *Block {
 
 func init() {
 	wire.Register(WireID, func(e *wire.Encoder, b *Block) { b.EncodeWire(e) }, DecodeWire)
+	wire.Sample(FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3))
 }

@@ -143,4 +143,6 @@ func init() {
 		func(d *wire.Decoder) clockPong {
 			return clockPong{T0: int64(d.Int()), TPeer: int64(d.Int())}
 		})
+	wire.Sample(clockPing{T0: 1_700_000_000_000_000})
+	wire.Sample(clockPong{T0: 1_700_000_000_000_000, TPeer: 1_700_000_000_000_123})
 }

@@ -235,6 +235,7 @@ func (w *World) monitor(l *liveness) {
 			remotes = append(remotes, r)
 		}
 	}
+	targets := make([]int, 0, len(remotes))
 	hb := heartbeatMsg{Ranks: w.local}
 	for {
 		select {
@@ -245,12 +246,23 @@ func (w *World) monitor(l *liveness) {
 		if w.closed.Load() || w.aborted.Load() {
 			return
 		}
+		targets = targets[:0]
 		for _, r := range remotes {
 			if w.Departed(r) || w.IsLatent(r) {
 				continue
 			}
-			// Best-effort: failures surface through peerDown/silence.
-			w.tr.Send(src, r, heartbeatTag, hb)
+			targets = append(targets, r)
+		}
+		// Best-effort: failures surface through peerDown/silence.  Over a
+		// multicast-capable transport the round's heartbeat is encoded
+		// once and shared across every peer queue (heartbeatMsg is
+		// immutable, so pointer-sharing fallbacks need no clone either).
+		if mc := transport.MulticasterFor(w.tr); mc != nil {
+			mc.SendMulti(src, targets, heartbeatTag, hb)
+		} else {
+			for _, r := range targets {
+				w.tr.Send(src, r, heartbeatTag, hb)
+			}
 		}
 		now := time.Now()
 		for _, r := range remotes {
@@ -317,6 +329,25 @@ const (
 	wireIDJoinNotice = 24
 )
 
+// decodeRanks reads a count-prefixed rank list, guarding the count
+// against the remaining bytes so a corrupt or hostile frame latches a
+// decode error instead of OOM-panicking in make.
+func decodeRanks(d *wire.Decoder) []int {
+	n := d.Int()
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.Fail("rank list length %d exceeds remaining %d bytes", n, d.Remaining())
+		return nil
+	}
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = d.Int()
+	}
+	return rs
+}
+
 func init() {
 	wire.Register(wireIDGroupContrib,
 		func(e *wire.Encoder, m groupContrib) {
@@ -361,11 +392,7 @@ func init() {
 			}
 		},
 		func(d *wire.Decoder) byeNotice {
-			rs := make([]int, d.Int())
-			for i := range rs {
-				rs[i] = d.Int()
-			}
-			return byeNotice{Ranks: rs}
+			return byeNotice{Ranks: decodeRanks(d)}
 		})
 	wire.Register(wireIDJoinNotice,
 		func(e *wire.Encoder, m joinNotice) {
@@ -382,10 +409,15 @@ func init() {
 			}
 		},
 		func(d *wire.Decoder) heartbeatMsg {
-			rs := make([]int, d.Int())
-			for i := range rs {
-				rs[i] = d.Int()
-			}
-			return heartbeatMsg{Ranks: rs}
+			return heartbeatMsg{Ranks: decodeRanks(d)}
 		})
+
+	// Fuzz seed corpus: one encoded example per type registered above.
+	wire.Sample(groupContrib{Key: "b:0:7", Gen: 2, V: 1.25})
+	wire.Sample(groupResult{Key: "b:0:7", Gen: 2, V: -3})
+	wire.Sample(groupPoison{Key: "b:0:7", Rank: 1, Reason: "test"})
+	wire.Sample(evictNotice{Rank: 3, Reason: "liveness"})
+	wire.Sample(byeNotice{Ranks: []int{4, 5}})
+	wire.Sample(joinNotice{Rank: 6})
+	wire.Sample(heartbeatMsg{Ranks: []int{0, 1, 2}})
 }

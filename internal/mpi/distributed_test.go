@@ -245,3 +245,73 @@ func TestSendOwnershipContract(t *testing.T) {
 		}
 	})
 }
+
+// TestMulticastOwnershipContract codifies the Multicast contract on
+// every transport class: the caller retains the payload, receivers that
+// would share the sender's memory get clones, and a serializing
+// transport copies by encoding — so mutating the original right after
+// Multicast must never be visible to any receiver (-race verifies the
+// absence of sharing).
+func TestMulticastOwnershipContract(t *testing.T) {
+	fanOut := func(t *testing.T, sender *Comm, recv func(rank int) *block.Block) {
+		t.Helper()
+		b := block.New(4)
+		b.Data()[0] = 1
+		sender.Multicast([]int{1, 2}, 5, b, func() any { return b.Clone() })
+		// Caller retains ownership: this mutation must stay local.
+		b.Data()[0] = 99
+		for _, rank := range []int{1, 2} {
+			got := recv(rank)
+			if got == b {
+				t.Fatalf("rank %d shares the sender's pointer", rank)
+			}
+			if got.Data()[0] != 1 {
+				t.Fatalf("rank %d saw post-multicast mutation: %v", rank, got.Data())
+			}
+		}
+	}
+	t.Run("local", func(t *testing.T) {
+		w := NewWorld(3)
+		fanOut(t, w.Comm(0), func(rank int) *block.Block {
+			return w.Comm(rank).Recv(0, 5).Data.(*block.Block)
+		})
+	})
+	t.Run("router", func(t *testing.T) {
+		worlds := routerWorlds(t, 3)
+		fanOut(t, worlds[0].Comm(0), func(rank int) *block.Block {
+			return worlds[rank].Comm(rank).Recv(0, 5).Data.(*block.Block)
+		})
+	})
+	t.Run("tcp", func(t *testing.T) {
+		worlds := tcpWorlds(t, 3)
+		chans := make([]chan *block.Block, 3)
+		for _, rank := range []int{1, 2} {
+			rank := rank
+			chans[rank] = make(chan *block.Block, 1)
+			go func() {
+				chans[rank] <- worlds[rank].Comm(rank).Recv(0, 5).Data.(*block.Block)
+			}()
+		}
+		fanOut(t, worlds[0].Comm(0), func(rank int) *block.Block {
+			return <-chans[rank]
+		})
+	})
+}
+
+// TestMulticastSkipsEvicted: the remote batch must exclude evicted
+// ranks the same way Send no-ops on them, instead of resurrecting
+// their connection.
+func TestMulticastSkipsEvicted(t *testing.T) {
+	worlds := tcpWorlds(t, 3)
+	got := make(chan *block.Block, 1)
+	go func() {
+		got <- worlds[2].Comm(2).Recv(0, 5).Data.(*block.Block)
+	}()
+	worlds[0].Evict(1, "test")
+	b := block.New(2)
+	b.Data()[0] = 7
+	worlds[0].Comm(0).Multicast([]int{1, 2}, 5, b, func() any { return b.Clone() })
+	if v := (<-got).Data()[0]; v != 7 {
+		t.Fatalf("surviving rank received %v, want 7", v)
+	}
+}

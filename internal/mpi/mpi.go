@@ -19,6 +19,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -174,6 +175,66 @@ func (c *Comm) Send(dst, tag int, data any) {
 	}
 	if o := w.obs; o != nil {
 		o.OnSend(c.rank, dst, tag, data, depth)
+	}
+}
+
+// Multicast delivers one payload to every rank in dsts under one tag.
+// Unlike Send, the CALLER retains ownership of data: every receiver
+// that would share memory with the sender — local mailboxes, and
+// remote ranks behind a pointer-sharing transport — gets clone()
+// instead, while serializing transports encode data once before
+// Multicast returns and hand the shared bytes to every destination.
+// So a replica fan-out over TCP costs one encode and zero clones; the
+// same call over the in-process paths costs one clone per receiver.
+//
+// clone may be nil when the payload is immutable: every receiver then
+// shares data itself.  Evicted, departed, and latent ranks are skipped
+// exactly as in Send, and a transport failure aborts the world
+// attributed to the failing destination.
+func (c *Comm) Multicast(dsts []int, tag int, data any, clone func() any) {
+	w := c.world
+	each := func() any {
+		if clone == nil {
+			return data
+		}
+		return clone()
+	}
+	var mc transport.Multicaster
+	if w.tr != nil {
+		mc = transport.MulticasterFor(w.tr)
+	}
+	var remote []int
+	for _, dst := range dsts {
+		if dst < 0 || dst >= w.n {
+			panic(fmt.Sprintf("mpi: multicast to rank %d out of range [0,%d)", dst, w.n))
+		}
+		if mc != nil && w.boxes[dst] == nil {
+			if w.IsEvicted(dst) || w.Departed(dst) || w.IsLatent(dst) {
+				continue
+			}
+			remote = append(remote, dst)
+			continue
+		}
+		c.Send(dst, tag, each())
+	}
+	if len(remote) == 0 {
+		return
+	}
+	if err := mc.SendMulti(c.rank, remote, tag, data); err != nil {
+		if !w.closed.Load() {
+			rank := remote[0]
+			var se *transport.SendError
+			if errors.As(err, &se) {
+				rank = se.Rank
+			}
+			w.recordFailure(rank, fmt.Sprintf("send failed: %v", err))
+			w.Abort()
+		}
+	}
+	if o := w.obs; o != nil {
+		for _, dst := range remote {
+			o.OnSend(c.rank, dst, tag, data, -1)
+		}
 	}
 }
 

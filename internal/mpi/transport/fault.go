@@ -351,6 +351,67 @@ func (f *Fault) Send(src, dst, tag int, data any) error {
 	return nil
 }
 
+// multicastOK reports whether the wrapped transport supports the
+// multicast contract; the fault wrapper itself adds nothing.
+func (f *Fault) multicastOK() bool { return MulticasterFor(f.inner) != nil }
+
+// SendMulti applies the outbound fault schedule to each destination
+// individually — cut, drop, dup, and delay are all per-destination
+// decisions, drawn in destination order from the same deterministic
+// stream Send uses — then forwards the surviving subset in one inner
+// multicast when the inner transport is a Multicaster, preserving the
+// encode-once path for the destinations the fabric did not fault.
+// Duplicated copies go through individual inner Sends.
+func (f *Fault) SendMulti(src int, dsts []int, tag int, data any) error {
+	var firstErr error
+	record := func(dst int, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = &SendError{Rank: dst, Err: err}
+		}
+	}
+	clean := make([]int, 0, len(dsts))
+	for _, dst := range dsts {
+		if f.cut(src, dst) {
+			f.event(FaultCut, dst)
+			continue
+		}
+		f.mu.Lock()
+		drop := f.spec.Drop > 0 && f.rng.Float64() < f.spec.Drop
+		dup := f.spec.Dup > 0 && f.rng.Float64() < f.spec.Dup
+		var delay time.Duration
+		if f.spec.Delay > 0 {
+			delay = time.Duration(f.rng.Int63n(int64(f.spec.Delay)))
+		}
+		f.mu.Unlock()
+		if drop {
+			f.event(FaultDrop, dst)
+			continue
+		}
+		if delay > 0 {
+			f.event(FaultDelay, dst)
+			time.Sleep(delay)
+		}
+		clean = append(clean, dst)
+		if dup {
+			f.event(FaultDup, dst)
+			record(dst, f.inner.Send(src, dst, tag, data))
+		}
+	}
+	if len(clean) == 0 {
+		return firstErr
+	}
+	if mc := MulticasterFor(f.inner); mc != nil {
+		if err := mc.SendMulti(src, clean, tag, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		for _, dst := range clean {
+			record(dst, f.inner.Send(src, dst, tag, data))
+		}
+	}
+	return firstErr
+}
+
 // Close closes the inner transport.
 func (f *Fault) Close() error { return f.inner.Close() }
 

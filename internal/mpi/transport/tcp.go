@@ -16,14 +16,21 @@ import (
 // Wire protocol constants.  Every frame on a connection is a 4-byte
 // big-endian payload length followed by the payload.  The first frame
 // after connect is a handshake: the 4 magic bytes, a version byte, the
-// dialer's rank as a zigzag varint, and (since version 2) the dialer's
-// wall clock in unix µs as a zigzag varint — a coarse clock sample the
-// observability plane uses to place ranks on one merged timeline.
-// Every later frame is a message: src, dst, and tag as zigzag varints
-// followed by the wire-encoded payload (type id + body).
+// dialer's rank as a zigzag varint, and the dialer's wall clock in unix
+// µs as a zigzag varint — a coarse clock sample the observability plane
+// uses to place ranks on one merged timeline.
+//
+// Since version 3 a message frame carries a *batch*: one or more
+// messages back to back, each src, dst, and tag as zigzag varints
+// followed by the wire-encoded payload (type id + body).  The writer
+// coalesces whatever is queued for a peer — small acks, effect-seqs,
+// heartbeats, observability reports — into one frame per writev, up to
+// BatchBytes.  Version 2 framed exactly one message per frame; a v3
+// reader would parse a v2 stream fine, but the version byte is bumped
+// so mixed builds fail loudly at the handshake instead of subtly.
 const (
 	tcpMagic   = "SIPW"
-	tcpVersion = 2
+	tcpVersion = 3
 )
 
 // TCPConfig parameterizes a TCP transport endpoint.
@@ -50,6 +57,11 @@ type TCPConfig struct {
 	WriteTimeout time.Duration
 	// MaxFrame bounds accepted frame payloads (default 1 GiB).
 	MaxFrame int
+	// BatchBytes caps how many queued message bytes the writer
+	// coalesces into one frame (default 256 KiB, clamped to MaxFrame).
+	// The first queued message is always taken whatever its size, so a
+	// single block larger than the cap still moves.
+	BatchBytes int
 
 	// Observer receives connection metrics; nil disables them.
 	Observer Observer
@@ -77,17 +89,25 @@ func (c *TCPConfig) fill() error {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 1 << 30
 	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 256 << 10
+	}
+	if c.BatchBytes > c.MaxFrame {
+		c.BatchBytes = c.MaxFrame
+	}
 	if c.Observer == nil {
 		c.Observer = NopObserver{}
 	}
 	return nil
 }
 
-// TCP is the socket transport: length-prefixed frames over one lazily
-// dialed connection per outbound peer, with dial retry and exponential
-// backoff.  Payloads are serialized with internal/wire before Send
-// returns, so (unlike the in-process transports) senders may reuse the
-// payload immediately.
+// TCP is the socket transport: length-prefixed batch frames over one
+// lazily dialed connection per outbound peer, with dial retry and
+// exponential backoff.  Payloads are serialized with internal/wire into
+// pooled encoders before Send returns, so (unlike the in-process
+// transports) senders may reuse the payload immediately; SendMulti
+// serializes a payload once and shares the bytes across every
+// destination's queue.
 type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
@@ -108,17 +128,62 @@ type TCP struct {
 	clockOff map[int]int64 // peer clock − local clock, µs, from handshakes
 }
 
-var _ Transport = (*TCP)(nil)
+var (
+	_ Transport   = (*TCP)(nil)
+	_ Multicaster = (*TCP)(nil)
+)
+
+// outMsg is one queued outbound message: a small pooled header encoder
+// holding the src/dst/tag varints (and, for unicast sends, the payload
+// too), plus an optional shared payload body that multicast sends
+// refcount across several peers' queues.
+type outMsg struct {
+	head *wire.Encoder
+	body *sharedBuf
+}
+
+func (m outMsg) size() int {
+	n := m.head.Len()
+	if m.body != nil {
+		n += m.body.enc.Len()
+	}
+	return n
+}
+
+// release returns the message's encoders to the pool.  Called exactly
+// once per queue entry: after the bytes hit the socket, or when the
+// queue is discarded by fail().
+func (m outMsg) release() {
+	wire.PutEncoder(m.head)
+	if m.body != nil {
+		m.body.release()
+	}
+}
+
+// sharedBuf is a refcounted pooled encoder: the payload of a multicast
+// send, queued for several peers at once and released when the last
+// writer is done with it.
+type sharedBuf struct {
+	enc  *wire.Encoder
+	refs atomic.Int32
+}
+
+func (b *sharedBuf) release() {
+	if b.refs.Add(-1) == 0 {
+		wire.PutEncoder(b.enc)
+	}
+}
 
 // tcpPeer is the outbound side of one peer connection: an unbounded
-// frame queue drained by a dedicated writer goroutine, so Send never
+// message queue drained by a dedicated writer goroutine, so Send never
 // blocks on the network (MPI eager-send semantics).
 type tcpPeer struct {
 	rank int
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	queue   [][]byte
+	queue   []outMsg // pending messages are queue[head:]
+	head    int
 	depth   int
 	closing bool
 	failed  error
@@ -179,6 +244,9 @@ func (t *TCP) acceptLoop() {
 }
 
 // readConn consumes one inbound connection: handshake, then frames.
+// One scratch buffer is reused for every frame on the connection —
+// safe because dispatch is synchronous and wire decoders copy, so no
+// decoded value aliases the frame bytes.
 func (t *TCP) readConn(conn net.Conn) {
 	defer t.readerWG.Done()
 	peer, err := t.readHandshake(conn)
@@ -190,8 +258,10 @@ func (t *TCP) readConn(conn net.Conn) {
 		return
 	}
 	t.cfg.Observer.OnAccept(peer)
+	var scratch []byte
+	dec := wire.NewDecoder(nil) // reused across frames, like scratch
 	for {
-		payload, err := readFrame(conn, t.cfg.MaxFrame)
+		payload, err := readFrame(conn, t.cfg.MaxFrame, &scratch)
 		if err != nil {
 			conn.Close()
 			if !t.closed.Load() && !errors.Is(err, io.EOF) {
@@ -199,8 +269,8 @@ func (t *TCP) readConn(conn net.Conn) {
 			}
 			return
 		}
-		t.cfg.Observer.OnFrameRecv(peer, len(payload))
-		if err := t.dispatch(payload); err != nil {
+		dec.Reset(payload)
+		if err := t.dispatch(peer, dec); err != nil {
 			conn.Close()
 			if !t.closed.Load() {
 				t.reportDown(peer, err)
@@ -220,7 +290,7 @@ func (t *TCP) reportDown(peer int, err error) {
 }
 
 func (t *TCP) readHandshake(conn net.Conn) (int, error) {
-	payload, err := readFrame(conn, 64)
+	payload, err := readFrame(conn, 64, nil)
 	if err != nil {
 		return -1, fmt.Errorf("transport: handshake: %w", err)
 	}
@@ -274,34 +344,70 @@ func (t *TCP) ClockOffsets() map[int]int64 {
 	return out
 }
 
-// dispatch decodes one message frame and hands it to the world layer.
-func (t *TCP) dispatch(payload []byte) error {
-	d := wire.NewDecoder(payload)
-	src, dst, tag := d.Int(), d.Int(), d.Int()
-	data := d.Any()
-	if err := d.Err(); err != nil {
-		return fmt.Errorf("transport: bad frame: %w", err)
+// dispatch decodes one batch frame — one or more messages back to back
+// — and hands each to the world layer.  The observer sees one
+// OnFrameRecv per message (matching the per-message OnFrameSend), so
+// net.* counters keep message granularity whatever the batching.
+func (t *TCP) dispatch(peer int, d *wire.Decoder) error {
+	for d.Remaining() > 0 {
+		before := d.Remaining()
+		src, dst, tag := d.Int(), d.Int(), d.Int()
+		data := d.Any()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("transport: bad frame: %w", err)
+		}
+		t.cfg.Observer.OnFrameRecv(peer, before-d.Remaining())
+		t.handler(src, dst, tag, data)
 	}
-	t.handler(src, dst, tag, data)
 	return nil
 }
 
-// Send serializes the payload and queues the frame for the peer's
-// writer, dialing the connection lazily.  The payload is fully encoded
-// before Send returns: the caller may mutate it afterwards.
+// Send serializes the payload into a pooled encoder and queues it for
+// the peer's writer, dialing the connection lazily.  The payload is
+// fully encoded before Send returns: the caller may mutate it
+// afterwards.
 func (t *TCP) Send(src, dst, tag int, data any) error {
 	if t.closed.Load() {
 		return errors.New("transport: closed")
 	}
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(wire.SizeHint(data, 64) + 16)
 	e.Int(src)
 	e.Int(dst)
 	e.Int(tag)
 	e.Any(data)
-	return t.peer(dst).enqueue(e.Bytes())
+	return t.peer(dst).enqueue(outMsg{head: e})
 }
 
-// QueueDepth returns the outbound backlog for dst in frames.
+// SendMulti implements Multicaster: the payload is serialized once into
+// a shared pooled buffer and queued for every destination, so a replica
+// fan-out pays one encode however many peers it reaches.  Per-peer
+// enqueue failures are attributed with SendError; the remaining
+// destinations still get the message.
+func (t *TCP) SendMulti(src int, dsts []int, tag int, data any) error {
+	if t.closed.Load() {
+		return errors.New("transport: closed")
+	}
+	if len(dsts) == 0 {
+		return nil
+	}
+	body := wire.GetEncoder(wire.SizeHint(data, 64))
+	body.Any(data)
+	shared := &sharedBuf{enc: body}
+	shared.refs.Store(int32(len(dsts)))
+	var firstErr error
+	for _, dst := range dsts {
+		h := wire.GetEncoder(16)
+		h.Int(src)
+		h.Int(dst)
+		h.Int(tag)
+		if err := t.peer(dst).enqueue(outMsg{head: h, body: shared}); err != nil && firstErr == nil {
+			firstErr = &SendError{Rank: dst, Err: err}
+		}
+	}
+	return firstErr
+}
+
+// QueueDepth returns the outbound backlog for dst in messages.
 func (t *TCP) QueueDepth(dst int) int {
 	t.mu.Lock()
 	p := t.peers[dst]
@@ -328,57 +434,91 @@ func (t *TCP) peer(rank int) *tcpPeer {
 	return p
 }
 
-func (p *tcpPeer) enqueue(frame []byte) error {
+func (p *tcpPeer) enqueue(m outMsg) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.failed != nil {
-		return p.failed
+		err := p.failed
+		p.mu.Unlock()
+		m.release()
+		return err
 	}
 	if p.closing {
+		p.mu.Unlock()
+		m.release()
 		return errors.New("transport: peer connection closing")
 	}
-	p.queue = append(p.queue, frame)
-	p.depth = len(p.queue)
+	p.queue = append(p.queue, m)
+	p.depth = len(p.queue) - p.head
 	p.cond.Signal()
+	p.mu.Unlock()
 	return nil
 }
 
-// next blocks until a frame is queued or the peer is closing with an
-// empty queue.
-func (p *tcpPeer) next() ([]byte, bool) {
+// nextBatch blocks until messages are queued or the peer is closing
+// with an empty queue, then pops a prefix of the queue whose total size
+// stays under maxBytes (always at least one message) into batch, whose
+// capacity is reused across calls.
+func (p *tcpPeer) nextBatch(maxBytes int, batch []outMsg) ([]outMsg, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.queue) == 0 && !p.closing {
+	for p.head == len(p.queue) && !p.closing {
 		p.cond.Wait()
 	}
-	if len(p.queue) == 0 {
+	if p.head == len(p.queue) {
 		return nil, false
 	}
-	frame := p.queue[0]
-	p.queue = p.queue[1:]
-	p.depth = len(p.queue)
-	return frame, true
+	batch = batch[:0]
+	total := 0
+	for i := p.head; i < len(p.queue); i++ {
+		m := p.queue[i]
+		if i > p.head && total+m.size() > maxBytes {
+			break
+		}
+		batch = append(batch, m)
+		total += m.size()
+	}
+	// Zero the popped entries so the queue's backing array does not pin
+	// pooled encoders after they are released, then pop by advancing
+	// head — keeping the backing array so a steady stream of sends stops
+	// reallocating the queue once it reaches its high-water capacity.
+	for i := range batch {
+		p.queue[p.head+i] = outMsg{}
+	}
+	p.head += len(batch)
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
+	p.depth = len(p.queue) - p.head
+	return batch, true
 }
 
-// pending reports whether frames are still queued.
+// pending reports whether messages are still queued.
 func (p *tcpPeer) pending() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue) > 0
+	return p.head < len(p.queue)
 }
 
-// fail latches a send error and discards the backlog.
+// fail latches a send error and discards (and releases) the backlog.
 func (p *tcpPeer) fail(err error) {
 	p.mu.Lock()
 	p.failed = err
+	q := p.queue[p.head:]
 	p.queue = nil
+	p.head = 0
 	p.depth = 0
 	p.mu.Unlock()
+	for _, m := range q {
+		m.release()
+	}
 	p.cond.Broadcast()
 }
 
 // writeLoop dials the peer with retry + exponential backoff, sends the
-// handshake, and drains the frame queue.
+// handshake, and drains the message queue — one frame (and one writev)
+// per batch, gathering the length prefix and every message's header and
+// payload slices into a single net.Buffers write.
 func (t *TCP) writeLoop(p *tcpPeer) {
 	defer t.writerWG.Done()
 	conn, err := t.dialBackoff(p)
@@ -390,20 +530,54 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 		return
 	}
 	defer conn.Close()
+	var (
+		batch []outMsg
+		iov   [][]byte
+		bufs  net.Buffers // hoisted: its address escapes into WriteTo
+		hdr   [4]byte
+	)
+	abort := func(err error) {
+		for _, m := range batch {
+			m.release()
+		}
+		p.fail(err)
+		if !t.closed.Load() {
+			t.reportDown(p.rank, err)
+		}
+	}
 	for {
-		frame, ok := p.next()
+		var ok bool
+		batch, ok = p.nextBatch(t.cfg.BatchBytes, batch)
 		if !ok {
 			return // clean close, queue drained
 		}
-		conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-		if err := writeFrame(conn, frame); err != nil {
-			p.fail(err)
-			if !t.closed.Load() {
-				t.reportDown(p.rank, err)
+		total := 0
+		iov = append(iov[:0], hdr[:])
+		for _, m := range batch {
+			total += m.size()
+			iov = append(iov, m.head.Bytes())
+			if m.body != nil {
+				iov = append(iov, m.body.enc.Bytes())
 			}
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(total))
+		// A deadline that cannot be armed would leave the write
+		// unbounded against a wedged peer: fail the peer, attributed.
+		if err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
+			abort(fmt.Errorf("transport: arm write deadline for rank %d: %w", p.rank, err))
 			return
 		}
-		t.cfg.Observer.OnFrameSend(p.rank, len(frame))
+		// WriteTo consumes the slice header it is given; iov keeps the
+		// original, so its backing array is reusable next batch.
+		bufs = net.Buffers(iov)
+		if _, err := bufs.WriteTo(conn); err != nil {
+			abort(err)
+			return
+		}
+		for _, m := range batch {
+			t.cfg.Observer.OnFrameSend(p.rank, m.size())
+			m.release()
+		}
 	}
 }
 
@@ -428,7 +602,7 @@ func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
 		}
 		conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 		if err == nil {
-			e := wire.NewEncoder(16)
+			e := wire.GetEncoder(32)
 			e.Byte(tcpMagic[0])
 			e.Byte(tcpMagic[1])
 			e.Byte(tcpMagic[2])
@@ -436,8 +610,12 @@ func (t *TCP) dialBackoff(p *tcpPeer) (net.Conn, error) {
 			e.Byte(tcpVersion)
 			e.Int(t.cfg.Rank)
 			e.Int(int(time.Now().UnixMicro()))
-			conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-			if err := writeFrame(conn, e.Bytes()); err != nil {
+			err := conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+			if err == nil {
+				err = writeFrame(conn, e.Bytes())
+			}
+			wire.PutEncoder(e)
+			if err != nil {
 				conn.Close()
 				return nil, fmt.Errorf("transport: handshake to rank %d: %w", p.rank, err)
 			}
@@ -503,28 +681,39 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-// writeFrame writes one length-prefixed frame.
+// writeFrame writes one length-prefixed frame as a single gathered
+// write (writev), so header and payload never split into two packets
+// or two syscalls.
 func writeFrame(conn net.Conn, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(payload)
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(conn net.Conn, maxFrame int) ([]byte, error) {
+// readFrame reads one length-prefixed frame.  With a non-nil scratch,
+// the payload is read into (and aliases) the scratch buffer, which
+// grows to the largest frame seen; callers reuse it across frames and
+// must consume the payload before the next call.
+func readFrame(conn net.Conn, maxFrame int, scratch *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if int(n) > maxFrame {
+	if int64(n) > int64(maxFrame) {
 		return nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if scratch != nil {
+		if cap(*scratch) < int(n) {
+			*scratch = make([]byte, n)
+		}
+		payload = (*scratch)[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(conn, payload); err != nil {
 		return nil, err
 	}

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // recvQ collects delivered messages for assertions.
@@ -347,6 +350,174 @@ func TestRouterDelivery(t *testing.T) {
 	mu.Unlock()
 	if fmt.Sprint(got) != "[1 2]" {
 		t.Fatalf("down ranks = %v, want [1 2]", got)
+	}
+}
+
+// countedPayload counts its own wire encodes, so tests can prove a
+// multicast serializes once however many destinations it reaches.
+type countedPayload struct {
+	Tag string
+}
+
+var countedEncodes atomic.Int64
+
+func init() {
+	wire.Register(200,
+		func(e *wire.Encoder, p countedPayload) {
+			countedEncodes.Add(1)
+			e.String(p.Tag)
+		},
+		func(d *wire.Decoder) countedPayload { return countedPayload{Tag: d.String()} })
+}
+
+// tcpTrio builds three connected TCP endpoints on loopback.
+func tcpTrio(t *testing.T) (*TCP, []*recvQ) {
+	t.Helper()
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var t0 *TCP
+	qs := make([]*recvQ, 3)
+	for i := range lns {
+		tr, err := NewTCP(TCPConfig{Rank: i, Addrs: addrs, Listener: lns[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = newRecvQ()
+		if err := tr.Start(qs[i].handler, nil); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		if i == 0 {
+			t0 = tr
+		}
+	}
+	return t0, qs
+}
+
+// TestTCPSendMultiEncodesOnce pins the zero-copy fan-out: one multicast
+// to two peers serializes the payload exactly once and delivers to
+// both, with src/dst/tag attributed per destination.
+func TestTCPSendMultiEncodesOnce(t *testing.T) {
+	t0, qs := tcpTrio(t)
+	before := countedEncodes.Load()
+	if err := t0.SendMulti(0, []int{1, 2}, 7, countedPayload{Tag: "fanout"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countedEncodes.Load() - before; got != 1 {
+		t.Errorf("multicast to 2 peers encoded %d times, want 1", got)
+	}
+	m1 := qs[1].wait(t, 1)
+	if m1[0] != [4]any{0, 1, 7, countedPayload{Tag: "fanout"}} {
+		t.Errorf("peer 1 got %v", m1[0])
+	}
+	m2 := qs[2].wait(t, 1)
+	if m2[0] != [4]any{0, 2, 7, countedPayload{Tag: "fanout"}} {
+		t.Errorf("peer 2 got %v", m2[0])
+	}
+}
+
+// TestTCPBatchedFrames checks that a backlog coalesces into fewer wire
+// frames than messages while every message still arrives in order, and
+// that the per-message observer counts are preserved.
+func TestTCPBatchedFrames(t *testing.T) {
+	ln0, _ := net.Listen("tcp", "127.0.0.1:0")
+	ln1, _ := net.Listen("tcp", "127.0.0.1:0")
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	obs := &countObs{}
+	t0, err := NewTCP(TCPConfig{Rank: 0, Addrs: addrs, Listener: ln0, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0.Start(newRecvQ().handler, nil)
+	defer t0.Close()
+	t1, err := NewTCP(TCPConfig{Rank: 1, Addrs: addrs, Listener: ln1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := newRecvQ()
+	t1.Start(q1.handler, nil)
+	defer t1.Close()
+
+	// Queue a burst before the connection finishes dialing: the writer
+	// wakes to a deep queue and must coalesce it.
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := t0.Send(0, 1, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := q1.wait(t, n)
+	for i, m := range msgs {
+		if m[3] != i {
+			t.Fatalf("message %d carried %v", i, m[3])
+		}
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.framesOut != n {
+		t.Errorf("observer saw %d message sends, want %d (per-message granularity)", obs.framesOut, n)
+	}
+}
+
+// TestFaultSendMultiPerDestination: the fault wrapper applies drop
+// decisions per destination, not per multicast — with drop=1 nothing
+// survives; with no faults every destination delivers through the
+// inner multicast path.
+func TestFaultSendMultiPerDestination(t *testing.T) {
+	t0, qs := tcpTrio(t)
+	var events []string
+	var mu sync.Mutex
+	f := NewFault(t0, []int{0}, FaultSpec{Seed: 1, Drop: 1, KillRank: -1},
+		func(kind string, peer int) { mu.Lock(); events = append(events, kind); mu.Unlock() })
+	if err := f.SendMulti(0, []int{1, 2}, 7, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	drops := 0
+	for _, e := range events {
+		if e == FaultDrop {
+			drops++
+		}
+	}
+	mu.Unlock()
+	if drops != 2 {
+		t.Errorf("drop=1 multicast to 2 peers reported %d drops, want 2", drops)
+	}
+
+	clean := NewFault(t0, []int{0}, FaultSpec{Seed: 1, KillRank: -1}, nil)
+	if MulticasterFor(clean) == nil {
+		t.Fatal("fault over TCP must expose the multicast capability")
+	}
+	if err := clean.SendMulti(0, []int{1, 2}, 8, "alive"); err != nil {
+		t.Fatal(err)
+	}
+	if m := qs[1].wait(t, 1); m[0] != [4]any{0, 1, 8, "alive"} {
+		t.Errorf("peer 1 got %v", m[0])
+	}
+	if m := qs[2].wait(t, 1); m[0] != [4]any{0, 2, 8, "alive"} {
+		t.Errorf("peer 2 got %v", m[0])
+	}
+}
+
+// TestMulticasterForRouter: a pointer-sharing transport must not be
+// offered the multicast capability, even through a fault wrapper.
+func TestMulticasterForRouter(t *testing.T) {
+	r := NewRouter()
+	l := r.Endpoint(0)
+	if MulticasterFor(l) != nil {
+		t.Error("router endpoint claims multicast capability")
+	}
+	f := NewFault(l, []int{0}, FaultSpec{KillRank: -1}, nil)
+	if MulticasterFor(f) != nil {
+		t.Error("fault over router claims multicast capability")
 	}
 }
 

@@ -46,6 +46,63 @@ type Transport interface {
 	Close() error
 }
 
+// Multicaster is an optional Transport capability: delivering one
+// payload to several destination ranks while serializing it only once.
+// Serializing transports (TCP) implement it by encoding the payload
+// into a shared refcounted buffer queued for every destination, so a
+// replica fan-out pays one encode and zero clones however many peers it
+// reaches.
+//
+// Pointer-sharing transports (Router/Local) must NOT implement it:
+// they would hand every receiver the same payload pointer, and
+// receivers of multicast traffic may mutate what they receive.  The
+// mpi layer falls back to per-destination sends with per-destination
+// clones when the capability is absent (see mpi.Comm.Multicast).
+//
+// SendMulti serializes data before returning (the caller may reuse the
+// payload) and delivers best-effort per destination: a failed
+// destination does not stop the others.  The first failure is returned,
+// wrapped in SendError so callers can attribute it to a rank.
+type Multicaster interface {
+	SendMulti(src int, dsts []int, tag int, data any) error
+}
+
+// condMulticaster is implemented by wrapping transports (Fault) whose
+// multicast support depends on the wrapped transport: the wrapper
+// always has a SendMulti method, but it only honors the encode-once /
+// no-clone contract when the transport underneath does.
+type condMulticaster interface {
+	Multicaster
+	multicastOK() bool
+}
+
+// MulticasterFor returns tr's multicast capability, or nil when the
+// transport (or, for wrappers, the transport underneath) does not
+// support it.  Callers deciding between the encode-once multicast path
+// and per-destination clones must use this, not a bare type assertion:
+// a wrapper over a pointer-sharing transport asserts as a Multicaster
+// but must not be used as one.
+func MulticasterFor(tr Transport) Multicaster {
+	mc, ok := tr.(Multicaster)
+	if !ok {
+		return nil
+	}
+	if c, ok := tr.(condMulticaster); ok && !c.multicastOK() {
+		return nil
+	}
+	return mc
+}
+
+// SendError attributes a transport send failure to one destination
+// rank of a multi-destination send.
+type SendError struct {
+	Rank int
+	Err  error
+}
+
+func (e *SendError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+func (e *SendError) Unwrap() error { return e.Err }
+
 // Observer receives connection-level instrumentation callbacks.
 // Methods must be cheap and safe for concurrent use.  Implementations
 // may embed NopObserver to pick up defaults.

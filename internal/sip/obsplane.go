@@ -77,6 +77,22 @@ func (s *obsShipper) loop() {
 	}
 }
 
+// WireSizeHint implements wire.SizeHinter: reports carry whole metric
+// snapshots and trace segments, so a rough per-entry estimate saves the
+// transport's pooled encoder several regrowth copies.  (The reports
+// themselves ride the transport's batched frames like any other small
+// protocol message; see docs/TRANSPORT.md.)
+func (m obsReportMsg) WireSizeHint() int {
+	n := 64
+	if m.snap != nil {
+		n += 32 * (len(m.snap.Counters) + len(m.snap.Gauges) + 2*len(m.snap.Hists))
+	}
+	for _, t := range m.tracks {
+		n += 64 + 96*len(t.Events)
+	}
+	return n
+}
+
 // ship sends one report to the master.  Best-effort: on an aborted or
 // closing world the send is abandoned silently (the master is gone or
 // going; telemetry must never turn a clean teardown into a crash).

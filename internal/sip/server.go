@@ -207,7 +207,11 @@ func (s *ioServer) run() (err error) {
 			if err != nil {
 				return err
 			}
-			s.comm.Send(msg.origin, msg.replyTag, b.Clone())
+			// The reply must not share the cached block with the
+			// requester: clone for in-process delivery, but let a
+			// serializing transport encode the cached bytes directly —
+			// the served-read hot path then makes zero copies.
+			s.comm.Multicast([]int{msg.origin}, msg.replyTag, b, func() any { return b.Clone() })
 			if s.trk != nil {
 				// Flow-out endpoint matched by the requester's wait_block
 				// flow-in (same responder/origin/replyTag triple).
@@ -565,10 +569,20 @@ func (s *ioServer) rereplicate(round, job int) (int, error) {
 				return pushed, err
 			}
 		}
-		for _, dst := range replicas[1:] {
-			s.comm.Send(dst, tagServer, replPutMsg{key: k, b: b.Clone(), round: round, origin: s.rank})
-			pushed++
+		// One anti-entropy push per block, however many backups: the
+		// block is encoded once over a serializing transport and cloned
+		// only for in-process backups (which take ownership).
+		dsts := replicas[1:]
+		if len(dsts) == 0 {
+			continue
 		}
+		msg := replPutMsg{key: k, b: b, round: round, origin: s.rank}
+		s.comm.Multicast(dsts, tagServer, msg, func() any {
+			m := msg
+			m.b = b.Clone()
+			return m
+		})
+		pushed += len(dsts)
 	}
 	return pushed, nil
 }

@@ -1228,12 +1228,22 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 			w.rt.prog.Arrays[dst.Arr].Name, loc.coord, val.Dims(), loc.dims)
 	}
 	arr := w.rt.prog.Arrays[dst.Arr]
-	payload := val.Clone() // the source block may be reused next iteration
 	if w.trk != nil {
 		w.trk.Instant(obs.CatPut, "put_issued",
-			obs.A("block", loc.key.String()), obs.AInt("bytes", 8*payload.Size()))
+			obs.A("block", loc.key.String()), obs.AInt("bytes", 8*val.Size()))
 	}
 	seq := w.effectSeq()
+	// The source block may be reused next iteration, so no receiver may
+	// share it: Multicast clones it per in-process receiver, while a
+	// serializing transport encodes it once before returning — at most
+	// one payload copy end-to-end over TCP, and zero clones for the
+	// whole replica fan-out.
+	msg := putMsg{key: loc.key, b: val, acc: acc, origin: w.rank, needAck: true, seq: seq}
+	cloned := func() any {
+		m := msg
+		m.b = val.Clone()
+		return m
+	}
 	if arr.Kind == bytecode.ArrayServed {
 		if w.rt.cfg.Replicas > 1 {
 			// Fan out to every live replica; the quorum is all of them
@@ -1243,12 +1253,8 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 			if len(replicas) == 0 {
 				return fmt.Errorf("prepare %s%v: every replica server is dead", arr.Name, loc.coord)
 			}
-			for i, srv := range replicas {
-				b := payload
-				if i > 0 {
-					b = payload.Clone() // in-process sends hand off ownership
-				}
-				w.comm.Send(srv, tagServer, putMsg{key: loc.key, b: b, acc: acc, origin: w.rank, needAck: true, seq: seq})
+			w.comm.Multicast(replicas, tagServer, msg, cloned)
+			for _, srv := range replicas {
 				w.pendingPrepAcks++
 				if w.owedPrepAcks != nil {
 					w.owedPrepAcks[srv]++
@@ -1256,20 +1262,20 @@ func (w *worker) doPut(dst, src bytecode.Ref, acc bool) error {
 			}
 		} else {
 			home := w.rt.homeServer(dst.Arr, loc.key.ord)
-			w.comm.Send(home, tagServer, putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
+			w.comm.Multicast([]int{home}, tagServer, msg, cloned)
 			w.pendingPrepAcks++
 		}
 	} else {
 		home := w.rt.homeWorker(dst.Arr, loc.key.ord)
 		switch {
 		case home == w.rank:
-			w.applyLocalPut(loc.key, payload, acc, seq)
+			w.applyLocalPut(loc.key, val.Clone(), acc, seq)
 		case w.rt.world.IsEvicted(home):
 			// The home rank is gone and its partition with it; the block
 			// is unrecoverable (distributed arrays are not durable under
 			// recovery) — drop the put rather than wait on a dead rank.
 		default:
-			w.comm.Send(home, w.rt.tag(tagService), putMsg{key: loc.key, b: payload, acc: acc, origin: w.rank, needAck: true, seq: seq})
+			w.comm.Multicast([]int{home}, w.rt.tag(tagService), msg, cloned)
 			w.pendingPutAcks++
 			if w.owedPutAcks != nil {
 				w.owedPutAcks[home]++

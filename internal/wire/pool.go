@@ -1,0 +1,63 @@
+package wire
+
+import "sync"
+
+// Encoder pooling for the transport hot path.  Every framed message
+// needs a scratch encoder; allocating one per send dominated the TCP
+// allocation profile, so transports borrow encoders here instead.
+//
+// Ownership contract: GetEncoder hands the caller exclusive use of the
+// encoder and of the slice Bytes() returns.  Both end at PutEncoder —
+// after that the buffer may be handed to another goroutine and
+// overwritten, so callers must finish writing (or copy) the bytes
+// first.  Returning an encoder is optional; an encoder that is never
+// Put is simply garbage-collected.
+//
+// Two size classes keep block payloads (tens of KiB) from evicting the
+// small protocol-message encoders, and a retention ceiling keeps a
+// one-off giant frame from pinning its buffer in the pool forever.
+const (
+	// smallEncoder is the small class's allocation size and the
+	// boundary between the two classes.
+	smallEncoder = 2 << 10
+	// maxPooledEncoder is the retention ceiling: larger buffers are
+	// dropped on Put and left to the garbage collector.
+	maxPooledEncoder = 1 << 20
+)
+
+var (
+	encSmall = sync.Pool{New: func() any { return NewEncoder(smallEncoder) }}
+	encLarge = sync.Pool{New: func() any { return NewEncoder(64 << 10) }}
+)
+
+// GetEncoder returns an empty pooled encoder with at least hint bytes
+// of capacity.  Release it with PutEncoder when the encoded bytes are
+// no longer referenced.
+func GetEncoder(hint int) *Encoder {
+	var e *Encoder
+	if hint > smallEncoder {
+		e = encLarge.Get().(*Encoder)
+	} else {
+		e = encSmall.Get().(*Encoder)
+	}
+	e.Reset()
+	if cap(e.buf) < hint {
+		e.buf = make([]byte, 0, hint)
+	}
+	return e
+}
+
+// PutEncoder returns an encoder obtained from GetEncoder to its pool.
+// The caller must no longer reference the encoder or any slice of its
+// buffer.  Oversized buffers are dropped rather than retained.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	e.Reset()
+	if cap(e.buf) > smallEncoder {
+		encLarge.Put(e)
+	} else {
+		encSmall.Put(e)
+	}
+}

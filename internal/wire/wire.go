@@ -130,6 +130,15 @@ type Decoder struct {
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// Reset rearms the decoder to read buf from the start, clearing any
+// latched error, so one decoder can be reused across many frames (the
+// transport read loop does this to keep its hot path allocation-free).
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
 
@@ -202,7 +211,9 @@ func (d *Decoder) Float64() float64 {
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
 	n := d.Uvarint()
-	if d.err != nil || d.off+int(n) > len(d.buf) {
+	// Compare in uint64 space: converting a hostile length to int first
+	// can go negative and index the buffer backwards.
+	if d.err != nil || n > uint64(d.Remaining()) {
 		d.fail("truncated string of %d bytes at offset %d", n, d.off)
 		return ""
 	}
@@ -251,7 +262,9 @@ func (d *Decoder) Float64s() []float64 {
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	if 8*n > uint64(d.Remaining()) {
+	// Divide rather than multiply: 8*n wraps for n >= 2^61, letting a
+	// hostile length through to make() and OOM-panicking the rank.
+	if n > uint64(d.Remaining())/8 {
 		d.fail("float slice length %d exceeds remaining %d bytes", n, d.Remaining())
 		return nil
 	}
@@ -334,6 +347,63 @@ func Registered(v any) bool {
 	return ok
 }
 
+// RegisteredIDs returns the wire ids with an installed codec, for
+// registry-coverage checks in tests.
+func RegisteredIDs() []byte {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var ids []byte
+	for i, ent := range byID {
+		if ent != nil {
+			ids = append(ids, byte(i))
+		}
+	}
+	return ids
+}
+
+// samples holds one encoded example per registered payload type,
+// collected at init time; the FuzzDecode seed corpus starts from them
+// so every codec's happy path is in the fuzzer's ancestry.
+var samples [][]byte
+
+// Sample records an encoded example of a registered value for the fuzz
+// seed corpus.  Like Register it must be called from package init
+// functions only, after the value's type is registered.
+func Sample(v any) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	samples = append(samples, Encode(v))
+}
+
+// Corpus returns the encoded samples recorded by Sample.
+func Corpus() [][]byte {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([][]byte, len(samples))
+	copy(out, samples)
+	return out
+}
+
+// SizeHinter is an optional payload capability: types that know their
+// approximate encoded size report it, so transports can size pooled
+// encoders before the first append instead of growing incrementally.
+type SizeHinter interface {
+	// WireSizeHint returns an upper-ish estimate of the encoded size in
+	// bytes.  It need not be exact; a good hint avoids buffer regrowth.
+	WireSizeHint() int
+}
+
+// SizeHint returns v's encoded-size estimate, or fallback when v does
+// not implement SizeHinter (or reports something smaller).
+func SizeHint(v any, fallback int) int {
+	if h, ok := v.(SizeHinter); ok {
+		if n := h.WireSizeHint(); n > fallback {
+			return n
+		}
+	}
+	return fallback
+}
+
 // Wire ids of the basic types registered by this package.  Packages
 // registering their own payloads use the id blocks noted here:
 //
@@ -353,4 +423,8 @@ func init() {
 	Register(IDFloat64, (*Encoder).Float64, (*Decoder).Float64)
 	Register(IDInt, (*Encoder).Int, (*Decoder).Int)
 	Register(IDBool, (*Encoder).Bool, (*Decoder).Bool)
+	Sample("corpus")
+	Sample(3.5)
+	Sample(-42)
+	Sample(true)
 }

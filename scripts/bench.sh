@@ -11,6 +11,12 @@
 #
 # The JSON files are checked in as a coarse performance baseline and
 # uploaded as a CI artifact, so regressions show up in review diffs.
+# Each run also diffs its fresh numbers against the checked-in baseline
+# it is about to overwrite and writes the comparison to
+# BENCH_compare.txt, flagging any benchmark whose ns/op or allocs/op
+# grew by more than BASELINE_WARN_PCT (default 20%).  The comparison is
+# advisory — benchmarks on shared CI runners are noisy — so it warns
+# rather than fails; CI uploads it as an artifact for review.
 #
 #   BENCH_TIME=2s BENCH_COUNT=3 scripts/bench.sh   # longer, repeated runs
 set -euo pipefail
@@ -18,6 +24,8 @@ cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_COUNT="${BENCH_COUNT:-1}"
+BASELINE_WARN_PCT="${BASELINE_WARN_PCT:-20}"
+COMPARE_OUT="BENCH_compare.txt"
 
 # to_json converts `go test -bench` output on stdin into a JSON
 # document: one object per benchmark line, units mangled into JSON keys
@@ -53,15 +61,79 @@ to_json() {
   }'
 }
 
+# compare_baseline <baseline.json> <fresh.json> — line-per-benchmark
+# diff of ns_per_op and allocs_per_op, warning above BASELINE_WARN_PCT.
+# Both files use to_json's format: one benchmark object per line.
+compare_baseline() {
+  awk -v warn="$BASELINE_WARN_PCT" '
+  function num(line, key,   s) {
+    if (match(line, "\"" key "\":[-+0-9.eE]+")) {
+      s = substr(line, RSTART, RLENGTH)
+      sub("\"" key "\":", "", s)
+      return s + 0
+    }
+    return -1
+  }
+  function bname(line,   s) {
+    if (match(line, "\"name\":\"[^\"]+\"")) {
+      s = substr(line, RSTART + 8, RLENGTH - 9)
+      return s
+    }
+    return ""
+  }
+  FNR == NR {
+    if ((n = bname($0)) != "") {
+      base_ns[n] = num($0, "ns_per_op")
+      base_al[n] = num($0, "allocs_per_op")
+    }
+    next
+  }
+  {
+    n = bname($0)
+    if (n == "" || !(n in base_ns)) next
+    ns = num($0, "ns_per_op"); al = num($0, "allocs_per_op")
+    line = sprintf("  %-50s", n)
+    if (base_ns[n] > 0 && ns >= 0) {
+      pct = (ns - base_ns[n]) / base_ns[n] * 100
+      line = line sprintf(" ns/op %12.0f -> %-12.0f (%+6.1f%%)", base_ns[n], ns, pct)
+      if (pct > warn) { line = line " REGRESSION"; bad++ }
+    }
+    if (base_al[n] >= 0 && al >= 0) {
+      pct = base_al[n] > 0 ? (al - base_al[n]) / base_al[n] * 100 : (al > 0 ? 100 : 0)
+      line = line sprintf("  allocs/op %6.0f -> %-6.0f (%+6.1f%%)", base_al[n], al, pct)
+      if (pct > warn) { line = line " REGRESSION"; bad++ }
+    }
+    print line
+  }
+  END {
+    if (bad > 0)
+      printf "  WARNING: %d metric(s) regressed more than %s%% vs the checked-in baseline\n", bad, warn
+  }' "$1" "$2"
+}
+
 bench() { # bench <regexp> <outfile>
-  local re="$1" out="$2" tmp
+  local re="$1" out="$2" tmp baseline=""
   tmp="$(mktemp)"
   go test -run '^$' -bench "$re" -benchmem \
     -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$tmp"
+  if [ -f "$out" ]; then
+    baseline="$(mktemp)"
+    cp "$out" "$baseline"
+  fi
   to_json <"$tmp" >"$out"
   rm -f "$tmp"
   echo "wrote $out"
+  if [ -n "$baseline" ]; then
+    {
+      echo "$out vs checked-in baseline (warn at +${BASELINE_WARN_PCT}%):"
+      compare_baseline "$baseline" "$out"
+    } | tee -a "$COMPARE_OUT"
+    rm -f "$baseline"
+  fi
 }
+
+: >"$COMPARE_OUT"
+echo "baseline comparison $(date -u +%Y-%m-%dT%H:%M:%SZ)" >>"$COMPARE_OUT"
 
 echo "== compute path: MP2 end-to-end + contraction kernel =="
 bench '^(BenchmarkMP2EndToEnd|BenchmarkContraction)$' BENCH_mp2.json
