@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -44,7 +45,16 @@ func startObsServer(addr string, agg *obs.Aggregator, ranks int, health func() m
 	for _, reg := range extra {
 		reg(mux)
 	}
-	s.srv = &http.Server{Handler: mux}
+	// A long-lived front door must not let one slow client pin the port:
+	// bound header and body reads, and reap idle keep-alive connections.
+	// (No WriteTimeout — /trace can legitimately stream a large merged
+	// trace to a slow reader.)
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -46,6 +46,10 @@ func doServe(args []string, stdout io.Writer) error {
 	seg := fs.Int("seg", 4, "default segment size for submissions that set none")
 	recvTimeout := fs.Duration("recv-timeout", 3*time.Second, "bound blocking protocol receives; failure recovery is deadline-driven (0 = wait forever)")
 	scratch := fs.String("scratch", "", "served-array scratch directory (default: a private temp dir)")
+	journalDir := fs.String("journal-dir", "", "write-ahead job journal directory: submissions survive a crash/restart (empty = in-memory only)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long running jobs may finish before being requeued to the journal")
+	historyLimit := fs.Int("history-limit", 1000, "terminal jobs kept fully in memory; older ones shrink to id/state stubs (journal keeps the full record; <0 = unlimited)")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted POST /submit body in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,11 +75,28 @@ func doServe(args []string, stdout io.Writer) error {
 		DefaultSeg:    *seg,
 		Burst:         *burst,
 		JobMetrics:    true,
+		JournalDir:    *journalDir,
+		HistoryLimit:  *historyLimit,
+		MaxBody:       *maxBody,
+		Warn: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err
 	}
 	registerChemPacks(svc)
+	// Resume after the packs exist (journal-replayed jobs may reference
+	// them, and resubmission recompiles from the original request) and
+	// before the front door opens (client retries must dedup against the
+	// replayed jobs, never race them).
+	resumed := 0
+	if *journalDir != "" {
+		if resumed, err = svc.Resume(); err != nil {
+			svc.Close()
+			return fmt.Errorf("journal replay: %v", err)
+		}
+	}
 
 	// The pool is in-process: every rank shares the tracer and registry,
 	// so an aggregator over the local sources is the whole-pool view.
@@ -90,12 +111,31 @@ func doServe(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "serving on http://%s (/submit /jobs /packs /metrics /healthz /trace)\n", srv.Addr())
 	fmt.Fprintf(stdout, "pool: %d workers, %d servers, %d spares, replicas=%d, recover=%v\n",
 		*workers, *servers, *spares, *replicas, *recoverServe)
+	if resumed > 0 {
+		fmt.Fprintf(stdout, "journal: resubmitted %d interrupted job(s) from %s\n", resumed, *journalDir)
+	}
 
-	sigc := make(chan os.Signal, 1)
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 	sig := <-sigc
-	fmt.Fprintf(stdout, "%v: draining jobs and shutting down the pool\n", sig)
+	fmt.Fprintf(stdout, "%v: draining jobs and shutting down the pool (up to %v; signal again to cut the drain short)\n", sig, *drainTimeout)
+	// A second signal cuts the drain window to zero: running jobs are
+	// requeued to the journal immediately instead of finishing.
+	drained := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(stdout, "%v: drain cut short, requeueing running jobs\n", sig)
+			svc.DrainNow()
+		case <-drained:
+		}
+	}()
+	finished, requeued := svc.Drain(*drainTimeout)
+	close(drained)
+	if finished > 0 || requeued > 0 {
+		fmt.Fprintf(stdout, "drain: %d job(s) finished, %d requeued to the journal\n", finished, requeued)
+	}
 	return svc.Close()
 }
 
@@ -143,12 +183,17 @@ func doSubmit(args []string, stdout io.Writer) error {
 	seg := fs.Int("seg", 0, "segment size (0 = server default)")
 	gather := fs.Bool("gather", false, "collect array contents into the job result")
 	wait := fs.Bool("wait", true, "poll the job to completion and print its scalars")
+	key := fs.String("key", "", "idempotency key: retries (even across a server restart) return the original job")
+	deadline := fs.Duration("deadline", 0, "job deadline from submission; past it the job lands in state timeout (0 = none)")
 	var params paramList
 	fs.Var(&params, "param", "parameter assignment k=v (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := serve.SubmitRequest{Name: *name, Pack: *pack, Params: params.vals, Seg: *seg, Gather: *gather}
+	req := serve.SubmitRequest{
+		Name: *name, Pack: *pack, Params: params.vals, Seg: *seg, Gather: *gather,
+		IdempotencyKey: *key, Deadline: serve.Duration(*deadline),
+	}
 	switch {
 	case file == "" && *pack == "":
 		return fmt.Errorf("submit needs a prog.sial argument or -pack")
@@ -175,7 +220,9 @@ func doSubmit(args []string, stdout io.Writer) error {
 	var st serve.JobStatus
 	decErr := json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
+	// 202: accepted.  200: an idempotency-key retry matched an existing
+	// job — same logical submission, keep polling it.
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 		if decErr == nil && st.Error != "" {
 			return fmt.Errorf("submit rejected (%s): %s", resp.Status, st.Error)
 		}
@@ -184,7 +231,11 @@ func doSubmit(args []string, stdout io.Writer) error {
 	if decErr != nil {
 		return fmt.Errorf("submit: bad reply: %v", decErr)
 	}
-	fmt.Fprintf(stdout, "job %d (%s) %s, %d B/worker\n", st.ID, st.Name, st.State, st.PerWorkerBytes)
+	if resp.StatusCode == http.StatusOK {
+		fmt.Fprintf(stdout, "job %d (%s) %s (deduplicated by idempotency key)\n", st.ID, st.Name, st.State)
+	} else {
+		fmt.Fprintf(stdout, "job %d (%s) %s, %d B/worker\n", st.ID, st.Name, st.State, st.PerWorkerBytes)
+	}
 	if !*wait {
 		return nil
 	}

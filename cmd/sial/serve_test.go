@@ -2,10 +2,12 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"regexp"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/chem"
+	"repro/internal/serve"
 	"repro/internal/sip"
 )
 
@@ -172,6 +175,162 @@ func TestCLIServeSubmit(t *testing.T) {
 	}
 	if tail := <-drained; !strings.Contains(tail, "shutting down") {
 		t.Errorf("no shutdown announcement in serve output:\n%s", tail)
+	}
+}
+
+// TestCLIServeRestartJournal is the crash drill behind docs/SERVE.md's
+// durability story: load a journaled serve with a dozen MP2 jobs,
+// SIGKILL it mid-stream, restart on the same -journal-dir, and require
+// that every job reaches exactly one terminal state with the reference
+// energy — and that an idempotent client retry across the restart gets
+// the original job back instead of a duplicate.
+func TestCLIServeRestartJournal(t *testing.T) {
+	journalDir := t.TempDir()
+	const jobs = 12
+
+	// One job at a time in the first life, so most of the dozen are
+	// still queued or in flight when the kill lands.
+	cmd, addr, sc := startServeChild(t, "-workers", "2", "-servers", "1",
+		"-journal-dir", journalDir, "-max-concurrent", "1")
+	go func() {
+		for sc.Scan() {
+		} // keep the child's stdout drained
+	}()
+
+	submit := func(addr string, i int) (serve.JobStatus, int) {
+		t.Helper()
+		// no=16/nv=64 sizes each job to a couple hundred milliseconds:
+		// heavy enough that the kill lands with most of the queue
+		// outstanding, light enough for a CI drill.
+		body, _ := json.Marshal(serve.SubmitRequest{
+			Name:           fmt.Sprintf("mp2-%d", i),
+			Pack:           "mp2",
+			Params:         map[string]int{"no": 16, "nv": 64},
+			IdempotencyKey: fmt.Sprintf("restart-drill-%d", i),
+		})
+		resp, err := http.Post("http://"+addr+"/submit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		defer resp.Body.Close()
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("submit %d: bad reply: %v", i, err)
+		}
+		return st, resp.StatusCode
+	}
+
+	ids := map[int]int{} // drill index -> job id
+	for i := 0; i < jobs; i++ {
+		st, code := submit(addr, i)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids[i] = st.ID
+	}
+	// Let a couple of jobs get into flight, then pull the plug — no
+	// drain, no fsync courtesy, exactly the crash the journal exists for.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart on the same journal; the second life announces how many
+	// jobs it picked back up, which must be most of the dozen — a drill
+	// that kills after everything finished would prove nothing.
+	cmd2, addr2, sc2 := startServeChild(t, "-workers", "2", "-servers", "1", "-journal-dir", journalDir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	resumed := make(chan int, 1)
+	go func() {
+		re := regexp.MustCompile(`resubmitted (\d+) interrupted`)
+		n := -1
+		for sc2.Scan() {
+			if m := re.FindStringSubmatch(sc2.Text()); m != nil {
+				n, _ = strconv.Atoi(m[1])
+				resumed <- n
+			}
+		}
+		if n < 0 {
+			resumed <- 0
+		}
+	}()
+
+	// An idempotent retry of drill job 3 across the restart must return
+	// the original job, not create a thirteenth.
+	if st, code := submit(addr2, 3); code != http.StatusOK || st.ID != ids[3] {
+		t.Fatalf("idempotent retry: status %d, job %d, want 200 with original id %d", code, st.ID, ids[3])
+	}
+
+	// Every job reaches a terminal state exactly once.
+	want := chem.MP2Reference(16, 64)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr2 + "/jobs")
+		if err != nil {
+			t.Fatalf("GET /jobs: %v", err)
+		}
+		var all []serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&all)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /jobs: %v", err)
+		}
+		byID := map[int]serve.JobStatus{}
+		for _, st := range all {
+			if _, dup := byID[st.ID]; dup {
+				t.Fatalf("job id %d appears twice in /jobs — restart duplicated it", st.ID)
+			}
+			byID[st.ID] = st
+		}
+		if len(byID) != jobs {
+			t.Fatalf("/jobs lists %d jobs, want exactly the %d submitted", len(byID), jobs)
+		}
+		terminal := 0
+		for i := 0; i < jobs; i++ {
+			st, ok := byID[ids[i]]
+			if !ok {
+				t.Fatalf("job %d (drill %d) lost across the restart", ids[i], i)
+			}
+			if !st.Terminal() {
+				continue
+			}
+			terminal++
+			if st.State != serve.StateDone {
+				t.Fatalf("job %d: state %q (%s)", st.ID, st.State, st.Error)
+			}
+			if got := st.Scalars["emp2"]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("job %d: emp2 = %v, want %v — replay corrupted the result", st.ID, got, want)
+			}
+		}
+		if terminal == jobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs terminal at deadline", terminal, jobs)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Graceful exit still works on the recovered service.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd2.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("recovered serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("recovered serve did not exit after SIGTERM")
+	}
+	if n := <-resumed; n < jobs/2 {
+		t.Errorf("restart resubmitted only %d of %d jobs — the kill landed after the work was done, drill proved nothing", n, jobs)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -11,16 +12,21 @@ import (
 // to share the -obs-addr observability mux, so one port serves
 // /metrics, /trace, and the job API.
 //
-//	POST /submit        SubmitRequest JSON -> JobStatus (202), or 4xx
-//	GET  /jobs          all jobs, oldest first
-//	GET  /jobs/{id}     one job's status (scalars and metrics when done)
-//	GET  /packs         registered pack names
-//	POST /admin/kill    ?rank=N: evict a worker rank (chaos/ops)
-//	POST /admin/join    promote a spare rank into the worker set
+//	POST /submit            SubmitRequest JSON -> JobStatus (202 new,
+//	                        200 when an idempotency key deduplicated),
+//	                        413 oversized, 503+Retry-After while draining
+//	GET  /jobs              all jobs, oldest first; ?state= filters,
+//	                        ?limit=N keeps the N newest (newest first)
+//	GET  /jobs/{id}         one job's status (scalars and metrics when done)
+//	POST /jobs/{id}/cancel  cancel a queued or running job (409 if terminal)
+//	GET  /packs             registered pack names
+//	POST /admin/kill        ?rank=N: evict a worker rank (chaos/ops)
+//	POST /admin/join        promote a spare rank into the worker set
 func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /packs", s.handlePacks)
 	mux.HandleFunc("POST /admin/kill", s.handleKill)
 	mux.HandleFunc("POST /admin/join", s.handleJoin)
@@ -43,29 +49,57 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"submit body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
 		return
 	}
-	st, err := s.Submit(req)
+	st, dedup, err := s.submit(req)
 	if err != nil {
-		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			// The service is shutting down; a retry will land on the
+			// restarted process (which replays the journal).
+			w.Header().Set("Retry-After", "10")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		if st.State == StateRejected {
 			// Sized or queue-capped out: the request was well-formed but
 			// inadmissible.
-			code = http.StatusTooManyRequests
-			writeJSON(w, code, st)
+			writeJSON(w, http.StatusTooManyRequests, st)
 			return
 		}
-		writeError(w, code, "%v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if dedup {
+		// The idempotency key matched an existing job: this is the same
+		// logical submission, acknowledged rather than re-created.
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Jobs())
+	state := r.URL.Query().Get("state")
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		limit = v
+	}
+	writeJSON(w, http.StatusOK, s.JobsFiltered(state, limit))
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +114,25 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	st, err := s.Cancel(id)
+	switch {
+	case errors.Is(err, ErrNoJob):
+		writeError(w, http.StatusNotFound, "no job %d", id)
+	case errors.Is(err, ErrJobTerminal):
+		writeError(w, http.StatusConflict, "job %d is already %s", id, st.State)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
 }
 
 func (s *Service) handlePacks(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeJournalEvents hand-crafts a journal tail, one JSON line per
+// event, exactly as Append would.
+func writeJournalEvents(t *testing.T, dir string, events ...journalEvent) {
+	t.Helper()
+	j, _, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for _, ev := range events {
+		if err := j.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJournalRoundTrip: appended events come back in order on reopen,
+// and sequence numbers keep rising across the restart.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	req := SubmitRequest{Source: drill, Name: "rt", IdempotencyKey: "k1"}
+	writeJournalEvents(t, dir,
+		journalEvent{Kind: evSubmitted, ID: 1, Req: &req},
+		journalEvent{Kind: evStarted, ID: 1, Status: &JobStatus{ID: 1, State: StateRunning}},
+		journalEvent{Kind: StateDone, ID: 1, Status: &JobStatus{ID: 1, State: StateDone, Scalars: map[string]float64{"e": 2.5}}},
+	)
+	j, events, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j.Close()
+	if len(events) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(events))
+	}
+	kinds := []string{evSubmitted, evStarted, StateDone}
+	for i, ev := range events {
+		if ev.Kind != kinds[i] || ev.ID != 1 {
+			t.Errorf("event %d = %+v, want kind %q id 1", i, ev, kinds[i])
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if events[0].Req == nil || events[0].Req.IdempotencyKey != "k1" {
+		t.Errorf("submitted event lost its request: %+v", events[0].Req)
+	}
+	if events[2].Status == nil || events[2].Status.Scalars["e"] != 2.5 {
+		t.Errorf("terminal event lost its status: %+v", events[2].Status)
+	}
+	// New appends continue the sequence.
+	if err := j.Append(journalEvent{Kind: evSubmitted, ID: 2}); err != nil {
+		t.Fatalf("post-reopen append: %v", err)
+	}
+	_, events2, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	if got := events2[len(events2)-1].Seq; got != 4 {
+		t.Errorf("appended event seq = %d, want 4", got)
+	}
+}
+
+// TestJournalTornTail: a record torn mid-append by a crash is dropped,
+// reported, and truncated away — the journal stays usable, and the good
+// prefix survives intact.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalEvents(t, dir,
+		journalEvent{Kind: evSubmitted, ID: 1, Req: &SubmitRequest{Source: drill}},
+		journalEvent{Kind: evStarted, ID: 1},
+	)
+	// Simulate the crash: glue half a record, no trailing newline.
+	logPath := filepath.Join(dir, journalLogName)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"kind":"done","id`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warned []string
+	warn := func(format string, args ...any) { warned = append(warned, fmt.Sprintf(format, args...)) }
+	j, events, err := OpenJournal(dir, warn)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("replayed %d events, want the 2 intact ones", len(events))
+	}
+	if len(warned) == 0 || !strings.Contains(warned[0], "torn") {
+		t.Errorf("torn tail not reported: %v", warned)
+	}
+	// The tail was truncated: a fresh append must parse cleanly.
+	if err := j.Append(journalEvent{Kind: StateDone, ID: 1}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	j.Close()
+	_, events, err = OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	if len(events) != 3 || events[2].Kind != StateDone {
+		t.Fatalf("post-repair events = %+v, want 3 ending in done", events)
+	}
+}
+
+// TestJournalTornMiddleNewline: a final line that parses but has no
+// trailing newline is also torn — keeping it would let the next append
+// glue onto it.
+func TestJournalNoTrailingNewline(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalLogName),
+		[]byte(`{"seq":1,"kind":"submitted","id":1}`+"\n"+`{"seq":2,"kind":"started","id":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, events, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(events) != 1 {
+		t.Fatalf("replayed %d events, want 1 (newline-less final record dropped)", len(events))
+	}
+}
+
+// TestJournalCompaction: compaction folds a terminal job to its single
+// terminal event and a live job to submitted + latest, empties the
+// tail, and the folded state replays identically.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := JobStatus{ID: 1, State: StateDone, Scalars: map[string]float64{"e": 7}}
+	for _, ev := range []journalEvent{
+		{Kind: evSubmitted, ID: 1, Req: &SubmitRequest{Source: drill, Name: "a"}},
+		{Kind: evStarted, ID: 1, Status: &JobStatus{ID: 1, State: StateRunning}},
+		{Kind: StateDone, ID: 1, Status: &done},
+		{Kind: evSubmitted, ID: 2, Req: &SubmitRequest{Source: drill, Name: "b", IdempotencyKey: "kb"}},
+		{Kind: evStarted, ID: 2, Status: &JobStatus{ID: 2, State: StateRunning}},
+	} {
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := j.Size()
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if j.Size() != 0 {
+		t.Errorf("tail size %d after compaction, want 0 (was %d)", j.Size(), before)
+	}
+	j.Close()
+
+	_, events, err := OpenJournal(dir, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	// Job 1: one terminal event.  Job 2: submitted + started.
+	if len(events) != 3 {
+		t.Fatalf("compacted journal replays %d events, want 3: %+v", len(events), events)
+	}
+	jobs, maxID := foldReplay(events)
+	if maxID != 2 || len(jobs) != 2 {
+		t.Fatalf("fold: %d jobs, maxID %d", len(jobs), maxID)
+	}
+	if jobs[0].pending || jobs[0].status.State != StateDone || jobs[0].status.Scalars["e"] != 7 {
+		t.Errorf("job 1 after compaction: %+v", jobs[0])
+	}
+	if !jobs[1].pending || jobs[1].req.IdempotencyKey != "kb" || jobs[1].req.Source == "" {
+		t.Errorf("job 2 after compaction: pending=%v req=%+v", jobs[1].pending, jobs[1].req)
+	}
+	// The terminal job's request was dropped (it never runs again).
+	for _, ev := range events {
+		if ev.ID == 1 && ev.Req != nil {
+			t.Errorf("terminal job kept its request after compaction")
+		}
+	}
+}
+
+// TestFoldReplay: the reduction tolerates duplicates and picks the last
+// word per job — the invariant that makes a crash between snapshot
+// rename and tail truncate harmless.
+func TestFoldReplay(t *testing.T) {
+	req := SubmitRequest{Source: drill}
+	events := []journalEvent{
+		{Kind: evSubmitted, ID: 1, Req: &req, Time: time.Now()},
+		{Kind: evSubmitted, ID: 1, Req: &req}, // duplicate from a half-compacted pair
+		{Kind: evStarted, ID: 1},
+		{Kind: StateTimeout, ID: 1, Status: &JobStatus{ID: 1, State: StateTimeout}},
+		{Kind: evSubmitted, ID: 2, Req: &req},
+		{Kind: evRequeued, ID: 2, Status: &JobStatus{ID: 2, State: StateRequeued}},
+		{Kind: evSubmitted, ID: 5, Req: &req},
+	}
+	jobs, maxID := foldReplay(events)
+	if maxID != 5 {
+		t.Errorf("maxID = %d, want 5", maxID)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs, want 3", len(jobs))
+	}
+	if jobs[0].pending || jobs[0].status.State != StateTimeout {
+		t.Errorf("job 1: pending=%v state=%q, want terminal timeout", jobs[0].pending, jobs[0].status.State)
+	}
+	if !jobs[1].pending {
+		t.Errorf("requeued job 2 not pending — it would be lost on restart")
+	}
+	if !jobs[2].pending {
+		t.Errorf("submitted-only job 5 not pending")
+	}
+}

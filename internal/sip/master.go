@@ -29,6 +29,10 @@ type master struct {
 	evictSeen map[int]bool       // evictions already folded into the ledger
 	doneRanks map[int]bool       // workers that reported done
 
+	// cancelled records that Config.Cancel fired: pardo dispatch is
+	// starved from here on and the run ends in ErrJobCanceled.
+	cancelled bool
+
 	// Replication state (Config.Replicas > 1).
 	replRound  int // anti-entropy pass number (stale-ack filter)
 	replHealed int // evicted-server count as of the last completed pass
@@ -229,7 +233,12 @@ func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.M
 	}
 	if m.rt.cfg.Recover {
 		stamp := w.EvictStamp()
-		cancel := func() bool { return w.EvictStamp() != stamp }
+		// A freshly fired Config.Cancel also interrupts the wait (once:
+		// after noteCancel records it, the predicate goes quiet again so
+		// the master can keep receiving the fast-forwarding workers).
+		cancel := func() bool {
+			return w.EvictStamp() != stamp || (!m.cancelled && m.rt.cancelRequested())
+		}
 		attempts := 1 + m.rt.cfg.RecvRetries
 		for i := 0; i < attempts; i++ {
 			if msg, ok = m.comm.RecvRangeUntil(mpi.AnySource, lo, hi, d, cancel); ok {
@@ -324,6 +333,28 @@ func (m *master) abortDiagnosis() error {
 	return fmt.Errorf("sip: master: aborted after peer failure: %w", mpi.ErrAborted)
 }
 
+// noteCancel folds a fired Config.Cancel into the scheduler state: from
+// here on every chunk request is answered empty, and iterations
+// reclaimed from dead workers are dropped rather than replayed — the
+// job is being abandoned, not completed.  Sync rounds, checkpoints,
+// gathers, and the shutdown protocol all proceed normally, so the job's
+// tag window and server-side namespace are retired exactly as on a
+// normal completion; only the answers are garbage, and the run reports
+// ErrJobCanceled instead of a result.
+func (m *master) noteCancel(trk *obs.Track) {
+	if m.cancelled || !m.rt.cancelRequested() {
+		return
+	}
+	m.cancelled = true
+	for _, r := range m.runs {
+		r.requeue = nil
+		r.assigned = nil
+	}
+	if trk != nil {
+		trk.Instant(obs.CatChunk, "job_canceled", obs.AInt("job", m.rt.job))
+	}
+}
+
 // run services messages until every worker reports done, then shuts down
 // service loops and I/O servers and returns the gathered result.
 func (m *master) run() (res *Result, err error) {
@@ -346,6 +377,7 @@ func (m *master) run() (res *Result, err error) {
 	scalarOrigin := -1
 	var workerErr error
 	for m.pendingWorkers() > 0 {
+		m.noteCancel(trk)
 		if rt.cfg.Recover {
 			m.noteEvictions(trk)
 			if err := m.completeSyncRounds(redispCtr); err != nil {
@@ -383,6 +415,14 @@ func (m *master) run() (res *Result, err error) {
 				// fresh iterations to the dead rank AFTER noteEvictions
 				// swept its ledger entry — stranding them unexecuted and
 				// unreplayed, which silently corrupts the collective.
+				break
+			}
+			if m.cancelled {
+				// The job is being abandoned: starve the pardo so every
+				// worker fast-forwards to the next sync point and, from
+				// there, the shutdown protocol.  No gate charge — a
+				// canceled job must not brake its live peers.
+				m.comm.Send(req.origin, rt.tag(tagChunkRep), chunkReply{})
 				break
 			}
 			// Fairness between concurrent jobs (sial serve): the gate may
@@ -516,6 +556,12 @@ func (m *master) run() (res *Result, err error) {
 	// drained by the pool's own obs loop on the global tagObs.
 	if rt.job == 0 {
 		m.collectFinalObs()
+	}
+	if m.cancelled {
+		// The cancel outranks any secondary worker diagnosis: a worker
+		// that timed out mid-fast-forward failed *because* the job was
+		// abandoned, not the other way around.
+		workerErr = fmt.Errorf("sip: job %d: %w", rt.job, ErrJobCanceled)
 	}
 	return res, workerErr
 }
@@ -659,6 +705,13 @@ func (m *master) handleSync(req syncMsg) {
 // everyone, and seals the phase's pardo runs.
 func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 	rt := m.rt
+	if m.cancelled {
+		// Iterations reclaimed by evictions after the cancel landed must
+		// not be replayed — the job is being abandoned.
+		for _, r := range m.runs {
+			r.requeue, r.assigned = nil, nil
+		}
+	}
 	for round, s := range m.syncs {
 		var parked []int
 		complete := true

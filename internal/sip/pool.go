@@ -114,7 +114,21 @@ type JobSpec struct {
 	Metrics *obs.Registry
 	// Output overrides the pool's Output for this job's prints.
 	Output io.Writer
+	// Cancel, when non-nil and closed, cancels the job cooperatively:
+	// the master starves its pardo dispatch, the program fast-forwards
+	// to completion, and RunJob returns ErrJobCanceled with the job's
+	// tag window, block namespaces, and server-side state released
+	// exactly as on a normal completion (see Config.Cancel).  `sial
+	// serve` drives deadlines and POST /jobs/{id}/cancel through this.
+	Cancel <-chan struct{}
 }
+
+// ErrJobCanceled is returned by RunJob (wrapped) when the job's
+// JobSpec.Cancel channel fired: the master abandoned the remaining
+// work, fast-forwarded the program through its normal shutdown, and
+// released every pool resource the job held.  Partial results are
+// discarded.
+var ErrJobCanceled = errors.New("sip: job canceled")
 
 // NewPool builds the world, starts the shared I/O servers and the
 // rank-0 supervisor, and returns a pool ready to accept jobs.
@@ -379,6 +393,7 @@ func (p *Pool) runJob(spec JobSpec) (*Result, error) {
 		WorkerRanks:  snapshot,
 		ServerRanks:  append([]int(nil), p.serverList...),
 		Gate:         p.cfg.Gate,
+		Cancel:       spec.Cancel,
 	}
 	if cfg.Output == nil {
 		cfg.Output = p.cfg.Output

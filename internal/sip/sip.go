@@ -244,6 +244,16 @@ type Config struct {
 	// jobs (see ChunkGate).  Nil means unconstrained guided
 	// self-scheduling, the batch behavior.
 	Gate ChunkGate
+	// Cancel, when non-nil, cancels the run cooperatively once it is
+	// closed: the master stops dispatching pardo iterations (every chunk
+	// request is answered empty and iterations reclaimed from dead
+	// workers are dropped), so the program fast-forwards through its
+	// remaining phases and the normal shutdown protocol retires the
+	// run's tag window, block namespaces, and server-side state exactly
+	// as on completion.  The run then reports ErrJobCanceled; any partial
+	// results are discarded.  This is the mechanism behind `sial serve`
+	// job deadlines and POST /jobs/{id}/cancel.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) fill() error {
@@ -366,6 +376,20 @@ type runtime struct {
 
 // tag offsets a base message tag into this run's job tag space.
 func (rt *runtime) tag(t int) int { return rt.tagBase + t }
+
+// cancelRequested reports whether the run's cancel channel has fired.
+// It never blocks; a run without a cancel channel is never canceled.
+func (rt *runtime) cancelRequested() bool {
+	if rt.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-rt.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
 
 // initRanks fills job/tagBase/workerList/serverList from the config.
 func (rt *runtime) initRanks() {
