@@ -12,6 +12,7 @@
 //	              [-transport inproc|tcp] [-rank N -peers host:port,...] [-launch]
 //	              [-recv-timeout D] [-hb-interval D] [-hb-timeout D] [-fault-spec SPEC]
 //	              [-recover] [-replicas K]
+//	              [-scratch DIR] [-ckpt-interval N] [-ckpt-keep K] [-ckpt-name S] [-resume]
 //	              [-obs-addr host:port] [-trace-local] [-flight-dir DIR]
 //
 // Compiled byte code uses the .siox suffix (serialized with the SIABC1
@@ -132,12 +133,14 @@ func usage(w io.Writer) {
   sial check   prog.sial [-json] [-workers N -servers N -seg S -mem BYTES -param k=v]
   sial run     prog.sial [flags]
   sial serve   [-addr host:port] [-workers N -servers N -spares N] [-recover -replicas K]
-               [-max-concurrent N -mem BYTES -queue-cap N -burst N] (see docs/SERVE.md)
+               [-max-concurrent N -mem BYTES -queue-cap N -burst N]
+               [-journal-dir DIR -scratch DIR -ckpt-interval N -ckpt-keep K] (see docs/SERVE.md)
   sial submit  [prog.sial] [-addr host:port] [-pack name] [-param k=v] [-name s] [-wait]
 run/dryrun flags: -workers N -servers N -seg S -prefetch W -mem BYTES -param k=v -profile
 run flags:        -metrics -trace -trace-json out.json -trace-ranks all|N,M
 run transports:   -transport inproc|tcp -rank N -peers host:port,... -launch
 run faults:       -recv-timeout D -hb-interval D -hb-timeout D -fault-spec SPEC -recover -replicas K
+run checkpoints:  -scratch DIR -ckpt-interval N -ckpt-keep K -ckpt-name S -resume (see docs/FAULTS.md)
 run obs plane:    -obs-addr host:port -trace-local -flight-dir DIR (see docs/OBSERVABILITY.md)`)
 }
 
@@ -255,6 +258,9 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	var replicas *int
 	var obsShip, traceLocal *bool
 	var obsAddr, flightDir *string
+	var scratch, ckptName *string
+	var ckptInterval, ckptKeep *int
+	var resume *bool
 	if name == "run" {
 		transportName = fs.String("transport", "inproc", "message transport: inproc (single process) or tcp (one process per rank)")
 		rank = fs.Int("rank", -1, "this process's world rank (with -transport tcp)")
@@ -270,6 +276,11 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 		obsAddr = fs.String("obs-addr", "", "serve live observability HTTP on this address: /metrics /healthz /trace (rank 0)")
 		traceLocal = fs.Bool("trace-local", false, "with -launch -trace-json: one trace file per rank instead of one merged trace")
 		flightDir = fs.String("flight-dir", "", "write flight-recorder bundles (post-mortem metrics and spans) to this directory when a rank dies")
+		scratch = fs.String("scratch", "", "served-array scratch and checkpoint directory (default: a private temp dir; checkpointing needs a durable one)")
+		ckptInterval = fs.Int("ckpt-interval", 0, "snapshot the run every N completed pardo chunks and at every sync point; implies -recover (0 disables, see docs/FAULTS.md)")
+		ckptKeep = fs.Int("ckpt-keep", 2, "snapshot epochs kept; older ones are garbage-collected")
+		ckptName = fs.String("ckpt-name", "job", "snapshot directory name under <scratch>/ckpt/")
+		resume = fs.Bool("resume", false, "resume from the newest valid snapshot under -ckpt-name instead of starting fresh")
 	}
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -314,6 +325,17 @@ func parseRunFlags(name string, args []string) (*runFlags, error) {
 	rf.cfg.Recover = rf.recover
 	if replicas != nil {
 		rf.cfg.Replicas = *replicas
+	}
+	if scratch != nil {
+		rf.cfg.ScratchDir = *scratch
+		rf.cfg.CkptInterval = *ckptInterval
+		rf.cfg.CkptKeep = *ckptKeep
+		rf.cfg.CkptName = *ckptName
+		rf.cfg.Resume = *resume
+		if *ckptInterval > 0 {
+			// Snapshots ride the recovery sync protocol.
+			rf.cfg.Recover = true
+		}
 	}
 	ranks, err := parseRanks(*traceRanks)
 	if err != nil {

@@ -50,6 +50,8 @@ func doServe(args []string, stdout io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long running jobs may finish before being requeued to the journal")
 	historyLimit := fs.Int("history-limit", 1000, "terminal jobs kept fully in memory; older ones shrink to id/state stubs (journal keeps the full record; <0 = unlimited)")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted POST /submit body in bytes")
+	ckptInterval := fs.Int("ckpt-interval", 0, "snapshot running jobs every N completed pardo chunks; drained jobs resume from their snapshots after a restart (needs -scratch and -journal-dir; 0 disables)")
+	ckptKeep := fs.Int("ckpt-keep", 2, "snapshot epochs kept per job; older ones are garbage-collected")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +80,8 @@ func doServe(args []string, stdout io.Writer) error {
 		JournalDir:    *journalDir,
 		HistoryLimit:  *historyLimit,
 		MaxBody:       *maxBody,
+		CkptInterval:  *ckptInterval,
+		CkptKeep:      *ckptKeep,
 		Warn: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},
@@ -111,6 +115,9 @@ func doServe(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "serving on http://%s (/submit /jobs /packs /metrics /healthz /trace)\n", srv.Addr())
 	fmt.Fprintf(stdout, "pool: %d workers, %d servers, %d spares, replicas=%d, recover=%v\n",
 		*workers, *servers, *spares, *replicas, *recoverServe)
+	if *ckptInterval > 0 {
+		fmt.Fprintf(stdout, "checkpointing: every %d chunks, keeping %d epochs per job\n", *ckptInterval, *ckptKeep)
+	}
 	if resumed > 0 {
 		fmt.Fprintf(stdout, "journal: resubmitted %d interrupted job(s) from %s\n", resumed, *journalDir)
 	}
@@ -149,6 +156,21 @@ func registerChemPacks(svc *serve.Service) {
 			no := params["no"]
 			if no == 0 {
 				no = 2 // the program's own default
+			}
+			super := chem.MP2Super()
+			for name, fn := range chem.TriplesSuper() {
+				super[name] = fn
+			}
+			return serve.Env{Super: super, Integrals: chem.MOIntegrals(no)}
+		},
+	})
+	svc.RegisterPack("mp2_served", serve.Pack{
+		Source:      chem.MP2ServedProgram(),
+		Description: "MP2 energy staged through served arrays (params: no, nv) — checkpointable mid-program",
+		Env: func(params map[string]int) serve.Env {
+			no := params["no"]
+			if no == 0 {
+				no = 2
 			}
 			super := chem.MP2Super()
 			for name, fn := range chem.TriplesSuper() {
@@ -240,6 +262,7 @@ func doSubmit(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	lastEpoch, sawResume := st.CkptEpoch, false
 	for !st.Terminal() {
 		time.Sleep(200 * time.Millisecond)
 		r, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, st.ID))
@@ -250,6 +273,14 @@ func doSubmit(args []string, stdout io.Writer) error {
 		r.Body.Close()
 		if err != nil {
 			return fmt.Errorf("poll job %d: bad reply: %v", st.ID, err)
+		}
+		if st.Resumed && !sawResume {
+			sawResume = true
+			fmt.Fprintf(stdout, "job %d resumed from snapshot epoch %d\n", st.ID, st.CkptEpoch)
+		}
+		if st.CkptEpoch > lastEpoch {
+			lastEpoch = st.CkptEpoch
+			fmt.Fprintf(stdout, "job %d snapshot epoch %d (%d B)\n", st.ID, st.CkptEpoch, st.CkptBytes)
 		}
 	}
 	if st.State != serve.StateDone {

@@ -83,6 +83,64 @@ endsial
 `
 }
 
+// MP2ServedProgram is MP2EnergyProgram staged through served arrays
+// (mirroring examples/sial/mp2_served.sial): the integrals are prepared
+// into server-resident arrays in one pardo, a server barrier seals them,
+// and a second pardo requests them back for the contraction.
+// Functionally identical to MP2EnergyProgram, but the mid-program sync
+// point and the served blocks give the checkpoint subsystem something to
+// snapshot and rehydrate — the program of choice for resume drills.
+// Parameters: no (occupied), nv (virtual).
+func MP2ServedProgram() string {
+	return `
+sial mp2_served
+param no = 2
+param nv = 4
+moindex I = 1, no
+moindex J = 1, no
+moaindex A = 1, nv
+moaindex B = 1, nv
+served vs(I,A,J,B)
+served ws(I,B,J,A)
+temp v(I,A,J,B)
+temp w(I,B,J,A)
+temp wp(I,A,J,B)
+temp t2(I,A,J,B)
+scalar emp2
+scalar iv
+scalar av
+scalar jv
+scalar bv
+
+pardo I, A, J, B
+  compute_integrals v(I,A,J,B)
+  prepare vs(I,A,J,B) = v(I,A,J,B)
+  compute_integrals w(I,B,J,A)
+  prepare ws(I,B,J,A) = w(I,B,J,A)
+endpardo I, A, J, B
+
+server_barrier
+
+pardo I, A, J, B
+  request vs(I,A,J,B)
+  request ws(I,B,J,A)
+  v(I,A,J,B) = vs(I,A,J,B)
+  wp(I,A,J,B) = ws(I,B,J,A)
+  t2(I,A,J,B) = 2.0 * v(I,A,J,B)
+  t2(I,A,J,B) -= wp(I,A,J,B)
+  iv = I
+  av = A
+  jv = J
+  bv = B
+  execute mp2_denom t2(I,A,J,B), iv, av, jv, bv
+  emp2 += dot(t2(I,A,J,B), v(I,A,J,B))
+endpardo I, A, J, B
+
+collective emp2
+endsial
+`
+}
+
 // FockBuildProgram generates a SIAL program assembling the closed-shell
 // Fock matrix
 //

@@ -498,3 +498,145 @@ func TestDurationJSON(t *testing.T) {
 		t.Errorf("zero deadline serialized: %s", b)
 	}
 }
+
+// resumeSrc is drill with a nap in the (impure) produce pardo: slow
+// enough to still be running when the drain lands, with a pure consume
+// pardo the checkpoint subsystem can snapshot mid-flight.
+const resumeSrc = `
+sial resume_drill
+param n = 12
+aoindex I = 1, n
+aoindex J = 1, n
+served S(I,J)
+temp v(I,J)
+temp t(I,J)
+scalar e
+pardo I, J
+  compute_integrals v(I,J)
+  t(I,J) = 2.0 * v(I,J)
+  execute nap t(I,J)
+  prepare S(I,J) += t(I,J)
+endpardo
+server_barrier
+pardo I, J
+  request S(I,J)
+  t(I,J) = S(I,J)
+  e += dot(t(I,J), t(I,J))
+endpardo
+collective e
+endsial
+`
+
+// resumePack wraps resumeSrc with a nap that sleeps d per iteration and
+// leaves the data alone.
+func resumePack(d time.Duration) Pack {
+	return Pack{
+		Source:      resumeSrc,
+		Description: "resume-test workload",
+		Env: func(map[string]int) Env {
+			return Env{Super: map[string]sip.SuperFunc{
+				"nap": func(ctx *sip.ExecCtx, blocks []*block.Block, scalars []*float64) error {
+					time.Sleep(d)
+					return nil
+				},
+			}}
+		},
+	}
+}
+
+// TestServeResumeFromSnapshot is the durable-resume drill: a drain stops
+// a running checkpointed job (final snapshot, then requeue), and a fresh
+// service on the same journal and scratch resumes it from the snapshot
+// rather than recomputing — same energy as an uninterrupted run, with
+// the resume visible in the job status and the journal.
+func TestServeResumeFromSnapshot(t *testing.T) {
+	journalDir, scratch := t.TempDir(), t.TempDir()
+	mkCfg := func() Config {
+		cfg := Config{
+			MaxConcurrent: 1,
+			JournalDir:    journalDir,
+			CkptInterval:  1,
+			Warn:          t.Logf,
+		}
+		cfg.Pool.ScratchDir = scratch
+		return cfg
+	}
+	s := newTestService(t, mkCfg())
+	s.RegisterPack("resume", resumePack(50*time.Millisecond))
+
+	st, err := s.Submit(SubmitRequest{Name: "interruptible", Pack: "resume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning, 10*time.Second)
+
+	// Requeue immediately: the job is mid-pardo, so the stop makes the
+	// master finish the open pardo, snapshot, and self-cancel.
+	drainDone := make(chan int, 1)
+	go func() {
+		_, req := s.Drain(60 * time.Second)
+		drainDone <- req
+	}()
+	s.DrainNow()
+	if req := <-drainDone; req != 1 {
+		t.Fatalf("drain requeued %d jobs, want 1", req)
+	}
+	if fin, _ := s.Wait(st.ID); fin.State != StateRequeued {
+		t.Fatalf("job after drain: %q, want requeued", fin.State)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close drained service: %v", err)
+	}
+
+	// The stop-triggered final snapshot must be journaled and on disk.
+	raw, err := os.ReadFile(filepath.Join(journalDir, journalLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"snapshotted"`) {
+		t.Fatalf("journal has no snapshotted event:\n%s", raw)
+	}
+	ckptDir := filepath.Join(scratch, "ckpt", fmt.Sprintf("job%d", st.ID))
+	if _, err := os.Stat(ckptDir); err != nil {
+		t.Fatalf("drained job left no snapshot dir: %v", err)
+	}
+
+	// "Restart": a fresh service on the same journal and scratch.
+	s2 := newTestService(t, mkCfg())
+	s2.RegisterPack("resume", resumePack(50*time.Millisecond))
+	n, err := s2.Resume()
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Resume resubmitted %d jobs, want 1", n)
+	}
+	fin, _ := s2.Wait(st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed job: %q (%s)", fin.State, fin.Error)
+	}
+	if !fin.Resumed {
+		t.Error("resumed job status does not carry resumed=true")
+	}
+	if fin.CkptEpoch == 0 {
+		t.Error("resumed job status lost its checkpoint epoch")
+	}
+
+	// The resumed energy matches an uninterrupted run of the same pack.
+	ref, err := s2.Submit(SubmitRequest{Name: "uninterrupted", Pack: "resume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFin, _ := s2.Wait(ref.ID)
+	if refFin.State != StateDone {
+		t.Fatalf("reference job: %q (%s)", refFin.State, refFin.Error)
+	}
+	if !closeE(fin.Scalars["e"], refFin.Scalars["e"]) {
+		t.Fatalf("resumed e = %g, uninterrupted e = %g", fin.Scalars["e"], refFin.Scalars["e"])
+	}
+
+	// Terminal jobs reclaim their snapshots.
+	if _, err := os.Stat(ckptDir); !os.IsNotExist(err) {
+		t.Errorf("done job still has a snapshot dir (%v)", err)
+	}
+}

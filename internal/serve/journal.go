@@ -30,9 +30,10 @@ const (
 // (StateDone, StateFailed, StateRejected, StateTimeout, StateCanceled),
 // so a terminal event's kind IS the state the job finished in.
 const (
-	evSubmitted = "submitted" // carries the full SubmitRequest
-	evStarted   = "started"   // the job was admitted and is running
-	evRequeued  = "requeued"  // drain handed the job back for the next process
+	evSubmitted   = "submitted"   // carries the full SubmitRequest
+	evStarted     = "started"     // the job was admitted and is running
+	evRequeued    = "requeued"    // drain handed the job back for the next process
+	evSnapshotted = "snapshotted" // a checkpoint epoch completed; Status carries it
 )
 
 // journalEvent is one journaled lifecycle record.

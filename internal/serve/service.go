@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -120,6 +122,16 @@ type Config struct {
 	// MaxBody caps the HTTP submit body in bytes (default 1 MiB); an
 	// oversized submission gets 413 instead of OOMing the master.
 	MaxBody int64
+	// CkptInterval enables automatic job snapshots (sip.Config
+	// CkptInterval): every job checkpoints at its consistency points and
+	// every CkptInterval completed pardo chunks, a drain takes one final
+	// snapshot before requeueing, and a restarted service resumes
+	// requeued jobs from their newest valid snapshot instead of from
+	// scratch.  Requires Pool.ScratchDir (and JournalDir, for restart) to
+	// point at durable directories.  0 disables checkpointing.
+	CkptInterval int
+	// CkptKeep is the per-job snapshot retention (default 2).
+	CkptKeep int
 }
 
 // SubmitRequest is one job submission.
@@ -174,6 +186,13 @@ type JobStatus struct {
 	Deadline Duration `json:"deadline,omitzero"`
 	// IdempotencyKey echoes the submission's dedup key, if any.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Snapshot progress (Config.CkptInterval > 0): the newest checkpoint
+	// epoch, when it was taken, and its size; Resumed marks a run that
+	// restarted from a snapshot rather than from scratch.
+	CkptEpoch int       `json:"ckpt_epoch,omitempty"`
+	CkptTime  time.Time `json:"ckpt_time,omitzero"`
+	CkptBytes int64     `json:"ckpt_bytes,omitempty"`
+	Resumed   bool      `json:"resumed,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -200,6 +219,11 @@ type job struct {
 	cancel      chan struct{}
 	cancelOnce  sync.Once
 	cancelState string
+	// stop feeds the graceful drain-stop (JobSpec.Stop): the master takes
+	// one final snapshot at the next consistency point, then self-cancels.
+	// Nil when checkpointing is off.
+	stop     chan struct{}
+	stopOnce sync.Once
 	// deadlineTimer fires the job's deadline; stopped at terminal.
 	deadlineTimer *time.Timer
 	// requeued marks a job the drain handed back to the journal: its run
@@ -209,6 +233,14 @@ type job struct {
 }
 
 func (j *job) closeCancel() { j.cancelOnce.Do(func() { close(j.cancel) }) }
+
+func (j *job) closeStop() {
+	if j.stop == nil {
+		j.closeCancel()
+		return
+	}
+	j.stopOnce.Do(func() { close(j.stop) })
+}
 
 func (j *job) cancelRequested() bool {
 	select {
@@ -281,6 +313,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 1 << 20
+	}
+	if cfg.CkptInterval > 0 && cfg.CkptKeep <= 0 {
+		cfg.CkptKeep = 2
 	}
 	gate := NewFairGate(cfg.Burst)
 	cfg.Pool.Gate = gate
@@ -530,6 +565,27 @@ func (s *Service) enqueueLocked(id int, req SubmitRequest, prog *bytecode.Progra
 		cancel: make(chan struct{}),
 	}
 	j.spec.Cancel = j.cancel
+	if s.cfg.CkptInterval > 0 {
+		// Checkpoint identity comes from the durable serve id — pool job
+		// ids restart from 1 with the process, serve ids do not — so a
+		// requeued job finds its own snapshots after a restart.
+		j.stop = make(chan struct{})
+		j.spec.Stop = j.stop
+		j.spec.CkptInterval = s.cfg.CkptInterval
+		j.spec.CkptKeep = s.cfg.CkptKeep
+		j.spec.CkptName = fmt.Sprintf("job%d", id)
+		j.spec.Resume = true
+		j.spec.OnSnapshot = func(info sip.SnapshotInfo) {
+			s.noteSnapshot(id, info)
+		}
+		j.spec.OnResume = func(sip.ResumeInfo) {
+			s.mu.Lock()
+			if jb := s.jobs[id]; jb != nil {
+				jb.status.Resumed = true
+			}
+			s.mu.Unlock()
+		}
+	}
 	s.jobs[id] = j
 	if req.IdempotencyKey != "" {
 		s.byKey[req.IdempotencyKey] = id
@@ -578,11 +634,33 @@ func (s *Service) resubmit(r *replayedJob) error {
 		// enqueueLocked; replay is done with this job.
 		return nil
 	}
-	// Preserve the original submission time for operators reading /jobs.
-	if j := s.jobs[r.id]; j != nil && !r.status.Submitted.IsZero() {
-		j.status.Submitted = r.status.Submitted
+	// Preserve the original submission time for operators reading /jobs,
+	// and the last recorded snapshot so progress survives the restart.
+	if j := s.jobs[r.id]; j != nil {
+		if !r.status.Submitted.IsZero() {
+			j.status.Submitted = r.status.Submitted
+		}
+		j.status.CkptEpoch = r.status.CkptEpoch
+		j.status.CkptTime = r.status.CkptTime
+		j.status.CkptBytes = r.status.CkptBytes
 	}
 	return nil
+}
+
+// noteSnapshot records a completed checkpoint in the job status and
+// journals it, so a restarted service knows the job has resumable state.
+func (s *Service) noteSnapshot(id int, info sip.SnapshotInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	j.status.CkptEpoch = info.Epoch
+	j.status.CkptTime = time.Now()
+	j.status.CkptBytes = info.Bytes
+	st := j.status
+	s.journalLocked(journalEvent{Kind: evSnapshotted, ID: id, Status: &st})
 }
 
 // admitLoop admits queued jobs strictly in FIFO order: the head of the
@@ -707,6 +785,15 @@ func (s *Service) finishLocked(j *job, state, errMsg string) {
 	s.journalLocked(journalEvent{Kind: state, ID: j.status.ID, Status: &st})
 	s.historyLocked(j.status.ID)
 	close(j.done)
+	if s.cfg.CkptInterval > 0 && s.cfg.Pool.ScratchDir != "" && j.status.CkptEpoch > 0 {
+		// Terminal jobs never resume; reclaim their snapshots.  (The
+		// runtime already removes them on clean completion — this covers
+		// canceled, timed-out, and terminally failed jobs.)
+		dir := filepath.Join(s.cfg.Pool.ScratchDir, "ckpt", fmt.Sprintf("job%d", j.status.ID))
+		if err := os.RemoveAll(dir); err != nil {
+			s.cfg.Warn("serve: removing snapshots for job %d: %v", j.status.ID, err)
+		}
+	}
 }
 
 // historyLocked records a terminal job and applies the in-memory cap.
@@ -914,10 +1001,14 @@ func (s *Service) Drain(timeout time.Duration) (finished, requeued int) {
 	}
 	s.queue = nil
 
-	// Still-running jobs: journal the requeue, then cancel so they
-	// fast-forward instead of holding the pool hostage.  runJob sees
-	// j.requeued and discards the outcome without journaling a terminal
-	// event, so the next process replays them.
+	// Still-running jobs: journal the requeue, then stop so they
+	// fast-forward instead of holding the pool hostage.  With
+	// checkpointing on, closeStop lets the master take one final
+	// snapshot at its next consistency point before self-canceling, so
+	// the replayed job resumes instead of recomputing; without it,
+	// closeStop degrades to a plain cancel.  runJob sees j.requeued and
+	// discards the outcome without journaling a terminal event, so the
+	// next process replays them.
 	for _, j := range s.jobs {
 		if j.status.State != StateRunning {
 			continue
@@ -926,7 +1017,7 @@ func (s *Service) Drain(timeout time.Duration) (finished, requeued int) {
 		st := j.status
 		st.State = StateRequeued
 		s.journalLocked(journalEvent{Kind: evRequeued, ID: j.status.ID, Status: &st})
-		j.closeCancel()
+		j.closeStop()
 		requeued++
 	}
 	finished = before - s.running

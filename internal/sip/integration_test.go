@@ -107,9 +107,9 @@ endsial
 	if _, err := RunSource(producer, mkCfg(&prodOut)); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the checkpoint: truncate it mid-file.  The payload is one gob
-	// value, so any truncation point leaves an undecodable file.
-	path := filepath.Join(scratch, "ckpt_D.gob")
+	// Tear the checkpoint: truncate it mid-file.  The integrity framing
+	// (magic + payload + CRC32) makes any truncation point detectable.
+	path := filepath.Join(scratch, "ckpt_D.ckpt")
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)

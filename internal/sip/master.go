@@ -1,16 +1,15 @@
 package sip
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // master is the SIP management task (paper §V-B): it allocates pardo
@@ -33,6 +32,26 @@ type master struct {
 	// starved from here on and the run ends in ErrJobCanceled.
 	cancelled bool
 
+	// Snapshot / resume state (Config.CkptInterval > 0; snapshot.go).
+	snap snapState
+	// Resume scalar corrections: on the first collective over scalar sc
+	// after a resume, injS[sc] (the manifest's true total) minus the
+	// resumed workers' bases injB[sc] replaces the contributions of the
+	// phase that was not re-executed.  injArmed marks corrections not yet
+	// consumed.
+	injS     []float64
+	injB     []float64
+	injArmed []bool
+	// resumeBase is the worker state installed on the round-0 release of
+	// a resumed run; resumeSkip holds per-(pardo,gen) iterations already
+	// completed before the snapshot, filtered out of re-dispatch.
+	resumeBase *workerState
+	resumeSkip map[[2]int][][]int
+	resumed    bool
+	// stopNoted records that Config.Stop fired and the final snapshot
+	// path is (or has been) taken.
+	stopNoted bool
+
 	// Replication state (Config.Replicas > 1).
 	replRound  int // anti-entropy pass number (stale-ack filter)
 	replHealed int // evicted-server count as of the last completed pass
@@ -50,12 +69,17 @@ type ckptCollect struct {
 // all chunks the ledger holds against that worker.
 type syncState struct {
 	kind     int
+	scalar   int // collective target scalar id (-1 otherwise)
 	reported map[int]bool
 	vals     map[int][]float64
+	// states holds each parked worker's captured interpreter state
+	// (nil entries when checkpointing is off or a pardo frame was
+	// active); the snapshot base is taken from the lowest live rank.
+	states map[int]*workerState
 }
 
 func newMaster(rt *runtime) *master {
-	return &master{
+	m := &master{
 		rt:        rt,
 		comm:      rt.world.Comm(0),
 		runs:      map[[2]int]*pardoRun{},
@@ -65,6 +89,8 @@ func newMaster(rt *runtime) *master {
 		evictSeen: map[int]bool{},
 		doneRanks: map[int]bool{},
 	}
+	m.initSnap()
+	return m
 }
 
 // pardoRun enumerates the iteration space of one pardo execution lazily
@@ -87,6 +113,30 @@ type pardoRun struct {
 	// iterations reclaimed from dead workers awaiting re-dispatch.
 	assigned map[int][][]int
 	requeue  [][]int
+
+	// Checkpoint watermarks (Config.CkptInterval > 0).  completed[wr]
+	// holds the iterations wr has certainly finished — a worker requests
+	// chunk N+1 only after executing all of chunk N, so the assignment
+	// ledger at request time is the completed set.  completedDelta[wr] is
+	// the in-pardo scalar contribution covering exactly those iterations.
+	// skip marks iterations a resumed run must not re-dispatch (already
+	// completed before the snapshot); skipIters is the same list in
+	// manifest form, carried forward into further snapshots.
+	completed      map[int][][]int
+	completedDelta map[int][]float64
+	skip           map[string]bool
+	skipIters      [][]int
+}
+
+// installSkip seeds a resumed run with the iterations completed before
+// the snapshot: next() filters them out, and further snapshots of this
+// run carry them forward in their overlays.
+func (r *pardoRun) installSkip(iters [][]int) {
+	r.skip = map[string]bool{}
+	for _, it := range iters {
+		r.skip[fmt.Sprint(it)] = true
+	}
+	r.skipIters = iters
 }
 
 func newPardoRun(rt *runtime, pid int) *pardoRun {
@@ -159,6 +209,9 @@ func (r *pardoRun) next(n int) [][]int {
 			r.started = true
 		}
 		if r.passes() {
+			if r.skip != nil && r.skip[fmt.Sprint(r.vals)] {
+				continue // completed before the snapshot this run resumed from
+			}
 			out = append(out, append([]int(nil), r.vals...))
 		}
 	}
@@ -237,7 +290,8 @@ func (m *master) recvAny(tag int, what string, suspects func() []int) (msg mpi.M
 		// after noteCancel records it, the predicate goes quiet again so
 		// the master can keep receiving the fast-forwarding workers).
 		cancel := func() bool {
-			return w.EvictStamp() != stamp || (!m.cancelled && m.rt.cancelRequested())
+			return w.EvictStamp() != stamp || (!m.cancelled && m.rt.cancelRequested()) ||
+				(!m.stopNoted && m.stopSignaled())
 		}
 		attempts := 1 + m.rt.cfg.RecvRetries
 		for i := 0; i < attempts; i++ {
@@ -373,14 +427,18 @@ func (m *master) run() (res *Result, err error) {
 	iterCtr := rt.metrics.Counter(metricMasterIters)
 	redispCtr := rt.metrics.Counter(metricMasterRedispatched)
 	res = &Result{Arrays: map[string][]ArrayBlock{}, Served: map[string][]ArrayBlock{}}
+	if err := m.resumeSetup(trk); err != nil {
+		return res, err
+	}
 	var scalarVals []float64
 	scalarOrigin := -1
 	var workerErr error
 	for m.pendingWorkers() > 0 {
 		m.noteCancel(trk)
+		m.noteStop(trk)
 		if rt.cfg.Recover {
 			m.noteEvictions(trk)
-			if err := m.completeSyncRounds(redispCtr); err != nil {
+			if err := m.completeSyncRounds(redispCtr, trk); err != nil {
 				return res, err
 			}
 			if m.pendingWorkers() == 0 {
@@ -435,7 +493,20 @@ func (m *master) run() (res *Result, err error) {
 			r, ok := m.runs[key]
 			if !ok {
 				r = newPardoRun(rt, req.pardo)
+				if sk, ok := m.resumeSkip[key]; ok {
+					r.installSkip(sk)
+					delete(m.resumeSkip, key)
+				}
 				m.runs[key] = r
+			}
+			// Fold the requester's progress into the chunk ledger before
+			// handing out more work, and possibly take a mid-pardo snapshot
+			// at the -ckpt-interval watermark.
+			m.notePardoProgress(req, r, trk)
+			if m.cancelled {
+				// A stop-triggered snapshot just self-canceled the job.
+				m.comm.Send(req.origin, rt.tag(tagChunkRep), chunkReply{})
+				break
 			}
 			iters := r.take(r.chunkSize(rt.workers), req.origin, rt.cfg.Recover, redispCtr)
 			if len(iters) == 0 {
@@ -563,6 +634,7 @@ func (m *master) run() (res *Result, err error) {
 		// abandoned, not the other way around.
 		workerErr = fmt.Errorf("sip: job %d: %w", rt.job, ErrJobCanceled)
 	}
+	m.cleanupSnapshots(workerErr)
 	return res, workerErr
 }
 
@@ -659,12 +731,18 @@ func (m *master) noteEvictions(trk *obs.Track) {
 		if m.doneRanks[rank] {
 			continue // finished before dying: nothing in flight
 		}
-		// Reclaim every iteration the worker had not acknowledged.
+		// Reclaim every iteration the worker had not acknowledged.  The
+		// dead worker's checkpoint watermark is dropped with it: its
+		// completed iterations go back on the queue, so counting them in
+		// a later snapshot's overlay would double-execute nothing but
+		// skip their (now re-queued) scalar contributions.
 		for _, r := range m.runs {
 			if iters := r.assigned[rank]; len(iters) > 0 {
 				r.requeue = append(r.requeue, iters...)
 				delete(r.assigned, rank)
 			}
+			delete(r.completed, rank)
+			delete(r.completedDelta, rank)
 		}
 		// Checkpoint collections no longer wait for the dead worker.
 		for arr := range m.ckptSaves {
@@ -686,12 +764,19 @@ func (m *master) handleSync(req syncMsg) {
 	}
 	s := m.syncs[req.round]
 	if s == nil {
-		s = &syncState{reported: map[int]bool{}, vals: map[int][]float64{}}
+		s = &syncState{
+			scalar:   -1,
+			reported: map[int]bool{},
+			vals:     map[int][]float64{},
+			states:   map[int]*workerState{},
+		}
 		m.syncs[req.round] = s
 	}
 	s.kind = req.kind
+	s.scalar = req.scalar
 	s.reported[req.origin] = true
 	s.vals[req.origin] = req.vals
+	s.states[req.origin] = req.state
 	for _, r := range m.runs {
 		delete(r.assigned, req.origin)
 	}
@@ -703,7 +788,7 @@ func (m *master) handleSync(req syncMsg) {
 // queues are dry the master performs the round's coordination — server
 // flush for server_barrier, element-wise sum for collectives — releases
 // everyone, and seals the phase's pardo runs.
-func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
+func (m *master) completeSyncRounds(redispCtr *obs.Counter, trk *obs.Track) error {
 	rt := m.rt
 	if m.cancelled {
 		// Iterations reclaimed by evictions after the cancel landed must
@@ -743,6 +828,14 @@ func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 					vals[i] += v[i]
 				}
 			}
+			// Resume correction: the reports' bases came from the snapshot,
+			// but the phase before it was not re-executed.  Substitute the
+			// manifest's true total for the reported bases, once per scalar.
+			if sc := s.scalar; m.snap.enabled && sc >= 0 && sc < len(m.injArmed) &&
+				m.injArmed[sc] && len(vals) > 0 {
+				vals[0] += m.injS[sc] - float64(len(s.vals))*m.injB[sc]
+				m.injArmed[sc] = false
+			}
 		}
 		if s.kind == syncServerBarrier {
 			if err := m.flushServers(); err != nil {
@@ -755,8 +848,18 @@ func (m *master) completeSyncRounds(redispCtr *obs.Counter) error {
 				return err
 			}
 		}
+		// Sync points are the snapshot consistency points: every live
+		// worker is parked, every effect acknowledged, dirty server state
+		// flushable on demand.
+		if err := m.maybeSyncSnapshot(s, parked, vals, trk); err != nil {
+			return err
+		}
 		for _, wr := range parked {
-			m.comm.Send(wr, rt.tag(tagSyncRep), syncReply{round: round, vals: vals})
+			rep := syncReply{round: round, vals: vals}
+			if round == 0 && m.resumed {
+				rep.state = m.resumeBase
+			}
+			m.comm.Send(wr, rt.tag(tagSyncRep), rep)
 		}
 		delete(m.syncs, round)
 		// Seal the phase: every run's iterations are executed and acked.
@@ -795,6 +898,7 @@ func (m *master) resumeRequeued(round int, s *syncState, parked []int, redispCtr
 			r.assigned[wr] = append(r.assigned[wr], iters...)
 			s.reported[wr] = false
 			delete(s.vals, wr)
+			delete(s.states, wr)
 			m.comm.Send(wr, m.rt.tag(tagSyncRep), syncReply{
 				round: round, resume: true, pardo: key[0], gen: key[1], iters: iters,
 			})
@@ -960,9 +1064,9 @@ restart:
 // the file with their job id so two jobs checkpointing same-named
 // arrays into the shared scratch never collide.
 func (m *master) ckptPath(arr int) string {
-	name := fmt.Sprintf("ckpt_%s.gob", m.rt.prog.Arrays[arr].Name)
+	name := fmt.Sprintf("ckpt_%s.ckpt", m.rt.prog.Arrays[arr].Name)
 	if m.rt.job != 0 {
-		name = fmt.Sprintf("ckpt_j%d_%s.gob", m.rt.job, m.rt.prog.Arrays[arr].Name)
+		name = fmt.Sprintf("ckpt_j%d_%s.ckpt", m.rt.job, m.rt.prog.Arrays[arr].Name)
 	}
 	return filepath.Join(m.rt.scratch, name)
 }
@@ -996,30 +1100,15 @@ func (m *master) handleCkpt(req ckptMsg) error {
 	return fmt.Errorf("sip: master: unknown checkpoint op %d", req.op)
 }
 
-// writeCkptFile writes a checkpoint atomically: encode into a temp file
-// in the same directory, fsync, then rename over the final name, so a
-// crash mid-write leaves either the old checkpoint or the new one but
-// never a torn file.
-func writeCkptFile(path string, blocks []ArrayBlock) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	err = gob.NewEncoder(f).Encode(blocks)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-	}
-	return err
+// writeCkptFile writes a checkpoint atomically and verifiably: the
+// blocks are encoded with the hostile-length-guarded wire codec and
+// framed by writeIntegrityFile (magic header + CRC trailer, temp file +
+// fsync + rename), so a crash mid-write leaves either the old
+// checkpoint or the new one — never a torn file — and bit rot is
+// detected at load instead of decoded into garbage.
+func writeCkptFile(path string, arr int, blocks []ArrayBlock) error {
+	payload := wire.Encode(ckptData{arr: arr, blocks: blocks})
+	return writeIntegrityFile(path, ckptFileMagic, payload)
 }
 
 func (m *master) maybeFinishCkptSave(arr int) {
@@ -1029,7 +1118,7 @@ func (m *master) maybeFinishCkptSave(arr int) {
 	}
 	delete(m.ckptSaves, arr)
 	ack := ""
-	if err := writeCkptFile(m.ckptPath(arr), col.blocks); err != nil {
+	if err := writeCkptFile(m.ckptPath(arr), arr, col.blocks); err != nil {
 		ack = err.Error()
 	}
 	for _, origin := range col.origins {
@@ -1045,10 +1134,16 @@ func (m *master) maybeFinishCkptLoad(arr int) {
 	}
 	delete(m.ckptLoads, arr)
 	var blocks []ArrayBlock
-	f, err := os.Open(m.ckptPath(arr))
+	payload, err := readIntegrityFile(m.ckptPath(arr), ckptFileMagic)
 	if err == nil {
-		err = gob.NewDecoder(f).Decode(&blocks)
-		f.Close()
+		var v any
+		if v, err = wire.Decode(payload); err == nil {
+			if data, ok := v.(ckptData); ok {
+				blocks = data.blocks
+			} else {
+				err = fmt.Errorf("sip: checkpoint %s holds %T, not blocks", m.ckptPath(arr), v)
+			}
+		}
 	}
 	if err != nil {
 		for _, origin := range origins {

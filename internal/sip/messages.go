@@ -57,6 +57,10 @@ type chunkMsg struct {
 	pardo  int
 	gen    int
 	origin int
+	// delta is the requester's cumulative in-pardo scalar contributions
+	// (scalars now minus scalars at pardo entry), the mid-pardo
+	// checkpoint's scalar watermark.  Empty when checkpointing is off.
+	delta []float64
 }
 
 // chunkReply carries the assigned iterations; each iteration is one
@@ -135,6 +139,14 @@ type syncMsg struct {
 	round  int
 	kind   int
 	vals   []float64 // collective contributions (nil otherwise)
+	// scalar is the collective's target scalar id (-1 otherwise); the
+	// checkpointing master uses it to consume resume corrections exactly
+	// once per scalar.
+	scalar int
+	// state is the worker's interpreter state at the sync point, attached
+	// when checkpointing is on and no pardo frame is active: sync points
+	// are the snapshot consistency points (snapshot.go).
+	state *workerState
 }
 
 // rereplicateMsg starts one anti-entropy pass on a server
@@ -224,4 +236,8 @@ type syncReply struct {
 	gen    int
 	iters  [][]int
 	vals   []float64
+	// state, when non-nil on the round-0 release, orders the worker to
+	// install a resume base — jump to the recorded pc with the recorded
+	// scalars and control stack — before continuing (snapshot.go).
+	state *workerState
 }

@@ -49,6 +49,23 @@ const (
 	metricReplFailovers = "sip.repl.read_failovers"
 	metricReplRounds    = "sip.repl.rounds"
 	metricReplPushed    = "sip.repl.blocks_pushed"
+	// Checkpoint/restart (Config.CkptInterval > 0; snapshot.go):
+	// snapshots written, bytes and wall time they cost, the current epoch
+	// (gauge), and snapshot attempts that failed.
+	metricCkptSnapshots = "sip.ckpt.snapshots"
+	metricCkptBytes     = "sip.ckpt.bytes"
+	metricCkptDuration  = "sip.ckpt.duration_ns"
+	metricCkptEpoch     = "sip.ckpt.epoch"
+	metricCkptErrors    = "sip.ckpt.errors"
+	// Resume (Config.Resume): runs restored from a snapshot, served
+	// blocks rehydrated, restores that fell back past a corrupt newest
+	// epoch, manifests rejected for a fingerprint mismatch, and resumes
+	// that found no usable snapshot and started cold.
+	metricResumeResumed   = "sip.resume.resumed"
+	metricResumeBlocks    = "sip.resume.blocks"
+	metricResumeFallbacks = "sip.resume.fallbacks"
+	metricResumeRejected  = "sip.resume.rejected"
+	metricResumeCold      = "sip.resume.cold_starts"
 )
 
 // tagNames labels the fixed message tags for per-tag metrics; block
@@ -136,7 +153,7 @@ func msgBytes(data any) int64 {
 	case getMsg:
 		return envelope + 24
 	case chunkMsg:
-		return envelope + 24
+		return envelope + 24 + 8*int64(len(v.delta))
 	case chunkReply:
 		n := int64(envelope)
 		for _, it := range v.iters {
@@ -166,7 +183,7 @@ func msgBytes(data any) int64 {
 	case doneMsg:
 		return envelope + 16 + 8*int64(len(v.scalars)) + int64(len(v.err))
 	case syncMsg:
-		return envelope + 24 + 8*int64(len(v.vals))
+		return envelope + 32 + 8*int64(len(v.vals)) + workerStateBytes(v.state)
 	case replPutMsg:
 		n := int64(envelope + 32) // key, round, origin
 		if v.b != nil {
@@ -185,7 +202,7 @@ func msgBytes(data any) int64 {
 		}
 		return n
 	case syncReply:
-		n := int64(envelope+32) + 8*int64(len(v.vals))
+		n := int64(envelope+32) + 8*int64(len(v.vals)) + workerStateBytes(v.state)
 		for _, it := range v.iters {
 			n += 8 * int64(len(it))
 		}
@@ -193,6 +210,15 @@ func msgBytes(data any) int64 {
 	default:
 		return envelope
 	}
+}
+
+// workerStateBytes estimates the wire size of an attached resume state.
+func workerStateBytes(st *workerState) int64 {
+	if st == nil {
+		return 0
+	}
+	return 16 + 8*int64(len(st.scalars)+len(st.idxVal)+len(st.pardoGen)) +
+		int64(len(st.idxBound)) + 32*int64(len(st.frames))
 }
 
 // foldRunMetrics folds the per-rank aggregate statistics collected by

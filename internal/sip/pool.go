@@ -121,6 +121,18 @@ type JobSpec struct {
 	// exactly as on a normal completion (see Config.Cancel).  `sial
 	// serve` drives deadlines and POST /jobs/{id}/cancel through this.
 	Cancel <-chan struct{}
+	// Checkpoint/restart (see the matching Config fields and
+	// snapshot.go).  CkptName must be stable across restarts of the
+	// same logical job — pool job ids are not (they are assigned in
+	// admission order), so `sial serve` derives it from its own durable
+	// job ids.
+	CkptInterval int
+	CkptKeep     int
+	CkptName     string
+	Resume       bool
+	Stop         <-chan struct{}
+	OnSnapshot   func(SnapshotInfo)
+	OnResume     func(ResumeInfo)
 }
 
 // ErrJobCanceled is returned by RunJob (wrapped) when the job's
@@ -394,6 +406,13 @@ func (p *Pool) runJob(spec JobSpec) (*Result, error) {
 		ServerRanks:  append([]int(nil), p.serverList...),
 		Gate:         p.cfg.Gate,
 		Cancel:       spec.Cancel,
+		CkptInterval: spec.CkptInterval,
+		CkptKeep:     spec.CkptKeep,
+		CkptName:     spec.CkptName,
+		Resume:       spec.Resume,
+		Stop:         spec.Stop,
+		OnSnapshot:   spec.OnSnapshot,
+		OnResume:     spec.OnResume,
 	}
 	if cfg.Output == nil {
 		cfg.Output = p.cfg.Output

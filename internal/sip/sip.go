@@ -254,6 +254,40 @@ type Config struct {
 	// results are discarded.  This is the mechanism behind `sial serve`
 	// job deadlines and POST /jobs/{id}/cancel.
 	Cancel <-chan struct{}
+	// CkptInterval enables automatic consistent job snapshots
+	// (snapshot.go): the master captures a restartable checkpoint at
+	// every sealed sync round and every CkptInterval completed pardo
+	// chunks (when the open pardos are pure).  Requires Recover — the
+	// snapshot consistency points are the recovery protocol's
+	// master-mediated sync rounds.  0 disables checkpointing.
+	CkptInterval int
+	// CkptKeep is the snapshot retention depth (default 2): older epochs
+	// are garbage-collected after each successful snapshot, and a
+	// corrupted latest epoch falls back to the one before it on resume.
+	CkptKeep int
+	// CkptName names the snapshot directory <scratch>/ckpt/<CkptName>.
+	// A restarted run resumes only from snapshots written under the same
+	// name (default "job"; sial serve uses the stable per-job id).
+	CkptName string
+	// Resume, with CkptInterval set, loads the newest valid snapshot
+	// under CkptName at startup and resumes from it: servers are
+	// rehydrated (worker/server counts may differ from the snapshotting
+	// run), workers jump to the recorded program counter, and completed
+	// pardo iterations are skipped.  Without Resume any existing
+	// snapshots under CkptName are cleared first.
+	Resume bool
+	// Stop, when non-nil and closed, requests a checkpoint-then-stop:
+	// the master takes one final snapshot at the next consistency point
+	// and then cancels the run (ErrJobCanceled).  This is the drain path
+	// of sial serve — the requeued job resumes from that snapshot after
+	// restart.  Without checkpointing it behaves exactly like Cancel.
+	Stop <-chan struct{}
+	// OnSnapshot, when non-nil, is called after every completed snapshot
+	// (from the master goroutine; keep it fast).
+	OnSnapshot func(SnapshotInfo)
+	// OnResume, when non-nil, is called once if the run resumed from a
+	// snapshot.
+	OnResume func(ResumeInfo)
 }
 
 func (c *Config) fill() error {
@@ -309,6 +343,23 @@ func (c *Config) fill() error {
 	}
 	if len(c.ServerRanks) != 0 && len(c.ServerRanks) != c.Servers {
 		return fmt.Errorf("sip: ServerRanks lists %d ranks for %d servers", len(c.ServerRanks), c.Servers)
+	}
+	if c.CkptInterval < 0 {
+		return fmt.Errorf("sip: CkptInterval = %d, need >= 0", c.CkptInterval)
+	}
+	if c.CkptInterval > 0 {
+		if !c.Recover {
+			return fmt.Errorf("sip: CkptInterval requires Recover (snapshots ride the recovery sync protocol)")
+		}
+		if c.CkptKeep <= 0 {
+			c.CkptKeep = 2
+		}
+		if c.CkptName == "" {
+			c.CkptName = "job"
+		}
+	}
+	if c.Resume && c.CkptInterval == 0 {
+		return fmt.Errorf("sip: Resume requires CkptInterval > 0")
 	}
 	return nil
 }

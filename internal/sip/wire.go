@@ -30,6 +30,7 @@ const (
 	wireIDReplAckMsg
 	wireIDObsReport
 	wireIDJobStartMsg
+	wireIDCkptManifest
 )
 
 // WireSizeHint implements wire.SizeHinter for the block-bearing
@@ -49,6 +50,69 @@ func (m replPutMsg) WireSizeHint() int {
 		n += m.b.WireSizeHint()
 	}
 	return n
+}
+
+// encodeWorkerState/decodeWorkerState carry a snapshot resume base,
+// both inside sync messages and inside the on-disk manifest (which
+// reuses the wire codec so the fuzz corpus and hostile-length guards
+// cover restart files too).
+func encodeWorkerState(e *wire.Encoder, st *workerState) {
+	e.Bool(st != nil)
+	if st == nil {
+		return
+	}
+	e.Int(st.resumePC)
+	e.Int(st.syncRound)
+	e.Float64s(st.scalars)
+	e.Ints(st.idxVal)
+	e.Uvarint(uint64(len(st.idxBound)))
+	for _, b := range st.idxBound {
+		e.Bool(b)
+	}
+	e.Ints(st.pardoGen)
+	e.Uvarint(uint64(len(st.frames)))
+	for _, f := range st.frames {
+		e.Int(f.kind)
+		e.Int(f.idx)
+		e.Int(f.cur)
+		e.Int(f.hi)
+		e.Int(f.startPC)
+		e.Int(f.exitPC)
+		e.Int(f.retPC)
+		e.Int(f.procID)
+	}
+}
+
+func decodeWorkerState(d *wire.Decoder) *workerState {
+	if !d.Bool() {
+		return nil
+	}
+	st := &workerState{resumePC: d.Int(), syncRound: d.Int(),
+		scalars: d.Float64s(), idxVal: d.Ints()}
+	n := d.Uvarint()
+	if !checkCount(d, n, "bound flags") {
+		return st
+	}
+	if n > 0 {
+		st.idxBound = make([]bool, n)
+		for i := range st.idxBound {
+			st.idxBound[i] = d.Bool()
+		}
+	}
+	st.pardoGen = d.Ints()
+	n = d.Uvarint()
+	if !checkCount(d, n, "frames") {
+		return st
+	}
+	if n > 0 {
+		st.frames = make([]frameState, n)
+		for i := range st.frames {
+			st.frames[i] = frameState{kind: d.Int(), idx: d.Int(), cur: d.Int(),
+				hi: d.Int(), startPC: d.Int(), exitPC: d.Int(),
+				retPC: d.Int(), procID: d.Int()}
+		}
+	}
+	return st
 }
 
 func encodeKey(e *wire.Encoder, k blockKey) {
@@ -298,9 +362,10 @@ func init() {
 			e.Int(m.pardo)
 			e.Int(m.gen)
 			e.Int(m.origin)
+			e.Float64s(m.delta)
 		},
 		func(d *wire.Decoder) chunkMsg {
-			return chunkMsg{pardo: d.Int(), gen: d.Int(), origin: d.Int()}
+			return chunkMsg{pardo: d.Int(), gen: d.Int(), origin: d.Int(), delta: d.Float64s()}
 		})
 	wire.Register(wireIDChunkReply,
 		func(e *wire.Encoder, m chunkReply) { e.IntSlices(m.iters) },
@@ -372,9 +437,12 @@ func init() {
 			e.Int(m.round)
 			e.Int(m.kind)
 			e.Float64s(m.vals)
+			e.Int(m.scalar)
+			encodeWorkerState(e, m.state)
 		},
 		func(d *wire.Decoder) syncMsg {
-			return syncMsg{origin: d.Int(), round: d.Int(), kind: d.Int(), vals: d.Float64s()}
+			return syncMsg{origin: d.Int(), round: d.Int(), kind: d.Int(),
+				vals: d.Float64s(), scalar: d.Int(), state: decodeWorkerState(d)}
 		})
 	wire.Register(wireIDSyncReply,
 		func(e *wire.Encoder, m syncReply) {
@@ -384,10 +452,12 @@ func init() {
 			e.Int(m.gen)
 			e.IntSlices(m.iters)
 			e.Float64s(m.vals)
+			encodeWorkerState(e, m.state)
 		},
 		func(d *wire.Decoder) syncReply {
 			return syncReply{round: d.Int(), resume: d.Bool(), pardo: d.Int(),
-				gen: d.Int(), iters: d.IntSlices(), vals: d.Float64s()}
+				gen: d.Int(), iters: d.IntSlices(), vals: d.Float64s(),
+				state: decodeWorkerState(d)}
 		})
 	wire.Register(wireIDRereplicateMsg,
 		func(e *wire.Encoder, m rereplicateMsg) {
@@ -428,6 +498,51 @@ func init() {
 		},
 		func(d *wire.Decoder) replAckMsg {
 			return replAckMsg{origin: d.Int(), round: d.Int()}
+		})
+	wire.Register(wireIDCkptManifest,
+		func(e *wire.Encoder, m ckptManifest) {
+			e.Int(m.epoch)
+			e.String(m.name)
+			e.Uvarint(uint64(m.fingerprint))
+			encodeWorkerState(e, m.base)
+			e.Float64s(m.sums)
+			e.Uvarint(uint64(len(m.overlays)))
+			for _, ov := range m.overlays {
+				e.Int(ov.pardo)
+				e.Int(ov.gen)
+				e.IntSlices(ov.iters)
+			}
+			e.Uvarint(uint64(len(m.blocks)))
+			for _, b := range m.blocks {
+				e.Int(b.arr)
+				e.Int(b.ord)
+				e.String(b.rel)
+				e.Uvarint(uint64(b.crc))
+				e.Int(int(b.bytes))
+			}
+		},
+		func(d *wire.Decoder) ckptManifest {
+			m := ckptManifest{epoch: d.Int(), name: d.String(),
+				fingerprint: uint32(d.Uvarint()), base: decodeWorkerState(d),
+				sums: d.Float64s()}
+			n := d.Uvarint()
+			if !checkCount(d, n, "overlays") {
+				return m
+			}
+			for i := uint64(0); i < n; i++ {
+				m.overlays = append(m.overlays, ckptOverlay{
+					pardo: d.Int(), gen: d.Int(), iters: d.IntSlices()})
+			}
+			n = d.Uvarint()
+			if !checkCount(d, n, "manifest blocks") {
+				return m
+			}
+			for i := uint64(0); i < n; i++ {
+				m.blocks = append(m.blocks, ckptBlockEntry{
+					arr: d.Int(), ord: d.Int(), rel: d.String(),
+					crc: uint32(d.Uvarint()), bytes: int64(d.Int())})
+			}
+			return m
 		})
 	wire.Register(wireIDJobStartMsg,
 		func(e *wire.Encoder, m jobStartMsg) {
@@ -474,15 +589,22 @@ func init() {
 	wire.Sample(putMsg{key: k, acc: true, origin: 2, needAck: true, seq: 9, b: b})
 	wire.Sample(flushMsg{origin: 1, job: 2})
 	wire.Sample(shutdownMsg{gather: true, job: 2})
-	wire.Sample(chunkMsg{pardo: 1, gen: 2, origin: 3})
+	wire.Sample(chunkMsg{pardo: 1, gen: 2, origin: 3, delta: []float64{0.25}})
 	wire.Sample(chunkReply{iters: [][]int{{1, 2}, {3}}})
 	wire.Sample(doneMsg{origin: 1, err: "boom", scalars: []float64{1, 2}, failRank: -1})
 	wire.Sample(ckptMsg{op: 1, arr: 2, origin: 3, blocks: abs})
 	wire.Sample(ckptData{arr: 2, blocks: abs})
 	wire.Sample(gatherMsg{origin: 1, arrays: map[int][]ArrayBlock{0: abs}})
 	wire.Sample(ackMsg{})
-	wire.Sample(syncMsg{origin: 1, round: 2, kind: 3, vals: []float64{1.5}})
-	wire.Sample(syncReply{round: 2, resume: true, pardo: 1, gen: 1, iters: [][]int{{0}}, vals: []float64{2}})
+	st := &workerState{resumePC: 7, syncRound: 2, scalars: []float64{1, 2},
+		idxVal: []int{0, 3}, idxBound: []bool{true, false}, pardoGen: []int{1},
+		frames: []frameState{{kind: 1, idx: 0, cur: 2, hi: 4, startPC: 5, exitPC: 9, retPC: -1, procID: -1}}}
+	wire.Sample(syncMsg{origin: 1, round: 2, kind: 3, vals: []float64{1.5}, scalar: 0, state: st})
+	wire.Sample(syncReply{round: 2, resume: true, pardo: 1, gen: 1, iters: [][]int{{0}}, vals: []float64{2}, state: st})
+	wire.Sample(ckptManifest{epoch: 3, name: "job7", fingerprint: 0xdeadbeef, base: st,
+		sums: []float64{2, 4},
+		overlays: []ckptOverlay{{pardo: 0, gen: 1, iters: [][]int{{0, 1}, {0, 2}}}},
+		blocks:   []ckptBlockEntry{{arr: 1, ord: 2, rel: "a1_b2.blk", crc: 0xcafe, bytes: 32}}})
 	wire.Sample(rereplicateMsg{round: 1, job: 2})
 	wire.Sample(rereplicateAck{origin: 5, round: 1, pushed: 3})
 	wire.Sample(replPutMsg{key: k, round: 1, origin: 5, b: b})

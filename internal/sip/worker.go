@@ -36,6 +36,11 @@ type frame struct {
 	exitPC  int
 	replay  bool // re-executing a dead worker's iterations (Config.Recover)
 	effectN int  // per-iteration put/prepare ordinal for dedup seqs
+	// entryScalars is the scalar table at pardo entry (checkpointing
+	// only): each chunk request reports scalars-minus-entry, the
+	// completed-contribution watermark mid-pardo snapshots fold into
+	// the manifest sums (snapshot.go).
+	entryScalars []float64
 
 	// call state
 	retPC  int
@@ -254,9 +259,12 @@ func (w *worker) run() (err error) {
 	if err := w.initPresets(); err != nil {
 		return err
 	}
-	// All homes are initialized before anyone can fetch.
+	// All homes are initialized before anyone can fetch.  The round-0
+	// release may carry a resume base (Config.Resume): installState then
+	// jumps this worker to the snapshot's program point before the
+	// interpreter loop starts.
 	if w.rt.cfg.Recover {
-		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+		if _, err := w.masterSync(syncBarrier, -1, false, nil); err != nil {
 			return err
 		}
 	} else {
@@ -288,7 +296,7 @@ func (w *worker) shutdown() error {
 	if w.rt.cfg.Recover {
 		// The final sync round: any iterations a freshly dead worker
 		// still held are replayed here before anyone reports done.
-		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+		if _, err := w.masterSync(syncBarrier, -1, false, nil); err != nil {
 			return err
 		}
 	} else {
@@ -436,7 +444,10 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		gen := w.pardoGen[in.A]
 		w.pardoGen[in.A]++
 		f := frame{kind: framePardo, pid: in.A, cur: gen, startPC: w.pc, exitPC: in.C, started: time.Now()}
-		chunk, err := w.fetchChunk(in.A, gen)
+		if w.rt.cfg.CkptInterval > 0 {
+			f.entryScalars = append([]float64(nil), w.scalars...)
+		}
+		chunk, err := w.fetchChunk(in.A, gen, f.entryScalars)
 		if err != nil {
 			return err
 		}
@@ -458,7 +469,7 @@ func (w *worker) exec(in *bytecode.Instr) error {
 			if f.replay {
 				f.chunk = nil // replay runs exactly the ordered iterations
 			} else {
-				chunk, err := w.fetchChunk(f.pid, f.cur)
+				chunk, err := w.fetchChunk(f.pid, f.cur, f.entryScalars)
 				if err != nil {
 					return err
 				}
@@ -625,7 +636,7 @@ func (w *worker) exec(in *bytecode.Instr) error {
 		}
 	case bytecode.OpCollective:
 		if w.rt.cfg.Recover {
-			vals, err := w.masterSync(syncCollective, func() []float64 {
+			vals, err := w.masterSync(syncCollective, in.A, true, func() []float64 {
 				return []float64{w.scalars[in.A]}
 			})
 			if err != nil {
@@ -780,9 +791,19 @@ func (w *worker) awaitRequest(req *mpi.Request, what string) (mpi.Message, error
 // execution ("Initially, the set of iterations ... is divided into
 // 'chunks' and doled out to the workers.  When a worker completes its
 // chunk, it requests another chunk from the master", paper §V-B).
-func (w *worker) fetchChunk(pid, gen int) ([][]int, error) {
+func (w *worker) fetchChunk(pid, gen int, entry []float64) ([][]int, error) {
 	start := time.Now()
-	w.comm.Send(0, w.rt.tag(tagChunkReq), chunkMsg{pardo: pid, gen: gen, origin: w.rank})
+	var delta []float64
+	if entry != nil {
+		// Cumulative scalar contribution since pardo entry: requesting
+		// chunk N+1 implies chunks 1..N are complete, so this is the
+		// completed-iteration watermark the checkpointing master records.
+		delta = make([]float64, len(w.scalars))
+		for i := range delta {
+			delta[i] = w.scalars[i] - entry[i]
+		}
+	}
+	w.comm.Send(0, w.rt.tag(tagChunkReq), chunkMsg{pardo: pid, gen: gen, origin: w.rank, delta: delta})
 	m, err := w.recvTimed(0, w.rt.tag(tagChunkRep), "chunk reply from the master")
 	if err != nil {
 		return nil, err
@@ -1517,7 +1538,7 @@ func (w *worker) notePrepAck(src int) {
 // blocks are invalidated so later gets see the new values.
 func (w *worker) sipBarrier() error {
 	if w.rt.cfg.Recover {
-		if _, err := w.masterSync(syncBarrier, nil); err != nil {
+		if _, err := w.masterSync(syncBarrier, -1, true, nil); err != nil {
 			return err
 		}
 		w.cache.invalidateAll()
@@ -1537,7 +1558,7 @@ func (w *worker) serverBarrier() error {
 	if w.rt.cfg.Recover {
 		// The master performs the flush itself once every live worker
 		// has reached (and, if needed, replayed past) this round.
-		if _, err := w.masterSync(syncServerBarrier, nil); err != nil {
+		if _, err := w.masterSync(syncServerBarrier, -1, true, nil); err != nil {
 			return err
 		}
 		w.cache.invalidateAll()
@@ -1645,7 +1666,7 @@ func (w *worker) checkpointSave(arrID int) error {
 // (so a worker death during the checkpoint still resolves).
 func (w *worker) ckptBarrier() error {
 	if w.rt.cfg.Recover {
-		_, err := w.masterSync(syncCkpt, nil)
+		_, err := w.masterSync(syncCkpt, -1, false, nil)
 		return err
 	}
 	w.rt.workerGroup.Barrier()
@@ -1688,10 +1709,16 @@ func (w *worker) checkpointLoad(arrID int) error {
 // outstanding put/prepare is acknowledged, so it doubles as the
 // completion ack for all chunks this worker executed this phase.  When
 // the master instead orders a replay of a dead worker's iterations, the
-// worker executes them and re-reports the same round (recomputing vals,
-// which may have grown during the replay).  Returns the reduced vals
-// from the release.
-func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) {
+// worker executes them and re-reports the same round (recomputing vals
+// and the captured state, which may have changed during the replay).
+// Returns the reduced vals from the release.
+//
+// scalar is the collective's target scalar (-1 otherwise).  With
+// capture set and checkpointing on, the report carries this worker's
+// interpreter state — the master's snapshot consistency points
+// (snapshot.go).  A release carrying a state (the round-0 resume path)
+// installs it before returning.
+func (w *worker) masterSync(kind, scalar int, capture bool, vals func() []float64) ([]float64, error) {
 	round := w.syncRound
 	w.syncRound++
 	for {
@@ -1705,7 +1732,11 @@ func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) 
 		if vals != nil {
 			v = vals()
 		}
-		w.comm.Send(0, w.rt.tag(tagSync), syncMsg{origin: w.rank, round: round, kind: kind, vals: v})
+		var st *workerState
+		if capture {
+			st = w.captureState()
+		}
+		w.comm.Send(0, w.rt.tag(tagSync), syncMsg{origin: w.rank, round: round, kind: kind, vals: v, scalar: scalar, state: st})
 		// Block without a deadline: the master may legitimately stay
 		// silent for as long as the slowest worker computes.  The master
 		// is a critical rank — its death fails the world and aborts this
@@ -1719,12 +1750,65 @@ func (w *worker) masterSync(kind int, vals func() []float64) ([]float64, error) 
 			// The release seals the phase; effects older than the previous
 			// phase can no longer be replayed, so retire their dedup entries.
 			w.retireSeenPuts()
+			if rep.state != nil {
+				w.installState(rep.state)
+			}
 			return rep.vals, nil
 		}
 		if err := w.replayChunk(rep.pardo, rep.gen, rep.iters); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// captureState snapshots this worker's interpreter state at a sync
+// point, or nil when a pardo frame is active (a barrier inside a pardo
+// body is not an SPMD-consistent program point — workers hold different
+// iterations).  resumePC is the instruction after the sync point: exec
+// advances there when the release returns.
+func (w *worker) captureState() *workerState {
+	if w.rt.cfg.CkptInterval <= 0 {
+		return nil
+	}
+	st := &workerState{
+		resumePC:  w.pc + 1,
+		syncRound: w.syncRound,
+		scalars:   append([]float64(nil), w.scalars...),
+		idxVal:    append([]int(nil), w.idxVal...),
+		idxBound:  append([]bool(nil), w.idxBound...),
+		pardoGen:  append([]int(nil), w.pardoGen...),
+	}
+	for i := range w.frames {
+		f := &w.frames[i]
+		if f.kind == framePardo {
+			return nil
+		}
+		st.frames = append(st.frames, frameState{kind: f.kind, idx: f.idx,
+			cur: f.cur, hi: f.hi, startPC: f.startPC, exitPC: f.exitPC,
+			retPC: f.retPC, procID: f.procID})
+	}
+	return st
+}
+
+// installState jumps this worker to a snapshot's program point: pc,
+// sync round numbering, scalars, index bindings, pardo generations, and
+// the control stack (round-0 release of a resumed run).  The state was
+// captured on some worker of the snapshotting run, but sync points are
+// SPMD program points, so it is valid for every worker of this one.
+func (w *worker) installState(st *workerState) {
+	w.pc = st.resumePC
+	w.syncRound = st.syncRound
+	copy(w.scalars, st.scalars)
+	copy(w.idxVal, st.idxVal)
+	copy(w.idxBound, st.idxBound)
+	copy(w.pardoGen, st.pardoGen)
+	w.frames = w.frames[:0]
+	for _, f := range st.frames {
+		w.frames = append(w.frames, frame{kind: f.kind, idx: f.idx, cur: f.cur,
+			hi: f.hi, startPC: f.startPC, exitPC: f.exitPC, retPC: f.retPC,
+			procID: f.procID, started: time.Now()})
+	}
+	w.cache.invalidateAll()
 }
 
 // replayChunk re-executes iterations a dead worker held when it was
